@@ -1,0 +1,104 @@
+// Ablation for the paper's section 5: vertex addressing strategies.
+//
+// Conventional frameworks resolve a message's recipient through a hashmap
+// from vertex id to location — "additional memory accesses, grows the
+// memory footprint and exposes bad data locality". iPregel's semantic
+// enrichment makes the id the location: direct mapping (slot == id),
+// offset mapping (one subtraction), desolate memory (direct mapping bought
+// with a few wasted slots). All three should deliver messages at
+// indistinguishable cost; the hashmap should be measurably slower and
+// carry tens of bytes of index per vertex.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runtime/rng.hpp"
+
+namespace {
+
+using ipregel::graph::vid_t;
+using ipregel::runtime::Xoshiro256;
+
+constexpr std::size_t kVertices = 1 << 20;
+constexpr vid_t kIdBase = 1;  // the paper's graphs start at id 1
+
+std::vector<vid_t> make_destinations() {
+  // A fixed stream of message recipients, scattered like real deliveries.
+  Xoshiro256 rng(99);
+  std::vector<vid_t> dst(1 << 16);
+  for (auto& d : dst) {
+    d = kIdBase + static_cast<vid_t>(rng.next_below(kVertices));
+  }
+  return dst;
+}
+
+void BM_AddressDirectEquivalent(benchmark::State& state) {
+  // Direct & desolate mapping: slot == id, zero arithmetic. (Desolate's
+  // cost is memory, not time: the wasted slots below the base.)
+  const auto dst = make_destinations();
+  std::vector<std::uint64_t> inbox(kVertices + kIdBase);
+  for (auto _ : state) {
+    for (const vid_t d : dst) {
+      inbox[d] += d;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dst.size()));
+}
+
+void BM_AddressOffset(benchmark::State& state) {
+  // Offset mapping: slot = id - base — "a marginal overhead".
+  const auto dst = make_destinations();
+  std::vector<std::uint64_t> inbox(kVertices);
+  const vid_t base = kIdBase;
+  for (auto _ : state) {
+    for (const vid_t d : dst) {
+      inbox[d - base] += d;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dst.size()));
+}
+
+void BM_AddressHashmap(benchmark::State& state) {
+  // The conventional layer: id -> location through an unordered_map.
+  const auto dst = make_destinations();
+  std::vector<std::uint64_t> inbox(kVertices);
+  std::unordered_map<vid_t, std::uint32_t> index;
+  index.reserve(kVertices);
+  for (vid_t id = 0; id < kVertices; ++id) {
+    index.emplace(id + kIdBase, id);
+  }
+  for (auto _ : state) {
+    for (const vid_t d : dst) {
+      inbox[index.find(d)->second] += d;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dst.size()));
+}
+
+BENCHMARK(BM_AddressDirectEquivalent);
+BENCHMARK(BM_AddressOffset);
+BENCHMARK(BM_AddressHashmap);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "section 5 memory accounting at |V| = %zu:\n"
+      "  direct/offset mapping index: 0 bytes\n"
+      "  desolate memory waste at id base %u: %zu bytes (one slot per "
+      "skipped id — \"a reasonable memory sacrifice\")\n"
+      "  hashmap index (~48 B/entry): ~%zu MB\n\n",
+      kVertices, kIdBase, static_cast<std::size_t>(kIdBase) * 8,
+      kVertices * 48 / 1'000'000);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces the paper's Figure 7: runtime of every applicable iPregel
+// version (3 combiners x {with, without} selection bypass) for PageRank,
+// Hashmin and SSSP on the wiki-like and road-like graphs.
+//
+// Expected shape (paper section 7.2):
+//  - PageRank: mutex -> spinlock drops ~30%; broadcast halves spinlock and
+//    is the best version (all vertices stay active: optimal pull ratio).
+//  - Hashmin/SSSP: spinlock < mutex < broadcast (without bypass); every
+//    combiner improves with the bypass; spinlock+bypass is always best and
+//    broadcast-without-bypass always worst.
+//  - The bypass gap explodes on the road-like graph (low density, few
+//    active vertices): paper reports 20x for Hashmin and 1,400x for SSSP.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "benchlib/reporting.hpp"
+#include "benchlib/workloads.hpp"
+#include "core/runner.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace ipregel;          // NOLINT(google-build-using-namespace)
+using namespace ipregel::bench;   // NOLINT(google-build-using-namespace)
+
+bool precise_mode() {
+  return std::getenv("IPREGEL_BENCH_PRECISE") != nullptr;
+}
+
+/// Runs one (program, version) cell, optionally with the paper's
+/// repeat-until-1%-margin methodology (IPREGEL_BENCH_PRECISE=1).
+template <typename Program>
+void bench_cell(Table& table, const std::string& app,
+                const graph::CsrGraph& g, Program program, VersionId version,
+                runtime::ThreadPool& pool, double& best_seconds,
+                std::string& best_name) {
+  RunResult last;
+  double seconds = 0.0;
+  if (precise_mode()) {
+    const auto measured = runtime::run_until_precise(
+        [&] {
+          last = run_version(g, program, version, {}, &pool);
+          return last.seconds;
+        },
+        {.min_runs = 5, .max_runs = 30, .target_relative_margin = 0.01});
+    seconds = measured.summary.mean;
+  } else {
+    last = run_version(g, program, version, {}, &pool);
+    seconds = last.seconds;
+  }
+  table.add_row({app, std::string(version_name(version)),
+                 fmt_seconds(seconds), std::to_string(last.supersteps),
+                 fmt_count(last.total_messages)});
+  if (seconds < best_seconds) {
+    best_seconds = seconds;
+    best_name = version_name(version);
+  }
+}
+
+template <typename Program>
+void bench_app(Table& table, const std::string& app,
+               const graph::CsrGraph& g, Program program,
+               runtime::ThreadPool& pool) {
+  double best_seconds = 1e300;
+  std::string best_name;
+  for (const VersionId v : applicable_versions<Program>()) {
+    bench_cell(table, app, g, program, v, pool, best_seconds, best_name);
+  }
+  std::cout << "  -> best version for " << app << ": " << best_name << " ("
+            << fmt_seconds(best_seconds) << " s)\n";
+}
+
+void run_workload(const Workload& w, runtime::ThreadPool& pool) {
+  Table table("Figure 7 analog — iPregel version runtimes on " + w.name +
+                  " [stand-in for " + w.paper_name + "]",
+              {"application", "version", "runtime (s)", "supersteps",
+               "messages"});
+  std::cout << "\n== " << w.name << " ==\n";
+  bench_app(table, "PageRank", w.graph,
+            apps::PageRank{.rounds = kPageRankRounds}, pool);
+  bench_app(table, "Hashmin", w.graph, apps::Hashmin{}, pool);
+  bench_app(table, "SSSP", w.graph, apps::Sssp{.source = kSsspSource}, pool);
+  table.print();
+  table.write_csv("bench_fig7.csv");
+}
+
+}  // namespace
+
+int main() {
+  runtime::ThreadPool pool;
+  std::cout << "iPregel Fig. 7 reproduction (threads = " << pool.size()
+            << (precise_mode() ? ", precise mode" : "") << ")\n";
+  run_workload(make_wiki_like(), pool);
+  run_workload(make_road_like(), pool);
+  return 0;
+}

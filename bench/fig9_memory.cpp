@@ -1,0 +1,154 @@
+// Reproduces the paper's Figure 9 and section 7.4: the memory footprint of
+// iPregel running PageRank on synthetic Twitter clones of growing size.
+//
+// The paper's methodology (7.4.2): generate synthetic graphs with |V| and
+// |E| proportional to Twitter(MPI) (a graph described as "20%" has a fifth
+// of the vertices and edges), run PageRank on each from smallest to
+// largest, record the maximum resident set size, and find the breaking
+// point under the machine's 8 GB. Then (7.4.3) linearly extrapolate to
+// 100%, verify on a larger machine (11.01 GB measured), and compare with
+// Pregel+ (109 GB) and Giraph (264 GB).
+//
+// Expected shape: a straight line through the measured points; the
+// breaking point sits where the line crosses the memory cap (paper: 70% of
+// Twitter under 8 GB, i.e. cap/full-size ratio 8/11.01 = 72.7%).
+//
+// The footprint is reported from the framework's own byte-exact
+// MemoryTracker (every allocation is tagged), with the process VmHWM
+// printed alongside for reference. PageRank runs in the spinlock-push
+// version: the paper's own arithmetic (8 GB graph + 3 GB overhead = 11 GB)
+// only adds up for an out-edges-only configuration.
+
+#include <iostream>
+#include <vector>
+
+#include "apps/pagerank.hpp"
+#include "benchlib/extrapolate.hpp"
+#include "benchlib/reporting.hpp"
+#include "benchlib/workloads.hpp"
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+#include "runtime/memory_tracker.hpp"
+
+namespace {
+
+using namespace ipregel;         // NOLINT(google-build-using-namespace)
+using namespace ipregel::bench;  // NOLINT(google-build-using-namespace)
+
+struct Sample {
+  unsigned percent;
+  std::size_t vertices;
+  std::size_t edges;
+  std::size_t tracked_bytes;   ///< framework-owned peak (MemoryTracker)
+  std::size_t graph_bytes;     ///< of which: graph topology
+  std::size_t vm_hwm_bytes;    ///< process peak RSS (the paper's time -v metric;
+                               ///< falls back to current RSS on kernels
+                               ///< without VmHWM), sampled at the peak
+};
+
+Sample run_at(unsigned percent) {
+  auto& tracker = runtime::MemoryTracker::instance();
+  tracker.reset();
+  const graph::EdgeList edges = make_twitter_scaled(percent);
+  const graph::CsrGraph g = graph::CsrGraph::build(
+      edges, {.addressing = graph::AddressingMode::kDirect,
+              .build_in_edges = false,
+              .keep_weights = false});
+  Sample s{};
+  s.percent = percent;
+  s.vertices = g.num_vertices();
+  s.edges = static_cast<std::size_t>(g.num_edges());
+  s.graph_bytes = g.topology_bytes();
+  // Memory does not depend on the round count, so three rounds suffice to
+  // reach the framework's peak footprint.
+  Engine<apps::PageRank, CombinerKind::kSpinlockPush, false> engine(
+      g, apps::PageRank{.rounds = 3});
+  (void)engine.run();
+  s.tracked_bytes = tracker.peak();
+  s.vm_hwm_bytes = runtime::read_peak_rss_bytes();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const ScaledTarget target = twitter_target();
+  std::cout << "iPregel Fig. 9 reproduction — PageRank memory footprint on "
+               "synthetic Twitter clones\n(full size: "
+            << fmt_count(target.num_vertices) << " vertices, "
+            << fmt_count(target.num_edges)
+            << " edges; paper full size: 52,579,682 / 1,963,263,821)\n";
+
+  Table table("Figure 9 analog — max framework footprint vs graph size",
+              {"size (%)", "|V|", "|E|", "tracked peak", "graph topology",
+               "framework overhead", "VmHWM"});
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<Sample> samples;
+  for (unsigned percent = 10; percent <= 70; percent += 10) {
+    const Sample s = run_at(percent);
+    samples.push_back(s);
+    xs.push_back(static_cast<double>(percent));
+    ys.push_back(static_cast<double>(s.tracked_bytes));
+    table.add_row({std::to_string(percent), fmt_count(s.vertices),
+                   fmt_count(s.edges), fmt_bytes(s.tracked_bytes),
+                   fmt_bytes(s.graph_bytes),
+                   fmt_bytes(s.tracked_bytes - s.graph_bytes),
+                   fmt_bytes(s.vm_hwm_bytes)});
+  }
+
+  // 7.4.3: linear extrapolation from the sub-breaking-point measurements...
+  const LinearFit fit = fit_line(xs, ys);
+  const double projected_100 = fit.at(100.0);
+  std::cout << "\nlinear projection to 100%: "
+            << fmt_bytes(static_cast<std::size_t>(projected_100))
+            << " (paper: projection said 11 GB)\n";
+
+  // ...then verify by actually running the full-size graph (the paper
+  // deployed a 16 GB m4.xlarge for this step).
+  const Sample full = run_at(100);
+  table.add_row({"100", fmt_count(full.vertices), fmt_count(full.edges),
+                 fmt_bytes(full.tracked_bytes), fmt_bytes(full.graph_bytes),
+                 fmt_bytes(full.tracked_bytes - full.graph_bytes),
+                 fmt_bytes(full.vm_hwm_bytes)});
+  table.print();
+  table.write_csv("bench_fig9.csv");
+
+  const double error =
+      (static_cast<double>(full.tracked_bytes) - projected_100) /
+      static_cast<double>(full.tracked_bytes);
+  std::cout << "measured 100%: " << fmt_bytes(full.tracked_bytes)
+            << " — projection error " << fmt_seconds(error * 100.0)
+            << "% (paper verified its 11 GB projection at 11.01 GB)\n";
+
+  // Breaking point under the paper-proportional cap: the paper's 8 GB
+  // machine held 70% of a graph whose full footprint is 11.01 GB, a
+  // cap/full ratio of 0.727.
+  const auto cap = static_cast<std::size_t>(
+      static_cast<double>(full.tracked_bytes) * 8.0 / 11.01);
+  unsigned breaking_point = 0;
+  for (const Sample& s : samples) {
+    if (s.tracked_bytes <= cap) {
+      breaking_point = s.percent;
+    }
+  }
+  // Refine with the fitted line.
+  const double exact =
+      (static_cast<double>(cap) - fit.intercept) / fit.slope;
+  std::cout << "breaking point under a paper-proportional cap of "
+            << fmt_bytes(cap) << ": last fitting measurement " << breaking_point
+            << "%, fitted crossing at " << fmt_seconds(exact)
+            << "% (paper: 70%)\n";
+
+  std::cout << "\nPaper cross-framework comparison for full Twitter(MPI):\n"
+               "  iPregel 11.01 GB (3 GB overhead) | Pregel+ 109 GB (101 GB "
+               "overhead, 33x iPregel) | Giraph 264 GB (256 GB overhead, 85x "
+               "iPregel)\n  this reproduction's overhead at 100%: "
+            << fmt_bytes(full.tracked_bytes - full.graph_bytes) << " on a "
+            << fmt_bytes(full.graph_bytes) << " graph ("
+            << fmt_factor(static_cast<double>(full.tracked_bytes) /
+                          static_cast<double>(full.graph_bytes))
+            << " of the graph itself; paper: 11/8 = 1.38x)\n";
+  return 0;
+}

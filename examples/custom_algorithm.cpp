@@ -1,0 +1,112 @@
+// Writing your own vertex program — the user-facing side of the paper's
+// Fig. 4 ("IP_compute" / "IP_combine").
+//
+// This example implements multi-source BFS ("how far is every vertex from
+// its nearest fire station?") from scratch against the public API, then
+// runs it under two different framework versions to show that a program is
+// written once and executes under any module version (paper section 3.1.2).
+//
+//   $ ./examples/custom_algorithm
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <span>
+
+#include "ipregel.hpp"
+
+namespace {
+
+using namespace ipregel;  // NOLINT(google-build-using-namespace)
+
+/// A vertex program is a plain struct:
+///  - two type aliases (vertex value, message),
+///  - two capability flags that unlock the framework's optimised versions,
+///  - initial_value / compute / combine.
+struct NearestStation {
+  using value_type = std::uint32_t;    // hop distance to the closest source
+  using message_type = std::uint32_t;
+
+  // We only ever broadcast the same value to all out-neighbours, so the
+  // race-free pull combiner is applicable...
+  static constexpr bool broadcast_only = true;
+  // ...and every vertex votes to halt every superstep, so the selection
+  // bypass is applicable too. All six framework versions are legal.
+  static constexpr bool always_halts = true;
+
+  static constexpr value_type kFar = std::numeric_limits<value_type>::max();
+
+  std::span<const graph::vid_t> stations;
+
+  [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
+    return kFar;
+  }
+
+  void compute(auto& ctx) const {
+    // Seed: stations are at distance 0 of themselves.
+    std::uint32_t best =
+        std::find(stations.begin(), stations.end(), ctx.id()) !=
+                stations.end() && ctx.is_first_superstep()
+            ? 0u
+            : kFar;
+    std::uint32_t m = 0;
+    while (ctx.get_next_message(m)) {
+      best = std::min(best, m);
+    }
+    if (best < ctx.value()) {
+      ctx.value() = best;                // improved: record and propagate
+      ctx.broadcast(ctx.value() + 1);
+    }
+    ctx.vote_to_halt();                  // always halt; messages reactivate
+  }
+
+  /// Must be commutative & associative; min is.
+  static void combine(message_type& old,
+                      const message_type& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+}  // namespace
+
+int main() {
+  // A city-block street grid with three fire stations.
+  graph::EdgeList streets = graph::grid_2d(60, 80, {.seed = 3});
+  const graph::CsrGraph g = graph::CsrGraph::build(
+      streets, {.addressing = graph::AddressingMode::kDirect,
+                .build_in_edges = true});  // in-edges: allow the pull version
+
+  const graph::vid_t stations[] = {0, 2444, 4799};
+  const NearestStation program{.stations = stations};
+
+  // Version 1: spinlock push combiner + selection bypass.
+  Engine<NearestStation, CombinerKind::kSpinlockPush, true> push_engine(
+      g, program);
+  const RunResult push_run = push_engine.run();
+
+  // Version 2: pull combiner (race-free), same program source.
+  Engine<NearestStation, CombinerKind::kPull, false> pull_engine(g, program);
+  const RunResult pull_run = pull_engine.run();
+
+  std::printf("push+bypass: %zu supersteps, %.3f ms\n", push_run.supersteps,
+              push_run.seconds * 1e3);
+  std::printf("pull:        %zu supersteps, %.3f ms\n", pull_run.supersteps,
+              pull_run.seconds * 1e3);
+
+  // Both versions must agree, whatever the message delivery order was.
+  std::uint32_t worst = 0;
+  double sum = 0.0;
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    if (push_engine.values()[s] != pull_engine.values()[s]) {
+      std::printf("MISMATCH at vertex %u\n", g.id_of(s));
+      return 1;
+    }
+    worst = std::max(worst, push_engine.values()[s]);
+    sum += push_engine.values()[s];
+  }
+  std::printf(
+      "every corner agrees: max distance to a station %u blocks, mean "
+      "%.1f\n",
+      worst, sum / static_cast<double>(g.num_vertices()));
+  return 0;
+}

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/types.hpp"
+
+namespace ipregel::apps {
+
+/// BFS parent finding: computes, for every vertex reachable from `source`,
+/// the smallest-id predecessor on some shortest (hop-count) path.
+///
+/// Each newly-reached vertex broadcasts its own id; recipients that are
+/// still unreached adopt the smallest sender id as parent. Deterministic
+/// under any message delivery order because the combiner keeps the minimum.
+/// Bypass-compatible and broadcast-only, like the paper's SSSP.
+struct BfsParent {
+  using value_type = graph::vid_t;
+  using message_type = graph::vid_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  static constexpr value_type kUnreached =
+      std::numeric_limits<value_type>::max();
+
+  graph::vid_t source = 0;
+
+  [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
+    return kUnreached;
+  }
+
+  void compute(auto& ctx) const {
+    if (ctx.is_first_superstep()) {
+      if (ctx.id() == source) {
+        ctx.value() = source;  // the source is its own parent
+        ctx.broadcast(ctx.id());
+      }
+    } else if (ctx.value() == kUnreached) {
+      graph::vid_t parent = kUnreached;
+      graph::vid_t m = 0;
+      while (ctx.get_next_message(m)) {
+        parent = std::min(parent, m);
+      }
+      if (parent != kUnreached) {
+        ctx.value() = parent;
+        ctx.broadcast(ctx.id());
+      }
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(graph::vid_t& old,
+                      const graph::vid_t& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+}  // namespace ipregel::apps

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <algorithm>
+
+#include "graph/types.hpp"
+
+namespace ipregel::apps {
+
+/// Hashmin connected components: every vertex propagates the minimum vertex
+/// id it has seen; at fixpoint all vertices of a (weakly, if the graph is
+/// symmetric) connected component share the component's minimum id as label.
+///
+/// Activity starts at 100% and decays to zero as labels converge — the
+/// paper's middle case between PageRank (always all active) and SSSP
+/// (always few active). Every vertex votes to halt every superstep
+/// (`always_halts = true`), so the selection bypass applies, and
+/// communication is broadcast-only, so all six versions apply.
+struct Hashmin {
+  using value_type = graph::vid_t;
+  using message_type = graph::vid_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  [[nodiscard]] graph::vid_t initial_value(graph::vid_t id) const noexcept {
+    return id;
+  }
+
+  void compute(auto& ctx) const {
+    if (ctx.is_first_superstep()) {
+      // Seed the propagation with this vertex's own id.
+      ctx.broadcast(ctx.value());
+    } else {
+      graph::vid_t smallest = ctx.value();
+      graph::vid_t m = 0;
+      while (ctx.get_next_message(m)) {
+        smallest = std::min(smallest, m);
+      }
+      if (smallest < ctx.value()) {
+        ctx.value() = smallest;
+        ctx.broadcast(smallest);
+      }
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(graph::vid_t& old,
+                      const graph::vid_t& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+}  // namespace ipregel::apps

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace ipregel::apps {
+
+/// In-degree counting via messaging: superstep 0 every vertex broadcasts
+/// "1", superstep 1 every recipient sums its combined inbox.
+///
+/// Two supersteps, exercises the sum combiner with integer messages, and —
+/// unlike reading the CSR's in-neighbour arrays — works in configurations
+/// that never build in-edges. Bypass-compatible and broadcast-only.
+struct InDegree {
+  using value_type = std::uint64_t;
+  using message_type = std::uint64_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
+    return 0;
+  }
+
+  void compute(auto& ctx) const {
+    if (ctx.is_first_superstep()) {
+      ctx.broadcast(1);
+    } else {
+      message_type count = 0;
+      message_type m = 0;
+      while (ctx.get_next_message(m)) {
+        count += m;
+      }
+      ctx.value() = count;
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(message_type& old,
+                      const message_type& incoming) noexcept {
+    old += incoming;
+  }
+};
+
+}  // namespace ipregel::apps

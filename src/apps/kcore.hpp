@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace ipregel::apps {
+
+/// k-core membership: iteratively peel vertices of degree < k; whatever
+/// survives is the k-core. Assumes a symmetric (undirected) graph.
+///
+/// Included as an extension beyond the paper's three applications: it
+/// exercises a *struct-valued* vertex (remaining degree + removed flag)
+/// and an integer sum combiner, while staying bypass-compatible (every
+/// vertex votes to halt; removals reactivate neighbours by message) and
+/// broadcast-only (a removed vertex tells all neighbours "one of your
+/// neighbours is gone").
+struct KCore {
+  struct State {
+    std::uint32_t remaining_degree = 0;
+    bool removed = false;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  using value_type = State;
+  using message_type = std::uint32_t;  ///< count of newly removed neighbours
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  std::uint32_t k = 2;
+
+  [[nodiscard]] State initial_value(graph::vid_t) const noexcept {
+    return {};
+  }
+
+  void compute(auto& ctx) const {
+    State& state = ctx.value();
+    if (ctx.is_first_superstep()) {
+      state.remaining_degree =
+          static_cast<std::uint32_t>(ctx.out_degree());
+    } else {
+      message_type removed_neighbours = 0;
+      message_type m = 0;
+      while (ctx.get_next_message(m)) {
+        removed_neighbours += m;
+      }
+      if (!state.removed) {
+        state.remaining_degree -=
+            std::min(state.remaining_degree, removed_neighbours);
+      }
+    }
+    if (!state.removed && state.remaining_degree < k) {
+      state.removed = true;
+      ctx.broadcast(1);
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(message_type& old,
+                      const message_type& incoming) noexcept {
+    old += incoming;
+  }
+};
+
+}  // namespace ipregel::apps

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "runtime/rng.hpp"
+
+namespace ipregel::apps {
+
+/// Maximum-value propagation — the introductory example of the original
+/// Pregel paper (Malewicz et al., SIGMOD'10): every vertex starts with a
+/// pseudo-random value derived from its id and the fixpoint leaves each
+/// vertex holding the maximum value of any vertex that can reach it.
+///
+/// Included as the mirror image of Hashmin (max instead of min, arbitrary
+/// values instead of ids): a useful property-test subject because the
+/// expected fixpoint is computable independently.
+struct MaxValue {
+  using value_type = std::uint64_t;
+  using message_type = std::uint64_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  /// Seed for the per-vertex initial values.
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] value_type initial_value(graph::vid_t id) const noexcept {
+    return runtime::mix64(runtime::mix64(seed) ^ id);
+  }
+
+  void compute(auto& ctx) const {
+    if (ctx.is_first_superstep()) {
+      ctx.broadcast(ctx.value());
+    } else {
+      value_type largest = ctx.value();
+      message_type m = 0;
+      while (ctx.get_next_message(m)) {
+        largest = std::max(largest, m);
+      }
+      if (largest > ctx.value()) {
+        ctx.value() = largest;
+        ctx.broadcast(largest);
+      }
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(message_type& old,
+                      const message_type& incoming) noexcept {
+    old = std::max(old, incoming);
+  }
+};
+
+}  // namespace ipregel::apps

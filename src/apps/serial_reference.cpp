@@ -1,0 +1,205 @@
+#include "apps/serial_reference.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "runtime/rng.hpp"
+
+namespace ipregel::apps::serial {
+
+std::vector<double> pagerank(const graph::CsrGraph& g, std::size_t rounds,
+                             double damping) {
+  const std::size_t slots = g.num_slots();
+  const auto n = static_cast<double>(g.num_vertices());
+  std::vector<double> rank(slots, 0.0);
+  std::vector<double> next(slots, 0.0);
+  for (std::size_t s = g.first_slot(); s < slots; ++s) {
+    rank[s] = 1.0 / n;
+  }
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      const std::size_t d = g.out_degree(s);
+      if (d == 0) {
+        continue;
+      }
+      const double share = rank[s] / static_cast<double>(d);
+      for (const graph::vid_t v : g.out_neighbours(s)) {
+        next[g.slot_of(v)] += share;
+      }
+    }
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      rank[s] = (1.0 - damping) / n + damping * next[s];
+    }
+  }
+  return rank;
+}
+
+std::vector<graph::vid_t> hashmin(const graph::CsrGraph& g) {
+  const std::size_t slots = g.num_slots();
+  std::vector<graph::vid_t> label(slots, 0);
+  for (std::size_t s = g.first_slot(); s < slots; ++s) {
+    label[s] = g.id_of(s);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      for (const graph::vid_t v : g.out_neighbours(s)) {
+        const std::size_t t = g.slot_of(v);
+        if (label[s] < label[t]) {
+          label[t] = label[s];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<std::uint32_t> sssp_unit(const graph::CsrGraph& g,
+                                     graph::vid_t source) {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_slots(), kInf);
+  const std::size_t src_slot = g.slot_of(source);
+  dist[src_slot] = 0;
+  std::deque<std::size_t> queue{src_slot};
+  while (!queue.empty()) {
+    const std::size_t s = queue.front();
+    queue.pop_front();
+    for (const graph::vid_t v : g.out_neighbours(s)) {
+      const std::size_t t = g.slot_of(v);
+      if (dist[t] == kInf) {
+        dist[t] = dist[s] + 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint64_t> sssp_weighted(const graph::CsrGraph& g,
+                                         graph::vid_t source) {
+  constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dist(g.num_slots(), kInf);
+  const std::size_t src_slot = g.slot_of(source);
+  dist[src_slot] = 0;
+  using Entry = std::pair<std::uint64_t, std::size_t>;  // (distance, slot)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0, src_slot);
+  while (!heap.empty()) {
+    const auto [d, s] = heap.top();
+    heap.pop();
+    if (d != dist[s]) {
+      continue;  // stale entry
+    }
+    const auto neighbours = g.out_neighbours(s);
+    const auto weights = g.out_weights(s);
+    for (std::size_t i = 0; i < neighbours.size(); ++i) {
+      const std::size_t t = g.slot_of(neighbours[i]);
+      const std::uint64_t nd = d + weights[i];
+      if (nd < dist[t]) {
+        dist[t] = nd;
+        heap.emplace(nd, t);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<graph::vid_t> bfs_parent(const graph::CsrGraph& g,
+                                     graph::vid_t source) {
+  constexpr auto kUnreached = std::numeric_limits<graph::vid_t>::max();
+  const std::size_t slots = g.num_slots();
+  std::vector<graph::vid_t> parent(slots, kUnreached);
+  std::vector<std::size_t> frontier{g.slot_of(source)};
+  parent[g.slot_of(source)] = source;
+  while (!frontier.empty()) {
+    // Expand one BFS level; every newly reached vertex takes the smallest
+    // sender id, mirroring the min combiner.
+    std::vector<std::size_t> next;
+    std::vector<std::pair<std::size_t, graph::vid_t>> proposals;
+    for (const std::size_t s : frontier) {
+      for (const graph::vid_t v : g.out_neighbours(s)) {
+        const std::size_t t = g.slot_of(v);
+        if (parent[t] == kUnreached) {
+          proposals.emplace_back(t, g.id_of(s));
+        }
+      }
+    }
+    for (const auto& [t, p] : proposals) {
+      if (parent[t] == kUnreached) {
+        parent[t] = p;
+        next.push_back(t);
+      } else if (std::find(next.begin(), next.end(), t) != next.end()) {
+        parent[t] = std::min(parent[t], p);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return parent;
+}
+
+std::vector<std::uint64_t> max_value(const graph::CsrGraph& g,
+                                     std::uint64_t seed) {
+  const std::size_t slots = g.num_slots();
+  std::vector<std::uint64_t> value(slots, 0);
+  for (std::size_t s = g.first_slot(); s < slots; ++s) {
+    value[s] = runtime::mix64(runtime::mix64(seed) ^ g.id_of(s));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      for (const graph::vid_t v : g.out_neighbours(s)) {
+        const std::size_t t = g.slot_of(v);
+        if (value[s] > value[t]) {
+          value[t] = value[s];
+          changed = true;
+        }
+      }
+    }
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> in_degree(const graph::CsrGraph& g) {
+  std::vector<std::uint64_t> count(g.num_slots(), 0);
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    for (const graph::vid_t v : g.out_neighbours(s)) {
+      ++count[g.slot_of(v)];
+    }
+  }
+  return count;
+}
+
+std::vector<bool> k_core(const graph::CsrGraph& g, std::uint32_t k) {
+  const std::size_t slots = g.num_slots();
+  std::vector<std::uint32_t> degree(slots, 0);
+  std::vector<bool> alive(slots, false);
+  for (std::size_t s = g.first_slot(); s < slots; ++s) {
+    degree[s] = static_cast<std::uint32_t>(g.out_degree(s));
+    alive[s] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      if (alive[s] && degree[s] < k) {
+        alive[s] = false;
+        changed = true;
+        for (const graph::vid_t v : g.out_neighbours(s)) {
+          const std::size_t t = g.slot_of(v);
+          if (alive[t] && degree[t] > 0) {
+            --degree[t];
+          }
+        }
+      }
+    }
+  }
+  return alive;
+}
+
+}  // namespace ipregel::apps::serial

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace ipregel::apps::serial {
+
+/// Straight-line, single-threaded reference implementations of every
+/// shipped vertex program. They share no code with the framework — the test
+/// suite cross-validates all six engine versions against these.
+///
+/// All functions return values indexed by *slot* (graph.slot_of(id)), so
+/// they compare element-wise with Engine::values().
+
+/// Power iteration with the exact update rule of the paper's Fig. 6
+/// PageRank: rank = (1-d)/n + d * sum(incoming rank/out_degree), `rounds`
+/// propagation rounds. Dangling vertices broadcast nothing (their rank mass
+/// is dropped), matching the vertex-centric program.
+[[nodiscard]] std::vector<double> pagerank(const graph::CsrGraph& g,
+                                           std::size_t rounds,
+                                           double damping = 0.85);
+
+/// Fixpoint of label[v] = min(label[v], min over in-edges (u,v) of
+/// label[u]), seeded with label[v] = id(v) — the Hashmin fixpoint.
+[[nodiscard]] std::vector<graph::vid_t> hashmin(const graph::CsrGraph& g);
+
+/// Unit-weight single-source shortest path (BFS levels), unreachable =
+/// UINT32_MAX. Matches Fig. 5's semantics.
+[[nodiscard]] std::vector<std::uint32_t> sssp_unit(const graph::CsrGraph& g,
+                                                   graph::vid_t source);
+
+/// Weighted single-source shortest path (Dijkstra), unreachable =
+/// UINT64_MAX. The graph must carry weights.
+[[nodiscard]] std::vector<std::uint64_t> sssp_weighted(
+    const graph::CsrGraph& g, graph::vid_t source);
+
+/// BFS smallest-id parent on some shortest hop-count path; the source is
+/// its own parent, unreachable = UINT32_MAX.
+[[nodiscard]] std::vector<graph::vid_t> bfs_parent(const graph::CsrGraph& g,
+                                                   graph::vid_t source);
+
+/// Fixpoint of value[v] = max(value[v], max over in-edges (u,v) of
+/// value[u]), seeded with mix64(seed ^ id) — the MaxValue fixpoint.
+[[nodiscard]] std::vector<std::uint64_t> max_value(const graph::CsrGraph& g,
+                                                   std::uint64_t seed);
+
+/// In-degree of every vertex, counted from the out-edge arrays.
+[[nodiscard]] std::vector<std::uint64_t> in_degree(const graph::CsrGraph& g);
+
+/// k-core membership by iterative peeling on a symmetric graph: true for
+/// vertices that survive in the k-core, false for peeled ones. Matches the
+/// KCore vertex program's `!removed` flag.
+[[nodiscard]] std::vector<bool> k_core(const graph::CsrGraph& g,
+                                       std::uint32_t k);
+
+}  // namespace ipregel::apps::serial

@@ -1,0 +1,116 @@
+#include "benchlib/extrapolate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipregel::bench {
+
+std::vector<ScalingPoint> extrapolate_scaling(
+    std::vector<ScalingPoint> points, std::size_t forward_doublings) {
+  std::sort(points.begin(), points.end(),
+            [](const ScalingPoint& a, const ScalingPoint& b) {
+              return a.nodes < b.nodes;
+            });
+  // Collect the successfully measured points only.
+  std::vector<std::size_t> ok;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].measured && !points[i].memory_failure) {
+      ok.push_back(i);
+    }
+  }
+  if (ok.size() < 2) {
+    return points;  // nothing to extrapolate from
+  }
+  // Efficiency of the last measured doubling (or closest pair): the
+  // speed-up ratio per node-count doubling.
+  const ScalingPoint& a = points[ok[ok.size() - 2]];
+  const ScalingPoint& b = points[ok.back()];
+  assert(b.nodes > a.nodes);
+  const double node_ratio =
+      static_cast<double>(b.nodes) / static_cast<double>(a.nodes);
+  const double time_ratio = a.seconds / b.seconds;  // >1 when scaling helps
+
+  // Backward reconstruction for failed/missing smaller node counts.
+  const ScalingPoint& first_ok = points[ok.front()];
+  for (ScalingPoint& p : points) {
+    if (p.nodes < first_ok.nodes && (!p.measured || p.memory_failure)) {
+      double seconds = first_ok.seconds;
+      double n = static_cast<double>(first_ok.nodes);
+      while (n / node_ratio >= static_cast<double>(p.nodes) - 1e-9) {
+        seconds *= time_ratio;
+        n /= node_ratio;
+      }
+      p.seconds = seconds;
+      p.measured = false;
+    }
+  }
+
+  // Forward projection.
+  double seconds = b.seconds;
+  std::size_t nodes = b.nodes;
+  for (std::size_t d = 0; d < forward_doublings; ++d) {
+    nodes *= 2;
+    seconds /= time_ratio;
+    points.push_back(ScalingPoint{nodes, seconds, false, false});
+  }
+  return points;
+}
+
+std::optional<std::size_t> lead_change(const std::vector<ScalingPoint>& curve,
+                                       double ipregel_seconds) {
+  // Scan for the first point at or below the reference, then refine to a
+  // whole node count by linear interpolation between the bracketing points
+  // (node counts between the measured powers of two were never run; the
+  // paper reports the lead change at this granularity, e.g. "11 nodes").
+  const ScalingPoint* prev = nullptr;
+  for (const ScalingPoint& p : curve) {
+    if (p.memory_failure) {
+      continue;
+    }
+    if (p.seconds <= ipregel_seconds) {
+      if (prev == nullptr || prev->seconds <= ipregel_seconds) {
+        return p.nodes;
+      }
+      for (std::size_t n = prev->nodes + 1; n < p.nodes; ++n) {
+        const double frac = static_cast<double>(n - prev->nodes) /
+                            static_cast<double>(p.nodes - prev->nodes);
+        const double t = prev->seconds + frac * (p.seconds - prev->seconds);
+        if (t <= ipregel_seconds) {
+          return n;
+        }
+      }
+      return p.nodes;
+    }
+    prev = &p;
+  }
+  return std::nullopt;
+}
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    return fit;
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) {
+    return fit;
+  }
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  return fit;
+}
+
+}  // namespace ipregel::bench

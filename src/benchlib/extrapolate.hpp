@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ipregel::bench {
+
+/// A (num_nodes, runtime) point of a Pregel+ scaling curve. `measured` is
+/// false for points reconstructed by extrapolation (including backward
+/// reconstruction of node counts where the real run failed with
+/// insufficient memory — the paper's Fig. 8 hollow markers).
+struct ScalingPoint {
+  std::size_t nodes = 0;
+  double seconds = 0.0;
+  bool measured = true;
+  bool memory_failure = false;
+};
+
+/// The paper's footnote-8 extrapolation: "Given an efficiency of x between
+/// 8 and 16 nodes, the runtime of 32 nodes is projected assuming an
+/// efficiency of x between 16 and 32 nodes" — i.e. the speed-up ratio of
+/// the last measured doubling is assumed to repeat for every further
+/// doubling. The same ratio is applied backward for node counts below the
+/// smallest successful run.
+///
+/// `forward_doublings` extra points are appended beyond the largest
+/// measured node count.
+[[nodiscard]] std::vector<ScalingPoint> extrapolate_scaling(
+    std::vector<ScalingPoint> measured, std::size_t forward_doublings);
+
+/// The "lead change": the smallest node count at which the (possibly
+/// extrapolated) Pregel+ curve meets or beats the single-node iPregel
+/// reference. Returns nullopt when even the last extrapolated point is
+/// slower (the paper's "more than 15,000 nodes" case is detected by the
+/// caller extrapolating far enough).
+[[nodiscard]] std::optional<std::size_t> lead_change(
+    const std::vector<ScalingPoint>& curve, double ipregel_seconds);
+
+/// Least-squares linear fit y = a + b*x; used by the Fig. 9 memory
+/// projection ("linear extrapolation ... indicates that 11GB would be
+/// sufficient").
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+
+  [[nodiscard]] double at(double x) const noexcept {
+    return intercept + slope * x;
+  }
+};
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& xs,
+                                 const std::vector<double>& ys);
+
+}  // namespace ipregel::bench

@@ -1,0 +1,125 @@
+#include "benchlib/reporting.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace ipregel::bench {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::size_t total = headers_.size() * 3 + 1;
+  for (const std::size_t w : width) {
+    total += w;
+  }
+  std::cout << '\n' << title_ << '\n' << std::string(total, '-') << '\n';
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    std::cout << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::cout << ' ' << cells[c]
+                << std::string(width[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    std::cout << '\n';
+  };
+  print_row(headers_);
+  std::cout << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  std::cout << std::string(total, '-') << '\n';
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return;  // CSV dump is best-effort; the console table is authoritative
+  }
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string quoted = "\"";
+    for (const char ch : s) {
+      if (ch == '"') {
+        quoted += '"';
+      }
+      quoted += ch;
+    }
+    return quoted + '"';
+  };
+  out << "# " << title_ << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << escape(row[c]);
+    }
+    out << '\n';
+  }
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  char buf[32];
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  if (mib >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", mib / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", mib);
+  }
+  return buf;
+}
+
+std::string fmt_factor(double f) {
+  char buf[32];
+  if (f >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0fx", f);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fx", f);
+  }
+  return buf;
+}
+
+std::string fmt_count(std::size_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t since_sep = digits.size() % 3;
+  if (since_sep == 0) {
+    since_sep = 3;
+  }
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && since_sep == 0) {
+      out += ',';
+      since_sep = 3;
+    }
+    out += digits[i];
+    --since_sep;
+  }
+  return out;
+}
+
+}  // namespace ipregel::bench

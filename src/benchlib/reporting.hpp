@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ipregel::bench {
+
+/// Fixed-width console table, the output format of every figure/table
+/// reproduction binary. Also dumps itself as CSV so results can be
+/// post-processed (EXPERIMENTS.md is written from these).
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (title, rule, headers, rows) to stdout.
+  void print() const;
+
+  /// Appends the table as CSV to `path` (creates the file if needed).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with 3 significant decimals ("12.345 s" -> "12.345").
+[[nodiscard]] std::string fmt_seconds(double s);
+/// Formats bytes as MiB or GiB with two decimals.
+[[nodiscard]] std::string fmt_bytes(std::size_t bytes);
+/// Formats a speed-up factor ("6.5x").
+[[nodiscard]] std::string fmt_factor(double f);
+/// Formats a large count with thousands separators.
+[[nodiscard]] std::string fmt_count(std::size_t n);
+
+}  // namespace ipregel::bench

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace ipregel::bench {
+
+/// The experiment workloads.
+///
+/// The paper's graphs (Wikipedia/dbpedia-link, USA roads, Twitter(MPI),
+/// Friendster) are multi-gigabyte downloads that cannot ship with this
+/// repository, so every benchmark runs on a generated stand-in that
+/// preserves the structural property the experiment depends on (see
+/// DESIGN.md "Substitutions"):
+///
+///  - wiki-like: R-MAT — scale-free, dense, low effective diameter;
+///  - road-like: 2-D lattice — constant low degree, huge diameter;
+///  - twitter-like: uniform random at a target |V|/|E| ratio (the paper's
+///    own section 7.4.2 methodology for its scaled synthetic clones).
+///
+/// Loaders for the real formats exist in graph/io.hpp: point
+/// IPREGEL_WIKI_PATH / IPREGEL_ROAD_PATH at the KONECT / DIMACS files to
+/// run the benches on the paper's actual graphs.
+///
+/// Sizes are scaled to a two-core laptop-class box and adjustable with the
+/// IPREGEL_BENCH_SIZE environment variable: "small" (CI-quick), "default",
+/// "large".
+
+enum class BenchSize { kSmall, kDefault, kLarge };
+
+/// Reads IPREGEL_BENCH_SIZE (default kDefault).
+[[nodiscard]] BenchSize bench_size();
+
+/// A named, ready-to-run workload graph.
+struct Workload {
+  std::string name;        ///< e.g. "wiki-like (R-MAT s18)"
+  std::string paper_name;  ///< the graph it stands in for
+  graph::CsrGraph graph;
+};
+
+/// Scale-free stand-in for the Wikipedia graph. Built with in-edges (the
+/// pull combiner needs them) and offset addressing.
+[[nodiscard]] Workload make_wiki_like(BenchSize size = bench_size());
+
+/// High-diameter road-network stand-in for the USA graph.
+[[nodiscard]] Workload make_road_like(BenchSize size = bench_size());
+
+/// Twitter-clone edge list at `percent` of the configured full size —
+/// the Fig. 9 sweep. Only the edge list: the caller chooses CSR options
+/// so memory can be measured per configuration.
+[[nodiscard]] graph::EdgeList make_twitter_scaled(unsigned percent,
+                                                  BenchSize size =
+                                                      bench_size());
+
+/// Full-size |V| / |E| of the twitter-like stand-in for `size`.
+struct ScaledTarget {
+  std::size_t num_vertices;
+  std::size_t num_edges;
+};
+[[nodiscard]] ScaledTarget twitter_target(BenchSize size = bench_size());
+[[nodiscard]] ScaledTarget friendster_target(BenchSize size = bench_size());
+
+/// SSSP source used by all benches (the paper uses vertex '2').
+inline constexpr graph::vid_t kSsspSource = 2;
+
+/// PageRank rounds used by all benches (the paper runs 30 iterations).
+inline constexpr std::size_t kPageRankRounds = 30;
+
+}  // namespace ipregel::bench

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <concepts>
+
+namespace ipregel {
+
+/// Optional aggregator support on a vertex program (an extension beyond
+/// the paper, following the original Pregel's aggregator mechanism).
+///
+/// A program opts in by declaring:
+///
+///   using aggregate_type = double;
+///   static aggregate_type aggregate_identity();
+///   static void aggregate(aggregate_type& acc,
+///                         const aggregate_type& contribution);
+///
+/// During superstep S every vertex may call `ctx.aggregate(x)`; the engine
+/// folds all contributions (per-thread partials, then a deterministic
+/// cross-thread reduce at the superstep barrier) and exposes the result of
+/// superstep S to every vertex of superstep S+1 via `ctx.aggregated()` —
+/// the BSP visibility rule, same as for messages. `aggregate` must be
+/// commutative and associative for thread-count-independent results.
+///
+/// The canonical use is global convergence detection (e.g. stop PageRank
+/// when the largest per-vertex delta drops below a threshold) — see
+/// apps::PageRankConverging.
+template <typename P>
+concept HasAggregator = requires(typename P::aggregate_type& acc,
+                                 const typename P::aggregate_type& x) {
+  typename P::aggregate_type;
+  { P::aggregate_identity() } -> std::same_as<typename P::aggregate_type>;
+  { P::aggregate(acc, x) } -> std::same_as<void>;
+};
+
+}  // namespace ipregel

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace ipregel {
+
+/// The combiner module versions of the paper's Fig. 2 / section 6.
+enum class CombinerKind {
+  /// Push-based combiner, block-waiting synchronisation: one 40-byte
+  /// std::mutex per vertex mailbox.
+  kMutexPush,
+  /// Push-based combiner, busy-waiting synchronisation: one 4-byte spinlock
+  /// per vertex mailbox (90% lighter data-race protection).
+  kSpinlockPush,
+  /// Pull-based combiner ("broadcast" version): senders buffer a single
+  /// outbox value, receivers gather from in-neighbours. Race-free, zero
+  /// lock memory; requires broadcast-only communication and in-neighbour
+  /// lists.
+  kPull,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CombinerKind k) noexcept {
+  switch (k) {
+    case CombinerKind::kMutexPush:
+      return "mutex";
+    case CombinerKind::kSpinlockPush:
+      return "spinlock";
+    case CombinerKind::kPull:
+      return "broadcast";
+  }
+  return "invalid";
+}
+
+/// One of the six framework versions of section 7.2: a combiner choice,
+/// optionally paired with the selection bypass of section 4.
+struct VersionId {
+  CombinerKind combiner = CombinerKind::kSpinlockPush;
+  bool selection_bypass = false;
+
+  friend bool operator==(const VersionId&, const VersionId&) = default;
+};
+
+/// All six versions, in the paper's Fig. 7 legend order.
+inline constexpr VersionId kAllVersions[] = {
+    {CombinerKind::kMutexPush, false},    {CombinerKind::kMutexPush, true},
+    {CombinerKind::kSpinlockPush, false}, {CombinerKind::kSpinlockPush, true},
+    {CombinerKind::kPull, false},         {CombinerKind::kPull, true},
+};
+
+/// Human-readable version name matching the paper's legends, e.g.
+/// "spinlock with selection bypass".
+[[nodiscard]] inline std::string_view version_name(VersionId v) noexcept {
+  switch (v.combiner) {
+    case CombinerKind::kMutexPush:
+      return v.selection_bypass ? "mutex with selection bypass" : "mutex";
+    case CombinerKind::kSpinlockPush:
+      return v.selection_bypass ? "spinlock with selection bypass"
+                                : "spinlock";
+    case CombinerKind::kPull:
+      return v.selection_bypass ? "broadcast with selection bypass"
+                                : "broadcast";
+  }
+  return "invalid";
+}
+
+/// How vertices are distributed across threads within a superstep.
+enum class Schedule {
+  /// Equal contiguous shares (the paper's distribution): zero scheduling
+  /// overhead, perfect when per-vertex work is uniform — which the
+  /// selection bypass guarantees by shipping only active vertices.
+  kStatic,
+  /// Chunks claimed from a shared cursor: one atomic per chunk, but
+  /// rebalances skewed work (hub vertices of scale-free graphs). The
+  /// "further investigations about load-balancing strategies" of the
+  /// paper's conclusion.
+  kDynamic,
+};
+
+/// Engine options common to all versions.
+struct EngineOptions {
+  /// Worker threads; 0 = hardware concurrency. Ignored when an external
+  /// pool is supplied to the engine.
+  std::size_t threads = 0;
+  /// Safety cap on supersteps (the BSP loop stops even if the computation
+  /// has not converged). SIZE_MAX = unlimited.
+  std::size_t max_supersteps = static_cast<std::size_t>(-1);
+  /// Record per-superstep statistics (active count, messages, seconds) in
+  /// the RunResult. Costs one small allocation per superstep.
+  bool collect_superstep_stats = false;
+  /// Vertex-to-thread scheduling policy.
+  Schedule schedule = Schedule::kStatic;
+  /// Chunk size for Schedule::kDynamic (ignored under kStatic).
+  std::size_t dynamic_chunk = 2048;
+};
+
+/// Per-superstep execution record.
+struct SuperstepStats {
+  std::size_t executed_vertices = 0;  ///< vertices whose compute ran
+  std::size_t remaining_active = 0;   ///< vertices that did not vote to halt
+  std::size_t messages_sent = 0;      ///< send/broadcast message deliveries
+  double seconds = 0.0;
+};
+
+/// Result of Engine::run. Timings cover the superstep loop only, matching
+/// the paper's methodology ("graph preprocessing and graph loading are not
+/// included", section 7.1.2).
+struct RunResult {
+  std::size_t supersteps = 0;
+  double seconds = 0.0;
+  std::size_t total_messages = 0;
+  std::size_t total_executed_vertices = 0;
+  bool reached_superstep_cap = false;
+  std::vector<SuperstepStats> per_superstep;  ///< empty unless requested
+};
+
+}  // namespace ipregel

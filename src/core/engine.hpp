@@ -1,0 +1,516 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "core/aggregator_traits.hpp"
+#include "core/config.hpp"
+#include "core/frontier.hpp"
+#include "core/mailbox.hpp"
+#include "core/program_traits.hpp"
+#include "graph/csr.hpp"
+#include "runtime/memory_tracker.hpp"
+#include "runtime/spin_lock.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+namespace ipregel {
+namespace detail {
+
+/// Per-run aggregator state: per-thread partials (cache-line padded) folded
+/// deterministically at the superstep barrier. Empty for programs without
+/// aggregator support — no storage, no per-superstep work.
+template <typename Program, bool = HasAggregator<Program>>
+struct AggregatorState {
+  using T = typename Program::aggregate_type;
+  struct alignas(64) Slot {
+    T value = Program::aggregate_identity();
+  };
+
+  std::vector<Slot> partials;
+  T previous = Program::aggregate_identity();
+
+  void init(std::size_t threads) {
+    partials.assign(threads, Slot{});
+    previous = Program::aggregate_identity();
+  }
+  void begin_superstep() {
+    for (Slot& s : partials) {
+      s.value = Program::aggregate_identity();
+    }
+  }
+  void end_superstep() {
+    T acc = Program::aggregate_identity();
+    for (const Slot& s : partials) {
+      Program::aggregate(acc, s.value);
+    }
+    previous = acc;
+  }
+  void contribute(std::size_t tid, const T& x) {
+    Program::aggregate(partials[tid].value, x);
+  }
+};
+
+template <typename Program>
+struct AggregatorState<Program, false> {
+  void init(std::size_t) {}
+  void begin_superstep() {}
+  void end_superstep() {}
+};
+
+}  // namespace detail
+
+/// The iPregel execution engine: one fully-typed instantiation per
+/// (program, combiner version, selection version) — the compile-time
+/// multi-version design of the paper's section 3.1, with C++ template
+/// parameters playing the role of the paper's compilation flags.
+///
+/// Template parameters:
+///  - `Program`  — the user's vertex program (see program_traits.hpp)
+///  - `Combiner` — which section-6 combiner version handles message
+///                 delivery (mutex push / spinlock push / pull broadcast)
+///  - `Bypass`   — whether the section-4 selection bypass replaces the
+///                 scan-all selection phase
+///
+/// Addressing (section 5) needs no template parameter: the graph carries
+/// its id->slot mapping (direct = offset 0; desolate = offset 0 with padded
+/// slots), so a single subtraction covers all three modes by construction.
+///
+/// Invalid combinations are rejected at compile time: the pull combiner
+/// requires a broadcast-only program, and the selection bypass requires a
+/// program whose vertices all vote to halt every superstep (otherwise
+/// "active" and "received a message" stop being equivalent — the paper's
+/// note at the end of section 4).
+///
+/// The BSP superstep loop (Fig. 1): each superstep selects vertices, runs
+/// `Program::compute` on them in parallel, delivers messages into the next
+/// superstep's generation, and terminates once no vertex is active and no
+/// message is in flight.
+template <VertexProgram Program, CombinerKind Combiner, bool Bypass>
+class Engine {
+  static_assert(!Bypass || Program::always_halts,
+                "selection bypass requires a program whose vertices vote to "
+                "halt at the end of every superstep (paper section 4)");
+  static_assert(Combiner != CombinerKind::kPull || Program::broadcast_only,
+                "the pull combiner requires broadcast-only communication "
+                "(paper section 6.2)");
+
+ public:
+  using Value = typename Program::value_type;
+  using Msg = typename Program::message_type;
+
+  static constexpr CombinerKind kCombiner = Combiner;
+  static constexpr bool kBypass = Bypass;
+
+  /// Per-vertex view handed to Program::compute — the paper's Fig. 3 API.
+  class Context {
+   public:
+    /// Retrieves the (single, combined) pending message. Mirrors the
+    /// paper's `IP_get_next_message` while-loop protocol: the first call
+    /// returns the combined message, subsequent calls return false.
+    bool get_next_message(Msg& out) noexcept {
+      if (msg_ == nullptr) {
+        return false;
+      }
+      out = *msg_;
+      msg_ = nullptr;
+      return true;
+    }
+
+    /// Sends `msg` to every out-neighbour (`IP_broadcast`).
+    void broadcast(const Msg& msg) { engine_.do_broadcast(slot_, tid_, msg); }
+
+    /// Sends `msg` to an arbitrary vertex (`IP_send_message`). Only the
+    /// push combiners support targeted sends.
+    void send_message(graph::vid_t dst, const Msg& msg) {
+      static_assert(Combiner != CombinerKind::kPull,
+                    "the pull combiner supports broadcast-only "
+                    "communication; use a push combiner for targeted sends");
+      engine_.do_send(dst, tid_, msg);
+    }
+
+    /// `IP_vote_to_halt`: this vertex becomes inactive until it receives a
+    /// message.
+    void vote_to_halt() noexcept { voted_ = true; }
+
+    /// Contributes to this superstep's global aggregate (programs with
+    /// aggregator support only — see core/aggregator_traits.hpp).
+    template <typename P = Program>
+      requires HasAggregator<P>
+    void aggregate(const typename P::aggregate_type& x) {
+      engine_.aggregator_.contribute(tid_, x);
+    }
+
+    /// The fully-reduced aggregate of the PREVIOUS superstep (the BSP
+    /// visibility rule; the identity during superstep 0).
+    template <typename P = Program>
+      requires HasAggregator<P>
+    [[nodiscard]] const typename P::aggregate_type& aggregated()
+        const noexcept {
+      return engine_.aggregator_.previous;
+    }
+
+    /// `IP_get_superstep` (0-based).
+    [[nodiscard]] std::size_t superstep() const noexcept {
+      return engine_.superstep_;
+    }
+    /// `IP_is_first_superstep`.
+    [[nodiscard]] bool is_first_superstep() const noexcept {
+      return engine_.superstep_ == 0;
+    }
+    /// `IP_get_vertices_count`.
+    [[nodiscard]] std::size_t num_vertices() const noexcept {
+      return engine_.graph_.num_vertices();
+    }
+
+    /// This vertex's external identifier.
+    [[nodiscard]] graph::vid_t id() const noexcept {
+      return engine_.graph_.id_of(slot_);
+    }
+    /// Mutable reference to this vertex's value (the paper's `me->val`).
+    [[nodiscard]] Value& value() noexcept { return engine_.values_[slot_]; }
+    [[nodiscard]] const Value& value() const noexcept {
+      return engine_.values_[slot_];
+    }
+
+    [[nodiscard]] std::size_t out_degree() const noexcept {
+      return engine_.graph_.out_degree(slot_);
+    }
+    [[nodiscard]] std::span<const graph::vid_t> out_neighbours()
+        const noexcept {
+      return engine_.graph_.out_neighbours(slot_);
+    }
+    /// Out-edge weights; only valid when the graph was built with weights.
+    [[nodiscard]] std::span<const graph::weight_t> out_weights()
+        const noexcept {
+      return engine_.graph_.out_weights(slot_);
+    }
+
+   private:
+    friend class Engine;
+    Context(Engine& engine, std::size_t slot, std::size_t tid,
+            const Msg* msg) noexcept
+        : engine_(engine), slot_(slot), tid_(tid), msg_(msg) {}
+
+    Engine& engine_;
+    std::size_t slot_;
+    std::size_t tid_;
+    const Msg* msg_;
+    bool voted_ = false;
+  };
+
+  /// Binds the engine to a graph. Allocates all per-vertex state up front
+  /// (values, mailboxes, locks/outboxes, frontier) and registers it with
+  /// the MemoryTracker. Throws std::invalid_argument when the pull
+  /// combiner is selected but the graph has no in-neighbour lists.
+  Engine(const graph::CsrGraph& graph, Program program = {},
+         EngineOptions options = {}, runtime::ThreadPool* pool = nullptr)
+      : graph_(graph),
+        program_(std::move(program)),
+        options_(options),
+        external_pool_(pool) {
+    if constexpr (Combiner == CombinerKind::kPull) {
+      if (!graph.has_in_edges()) {
+        throw std::invalid_argument(
+            "the pull combiner gathers from in-neighbours: build the graph "
+            "with build_in_edges = true");
+      }
+    }
+    if (external_pool_ == nullptr) {
+      owned_pool_ =
+          std::make_unique<runtime::ThreadPool>(options_.threads);
+    }
+    const std::size_t slots = graph_.num_slots();
+    values_.resize(slots);
+    halted_.assign(slots, 0);
+    values_mem_.rebind(runtime::MemCategory::kVertexValues,
+                       slots * sizeof(Value));
+    internals_mem_.rebind(runtime::MemCategory::kVertexInternals,
+                          slots * sizeof(std::uint8_t));
+    mail_.emplace(slots);
+    if constexpr (Bypass) {
+      frontier_.emplace(slots, this->pool().size(),
+                        /*with_dedup_bitmap=*/Combiner == CombinerKind::kPull);
+    }
+    counters_.resize(this->pool().size());
+    aggregator_.init(this->pool().size());
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the program to completion (or to the superstep cap) and
+  /// returns timing/volume statistics. Reentrant: each call starts from
+  /// freshly initialised vertex values.
+  RunResult run() {
+    reset_state();
+    RunResult result;
+    if (graph_.num_slots() == 0) {
+      return result;
+    }
+    runtime::ThreadPool& workers = pool();
+    runtime::Timer total;
+    for (;;) {
+      runtime::Timer step_timer;
+      const unsigned cur = static_cast<unsigned>(superstep_ & 1);
+      const unsigned nxt = cur ^ 1u;
+      cur_gen_ = cur;
+      nxt_gen_ = nxt;
+      for (auto& c : counters_) {
+        c = ThreadCounters{};
+      }
+      aggregator_.begin_superstep();
+
+      // --- selection + local computation + communication -----------------
+      const bool use_frontier = Bypass && superstep_ > 0;
+      if (use_frontier) {
+        if constexpr (Bypass) {
+          // The frontier *is* the selection: every entry received a
+          // message, so threads run every vertex of their equal share.
+          const auto& work = frontier_->current();
+          for_indices(workers, work.size(),
+                      [&](std::size_t tid, std::size_t i) {
+                        process_vertex(work[i], tid, cur, nxt);
+                      });
+        }
+      } else {
+        const std::size_t first = graph_.first_slot();
+        for_indices(workers, graph_.num_slots() - first,
+                    [&](std::size_t tid, std::size_t i) {
+                      process_vertex(first + i, tid, cur, nxt);
+                    });
+      }
+
+      // --- superstep epilogue --------------------------------------------
+      std::size_t sent = 0;
+      std::size_t active = 0;
+      std::size_t executed = 0;
+      for (const auto& c : counters_) {
+        sent += c.sent;
+        active += c.active;
+        executed += c.executed;
+      }
+      aggregator_.end_superstep();
+      if constexpr (Combiner == CombinerKind::kPull) {
+        // Wipe the consumed generation's armed flags so halted vertices
+        // cannot leak a stale broadcast two supersteps later.
+        const std::size_t first = graph_.first_slot();
+        workers.parallel_for(graph_.num_slots() - first,
+                             [&](std::size_t, runtime::Range r) {
+                               mail_->clear_range(cur, first + r.begin,
+                                                  first + r.end);
+                             });
+      }
+      if constexpr (Bypass) {
+        if (active != 0) {
+          throw std::logic_error(
+              "selection bypass engaged but " + std::to_string(active) +
+              " vertices did not vote to halt in superstep " +
+              std::to_string(superstep_) +
+              "; this program is not bypass-compatible");
+        }
+        frontier_->flip();
+      }
+
+      result.total_messages += sent;
+      result.total_executed_vertices += executed;
+      if (options_.collect_superstep_stats) {
+        result.per_superstep.push_back(SuperstepStats{
+            executed, active, sent, step_timer.seconds()});
+      }
+      ++superstep_;
+      result.supersteps = superstep_;
+      if (sent == 0 && active == 0) {
+        break;  // BSP termination: everyone halted, nothing in flight
+      }
+      if (superstep_ >= options_.max_supersteps) {
+        result.reached_superstep_cap = true;
+        break;
+      }
+    }
+    result.seconds = total.seconds();
+    return result;
+  }
+
+  /// Vertex values after run(); indexed by slot.
+  [[nodiscard]] std::span<const Value> values() const noexcept {
+    return values_;
+  }
+  /// Value of the vertex with external id `id`.
+  [[nodiscard]] const Value& value_of(graph::vid_t id) const {
+    return values_[graph_.slot_of(id)];
+  }
+
+  [[nodiscard]] const graph::CsrGraph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] const Program& program() const noexcept { return program_; }
+
+ private:
+  using LockType =
+      std::conditional_t<Combiner == CombinerKind::kMutexPush, std::mutex,
+                         runtime::SpinLock>;
+  using Mailboxes =
+      std::conditional_t<Combiner == CombinerKind::kPull, PullOutboxes<Msg>,
+                         PushMailboxes<Msg, LockType>>;
+
+  struct alignas(64) ThreadCounters {
+    std::size_t sent = 0;
+    std::size_t active = 0;
+    std::size_t executed = 0;
+  };
+
+  [[nodiscard]] runtime::ThreadPool& pool() noexcept {
+    return external_pool_ != nullptr ? *external_pool_ : *owned_pool_;
+  }
+
+  /// Distributes [0, n) under the configured scheduling policy and calls
+  /// `fn(tid, i)` for every index.
+  template <typename Fn>
+  void for_indices(runtime::ThreadPool& workers, std::size_t n, Fn&& fn) {
+    const auto body = [&fn](std::size_t tid, runtime::Range r) {
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        fn(tid, i);
+      }
+    };
+    if (options_.schedule == Schedule::kDynamic) {
+      workers.parallel_for_dynamic(n, options_.dynamic_chunk, body);
+    } else {
+      workers.parallel_for(n, body);
+    }
+  }
+
+  void reset_state() {
+    superstep_ = 0;
+    const std::size_t first = graph_.first_slot();
+    pool().parallel_for(
+        graph_.num_slots() - first, [&](std::size_t, runtime::Range r) {
+          for (std::size_t s = first + r.begin; s < first + r.end; ++s) {
+            values_[s] = program_.initial_value(graph_.id_of(s));
+            halted_[s] = 0;
+          }
+        });
+    mail_->reset();
+    if constexpr (Bypass) {
+      frontier_->reset();
+    }
+    aggregator_.init(pool().size());
+  }
+
+  /// Selection check + message consumption + compute for one vertex.
+  void process_vertex(std::size_t slot, std::size_t tid, unsigned cur,
+                      unsigned /*nxt*/) {
+    Msg combined{};
+    bool has = false;
+    if constexpr (Combiner == CombinerKind::kPull) {
+      // The gather phase of section 6.2: fetch every in-neighbour's armed
+      // outbox and combine locally. Read-only across vertices, writes stay
+      // intra-vertex: race-free by construction.
+      if (superstep_ > 0) {
+        for (const graph::vid_t u : graph_.in_neighbours(slot)) {
+          Msg m{};
+          if (mail_->fetch(cur, graph_.slot_of(u), m)) {
+            if (has) {
+              Program::combine(combined, m);
+            } else {
+              combined = m;
+              has = true;
+            }
+          }
+        }
+      }
+    } else {
+      has = mail_->consume(cur, slot, combined);
+    }
+    // Scan-all selection: skip vertices that are halted with an empty
+    // inbox — the "unfruitful checks" the bypass eliminates. (Under the
+    // bypass every visited vertex has a message by construction.)
+    if (!has && superstep_ > 0 && halted_[slot] != 0) {
+      return;
+    }
+    Context ctx(*this, slot, tid, has ? &combined : nullptr);
+    program_.compute(ctx);
+    halted_[slot] = ctx.voted_ ? 1 : 0;
+    ThreadCounters& c = counters_[tid];
+    ++c.executed;
+    if (!ctx.voted_) {
+      ++c.active;
+    }
+  }
+
+  void do_broadcast(std::size_t slot, std::size_t tid, const Msg& msg) {
+    const auto neighbours = graph_.out_neighbours(slot);
+    if constexpr (Combiner == CombinerKind::kPull) {
+      if (!neighbours.empty()) {
+        mail_->broadcast(nxt_gen_, slot, msg);
+      }
+      if constexpr (Bypass) {
+        // Pull senders never touch recipient state, so recipients are
+        // claimed through the frontier's dedup bitmap.
+        for (const graph::vid_t dst : neighbours) {
+          frontier_->add(graph_.slot_of(dst), tid);
+        }
+      }
+    } else {
+      for (const graph::vid_t dst : neighbours) {
+        deliver_push(graph_.slot_of(dst), tid, msg);
+      }
+    }
+    counters_[tid].sent += neighbours.size();
+  }
+
+  void do_send(graph::vid_t dst, std::size_t tid, const Msg& msg) {
+    if constexpr (Combiner != CombinerKind::kPull) {
+      deliver_push(graph_.slot_of(dst), tid, msg);
+      ++counters_[tid].sent;
+    }
+  }
+
+  /// Push-combiner delivery: combine under the recipient's lock; when the
+  /// mailbox was empty this was the recipient's first message of the
+  /// superstep, which is exactly the section-4 moment the sender appends
+  /// the recipient to the next work list — no extra synchronisation.
+  void deliver_push(std::size_t dst_slot, std::size_t tid, const Msg& msg) {
+    const bool first =
+        mail_->deliver(nxt_gen_, dst_slot, msg,
+                       [](Msg& old, const Msg& incoming) {
+                         Program::combine(old, incoming);
+                       });
+    if constexpr (Bypass) {
+      if (first) {
+        frontier_->add_claimed(dst_slot, tid);
+      }
+    } else {
+      (void)first;
+    }
+  }
+
+  const graph::CsrGraph& graph_;
+  Program program_;
+  EngineOptions options_;
+  runtime::ThreadPool* external_pool_ = nullptr;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> halted_;
+  std::optional<Mailboxes> mail_;
+  std::optional<Frontier> frontier_;
+  std::vector<ThreadCounters> counters_;
+  detail::AggregatorState<Program> aggregator_;
+
+  std::size_t superstep_ = 0;
+  unsigned cur_gen_ = 0;
+  unsigned nxt_gen_ = 1;
+
+  runtime::MemReservation values_mem_;
+  runtime::MemReservation internals_mem_;
+};
+
+}  // namespace ipregel

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/memory_tracker.hpp"
+#include "runtime/partition.hpp"
+
+namespace ipregel {
+
+/// The selection-bypass work list (paper section 4).
+///
+/// In applications where every vertex votes to halt each superstep, a vertex
+/// is active in superstep S+1 iff it received a message in superstep S. So
+/// instead of scanning all vertices and checking their state ("unfruitful
+/// checks"), the *sender* of a message appends the recipient to the next
+/// superstep's list. At the next superstep the list *is* the selection.
+///
+/// Implementation: an atomic claim bitmap deduplicates recipients (many
+/// senders may message the same vertex; it must be executed once), and
+/// per-thread append vectors avoid contention on a shared list. Between
+/// supersteps the per-thread lists are concatenated into a dense vector
+/// that is then block-partitioned across threads — this is the paper's
+/// load-balancing argument: every thread receives an equal share of
+/// vertices that are all known to be active.
+class Frontier {
+ public:
+  /// `with_dedup_bitmap` allocates the atomic claim bitmap. The push
+  /// combiners do not need it: their per-mailbox lock already reveals
+  /// whether a delivery was the first of the superstep ("if its recipient
+  /// inbox is empty then the message is added" — and then, only then, the
+  /// recipient joins the list). The pull combiner broadcasts to
+  /// out-neighbours without touching their state, so it deduplicates
+  /// through the bitmap instead.
+  Frontier(std::size_t num_slots, std::size_t num_threads,
+           bool with_dedup_bitmap)
+      : claimed_(with_dedup_bitmap ? (num_slots + 63) / 64 : 0),
+        pending_(num_threads),
+        bitmap_mem_(runtime::MemCategory::kFrontier,
+                    claimed_.size() * sizeof(std::atomic<std::uint64_t>)) {}
+
+  /// Registers `slot` for the next superstep when the *caller* already
+  /// knows this is the slot's first message of the superstep (push
+  /// combiners, under the mailbox lock's exactly-once guarantee).
+  void add_claimed(std::size_t slot, std::size_t tid) {
+    pending_[tid].slots.push_back(slot);
+  }
+
+  /// Registers `slot` for the next superstep. Thread-safe; deduplicated
+  /// through the claim bitmap. Returns true if this call claimed the slot
+  /// (first sender).
+  bool add(std::size_t slot, std::size_t tid) {
+    std::atomic<std::uint64_t>& word = claimed_[slot / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (slot % 64);
+    // Cheap read first: under heavy fan-in most senders observe the bit
+    // already set and skip the RMW.
+    if ((word.load(std::memory_order_relaxed) & bit) != 0) {
+      return false;
+    }
+    if ((word.fetch_or(bit, std::memory_order_relaxed) & bit) != 0) {
+      return false;
+    }
+    pending_[tid].slots.push_back(slot);
+    return true;
+  }
+
+  /// Concatenates the per-thread pending lists into the current list and
+  /// resets claim bits (only the bits of the gathered slots — O(frontier),
+  /// not O(V)). Call between supersteps, single-threaded.
+  void flip() {
+    current_.clear();
+    std::size_t total = 0;
+    for (const auto& p : pending_) {
+      total += p.slots.size();
+    }
+    current_.reserve(total);
+    for (auto& p : pending_) {
+      current_.insert(current_.end(), p.slots.begin(), p.slots.end());
+      p.slots.clear();
+    }
+    if (!claimed_.empty()) {
+      for (const std::size_t slot : current_) {
+        claimed_[slot / 64].fetch_and(~(std::uint64_t{1} << (slot % 64)),
+                                      std::memory_order_relaxed);
+      }
+    }
+    lists_mem_.rebind(runtime::MemCategory::kFrontier, list_bytes());
+  }
+
+  /// The slots to execute this superstep (valid after flip()).
+  [[nodiscard]] const std::vector<std::size_t>& current() const noexcept {
+    return current_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return current_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return current_.size(); }
+
+  /// Clears all state (between independent runs of an engine).
+  void reset() {
+    for (auto& word : claimed_) {
+      word.store(0, std::memory_order_relaxed);
+    }
+    for (auto& p : pending_) {
+      p.slots.clear();
+    }
+    current_.clear();
+  }
+
+  /// Bytes currently held by the work lists (bitmap excluded; that is a
+  /// separate fixed reservation).
+  [[nodiscard]] std::size_t list_bytes() const noexcept {
+    std::size_t b = current_.capacity() * sizeof(std::size_t);
+    for (const auto& p : pending_) {
+      b += p.slots.capacity() * sizeof(std::size_t);
+    }
+    return b;
+  }
+
+ private:
+  struct alignas(64) PerThread {
+    std::vector<std::size_t> slots;
+  };
+
+  std::vector<std::atomic<std::uint64_t>> claimed_;
+  std::vector<PerThread> pending_;
+  std::vector<std::size_t> current_;
+  runtime::MemReservation bitmap_mem_;
+  runtime::MemReservation lists_mem_;
+};
+
+}  // namespace ipregel

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+
+#include "graph/types.hpp"
+
+namespace ipregel {
+
+/// The user-defined side of the framework (paper Fig. 4).
+///
+/// A vertex program supplies:
+///
+///  - `value_type`      — the per-vertex state (the paper's user members of
+///                        `struct IP_vertex_t`)
+///  - `message_type`    — what vertices exchange
+///  - `broadcast_only`  — true when the program communicates exclusively by
+///                        out-neighbour broadcast; this is the compile-flag
+///                        of section 3.1.1 that unlocks the pull combiner
+///  - `always_halts`    — true when every vertex votes to halt at the end of
+///                        every superstep; unlocks the selection bypass
+///                        (section 4's "it is observed that in many
+///                        vertex-centric applications...")
+///  - `initial_value(id)` — per-vertex state before superstep 0
+///  - `compute(ctx)`    — the paper's IP_compute, run on every selected
+///                        vertex each superstep; must be callable
+///                        concurrently (const, no mutable program state)
+///  - `combine(old, incoming)` — the paper's IP_combine; must be
+///                        commutative and associative for deterministic
+///                        results under any delivery order
+///
+/// `compute` is a template over the engine's vertex context, so the same
+/// program source runs unmodified under every module version — the paper's
+/// "write their code once, and see it adapted to any module version".
+template <typename P>
+concept VertexProgram = requires(const P p, typename P::message_type& old,
+                                 const typename P::message_type& incoming,
+                                 graph::vid_t id) {
+  typename P::value_type;
+  typename P::message_type;
+  { P::broadcast_only } -> std::convertible_to<bool>;
+  { P::always_halts } -> std::convertible_to<bool>;
+  { p.initial_value(id) } -> std::convertible_to<typename P::value_type>;
+  { P::combine(old, incoming) } -> std::same_as<void>;
+};
+
+}  // namespace ipregel

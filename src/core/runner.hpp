@@ -1,0 +1,96 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace ipregel {
+
+/// Runs `program` on `graph` under the framework version selected at
+/// *runtime* by `version`, returning the run statistics and (optionally)
+/// the final vertex values.
+///
+/// The engine itself selects its version at compile time (the paper's
+/// compile-flag multi-version design); this helper instantiates all
+/// versions that are valid for `Program` and dispatches among them, which
+/// is what the benchmark harness and the examples need to sweep the Fig. 7
+/// version matrix from one binary. Requesting a version the program cannot
+/// support (pull without broadcast-only, bypass without always-halts)
+/// throws std::invalid_argument — the runtime analogue of the engine's
+/// static_asserts.
+template <VertexProgram Program>
+RunResult run_version(
+    const graph::CsrGraph& graph, Program program, VersionId version,
+    EngineOptions options = {}, runtime::ThreadPool* pool = nullptr,
+    std::vector<typename Program::value_type>* out_values = nullptr) {
+  const auto execute = [&](auto& engine) {
+    RunResult result = engine.run();
+    if (out_values != nullptr) {
+      const auto values = engine.values();
+      out_values->assign(values.begin(), values.end());
+    }
+    return result;
+  };
+
+  const auto run_with = [&]<CombinerKind K, bool B>() {
+    Engine<Program, K, B> engine(graph, std::move(program), options, pool);
+    return execute(engine);
+  };
+
+  switch (version.combiner) {
+    case CombinerKind::kMutexPush:
+      if (version.selection_bypass) {
+        if constexpr (Program::always_halts) {
+          return run_with
+              .template operator()<CombinerKind::kMutexPush, true>();
+        }
+        break;
+      }
+      return run_with.template operator()<CombinerKind::kMutexPush, false>();
+    case CombinerKind::kSpinlockPush:
+      if (version.selection_bypass) {
+        if constexpr (Program::always_halts) {
+          return run_with
+              .template operator()<CombinerKind::kSpinlockPush, true>();
+        }
+        break;
+      }
+      return run_with
+          .template operator()<CombinerKind::kSpinlockPush, false>();
+    case CombinerKind::kPull:
+      if constexpr (Program::broadcast_only) {
+        if (version.selection_bypass) {
+          if constexpr (Program::always_halts) {
+            return run_with.template operator()<CombinerKind::kPull, true>();
+          }
+          break;
+        }
+        return run_with.template operator()<CombinerKind::kPull, false>();
+      }
+      break;
+  }
+  throw std::invalid_argument(
+      std::string("version '") + std::string(version_name(version)) +
+      "' is not applicable to this program (broadcast_only=" +
+      (Program::broadcast_only ? "true" : "false") +
+      ", always_halts=" + (Program::always_halts ? "true" : "false") + ")");
+}
+
+/// The subset of kAllVersions a program supports.
+template <VertexProgram Program>
+[[nodiscard]] std::vector<VersionId> applicable_versions() {
+  std::vector<VersionId> out;
+  for (const VersionId v : kAllVersions) {
+    if (v.selection_bypass && !Program::always_halts) {
+      continue;
+    }
+    if (v.combiner == CombinerKind::kPull && !Program::broadcast_only) {
+      continue;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ipregel

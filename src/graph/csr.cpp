@@ -1,0 +1,104 @@
+#include "graph/csr.hpp"
+
+#include <stdexcept>
+
+namespace ipregel::graph {
+
+CsrGraph CsrGraph::build(const EdgeList& list, const CsrBuildOptions& options) {
+  CsrGraph g;
+  if (list.empty()) {
+    g.out_offsets_.assign(1, 0);
+    if (options.build_in_edges) {
+      g.in_offsets_.assign(1, 0);
+    }
+    return g;
+  }
+
+  const auto [min_id, max_id] = list.id_range();
+  if (options.addressing == AddressingMode::kDirect && min_id != 0) {
+    throw std::invalid_argument(
+        "direct mapping requires vertex ids starting at 0 (got min id " +
+        std::to_string(min_id) + "); use offset or desolate mapping");
+  }
+
+  g.num_vertices_ = static_cast<std::size_t>(max_id) - min_id + 1;
+  switch (options.addressing) {
+    case AddressingMode::kDirect:
+      g.id_offset_ = 0;
+      g.first_slot_ = 0;
+      g.num_slots_ = g.num_vertices_;
+      break;
+    case AddressingMode::kOffset:
+      g.id_offset_ = min_id;
+      g.first_slot_ = 0;
+      g.num_slots_ = g.num_vertices_;
+      break;
+    case AddressingMode::kDesolate:
+      // Keep slot == id and waste the first min_id slots.
+      g.id_offset_ = 0;
+      g.first_slot_ = min_id;
+      g.num_slots_ = static_cast<std::size_t>(max_id) + 1;
+      break;
+  }
+  g.num_edges_ = list.size();
+
+  const auto& edges = list.edges();
+  const bool weighted = options.keep_weights && list.weighted();
+
+  // Counting sort of edges by source into CSR form.
+  g.out_offsets_.assign(g.num_slots_ + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.out_offsets_[g.slot_of(e.src) + 1];
+  }
+  for (std::size_t s = 0; s < g.num_slots_; ++s) {
+    g.out_offsets_[s + 1] += g.out_offsets_[s];
+  }
+  g.out_targets_.resize(edges.size());
+  if (weighted) {
+    g.out_weights_.resize(edges.size());
+  }
+  {
+    std::vector<eid_t> cursor(g.out_offsets_.begin(),
+                              g.out_offsets_.end() - 1);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const Edge& e = edges[i];
+      const eid_t at = cursor[g.slot_of(e.src)]++;
+      g.out_targets_[at] = e.dst;
+      if (weighted) {
+        g.out_weights_[at] = list.weights()[i];
+      }
+    }
+  }
+
+  if (options.build_in_edges) {
+    g.in_offsets_.assign(g.num_slots_ + 1, 0);
+    for (const Edge& e : edges) {
+      ++g.in_offsets_[g.slot_of(e.dst) + 1];
+    }
+    for (std::size_t s = 0; s < g.num_slots_; ++s) {
+      g.in_offsets_[s + 1] += g.in_offsets_[s];
+    }
+    g.in_targets_.resize(edges.size());
+    std::vector<eid_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      g.in_targets_[cursor[g.slot_of(e.dst)]++] = e.src;
+    }
+  }
+
+  g.topology_mem_.rebind(runtime::MemCategory::kGraphTopology,
+                         g.topology_bytes());
+  if (weighted) {
+    g.weight_mem_.rebind(runtime::MemCategory::kEdgeWeights,
+                         g.out_weights_.size() * sizeof(weight_t));
+  }
+  return g;
+}
+
+std::size_t CsrGraph::topology_bytes() const noexcept {
+  return out_offsets_.size() * sizeof(eid_t) +
+         out_targets_.size() * sizeof(vid_t) +
+         in_offsets_.size() * sizeof(eid_t) +
+         in_targets_.size() * sizeof(vid_t);
+}
+
+}  // namespace ipregel::graph

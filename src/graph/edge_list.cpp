@@ -1,0 +1,36 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace ipregel::graph {
+
+void EdgeList::symmetrize() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(2 * n);
+  if (!weights_.empty()) {
+    weights_.reserve(2 * n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Edge e = edges_[i];
+    edges_.push_back(Edge{e.dst, e.src});
+    if (!weights_.empty()) {
+      weights_.push_back(weights_[i]);
+    }
+  }
+}
+
+EdgeList::IdRange EdgeList::id_range() const noexcept {
+  IdRange r;
+  if (edges_.empty()) {
+    return r;
+  }
+  r.min_id = std::min(edges_[0].src, edges_[0].dst);
+  r.max_id = std::max(edges_[0].src, edges_[0].dst);
+  for (const Edge& e : edges_) {
+    r.min_id = std::min({r.min_id, e.src, e.dst});
+    r.max_id = std::max({r.max_id, e.src, e.dst});
+  }
+  return r;
+}
+
+}  // namespace ipregel::graph

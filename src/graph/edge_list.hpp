@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace ipregel::graph {
+
+/// An in-memory list of directed edges with optional per-edge weights —
+/// the interchange format between loaders/generators and the CSR builder.
+///
+/// Weights are stored in a parallel array that is either empty (unweighted
+/// graph) or exactly edge-count long; this keeps the common unweighted case
+/// at 8 bytes per edge.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+  EdgeList(std::vector<Edge> edges, std::vector<weight_t> weights)
+      : edges_(std::move(edges)), weights_(std::move(weights)) {}
+
+  void reserve(std::size_t n) {
+    edges_.reserve(n);
+    if (!weights_.empty()) {
+      weights_.reserve(n);
+    }
+  }
+
+  void add(vid_t src, vid_t dst) { edges_.push_back(Edge{src, dst}); }
+
+  void add(vid_t src, vid_t dst, weight_t w) {
+    // Backfill unit weights if the list was unweighted until now.
+    if (weights_.empty() && !edges_.empty()) {
+      weights_.assign(edges_.size(), weight_t{1});
+    }
+    edges_.push_back(Edge{src, dst});
+    weights_.push_back(w);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return edges_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return edges_.empty(); }
+  [[nodiscard]] bool weighted() const noexcept { return !weights_.empty(); }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<weight_t>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] std::vector<Edge>& edges() noexcept { return edges_; }
+  [[nodiscard]] std::vector<weight_t>& weights() noexcept { return weights_; }
+
+  /// Appends the reverse of every edge (same weight), making the graph
+  /// symmetric. Connected-components style applications assume an
+  /// undirected graph; loaders of directed data call this when asked.
+  void symmetrize();
+
+  /// Smallest and largest vertex id referenced by any edge. Returns
+  /// {0, 0} for an empty list.
+  struct IdRange {
+    vid_t min_id = 0;
+    vid_t max_id = 0;
+  };
+  [[nodiscard]] IdRange id_range() const noexcept;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<weight_t> weights_;
+};
+
+}  // namespace ipregel::graph

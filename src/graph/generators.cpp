@@ -1,0 +1,186 @@
+#include "graph/generators.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace ipregel::graph {
+
+using runtime::Xoshiro256;
+
+EdgeList rmat(unsigned scale, unsigned edge_factor,
+              const RmatOptions& options) {
+  if (scale >= 32) {
+    throw std::invalid_argument("rmat scale must be < 32 for 32-bit ids");
+  }
+  const vid_t n = vid_t{1} << scale;
+  const eid_t m = static_cast<eid_t>(edge_factor) * n;
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+
+  Xoshiro256 rng(options.seed);
+
+  // Optional id scrambling: a random permutation of [0, n).
+  std::vector<vid_t> perm;
+  if (options.scramble_ids) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), vid_t{0});
+    for (vid_t i = n; i > 1; --i) {
+      const auto j = static_cast<vid_t>(rng.next_below(i));
+      std::swap(perm[i - 1], perm[j]);
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t row = 0;
+    vid_t col = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      row <<= 1;
+      col <<= 1;
+      if (r < options.a) {
+        // top-left quadrant: neither bit set
+      } else if (r < ab) {
+        col |= 1;  // top-right
+      } else if (r < abc) {
+        row |= 1;  // bottom-left
+      } else {
+        row |= 1;  // bottom-right
+        col |= 1;
+      }
+    }
+    if (options.scramble_ids) {
+      row = perm[row];
+      col = perm[col];
+    }
+    edges.push_back(Edge{row, col});
+  }
+  return EdgeList(std::move(edges));
+}
+
+EdgeList uniform_random(vid_t num_vertices, eid_t num_edges,
+                        std::uint64_t seed) {
+  if (num_vertices < 2 && num_edges > 0) {
+    throw std::invalid_argument(
+        "uniform_random needs >= 2 vertices to avoid self-loops");
+  }
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (eid_t e = 0; e < num_edges; ++e) {
+    const auto src = static_cast<vid_t>(rng.next_below(num_vertices));
+    auto dst = static_cast<vid_t>(rng.next_below(num_vertices - 1));
+    if (dst >= src) {
+      ++dst;  // skip the diagonal: uniform over all non-loop endpoints
+    }
+    edges.push_back(Edge{src, dst});
+  }
+  return EdgeList(std::move(edges));
+}
+
+EdgeList grid_2d(vid_t rows, vid_t cols, const GridOptions& options) {
+  if (rows == 0 || cols == 0) {
+    return {};
+  }
+  Xoshiro256 rng(options.seed);
+  EdgeList list;
+  const auto add_link = [&](vid_t u, vid_t v) {
+    if (options.removal_fraction > 0.0 &&
+        rng.next_double() < options.removal_fraction) {
+      return;
+    }
+    if (options.max_weight > 0) {
+      const auto w = static_cast<weight_t>(
+          1 + rng.next_below(options.max_weight));
+      list.add(u, v, w);
+      list.add(v, u, w);
+    } else {
+      list.add(u, v);
+      list.add(v, u);
+    }
+  };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      const vid_t u = r * cols + c;
+      if (c + 1 < cols) {
+        add_link(u, u + 1);
+      }
+      if (r + 1 < rows) {
+        add_link(u, u + cols);
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList path_graph(vid_t n) {
+  EdgeList list;
+  for (vid_t i = 0; i + 1 < n; ++i) {
+    list.add(i, i + 1);
+  }
+  return list;
+}
+
+EdgeList cycle_graph(vid_t n) {
+  EdgeList list;
+  if (n == 0) {
+    return list;
+  }
+  for (vid_t i = 0; i < n; ++i) {
+    list.add(i, (i + 1) % n);
+  }
+  return list;
+}
+
+EdgeList star_graph(vid_t n, bool bidirectional) {
+  EdgeList list;
+  for (vid_t i = 1; i < n; ++i) {
+    list.add(0, i);
+    if (bidirectional) {
+      list.add(i, 0);
+    }
+  }
+  return list;
+}
+
+EdgeList complete_graph(vid_t n) {
+  EdgeList list;
+  for (vid_t i = 0; i < n; ++i) {
+    for (vid_t j = 0; j < n; ++j) {
+      if (i != j) {
+        list.add(i, j);
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList binary_tree(unsigned levels, bool bidirectional) {
+  EdgeList list;
+  if (levels == 0) {
+    return list;
+  }
+  const vid_t n = (vid_t{1} << levels) - 1;
+  for (vid_t child = 1; child < n; ++child) {
+    const vid_t parent = (child - 1) / 2;
+    list.add(parent, child);
+    if (bidirectional) {
+      list.add(child, parent);
+    }
+  }
+  return list;
+}
+
+void shift_ids(EdgeList& list, vid_t base) {
+  for (Edge& e : list.edges()) {
+    e.src += base;
+    e.dst += base;
+  }
+}
+
+}  // namespace ipregel::graph

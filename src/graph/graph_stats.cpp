@@ -1,0 +1,70 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <unordered_set>
+
+namespace ipregel::graph {
+
+GraphStats compute_stats(const CsrGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.average_out_degree = g.average_degree();
+  for (std::size_t slot = g.first_slot(); slot < g.num_slots(); ++slot) {
+    const std::size_t d = g.out_degree(slot);
+    s.max_out_degree = std::max(s.max_out_degree, d);
+    if (g.has_in_edges()) {
+      s.max_in_degree = std::max(s.max_in_degree, g.in_degree(slot));
+    }
+    const bool isolated =
+        d == 0 && (!g.has_in_edges() || g.in_degree(slot) == 0);
+    if (isolated) {
+      ++s.isolated_vertices;
+    } else if (d > 0) {
+      const auto bucket = static_cast<std::size_t>(
+          std::bit_width(static_cast<std::size_t>(d)) - 1);
+      if (s.out_degree_histogram.size() <= bucket) {
+        s.out_degree_histogram.resize(bucket + 1, 0);
+      }
+      ++s.out_degree_histogram[bucket];
+    }
+  }
+  return s;
+}
+
+bool is_symmetric(const CsrGraph& g) {
+  // Hash every edge, then verify every reverse edge is present.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(g.num_edges()) * 2);
+  for (std::size_t slot = g.first_slot(); slot < g.num_slots(); ++slot) {
+    const vid_t u = g.id_of(slot);
+    for (vid_t v : g.out_neighbours(slot)) {
+      seen.insert((static_cast<std::uint64_t>(u) << 32) | v);
+    }
+  }
+  for (std::size_t slot = g.first_slot(); slot < g.num_slots(); ++slot) {
+    const vid_t u = g.id_of(slot);
+    for (vid_t v : g.out_neighbours(slot)) {
+      if (!seen.contains((static_cast<std::uint64_t>(v) << 32) | u)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string GraphStats::to_string(const std::string& name) const {
+  std::ostringstream out;
+  out << name << ": |V| = " << num_vertices << ", |E| = " << num_edges
+      << ", avg out-degree = " << average_out_degree
+      << ", max out-degree = " << max_out_degree;
+  if (max_in_degree > 0) {
+    out << ", max in-degree = " << max_in_degree;
+  }
+  out << ", isolated = " << isolated_vertices;
+  return out.str();
+}
+
+}  // namespace ipregel::graph

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ipregel::graph {
+
+/// Structural summary of a graph — what the paper's Tables 1 and 2 report,
+/// plus the quantities its analysis keeps returning to: average out-degree
+/// ("graph density" in the paper's terminology drives pull-combiner cost
+/// and message-propagation speed).
+struct GraphStats {
+  std::size_t num_vertices = 0;
+  eid_t num_edges = 0;
+  double average_out_degree = 0.0;
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;   ///< 0 when in-edges were not built
+  std::size_t isolated_vertices = 0;  ///< no out-edges (and no in-edges if built)
+  /// log2-bucketed out-degree histogram: bucket i counts vertices with
+  /// out-degree in [2^i, 2^(i+1)), bucket 0 counts degree 0 and 1 split as
+  /// [0] = degree 0 handled via isolated_vertices; histogram[i] covers
+  /// degrees [2^i, 2^(i+1)) for i >= 0 with degree 0 excluded.
+  std::vector<std::size_t> out_degree_histogram;
+
+  [[nodiscard]] std::string to_string(const std::string& name) const;
+};
+
+/// Computes stats over the populated slots of `g`.
+[[nodiscard]] GraphStats compute_stats(const CsrGraph& g);
+
+/// True when for every edge (u, v) the reverse edge (v, u) exists —
+/// precondition for connected-components semantics of Hashmin. O(E) space.
+[[nodiscard]] bool is_symmetric(const CsrGraph& g);
+
+}  // namespace ipregel::graph

@@ -1,0 +1,222 @@
+#include "graph/io.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace ipregel::graph {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, std::size_t line_no,
+                       const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " + what);
+}
+
+/// Parses the next unsigned integer in `sv` starting at `pos`; advances
+/// `pos` past it. Returns false when only whitespace remains.
+template <typename T>
+bool next_uint(std::string_view sv, std::size_t& pos, T& out) {
+  while (pos < sv.size() && (sv[pos] == ' ' || sv[pos] == '\t' ||
+                             sv[pos] == '\r')) {
+    ++pos;
+  }
+  if (pos >= sv.size()) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(sv.data() + pos, sv.data() + sv.size(), out);
+  if (ec != std::errc{}) {
+    throw std::invalid_argument("not an unsigned integer");
+  }
+  pos = static_cast<std::size_t>(ptr - sv.data());
+  return true;
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open graph file: " + path);
+  }
+  return in;
+}
+
+}  // namespace
+
+EdgeList load_edge_list_text(const std::string& path,
+                             const TextLoadOptions& options) {
+  std::ifstream in = open_or_throw(path);
+  EdgeList list;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() ||
+        options.comment_prefixes.find(line[0]) != std::string::npos) {
+      continue;
+    }
+    std::size_t pos = 0;
+    vid_t src = 0;
+    vid_t dst = 0;
+    try {
+      if (!next_uint(line, pos, src)) {
+        continue;  // whitespace-only line
+      }
+      if (!next_uint(line, pos, dst)) {
+        fail(path, line_no, "edge line with a single endpoint");
+      }
+      weight_t w = 0;
+      if (options.read_weights && next_uint(line, pos, w)) {
+        list.add(src, dst, w);
+      } else {
+        list.add(src, dst);
+      }
+    } catch (const std::invalid_argument&) {
+      fail(path, line_no, "malformed edge line: '" + line + "'");
+    }
+  }
+  return list;
+}
+
+EdgeList load_dimacs_gr(const std::string& path) {
+  std::ifstream in = open_or_throw(path);
+  EdgeList list;
+  std::string line;
+  std::size_t line_no = 0;
+  eid_t declared_edges = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    if (line[0] == 'p') {
+      // "p sp <num_vertices> <num_edges>"
+      std::size_t pos = 1;
+      while (pos < line.size() && line[pos] != ' ') {
+        ++pos;  // skip problem designator token boundary
+      }
+      // skip the "sp" token
+      while (pos < line.size() && line[pos] == ' ') {
+        ++pos;
+      }
+      while (pos < line.size() && line[pos] != ' ') {
+        ++pos;
+      }
+      std::uint64_t n = 0;
+      std::uint64_t m = 0;
+      try {
+        if (!next_uint(line, pos, n) || !next_uint(line, pos, m)) {
+          fail(path, line_no, "malformed DIMACS problem line");
+        }
+      } catch (const std::invalid_argument&) {
+        fail(path, line_no, "malformed DIMACS problem line");
+      }
+      declared_edges = m;
+      list.reserve(m);
+      saw_header = true;
+      continue;
+    }
+    if (line[0] == 'a') {
+      std::size_t pos = 1;
+      vid_t src = 0;
+      vid_t dst = 0;
+      weight_t w = 0;
+      try {
+        if (!next_uint(line, pos, src) || !next_uint(line, pos, dst) ||
+            !next_uint(line, pos, w)) {
+          fail(path, line_no, "malformed DIMACS arc line");
+        }
+      } catch (const std::invalid_argument&) {
+        fail(path, line_no, "malformed DIMACS arc line");
+      }
+      list.add(src, dst, w);
+      continue;
+    }
+    fail(path, line_no, "unknown DIMACS record type");
+  }
+  if (!saw_header) {
+    throw std::runtime_error(path + ": missing DIMACS problem line");
+  }
+  if (declared_edges != list.size()) {
+    throw std::runtime_error(
+        path + ": header declares " + std::to_string(declared_edges) +
+        " arcs but file contains " + std::to_string(list.size()));
+  }
+  return list;
+}
+
+void save_edge_list_text(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write graph file: " + path);
+  }
+  const bool weighted = list.weighted();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Edge& e = list.edges()[i];
+    out << e.src << ' ' << e.dst;
+    if (weighted) {
+      out << ' ' << list.weights()[i];
+    }
+    out << '\n';
+  }
+}
+
+namespace {
+constexpr std::uint64_t kBinaryMagic = 0x4950524547454C31ULL;  // "IPREGEL1"
+}
+
+void save_edge_list_binary(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot write graph file: " + path);
+  }
+  const std::uint64_t magic = kBinaryMagic;
+  const std::uint64_t count = list.size();
+  const std::uint64_t weighted = list.weighted() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(&weighted), sizeof weighted);
+  out.write(reinterpret_cast<const char*>(list.edges().data()),
+            static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (weighted != 0) {
+    out.write(reinterpret_cast<const char*>(list.weights().data()),
+              static_cast<std::streamsize>(count * sizeof(weight_t)));
+  }
+  if (!out) {
+    throw std::runtime_error("short write to " + path);
+  }
+}
+
+EdgeList load_edge_list_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open graph file: " + path);
+  }
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  std::uint64_t weighted = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  in.read(reinterpret_cast<char*>(&weighted), sizeof weighted);
+  if (!in || magic != kBinaryMagic) {
+    throw std::runtime_error(path + ": not an iPregel binary edge list");
+  }
+  std::vector<Edge> edges(count);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(count * sizeof(Edge)));
+  std::vector<weight_t> weights;
+  if (weighted != 0) {
+    weights.resize(count);
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(count * sizeof(weight_t)));
+  }
+  if (!in) {
+    throw std::runtime_error(path + ": truncated binary edge list");
+  }
+  return weighted != 0 ? EdgeList(std::move(edges), std::move(weights))
+                       : EdgeList(std::move(edges));
+}
+
+}  // namespace ipregel::graph

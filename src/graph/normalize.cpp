@@ -1,0 +1,23 @@
+#include "graph/normalize.hpp"
+
+namespace ipregel::graph {
+
+IdMapping normalize_ids(EdgeList& list) {
+  IdMapping mapping;
+  mapping.to_dense.reserve(list.size());
+  const auto dense_of = [&mapping](vid_t original) {
+    const auto [it, inserted] = mapping.to_dense.try_emplace(
+        original, static_cast<vid_t>(mapping.to_original.size()));
+    if (inserted) {
+      mapping.to_original.push_back(original);
+    }
+    return it->second;
+  };
+  for (Edge& e : list.edges()) {
+    e.src = dense_of(e.src);
+    e.dst = dense_of(e.dst);
+  }
+  return mapping;
+}
+
+}  // namespace ipregel::graph

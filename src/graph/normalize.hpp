@@ -1,0 +1,37 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace ipregel::graph {
+
+/// Remapping produced by normalize_ids: dense 0-based ids plus both
+/// direction tables so applications can translate results back to the
+/// original id space.
+struct IdMapping {
+  /// original id of each new id (new ids are 0..size-1, assigned in first-
+  /// appearance order over the edge list).
+  std::vector<vid_t> to_original;
+  /// original -> new.
+  std::unordered_map<vid_t, vid_t> to_dense;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return to_original.size();
+  }
+};
+
+/// Rewrites `list` in place so vertex ids are consecutive starting at 0,
+/// and returns the mapping.
+///
+/// The paper's framework "requires vertex identifiers to be consecutive"
+/// (section 3.3) — a property most published graphs have but arbitrary
+/// data does not. This utility closes that gap: any edge list becomes
+/// eligible for direct mapping, at the cost of one hash lookup per
+/// endpoint during the (one-off, preprocessing-time) rewrite. Note that
+/// graphs that are merely *shifted* (ids start above 0) do not need this;
+/// offset or desolate addressing handles them with no preprocessing.
+IdMapping normalize_ids(EdgeList& list);
+
+}  // namespace ipregel::graph

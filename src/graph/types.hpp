@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ipregel::graph {
+
+/// Vertex identifier. The paper (section 3.3) requires vertex identifiers to
+/// be integral and consecutive, and its memory accounting (section 7.4.2)
+/// assumes 4-byte identifiers; we use the same width.
+using vid_t = std::uint32_t;
+
+/// Edge index / edge count type. Graphs with billions of edges (Table 2)
+/// overflow 32 bits, so edge offsets are 64-bit.
+using eid_t = std::uint64_t;
+
+/// Edge weight. The paper's SSSP assumes unit weights (footnote 1), but the
+/// DIMACS road graphs it loads carry integral weights, which we support.
+using weight_t = std::uint32_t;
+
+/// A directed, unweighted edge.
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A directed, weighted edge.
+struct WeightedEdge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  weight_t weight = 1;
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// How external vertex identifiers map to slots in the framework's flat
+/// vertex arrays (paper section 5, "Efficient Vertex Addressing").
+enum class AddressingMode {
+  /// Identifier == array index. Requires ids to start at 0.
+  kDirect,
+  /// slot = id - min_id: one subtraction per lookup, no wasted slots.
+  kOffset,
+  /// Force direct mapping for graphs whose ids start above 0 by leaving the
+  /// first min_id slots unused ("a reasonable memory sacrifice to benefit
+  /// from direct mapping" when ids start at 1).
+  kDesolate,
+};
+
+}  // namespace ipregel::graph

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pregelplus {
+
+/// Describes the simulated cluster the baseline runs on.
+///
+/// The paper evaluates Pregel+ on 1..16 Amazon EC2 m4.large nodes: 2 cores
+/// (hence "two MPI processes are created per node"), 8 GB of memory and a
+/// maximum bandwidth of 450 Mb/s each. Those three constants are exactly
+/// what this struct parameterises; the benchmark harness scales the memory
+/// cap together with the scaled-down graphs.
+struct ClusterConfig {
+  std::size_t num_nodes = 1;
+  std::size_t procs_per_node = 2;  ///< the paper's 2 MPI processes per node
+  /// Per-node network bandwidth, paper: 450 Mb/s.
+  double bandwidth_mbps = 450.0;
+  /// Per-superstep synchronisation/startup latency in seconds (MPI barrier
+  /// plus message startup). Charged once per superstep that moves data.
+  double superstep_latency_s = 2e-3;
+  /// Memory available on each node, paper: 8 GB. 0 disables the OOM check.
+  std::size_t node_memory_bytes = 0;
+  /// Modelled footprint of one MPI process's redundant environment (the
+  /// paper's "multiple instances of both the application and the
+  /// distributed software environment ... in the memory of every node").
+  std::size_t process_env_bytes = 0;
+
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return num_nodes * procs_per_node;
+  }
+};
+
+/// Modelled cost constants for the baseline's data structures, used by the
+/// per-node memory accounting. Container payload bytes are measured from
+/// the real containers; only allocator/bucket overheads are modelled.
+struct MemoryModel {
+  /// Bytes per entry of the id -> local-index hashmap (node + bucket
+  /// overhead of a chained unordered_map on a 64-bit system).
+  std::size_t hashmap_bytes_per_entry = 48;
+};
+
+/// Result of a simulated cluster run.
+///
+/// `simulated_seconds` is the BSP makespan: per superstep, the slowest
+/// worker's *measured* compute time, plus modelled network time for the
+/// bytes actually exchanged across node boundaries, plus the per-superstep
+/// latency. Workers execute for real (message wrapping, serialisation,
+/// hashmap addressing and combining all happen), only their concurrency and
+/// the wire are modelled.
+struct SimResult {
+  std::size_t supersteps = 0;
+  double simulated_seconds = 0.0;
+  double compute_seconds = 0.0;  ///< sum over supersteps of max worker time
+  double comm_seconds = 0.0;     ///< modelled network + latency time
+  std::uint64_t total_messages = 0;
+  std::uint64_t cross_node_bytes = 0;  ///< wrapped-message bytes on the wire
+  std::size_t peak_node_memory_bytes = 0;
+  bool out_of_memory = false;
+  std::size_t oom_superstep = 0;  ///< first superstep exceeding the cap
+  std::vector<double> per_superstep_seconds;  ///< filled on request
+};
+
+}  // namespace pregelplus

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace ipregel::runtime {
+
+/// A reusable sense-reversing barrier for a fixed set of participants.
+///
+/// This is the global-synchronisation phase of a BSP superstep (paper
+/// Fig. 1): every participant blocks in `arrive_and_wait()` until all
+/// participants of the current generation have arrived. Unlike
+/// `std::barrier` it is a single cache line of state and supports spinning,
+/// which is appropriate for the short inter-superstep waits of a
+/// compute-bound framework.
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::size_t participants) noexcept
+      : participants_(participants), remaining_(participants) {}
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Blocks until all `participants` threads of this generation arrived.
+  /// The last arriver flips the sense and releases everyone.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t participants() const noexcept {
+    return participants_;
+  }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace ipregel::runtime

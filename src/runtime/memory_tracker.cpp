@@ -1,0 +1,138 @@
+#include "runtime/memory_tracker.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace ipregel::runtime {
+
+std::string_view to_string(MemCategory c) noexcept {
+  switch (c) {
+    case MemCategory::kGraphTopology:
+      return "graph-topology";
+    case MemCategory::kEdgeWeights:
+      return "edge-weights";
+    case MemCategory::kVertexValues:
+      return "vertex-values";
+    case MemCategory::kVertexInternals:
+      return "vertex-internals";
+    case MemCategory::kMailboxes:
+      return "mailboxes";
+    case MemCategory::kLocks:
+      return "locks";
+    case MemCategory::kOutboxes:
+      return "outboxes";
+    case MemCategory::kFrontier:
+      return "frontier";
+    case MemCategory::kHashIndex:
+      return "hash-index";
+    case MemCategory::kCommBuffers:
+      return "comm-buffers";
+    case MemCategory::kOther:
+      return "other";
+    case MemCategory::kCount:
+      break;
+  }
+  return "invalid";
+}
+
+MemoryTracker& MemoryTracker::instance() noexcept {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::add(MemCategory c, std::size_t bytes) noexcept {
+  by_category_[static_cast<std::size_t>(c)].fetch_add(
+      bytes, std::memory_order_relaxed);
+  const std::size_t now =
+      total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free peak update.
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::sub(MemCategory c, std::size_t bytes) noexcept {
+  by_category_[static_cast<std::size_t>(c)].fetch_sub(
+      bytes, std::memory_order_relaxed);
+  total_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::bytes(MemCategory c) const noexcept {
+  return by_category_[static_cast<std::size_t>(c)].load(
+      std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::total() const noexcept {
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::peak() const noexcept {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset() noexcept {
+  for (auto& c : by_category_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+std::string MemoryTracker::report() const {
+  std::ostringstream out;
+  constexpr double kMiB = 1024.0 * 1024.0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MemCategory::kCount);
+       ++i) {
+    const auto c = static_cast<MemCategory>(i);
+    const std::size_t b = bytes(c);
+    if (b != 0) {
+      out << "  " << to_string(c) << ": "
+          << static_cast<double>(b) / kMiB << " MiB\n";
+    }
+  }
+  out << "  total: " << static_cast<double>(total()) / kMiB
+      << " MiB (peak " << static_cast<double>(peak()) / kMiB << " MiB)\n";
+  return out.str();
+}
+
+namespace {
+
+std::size_t read_status_field_kib(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  std::size_t kib = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len, " %llu", &value) == 1) {
+        kib = static_cast<std::size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+}  // namespace
+
+std::size_t read_vm_hwm_bytes() {
+  return read_status_field_kib("VmHWM:") * 1024;
+}
+
+std::size_t read_vm_rss_bytes() {
+  return read_status_field_kib("VmRSS:") * 1024;
+}
+
+std::size_t read_peak_rss_bytes() {
+  const std::size_t hwm = read_vm_hwm_bytes();
+  return hwm != 0 ? hwm : read_vm_rss_bytes();
+}
+
+}  // namespace ipregel::runtime

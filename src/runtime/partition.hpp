@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace ipregel::runtime {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Splits [0, n) into `parts` contiguous blocks whose sizes differ by at
+/// most one, and returns block `index`.
+///
+/// This is the static "equal share of the vertices" distribution the paper
+/// describes in section 4: before the selection phase each thread receives
+/// an equal share, and with the selection bypass those shares are drawn from
+/// the frontier (all known-active) instead of from all vertices, which is
+/// what restores load balance.
+[[nodiscard]] constexpr Range block_partition(std::size_t n,
+                                              std::size_t parts,
+                                              std::size_t index) noexcept {
+  if (parts == 0) {
+    return Range{0, n};
+  }
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  // The first `extra` blocks get one additional element.
+  const std::size_t begin =
+      index * base + (index < extra ? index : extra);
+  const std::size_t len = base + (index < extra ? 1 : 0);
+  return Range{begin, begin + len};
+}
+
+/// Number of chunks of size `chunk` needed to cover n elements.
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t n,
+                                             std::size_t chunk) noexcept {
+  return chunk == 0 ? 0 : (n + chunk - 1) / chunk;
+}
+
+}  // namespace ipregel::runtime

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ipregel::runtime {
+
+/// A 4-byte test-and-test-and-set spinlock ("busy-waiting synchronisation",
+/// paper section 6.1).
+///
+/// The paper contrasts gcc's block-waiting `pthread_mutex_t` (40 bytes) with
+/// the busy-waiting `pthread_spinlock_t` (4 bytes): with one lock per vertex
+/// mailbox, the 90% per-lock size reduction is multiplied by |V|. This class
+/// reproduces that design point exactly: `sizeof(SpinLock) == 4`, and the
+/// critical sections it protects (a combiner's compare-and-replace) are so
+/// short that busy waiting beats suspending the thread.
+///
+/// Lock/unlock use acquire/release ordering, which is sufficient to make the
+/// protected mailbox update visible to the next acquirer.
+class SpinLock {
+ public:
+  SpinLock() noexcept = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    for (;;) {
+      // Optimistic exchange first: uncontended locks take a single RMW.
+      if (state_.exchange(1, std::memory_order_acquire) == 0) {
+        return;
+      }
+      // Contended: spin on plain loads so the cache line stays shared
+      // until the holder releases it (the "test-and-test-and-set" part).
+      while (state_.load(std::memory_order_relaxed) != 0) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return state_.load(std::memory_order_relaxed) == 0 &&
+           state_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void unlock() noexcept { state_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> state_{0};
+};
+
+static_assert(sizeof(SpinLock) == 4,
+              "the paper's memory accounting assumes 4-byte spinlocks");
+
+}  // namespace ipregel::runtime

@@ -1,0 +1,71 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipregel::runtime {
+
+double student_t_99(std::size_t dof) noexcept {
+  // Two-sided 99% (alpha = 0.01, 0.005 per tail).
+  static constexpr double kTable[] = {
+      0.0,    63.657, 9.925, 5.841, 4.604, 3.707, 3.499, 3.355, 3.250, 3.169,
+      3.106,  3.055,  3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+      2.831,  2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+      2.744};
+  constexpr std::size_t kMax = sizeof(kTable) / sizeof(kTable[0]) - 1;
+  if (dof == 0) {
+    return kTable[1];  // degenerate; be conservative
+  }
+  if (dof <= kMax) {
+    return kTable[dof];
+  }
+  return 2.576;  // normal approximation
+}
+
+Summary summarize(std::span<const double> samples) noexcept {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double sq = 0.0;
+    for (double x : samples) {
+      const double d = x - s.mean;
+      sq += d * d;
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    const double t = student_t_99(s.n - 1);
+    s.ci_half_width = t * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+MeasuredResult run_until_precise(const std::function<double()>& sample,
+                                 const PrecisionOptions& options) {
+  MeasuredResult result;
+  result.samples.reserve(options.min_runs);
+  for (std::size_t i = 0; i < options.min_runs; ++i) {
+    result.samples.push_back(sample());
+  }
+  result.summary = summarize(result.samples);
+  while (result.summary.relative_margin() > options.target_relative_margin &&
+         result.samples.size() < options.max_runs) {
+    result.samples.push_back(sample());
+    result.summary = summarize(result.samples);
+  }
+  result.converged =
+      result.summary.relative_margin() <= options.target_relative_margin;
+  return result;
+}
+
+}  // namespace ipregel::runtime

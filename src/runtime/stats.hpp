@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ipregel::runtime {
+
+/// Summary statistics of a sample of runtimes.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;          ///< sample standard deviation (n-1)
+  double ci_half_width = 0.0;   ///< half-width of the 99% confidence interval
+  double min = 0.0;
+  double max = 0.0;
+
+  /// ci_half_width / mean — the paper stops when this drops below 1%.
+  [[nodiscard]] double relative_margin() const noexcept {
+    return mean == 0.0 ? 0.0 : ci_half_width / mean;
+  }
+};
+
+/// Two-sided Student-t critical value at 99% confidence for `dof` degrees
+/// of freedom (exact table for dof <= 30, normal asymptote 2.576 beyond).
+[[nodiscard]] double student_t_99(std::size_t dof) noexcept;
+
+/// Computes mean / sample stddev / 99% CI half-width of `samples`.
+[[nodiscard]] Summary summarize(std::span<const double> samples) noexcept;
+
+/// Controls `run_until_precise`.
+struct PrecisionOptions {
+  std::size_t min_runs = 5;     ///< the paper's "initially run 5 times"
+  std::size_t max_runs = 100;   ///< safety cap (the paper has none)
+  double target_relative_margin = 0.01;  ///< "less than 1% of the average"
+};
+
+/// Result of a measured experiment.
+struct MeasuredResult {
+  Summary summary;
+  std::vector<double> samples;
+  bool converged = false;  ///< margin target reached within max_runs
+};
+
+/// The paper's measurement methodology (section 7.1.2): run the experiment
+/// at least `min_runs` times, then keep repeating until the 99%-confidence
+/// margin of error is below `target_relative_margin` of the mean (or
+/// `max_runs` is hit). `sample` returns one runtime in seconds.
+[[nodiscard]] MeasuredResult run_until_precise(
+    const std::function<double()>& sample,
+    const PrecisionOptions& options = {});
+
+}  // namespace ipregel::runtime

@@ -1,0 +1,82 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cassert>
+
+namespace ipregel::runtime {
+namespace {
+
+constexpr int kSpinIterations = 4096;
+
+void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : size_(threads == 0
+                ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                : threads) {
+  workers_.reserve(size_ - 1);
+  for (std::size_t tid = 1; tid < size_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  assert(fn);
+  if (size_ == 1) {
+    fn(0);
+    return;
+  }
+  job_ = &fn;
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+
+  fn(0);
+
+  // Wait for the background members. Spin briefly: regions are usually
+  // balanced, so the stragglers finish within the spin window.
+  int spins = kSpinIterations;
+  while (done_.load(std::memory_order_acquire) != size_ - 1) {
+    if (--spins > 0) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Spin a little before sleeping: back-to-back supersteps dispatch
+    // regions far faster than a futex wake.
+    int spins = kSpinIterations;
+    while (epoch_.load(std::memory_order_acquire) == seen && --spins > 0) {
+      cpu_relax();
+    }
+    epoch_.wait(seen, std::memory_order_acquire);
+    seen = epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    (*job_)(tid);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace ipregel::runtime

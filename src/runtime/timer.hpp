@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace ipregel::runtime {
+
+/// Monotonic wall-clock stopwatch. The paper's methodology (section 7.1.2)
+/// reports superstep execution time only — graph loading and preprocessing
+/// excluded — so the engine wraps only the superstep loop in one of these.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ipregel::runtime

@@ -1,0 +1,159 @@
+// Application-level tests for the fixpoint programs: Hashmin components,
+// MaxValue propagation, and messaging-based in-degree.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/hashmin.hpp"
+#include "apps/in_degree.hpp"
+#include "apps/max_value.hpp"
+#include "apps/serial_reference.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::vid_t;
+using ipregel::testing::expect_all_versions_match;
+using ipregel::testing::make_graph;
+
+TEST(Hashmin, SingleComponentCollapsesToMinId) {
+  EdgeList e = graph::cycle_graph(32);
+  e.symmetrize();
+  const CsrGraph g = make_graph(e);
+  Engine<apps::Hashmin, CombinerKind::kSpinlockPush, true> engine(g);
+  (void)engine.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], 0u);
+  }
+}
+
+TEST(Hashmin, SeparateComponentsKeepSeparateLabels) {
+  EdgeList e;
+  // component A: {0, 1, 2}; component B: {5, 6}; isolated: 3, 4
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(1, 2);
+  e.add(2, 1);
+  e.add(5, 6);
+  e.add(6, 5);
+  const CsrGraph g = make_graph(e);
+  Engine<apps::Hashmin, CombinerKind::kMutexPush, true> engine(g);
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(0), 0u);
+  EXPECT_EQ(engine.value_of(1), 0u);
+  EXPECT_EQ(engine.value_of(2), 0u);
+  EXPECT_EQ(engine.value_of(5), 5u);
+  EXPECT_EQ(engine.value_of(6), 5u);
+  EXPECT_EQ(engine.value_of(3), 3u) << "isolated vertices keep their id";
+  EXPECT_EQ(engine.value_of(4), 4u);
+}
+
+TEST(Hashmin, DirectedSemanticsFollowEdges) {
+  // On a directed path the min id flows only downstream — exactly the
+  // fixpoint the serial reference computes.
+  const CsrGraph g = make_graph(graph::path_graph(8));
+  expect_all_versions_match(g, apps::Hashmin{}, apps::serial::hashmin(g),
+                            "hashmin/directed-path");
+}
+
+TEST(Hashmin, ComponentCountMatchesSerialOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    EdgeList e = graph::uniform_random(200, 300, seed);
+    e.symmetrize();
+    const CsrGraph g = make_graph(e);
+    const auto expected = apps::serial::hashmin(g);
+    std::vector<vid_t> values;
+    (void)run_version(g, apps::Hashmin{},
+                      {CombinerKind::kSpinlockPush, true}, {}, nullptr,
+                      &values);
+    std::set<vid_t> expected_labels(expected.begin(), expected.end());
+    std::set<vid_t> got_labels(values.begin(), values.end());
+    EXPECT_EQ(got_labels, expected_labels) << "seed " << seed;
+    EXPECT_EQ(values, expected) << "seed " << seed;
+  }
+}
+
+TEST(Hashmin, LabelNeverExceedsOwnId) {
+  // Invariant: labels only decrease from the initial own-id seeding.
+  const CsrGraph g = make_graph(graph::rmat(8, 4, {.seed = 33}));
+  Engine<apps::Hashmin, CombinerKind::kPull, false> engine(g);
+  (void)engine.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_LE(engine.values()[s], g.id_of(s));
+  }
+}
+
+TEST(MaxValue, PropagatesTheGlobalMaxOnStronglyConnectedGraphs) {
+  const CsrGraph g = make_graph(graph::cycle_graph(20));
+  const apps::MaxValue program{.seed = 99};
+  Engine<apps::MaxValue, CombinerKind::kSpinlockPush, true> engine(g,
+                                                                   program);
+  (void)engine.run();
+  std::uint64_t global_max = 0;
+  for (vid_t id = 0; id < 20; ++id) {
+    global_max = std::max(global_max, program.initial_value(id));
+  }
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], global_max);
+  }
+}
+
+TEST(MaxValue, MatchesSerialOnDirectedDags) {
+  const CsrGraph g = make_graph(graph::binary_tree(5, false));
+  expect_all_versions_match(g, apps::MaxValue{.seed = 123},
+                            apps::serial::max_value(g, 123), "maxvalue/dag");
+}
+
+TEST(MaxValue, SeedChangesTheFixpoint) {
+  const CsrGraph g = make_graph(graph::cycle_graph(8));
+  Engine<apps::MaxValue, CombinerKind::kSpinlockPush, true> a(
+      g, apps::MaxValue{.seed = 1});
+  Engine<apps::MaxValue, CombinerKind::kSpinlockPush, true> b(
+      g, apps::MaxValue{.seed = 2});
+  (void)a.run();
+  (void)b.run();
+  EXPECT_NE(a.values()[0], b.values()[0]);
+}
+
+TEST(InDegree, CountsFanInWithoutInEdgeLists) {
+  EdgeList e;
+  e.add(1, 0);
+  e.add(2, 0);
+  e.add(3, 0);
+  e.add(0, 1);
+  // Graph built WITHOUT in-edges: the program derives in-degrees purely
+  // from messaging.
+  const CsrGraph g = graph::CsrGraph::build(e);
+  Engine<apps::InDegree, CombinerKind::kSpinlockPush, true> engine(g);
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 2u);
+  EXPECT_EQ(engine.value_of(0), 3u);
+  EXPECT_EQ(engine.value_of(1), 1u);
+  EXPECT_EQ(engine.value_of(2), 0u);
+}
+
+TEST(InDegree, MatchesSerialOnSkewedGraphs) {
+  const CsrGraph g = make_graph(graph::rmat(9, 5, {.seed = 44}));
+  expect_all_versions_match(g, apps::InDegree{}, apps::serial::in_degree(g),
+                            "indegree/rmat");
+}
+
+TEST(InDegree, MultiEdgesCountMultiply) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 1);
+  e.add(0, 1);
+  const CsrGraph g = graph::CsrGraph::build(e);
+  Engine<apps::InDegree, CombinerKind::kSpinlockPush, false> engine(g);
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(1), 3u);
+}
+
+}  // namespace
+}  // namespace ipregel

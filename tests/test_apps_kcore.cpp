@@ -1,0 +1,118 @@
+// Tests for the k-core extension app: struct-valued vertices, sum
+// combiner, cascade of removals across supersteps.
+
+#include <gtest/gtest.h>
+
+#include "apps/kcore.hpp"
+#include "apps/serial_reference.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::vid_t;
+using ipregel::testing::make_graph;
+
+template <typename EngineT>
+void expect_matches_serial(EngineT& engine, const CsrGraph& g,
+                           std::uint32_t k, const std::string& tag) {
+  (void)engine.run();
+  const std::vector<bool> expected = apps::serial::k_core(g, k);
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_EQ(!engine.values()[s].removed, expected[s])
+        << tag << " vertex " << g.id_of(s) << " k=" << k;
+  }
+}
+
+TEST(KCore, TriangleWithATailPeelsTheTail) {
+  // Triangle 0-1-2 plus tail 2-3-4: the 2-core is exactly the triangle.
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(2, 3);
+  e.add(3, 4);
+  e.symmetrize();
+  const CsrGraph g = make_graph(e);
+  Engine<apps::KCore, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::KCore{.k = 2});
+  (void)engine.run();
+  EXPECT_FALSE(engine.value_of(0).removed);
+  EXPECT_FALSE(engine.value_of(1).removed);
+  EXPECT_FALSE(engine.value_of(2).removed);
+  EXPECT_TRUE(engine.value_of(3).removed);
+  EXPECT_TRUE(engine.value_of(4).removed);
+}
+
+TEST(KCore, RemovalCascades) {
+  // A path has no 2-core: peeling the endpoints cascades inwards until
+  // everything is gone — many supersteps of reactivation.
+  EdgeList e = graph::path_graph(20);
+  e.symmetrize();
+  const CsrGraph g = make_graph(e);
+  Engine<apps::KCore, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::KCore{.k = 2});
+  const RunResult r = engine.run();
+  EXPECT_GE(r.supersteps, 10u) << "the cascade proceeds one layer per step";
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_TRUE(engine.values()[s].removed);
+  }
+}
+
+TEST(KCore, CompleteGraphSurvivesUpToItsDegree) {
+  EdgeList e = graph::complete_graph(6);  // degree 5, already symmetric
+  const CsrGraph g = make_graph(e);
+  Engine<apps::KCore, CombinerKind::kSpinlockPush, true> survive(
+      g, apps::KCore{.k = 5});
+  (void)survive.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_FALSE(survive.values()[s].removed);
+  }
+  Engine<apps::KCore, CombinerKind::kSpinlockPush, true> dissolve(
+      g, apps::KCore{.k = 6});
+  (void)dissolve.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_TRUE(dissolve.values()[s].removed);
+  }
+}
+
+TEST(KCore, MatchesSerialPeelingOnRandomGraphsAllVersions) {
+  for (const std::uint64_t seed : {4ull, 9ull}) {
+    EdgeList e = graph::uniform_random(150, 450, seed);
+    e.symmetrize();
+    const CsrGraph g = make_graph(e);
+    for (const std::uint32_t k : {2u, 3u, 4u}) {
+      for (const VersionId v : applicable_versions<apps::KCore>()) {
+        std::vector<apps::KCore::State> values;
+        (void)run_version(g, apps::KCore{.k = k}, v, {}, nullptr, &values);
+        const std::vector<bool> expected = apps::serial::k_core(g, k);
+        for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+          ASSERT_EQ(!values[s].removed, expected[s])
+              << version_name(v) << " seed=" << seed << " k=" << k
+              << " vertex " << g.id_of(s);
+        }
+      }
+    }
+  }
+}
+
+TEST(KCore, IsolatedVerticesAreRemovedForAnyPositiveK) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(0, 3);  // vertex 2 isolated in the id space
+  e.add(3, 0);
+  const CsrGraph g = make_graph(e);
+  Engine<apps::KCore, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::KCore{.k = 1});
+  (void)engine.run();
+  EXPECT_TRUE(engine.value_of(2).removed);
+  EXPECT_FALSE(engine.value_of(0).removed);
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,179 @@
+// Application-level tests for the path algorithms: SSSP (Fig. 5),
+// weighted SSSP, and BFS parents, on structured graphs with hand-checkable
+// answers.
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/serial_reference.hpp"
+#include "apps/sssp.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::vid_t;
+using ipregel::testing::expect_all_versions_match;
+using ipregel::testing::make_graph;
+
+TEST(Sssp, DistancesOnAPathAreTheIndices) {
+  const CsrGraph g = make_graph(graph::path_graph(64));
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::Sssp{.source = 0});
+  (void)engine.run();
+  for (vid_t id = 0; id < 64; ++id) {
+    EXPECT_EQ(engine.value_of(id), id);
+  }
+}
+
+TEST(Sssp, UpstreamVerticesAreUnreachable) {
+  const CsrGraph g = make_graph(graph::path_graph(10));
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::Sssp{.source = 5});
+  (void)engine.run();
+  for (vid_t id = 0; id < 5; ++id) {
+    EXPECT_EQ(engine.value_of(id), apps::Sssp::kInfinity);
+  }
+  for (vid_t id = 5; id < 10; ++id) {
+    EXPECT_EQ(engine.value_of(id), id - 5);
+  }
+}
+
+TEST(Sssp, CycleWrapsAround) {
+  const CsrGraph g = make_graph(graph::cycle_graph(12));
+  Engine<apps::Sssp, CombinerKind::kPull, true> engine(
+      g, apps::Sssp{.source = 3});
+  (void)engine.run();
+  for (vid_t id = 0; id < 12; ++id) {
+    EXPECT_EQ(engine.value_of(id), (id + 12 - 3) % 12);
+  }
+}
+
+TEST(Sssp, GridDistancesAreManhattan) {
+  // On a full 2-D lattice from the corner, hop distance = row + col.
+  constexpr vid_t kRows = 9;
+  constexpr vid_t kCols = 13;
+  const CsrGraph g = make_graph(graph::grid_2d(kRows, kCols));
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::Sssp{.source = 0});
+  (void)engine.run();
+  for (vid_t r = 0; r < kRows; ++r) {
+    for (vid_t c = 0; c < kCols; ++c) {
+      EXPECT_EQ(engine.value_of(r * kCols + c), r + c)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Sssp, AllVersionsAgreeOnAllSources) {
+  const CsrGraph g = make_graph(graph::binary_tree(5));
+  for (const vid_t source : {0u, 1u, 7u, 30u}) {
+    expect_all_versions_match(g, apps::Sssp{.source = source},
+                              apps::serial::sssp_unit(g, source),
+                              "sssp/source" + std::to_string(source));
+  }
+}
+
+TEST(Sssp, SourceWithNoOutEdgesTerminatesInOneSuperstep) {
+  EdgeList e;
+  e.add(0, 1);  // vertex 2 = the default source, no out-edges
+  e.add(1, 2);
+  const CsrGraph g = make_graph(e);
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(g);
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 1u);
+  EXPECT_EQ(engine.value_of(2), 0u);
+  EXPECT_EQ(engine.value_of(0), apps::Sssp::kInfinity);
+}
+
+TEST(WeightedSssp, TakesTheCheapDetour) {
+  // Direct edge costs 10; the detour 0->1->2 costs 3.
+  EdgeList e;
+  e.add(0, 2, 10);
+  e.add(0, 1, 1);
+  e.add(1, 2, 2);
+  const CsrGraph g = make_graph(e);
+  Engine<apps::WeightedSssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::WeightedSssp{.source = 0});
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(2), 3u);
+}
+
+TEST(WeightedSssp, MatchesDijkstraOnRandomWeightedGrids) {
+  const CsrGraph g = make_graph(
+      graph::grid_2d(15, 15, {.max_weight = 9, .seed = 17}));
+  const auto expected = apps::serial::sssp_weighted(g, 0);
+  expect_all_versions_match(g, apps::WeightedSssp{.source = 0}, expected,
+                            "weighted-sssp/grid");
+}
+
+TEST(WeightedSssp, ReconvergesWhenALaterPathIsShorter) {
+  // The BSP wavefront reaches vertex 3 in one hop (cost 100) before the
+  // three-hop path (cost 3) arrives; the vertex must be re-activated and
+  // corrected — the reactivation-by-message semantics.
+  EdgeList e;
+  e.add(0, 3, 100);
+  e.add(0, 1, 1);
+  e.add(1, 2, 1);
+  e.add(2, 3, 1);
+  e.add(3, 4, 1);
+  const CsrGraph g = make_graph(e);
+  Engine<apps::WeightedSssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::WeightedSssp{.source = 0});
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(3), 3u);
+  EXPECT_EQ(engine.value_of(4), 4u) << "the correction must propagate";
+}
+
+TEST(BfsParent, SourceIsItsOwnParent) {
+  const CsrGraph g = make_graph(graph::path_graph(5));
+  Engine<apps::BfsParent, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::BfsParent{.source = 0});
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(0), 0u);
+  for (vid_t id = 1; id < 5; ++id) {
+    EXPECT_EQ(engine.value_of(id), id - 1);
+  }
+}
+
+TEST(BfsParent, PicksSmallestParentAmongEqualPaths) {
+  // 1 and 2 both reach 3 at level 2; the min combiner must pick parent 1.
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(1, 3);
+  e.add(2, 3);
+  const CsrGraph g = make_graph(e);
+  Engine<apps::BfsParent, CombinerKind::kPull, true> engine(
+      g, apps::BfsParent{.source = 0});
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(3), 1u);
+}
+
+TEST(BfsParent, MatchesSerialOnTreesAndGrids) {
+  for (unsigned levels = 2; levels <= 6; ++levels) {
+    const CsrGraph g = make_graph(graph::binary_tree(levels));
+    expect_all_versions_match(g, apps::BfsParent{.source = 0},
+                              apps::serial::bfs_parent(g, 0),
+                              "bfs/tree" + std::to_string(levels));
+  }
+}
+
+TEST(BfsParent, UnreachableVerticesStayUnreached) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(2, 3);  // separate component
+  const CsrGraph g = make_graph(e);
+  Engine<apps::BfsParent, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::BfsParent{.source = 0});
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(2), apps::BfsParent::kUnreached);
+  EXPECT_EQ(engine.value_of(3), apps::BfsParent::kUnreached);
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,161 @@
+// Tests for the benchmark harness library: the footnote-8 extrapolation,
+// lead-change detection, linear fitting, table formatting and workload
+// generation contracts.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "benchlib/extrapolate.hpp"
+#include "benchlib/reporting.hpp"
+#include "benchlib/workloads.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace ipregel::bench;  // NOLINT(google-build-using-namespace)
+
+TEST(Extrapolate, PerfectScalingContinuesToHalve) {
+  // Efficiency 1 between 8 and 16 nodes: every further doubling halves.
+  std::vector<ScalingPoint> curve{{1, 16.0}, {2, 8.0}, {4, 4.0},
+                                  {8, 2.0},  {16, 1.0}};
+  const auto out = extrapolate_scaling(curve, 2);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[5].nodes, 32u);
+  EXPECT_FALSE(out[5].measured);
+  EXPECT_NEAR(out[5].seconds, 0.5, 1e-12);
+  EXPECT_NEAR(out[6].seconds, 0.25, 1e-12);
+}
+
+TEST(Extrapolate, ImperfectEfficiencyIsCarriedForward) {
+  // The paper's footnote 8: the 8->16 efficiency repeats per doubling.
+  std::vector<ScalingPoint> curve{{8, 3.0}, {16, 2.0}};  // ratio 1.5
+  const auto out = extrapolate_scaling(curve, 1);
+  EXPECT_NEAR(out.back().seconds, 2.0 / 1.5, 1e-12);
+}
+
+TEST(Extrapolate, ReconstructsMemoryFailedPointsBackward) {
+  // 1 and 2 nodes failed with OOM; their runtimes are projected backward
+  // with the same per-doubling ratio (Fig. 8's hollow markers).
+  std::vector<ScalingPoint> curve{{1, 0.0, true, true},
+                                  {2, 0.0, true, true},
+                                  {4, 8.0},
+                                  {8, 4.0},
+                                  {16, 2.0}};
+  const auto out = extrapolate_scaling(curve, 0);
+  EXPECT_FALSE(out[0].measured);
+  EXPECT_NEAR(out[0].seconds, 32.0, 1e-9) << "two backward doublings";
+  EXPECT_NEAR(out[1].seconds, 16.0, 1e-9);
+}
+
+TEST(Extrapolate, FewerThanTwoPointsPassThrough) {
+  std::vector<ScalingPoint> curve{{1, 5.0}};
+  const auto out = extrapolate_scaling(curve, 3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].seconds, 5.0, 1e-12);
+}
+
+TEST(LeadChange, ExactPointWins) {
+  const std::vector<ScalingPoint> curve{{1, 10.0}, {2, 5.0}, {4, 2.0}};
+  EXPECT_EQ(lead_change(curve, 5.0), 2u);
+}
+
+TEST(LeadChange, InterpolatesBetweenDoublings) {
+  // Reference 3.0 sits between the 8-node (4.0) and 16-node (2.0) points:
+  // linear interpolation crosses at 12 nodes — the paper's "11 nodes"
+  // granularity.
+  const std::vector<ScalingPoint> curve{{8, 4.0}, {16, 2.0}};
+  EXPECT_EQ(lead_change(curve, 3.0), 12u);
+}
+
+TEST(LeadChange, NeverReachedReturnsNullopt) {
+  const std::vector<ScalingPoint> curve{{1, 10.0}, {16, 9.5}, {64, 9.2}};
+  EXPECT_FALSE(lead_change(curve, 1.0).has_value());
+}
+
+TEST(LeadChange, SkipsMemoryFailures) {
+  const std::vector<ScalingPoint> curve{
+      {1, 0.0, true, true}, {2, 4.0}, {4, 1.0}};
+  EXPECT_EQ(lead_change(curve, 4.5), 2u);
+}
+
+TEST(LinearFit, RecoversAnExactLine) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  const std::vector<double> ys{25, 45, 65, 85};  // y = 5 + 2x
+  const LinearFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_NEAR(fit.at(100), 205.0, 1e-9);
+}
+
+TEST(LinearFit, DegenerateInputsReturnZeroFit) {
+  EXPECT_DOUBLE_EQ(fit_line({1.0}, {2.0}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit_line({3.0, 3.0}, {1.0, 2.0}).slope, 0.0);
+}
+
+TEST(Reporting, FormattersAreStable) {
+  EXPECT_EQ(fmt_seconds(1.23456), "1.235");
+  EXPECT_EQ(fmt_bytes(512u << 20), "512.00 MiB");
+  EXPECT_EQ(fmt_bytes(std::size_t{3} << 30), "3.00 GiB");
+  EXPECT_EQ(fmt_factor(6.5), "6.50x");
+  EXPECT_EQ(fmt_factor(1400.0), "1400x");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(12), "12");
+  EXPECT_EQ(fmt_count(123), "123");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+}
+
+TEST(Reporting, CsvEscapesCommasAndQuotes) {
+  Table t("T", {"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  const std::string path = ::testing::TempDir() + "ipregel_table.csv";
+  std::remove(path.c_str());
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(contents.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Workloads, TwitterScalingIsProportional) {
+  // The paper's 7.4.2 contract: p% of the graph has p% of vertices/edges.
+  const auto full = twitter_target();
+  const auto half = make_twitter_scaled(50);
+  EXPECT_EQ(half.size(), full.num_edges / 2);
+  const auto [min_id, max_id] = half.id_range();
+  EXPECT_LT(max_id, full.num_vertices / 2);
+}
+
+TEST(Workloads, WikiLikeIsSkewedRoadLikeIsRegular) {
+  // Cheap structural audit at the small size (the contract Table 1 prints).
+  ::setenv("IPREGEL_BENCH_SIZE", "small", 1);
+  const Workload wiki = make_wiki_like();
+  const Workload road = make_road_like();
+  ::unsetenv("IPREGEL_BENCH_SIZE");
+  const auto ws = ipregel::graph::compute_stats(wiki.graph);
+  const auto rs = ipregel::graph::compute_stats(road.graph);
+  EXPECT_GT(static_cast<double>(ws.max_out_degree),
+            20.0 * ws.average_out_degree)
+      << "wiki-like must be heavy-tailed";
+  EXPECT_LE(rs.max_out_degree, 4u) << "road-like must be near-regular";
+  EXPECT_LT(rs.average_out_degree, 4.0);
+  EXPECT_GT(ws.average_out_degree, rs.average_out_degree)
+      << "the paper's density contrast between the two graphs";
+}
+
+TEST(Workloads, BenchSizeEnvironmentIsRespected) {
+  ::setenv("IPREGEL_BENCH_SIZE", "small", 1);
+  EXPECT_EQ(bench_size(), BenchSize::kSmall);
+  ::setenv("IPREGEL_BENCH_SIZE", "large", 1);
+  EXPECT_EQ(bench_size(), BenchSize::kLarge);
+  ::setenv("IPREGEL_BENCH_SIZE", "default", 1);
+  EXPECT_EQ(bench_size(), BenchSize::kDefault);
+  ::unsetenv("IPREGEL_BENCH_SIZE");
+  EXPECT_EQ(bench_size(), BenchSize::kDefault);
+}
+
+}  // namespace

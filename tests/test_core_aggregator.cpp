@@ -1,0 +1,153 @@
+// Tests for the aggregator extension: per-superstep global reductions with
+// BSP visibility (the original Pregel's aggregator mechanism), and the
+// convergence-driven PageRank built on it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/pagerank.hpp"
+#include "apps/serial_reference.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::vid_t;
+using ipregel::testing::make_graph;
+
+/// Sums vertex ids into the aggregate each superstep; records what
+/// aggregated() reported, per superstep, into its value.
+struct SumProbe {
+  using value_type = std::uint64_t;
+  using message_type = std::uint64_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+
+  using aggregate_type = std::uint64_t;
+  static aggregate_type aggregate_identity() noexcept { return 0; }
+  static void aggregate(aggregate_type& acc,
+                        const aggregate_type& x) noexcept {
+    acc += x;
+  }
+
+  std::size_t rounds = 3;
+
+  [[nodiscard]] value_type initial_value(vid_t) const noexcept { return 0; }
+
+  void compute(auto& ctx) const {
+    // Record the previous superstep's reduction, then contribute.
+    ctx.value() = ctx.aggregated();
+    ctx.aggregate(ctx.id() + 1);
+    if (ctx.superstep() + 1 >= rounds) {
+      ctx.vote_to_halt();
+    }
+  }
+
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Aggregator, PreviousSuperstepValueIsVisibleToAll) {
+  const CsrGraph g = make_graph(graph::cycle_graph(10));
+  // sum of (id + 1) over 10 vertices = 55 every superstep.
+  Engine<SumProbe, CombinerKind::kSpinlockPush, false> engine(
+      g, SumProbe{.rounds = 3});
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 3u);
+  // The last superstep (2) saw superstep 1's reduction.
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], 55u);
+  }
+}
+
+TEST(Aggregator, IdentityDuringSuperstepZero) {
+  const CsrGraph g = make_graph(graph::cycle_graph(4));
+  Engine<SumProbe, CombinerKind::kSpinlockPush, false> engine(
+      g, SumProbe{.rounds = 1});
+  (void)engine.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], 0u) << "nothing aggregated before ss 0";
+  }
+}
+
+TEST(Aggregator, ThreadCountDoesNotChangeTheReduction) {
+  const CsrGraph g = make_graph(graph::rmat(8, 4, {.seed = 19}));
+  Engine<SumProbe, CombinerKind::kSpinlockPush, false> one(
+      g, SumProbe{.rounds = 2}, EngineOptions{.threads = 1});
+  Engine<SumProbe, CombinerKind::kSpinlockPush, false> four(
+      g, SumProbe{.rounds = 2}, EngineOptions{.threads = 4});
+  (void)one.run();
+  (void)four.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    ASSERT_EQ(one.values()[s], four.values()[s]);
+  }
+}
+
+TEST(Aggregator, StateResetsBetweenRuns) {
+  const CsrGraph g = make_graph(graph::cycle_graph(6));
+  Engine<SumProbe, CombinerKind::kSpinlockPush, false> engine(
+      g, SumProbe{.rounds = 1});
+  (void)engine.run();
+  (void)engine.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], 0u)
+        << "a fresh run must start from the identity again";
+  }
+}
+
+TEST(PageRankConverging, StopsOnItsOwnAndMatchesTheFixpoint) {
+  const CsrGraph g = make_graph(graph::rmat(9, 6, {.seed = 23}));
+  Engine<apps::PageRankConverging, CombinerKind::kSpinlockPush, false>
+      engine(g, apps::PageRankConverging{.epsilon = 1e-12});
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.reached_superstep_cap);
+  EXPECT_GT(r.supersteps, 10u) << "1e-12 needs many rounds";
+  // Compare with a long fixed-round power iteration.
+  const auto expected = apps::serial::pagerank(g, 120);
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_NEAR(engine.values()[s], expected[s], 1e-9);
+  }
+}
+
+TEST(PageRankConverging, LooserThresholdStopsSooner) {
+  const CsrGraph g = make_graph(graph::rmat(8, 5, {.seed = 29}));
+  Engine<apps::PageRankConverging, CombinerKind::kSpinlockPush, false>
+      loose(g, apps::PageRankConverging{.epsilon = 1e-3});
+  Engine<apps::PageRankConverging, CombinerKind::kSpinlockPush, false>
+      tight(g, apps::PageRankConverging{.epsilon = 1e-10});
+  const RunResult rl = loose.run();
+  const RunResult rt = tight.run();
+  EXPECT_LT(rl.supersteps, rt.supersteps);
+}
+
+TEST(PageRankConverging, AgreesAcrossCombiners) {
+  const CsrGraph g = make_graph(graph::rmat(8, 5, {.seed = 31}));
+  const apps::PageRankConverging program{.epsilon = 1e-10};
+  Engine<apps::PageRankConverging, CombinerKind::kSpinlockPush, false> push(
+      g, program);
+  Engine<apps::PageRankConverging, CombinerKind::kPull, false> pull(
+      g, program);
+  const RunResult rpush = push.run();
+  const RunResult rpull = pull.run();
+  EXPECT_EQ(rpush.supersteps, rpull.supersteps);
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_NEAR(push.values()[s], pull.values()[s], 1e-14);
+  }
+}
+
+TEST(Aggregator, ProgramsWithoutAggregatorStillCompile) {
+  // HasAggregator must be false for plain programs and the engine must not
+  // grow any aggregator state for them (compile-time check by usage).
+  static_assert(!HasAggregator<apps::PageRank>);
+  static_assert(HasAggregator<apps::PageRankConverging>);
+  static_assert(HasAggregator<SumProbe>);
+}
+
+}  // namespace
+}  // namespace ipregel

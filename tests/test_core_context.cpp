@@ -1,0 +1,228 @@
+// Tests of the vertex context — the paper's Fig. 3 API surface — observed
+// from inside a recording program.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::vid_t;
+using ipregel::testing::make_graph;
+
+/// Records what the context reports for each vertex during superstep 0.
+struct Recorder {
+  using value_type = std::uint64_t;
+  using message_type = std::uint64_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  struct Observation {
+    vid_t id;
+    std::size_t out_degree;
+    std::size_t num_vertices;
+    bool first_superstep;
+  };
+  std::vector<Observation>* observations = nullptr;
+  mutable std::atomic<int>* lock = nullptr;
+
+  [[nodiscard]] value_type initial_value(vid_t id) const noexcept {
+    return id * 10;
+  }
+
+  void compute(auto& ctx) const {
+    if (ctx.is_first_superstep()) {
+      while (lock->exchange(1) != 0) {
+      }
+      observations->push_back({ctx.id(), ctx.out_degree(),
+                               ctx.num_vertices(),
+                               ctx.is_first_superstep()});
+      lock->store(0);
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Context, ReportsIdDegreeAndGlobalCounts) {
+  EdgeList e;
+  e.add(10, 11);
+  e.add(10, 12);
+  e.add(11, 12);
+  const CsrGraph g = make_graph(e);  // ids 10..12, offset mapping
+  std::vector<Recorder::Observation> observations;
+  std::atomic<int> lock{0};
+  Engine<Recorder, CombinerKind::kSpinlockPush, true> engine(
+      g, Recorder{&observations, &lock});
+  (void)engine.run();
+  ASSERT_EQ(observations.size(), 3u);
+  for (const auto& o : observations) {
+    EXPECT_GE(o.id, 10u);
+    EXPECT_LE(o.id, 12u);
+    EXPECT_EQ(o.num_vertices, 3u);
+    EXPECT_TRUE(o.first_superstep);
+    if (o.id == 10) {
+      EXPECT_EQ(o.out_degree, 2u);
+    }
+    if (o.id == 12) {
+      EXPECT_EQ(o.out_degree, 0u);
+    }
+  }
+  // initial_value used the external id.
+  EXPECT_EQ(engine.value_of(11), 110u);
+}
+
+/// Counts how many times get_next_message yields per activation — the
+/// single-combined-message protocol of section 6.3.
+struct MessageCounter {
+  using value_type = std::uint32_t;
+  using message_type = std::uint32_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  [[nodiscard]] value_type initial_value(vid_t) const noexcept { return 0; }
+
+  void compute(auto& ctx) const {
+    if (ctx.is_first_superstep()) {
+      ctx.broadcast(1);
+    } else {
+      std::uint32_t yields = 0;
+      message_type m = 0;
+      while (ctx.get_next_message(m)) {
+        ++yields;
+      }
+      ctx.value() = yields;
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Context, CombinerLeavesAtMostOneMessage) {
+  // Vertex 0 has many in-neighbours, all broadcasting: with a combiner the
+  // mailbox still yields exactly ONE (combined) message.
+  const CsrGraph g = make_graph(graph::star_graph(16, true));
+  for (const VersionId v : applicable_versions<MessageCounter>()) {
+    std::vector<std::uint32_t> values;
+    (void)run_version(g, MessageCounter{}, v, {}, nullptr, &values);
+    EXPECT_EQ(values[0], 1u) << version_name(v)
+                             << ": 15 senders, one combined message";
+    for (std::size_t s = 1; s < g.num_slots(); ++s) {
+      EXPECT_EQ(values[s], 1u) << version_name(v);
+    }
+  }
+}
+
+/// Observes superstep numbering from inside compute.
+struct SuperstepProbe {
+  using value_type = std::uint64_t;
+  using message_type = std::uint64_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+
+  [[nodiscard]] value_type initial_value(vid_t) const noexcept { return 0; }
+
+  void compute(auto& ctx) const {
+    // Encode the last observed superstep; run 4 supersteps then halt.
+    ctx.value() = ctx.superstep();
+    EXPECT_EQ(ctx.is_first_superstep(), ctx.superstep() == 0);
+    if (ctx.superstep() >= 3) {
+      ctx.vote_to_halt();
+    }
+  }
+
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Context, SuperstepNumberingIsZeroBasedAndMonotone) {
+  const CsrGraph g = make_graph(graph::cycle_graph(4));
+  Engine<SuperstepProbe, CombinerKind::kSpinlockPush, false> engine(g);
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 4u);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], 3u) << "last superstep observed";
+  }
+}
+
+/// Mutates value() across supersteps to prove the reference is stable.
+struct Accumulator {
+  using value_type = std::uint64_t;
+  using message_type = std::uint64_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+
+  [[nodiscard]] value_type initial_value(vid_t) const noexcept { return 0; }
+
+  void compute(auto& ctx) const {
+    ctx.value() += ctx.superstep() + 1;
+    if (ctx.superstep() == 2) {
+      ctx.vote_to_halt();
+    }
+  }
+
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Context, ValueMutationsPersistAcrossSupersteps) {
+  const CsrGraph g = make_graph(graph::path_graph(3));
+  Engine<Accumulator, CombinerKind::kMutexPush, false> engine(g);
+  (void)engine.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], 1u + 2u + 3u);
+  }
+}
+
+/// Sums this vertex's out-edge weights in superstep 0.
+struct WeightSum {
+  using value_type = std::uint64_t;
+  using message_type = std::uint64_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+  [[nodiscard]] value_type initial_value(vid_t) const noexcept {
+    return 0;
+  }
+  void compute(auto& ctx) const {
+    if (ctx.is_first_superstep()) {
+      for (const auto w : ctx.out_weights()) {
+        ctx.value() += w;
+      }
+    }
+    ctx.vote_to_halt();
+  }
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Context, OutWeightsAreVisibleToPrograms) {
+  EdgeList e;
+  e.add(0, 1, 7);
+  e.add(0, 2, 9);
+  const CsrGraph g = make_graph(e);
+
+  Engine<WeightSum, CombinerKind::kSpinlockPush, true> engine(g);
+  (void)engine.run();
+  EXPECT_EQ(engine.value_of(0), 16u);
+  EXPECT_EQ(engine.value_of(1), 0u);
+}
+
+}  // namespace
+}  // namespace ipregel

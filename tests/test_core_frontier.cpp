@@ -1,0 +1,119 @@
+// Unit tests for the selection-bypass work list (paper section 4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/frontier.hpp"
+
+namespace {
+
+using ipregel::Frontier;
+
+std::vector<std::size_t> sorted_current(const Frontier& f) {
+  std::vector<std::size_t> v(f.current().begin(), f.current().end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Frontier, StartsEmpty) {
+  Frontier f(100, 2, true);
+  f.flip();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(Frontier, AddThenFlipExposesSlots) {
+  Frontier f(100, 2, true);
+  EXPECT_TRUE(f.add(5, 0));
+  EXPECT_TRUE(f.add(63, 1));
+  EXPECT_TRUE(f.add(64, 0));
+  f.flip();
+  EXPECT_EQ(sorted_current(f), (std::vector<std::size_t>{5, 63, 64}));
+}
+
+TEST(Frontier, BitmapDeduplicatesWithinASuperstep) {
+  // Many senders message the same vertex; it must be executed once.
+  Frontier f(100, 2, true);
+  EXPECT_TRUE(f.add(7, 0));
+  EXPECT_FALSE(f.add(7, 1));
+  EXPECT_FALSE(f.add(7, 0));
+  f.flip();
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Frontier, SlotsCanReappearInLaterSupersteps) {
+  // flip() must release the claim so the vertex can be re-selected later
+  // (SSSP improves distances across many supersteps).
+  Frontier f(100, 1, true);
+  f.add(7, 0);
+  f.flip();
+  EXPECT_TRUE(f.add(7, 0)) << "claim must be cleared by flip";
+  f.flip();
+  EXPECT_EQ(sorted_current(f), (std::vector<std::size_t>{7}));
+}
+
+TEST(Frontier, AddClaimedSkipsTheBitmap) {
+  // The push-combiner path: the mailbox lock already proved exactly-once.
+  Frontier f(100, 2, false);
+  f.add_claimed(3, 0);
+  f.add_claimed(9, 1);
+  f.flip();
+  EXPECT_EQ(sorted_current(f), (std::vector<std::size_t>{3, 9}));
+}
+
+TEST(Frontier, FlipDrainsPendingLists) {
+  Frontier f(100, 1, false);
+  f.add_claimed(1, 0);
+  f.flip();
+  EXPECT_EQ(f.size(), 1u);
+  f.flip();
+  EXPECT_TRUE(f.empty()) << "a flip with no new adds yields an empty list";
+}
+
+TEST(Frontier, ConcurrentAddsClaimEachSlotExactlyOnce) {
+  constexpr std::size_t kSlots = 1 << 14;
+  constexpr std::size_t kThreads = 4;
+  Frontier f(kSlots, kThreads, true);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&f, t] {
+      // All threads try to claim every slot.
+      for (std::size_t s = 0; s < kSlots; ++s) {
+        f.add((s + t * 13) % kSlots, t);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  f.flip();
+  ASSERT_EQ(f.size(), kSlots) << "every slot claimed exactly once";
+  auto v = sorted_current(f);
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    ASSERT_EQ(v[s], s);
+  }
+}
+
+TEST(Frontier, ResetClearsClaimsAndLists) {
+  Frontier f(100, 1, true);
+  f.add(1, 0);
+  f.add(2, 0);
+  f.reset();
+  f.flip();
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.add(1, 0)) << "claims must be released by reset";
+}
+
+TEST(Frontier, TracksListBytes) {
+  Frontier f(1000, 2, false);
+  for (std::size_t s = 0; s < 100; ++s) {
+    f.add_claimed(s, s % 2);
+  }
+  f.flip();
+  EXPECT_GE(f.list_bytes(), 100 * sizeof(std::size_t));
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests of Pregel halting/reactivation semantics: vote_to_halt makes a
+// vertex inactive, a message reactivates it, and the computation ends when
+// everyone is halted with nothing in flight (paper Fig. 1 / section 4).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::vid_t;
+using ipregel::testing::make_graph;
+
+/// Halts immediately; counts global activations (thread-safe).
+struct ActivationCounter {
+  using value_type = std::uint32_t;
+  using message_type = std::uint32_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  std::atomic<std::uint64_t>* activations = nullptr;
+  vid_t chatty = 0;       ///< this vertex broadcasts in superstep 0
+  std::size_t rounds = 1; ///< how many supersteps it keeps broadcasting
+
+  [[nodiscard]] value_type initial_value(vid_t) const noexcept { return 0; }
+
+  void compute(auto& ctx) const {
+    activations->fetch_add(1, std::memory_order_relaxed);
+    ctx.value() += 1;
+    if (ctx.id() == chatty && ctx.superstep() < rounds) {
+      ctx.broadcast(1);
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Halting, HaltedVerticesStayAsleepWithoutMessages) {
+  // star 0 -> {1..7}: vertex 0 broadcasts once. Supersteps: 0 (all run),
+  // 1 (only the 7 leaves run). Then silence.
+  const CsrGraph g = make_graph(graph::star_graph(8));
+  std::atomic<std::uint64_t> activations{0};
+  Engine<ActivationCounter, CombinerKind::kSpinlockPush, false> engine(
+      g, ActivationCounter{&activations, 0, 1});
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 2u);
+  EXPECT_EQ(activations.load(), 8u + 7u);
+}
+
+TEST(Halting, MessagesReactivateOnlyTheirRecipients) {
+  // path 0 -> 1 -> 2 -> 3: vertex 0 broadcasts once in superstep 0. Only
+  // vertex 1 wakes in superstep 1; it does not rebroadcast, so 2 and 3
+  // stay asleep and the run ends. (A halted vertex — including the
+  // broadcaster itself — is never reselected without a message.)
+  const CsrGraph g = make_graph(graph::path_graph(4));
+  std::atomic<std::uint64_t> activations{0};
+  Engine<ActivationCounter, CombinerKind::kSpinlockPush, false> engine(
+      g, ActivationCounter{&activations, 0, 1});
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 2u);
+  EXPECT_EQ(activations.load(), 4u + 1u);
+  EXPECT_EQ(engine.value_of(1), 2u) << "superstep 0 + one wake-up";
+  EXPECT_EQ(engine.value_of(2), 1u) << "superstep 0 only";
+}
+
+TEST(Halting, BypassAndScanAllAgreeOnActivations) {
+  const CsrGraph g = make_graph(graph::binary_tree(4));
+  std::atomic<std::uint64_t> scan_activations{0};
+  std::atomic<std::uint64_t> bypass_activations{0};
+  Engine<ActivationCounter, CombinerKind::kSpinlockPush, false> scan(
+      g, ActivationCounter{&scan_activations, 0, 3});
+  Engine<ActivationCounter, CombinerKind::kSpinlockPush, true> bypass(
+      g, ActivationCounter{&bypass_activations, 0, 3});
+  const RunResult rs = scan.run();
+  const RunResult rb = bypass.run();
+  EXPECT_EQ(rs.supersteps, rb.supersteps);
+  EXPECT_EQ(scan_activations.load(), bypass_activations.load())
+      << "the bypass must select exactly the message recipients";
+}
+
+/// Stays active for `rounds` supersteps without any messaging — exercises
+/// the active-without-inbox path of scan-all selection.
+struct SilentWorker {
+  using value_type = std::uint32_t;
+  using message_type = std::uint32_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+
+  std::size_t rounds = 5;
+
+  [[nodiscard]] value_type initial_value(vid_t) const noexcept { return 0; }
+
+  void compute(auto& ctx) const {
+    ctx.value() += 1;
+    if (ctx.superstep() + 1 >= rounds) {
+      ctx.vote_to_halt();
+    }
+  }
+
+  static void combine(message_type& old, const message_type& incoming) {
+    old += incoming;
+  }
+};
+
+TEST(Halting, ActiveVerticesRunWithoutMessages) {
+  const CsrGraph g = make_graph(graph::path_graph(6));
+  Engine<SilentWorker, CombinerKind::kSpinlockPush, false> engine(
+      g, SilentWorker{.rounds = 5});
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 5u);
+  EXPECT_EQ(r.total_messages, 0u);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    EXPECT_EQ(engine.values()[s], 5u);
+  }
+}
+
+TEST(Halting, TerminationNeedsBothSilenceAndUnanimousHalt) {
+  // At the end of superstep 0 EVERY vertex has voted to halt, but vertex
+  // 0's message is already in flight: the computation must not stop until
+  // the message is absorbed.
+  const CsrGraph g = make_graph(graph::cycle_graph(2));
+  std::atomic<std::uint64_t> activations{0};
+  Engine<ActivationCounter, CombinerKind::kMutexPush, false> engine(
+      g, ActivationCounter{&activations, 0, 1});
+  const RunResult r = engine.run();
+  EXPECT_EQ(r.supersteps, 2u)
+      << "superstep 1 must still run despite the unanimous halt vote";
+  EXPECT_EQ(activations.load(), 2u + 1u);
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,100 @@
+// Tests for the runtime version dispatcher (run_version) — the harness's
+// bridge between the paper's compile-time multi-version design and
+// run-anything binaries.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using ipregel::testing::make_graph;
+
+TEST(Runner, PageRankSupportsExactlyThreeVersions) {
+  // PageRank vertices do not halt every superstep -> no bypass versions.
+  const auto versions = applicable_versions<apps::PageRank>();
+  ASSERT_EQ(versions.size(), 3u);
+  for (const VersionId v : versions) {
+    EXPECT_FALSE(v.selection_bypass);
+  }
+}
+
+TEST(Runner, HashminSupportsAllSixVersions) {
+  EXPECT_EQ(applicable_versions<apps::Hashmin>().size(), 6u);
+}
+
+TEST(Runner, WeightedSsspExcludesPullVersions) {
+  // Targeted sends -> no broadcast-only guarantee -> no pull combiner.
+  const auto versions = applicable_versions<apps::WeightedSssp>();
+  ASSERT_EQ(versions.size(), 4u);
+  for (const VersionId v : versions) {
+    EXPECT_NE(v.combiner, CombinerKind::kPull);
+  }
+}
+
+TEST(Runner, RejectsBypassForPageRank) {
+  const auto g = make_graph(graph::cycle_graph(8));
+  EXPECT_THROW((void)run_version(g, apps::PageRank{},
+                                 {CombinerKind::kSpinlockPush, true}),
+               std::invalid_argument);
+}
+
+TEST(Runner, RejectsPullForTargetedSendPrograms) {
+  const auto g = make_graph(graph::cycle_graph(8));
+  EXPECT_THROW(
+      (void)run_version(g, apps::WeightedSssp{}, {CombinerKind::kPull, false}),
+      std::invalid_argument);
+}
+
+TEST(Runner, ErrorNamesTheVersionAndTheReason) {
+  const auto g = make_graph(graph::cycle_graph(8));
+  try {
+    (void)run_version(g, apps::PageRank{}, {CombinerKind::kPull, true});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broadcast with selection bypass"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("always_halts=false"), std::string::npos) << what;
+  }
+}
+
+TEST(Runner, FillsOutValuesWhenRequested) {
+  const auto g = make_graph(graph::cycle_graph(8));
+  std::vector<graph::vid_t> values;
+  (void)run_version(g, apps::Hashmin{}, {CombinerKind::kMutexPush, true}, {},
+                    nullptr, &values);
+  ASSERT_EQ(values.size(), g.num_slots());
+  for (const auto v : values) {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+TEST(Runner, AllVersionsListMatchesPaperOrder) {
+  // kAllVersions drives the Fig. 7 sweep; it must enumerate all six and
+  // lead with the push versions like the paper's legend.
+  ASSERT_EQ(std::size(kAllVersions), 6u);
+  EXPECT_EQ(version_name(kAllVersions[0]), "mutex");
+  EXPECT_EQ(version_name(kAllVersions[1]), "mutex with selection bypass");
+  EXPECT_EQ(version_name(kAllVersions[4]), "broadcast");
+  EXPECT_EQ(version_name(kAllVersions[5]),
+            "broadcast with selection bypass");
+}
+
+TEST(Runner, VersionNamesRoundTripCombinerNames) {
+  EXPECT_EQ(to_string(CombinerKind::kMutexPush), "mutex");
+  EXPECT_EQ(to_string(CombinerKind::kSpinlockPush), "spinlock");
+  EXPECT_EQ(to_string(CombinerKind::kPull), "broadcast");
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,115 @@
+// Tests for the dynamic scheduling extension (the paper's future-work
+// load-balancing direction) and the pool primitive underneath it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "runtime/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using ipregel::testing::make_graph;
+using runtime::Range;
+using runtime::ThreadPool;
+
+TEST(DynamicParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100'003;
+  std::vector<std::atomic<int>> seen(kN);
+  pool.parallel_for_dynamic(kN, 97, [&](std::size_t, Range r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      seen[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(DynamicParallelFor, ZeroChunkIsCoercedToOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for_dynamic(10, 0, [&](std::size_t, Range r) {
+    count.fetch_add(static_cast<int>(r.size()));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(DynamicParallelFor, ZeroElementsIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_dynamic(0, 8, [&](std::size_t, Range) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(DynamicParallelFor, LastChunkIsClamped) {
+  ThreadPool pool(1);
+  std::vector<Range> chunks;
+  pool.parallel_for_dynamic(10, 4, [&](std::size_t, Range r) {
+    chunks.push_back(r);
+  });
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks.back().end, 10u);
+  EXPECT_EQ(chunks.back().size(), 2u);
+}
+
+TEST(Scheduling, DynamicAndStaticComputeIdenticalResults) {
+  const CsrGraph g = make_graph(graph::rmat(9, 6, {.seed = 77}));
+  for (const Schedule schedule : {Schedule::kStatic, Schedule::kDynamic}) {
+    EngineOptions opts;
+    opts.schedule = schedule;
+    opts.dynamic_chunk = 64;
+    Engine<apps::Hashmin, CombinerKind::kSpinlockPush, true> engine(g, {},
+                                                                    opts);
+    (void)engine.run();
+    Engine<apps::Hashmin, CombinerKind::kSpinlockPush, true> reference(g);
+    (void)reference.run();
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      ASSERT_EQ(engine.values()[s], reference.values()[s])
+          << "schedule " << static_cast<int>(schedule);
+    }
+  }
+}
+
+TEST(Scheduling, DynamicWorksWithEveryCombiner) {
+  const CsrGraph g = make_graph(graph::grid_2d(10, 10));
+  EngineOptions opts;
+  opts.schedule = Schedule::kDynamic;
+  opts.dynamic_chunk = 16;
+  Engine<apps::Sssp, CombinerKind::kMutexPush, true> mutex_engine(
+      g, apps::Sssp{.source = 0}, opts);
+  Engine<apps::Sssp, CombinerKind::kPull, false> pull_engine(
+      g, apps::Sssp{.source = 0}, opts);
+  (void)mutex_engine.run();
+  (void)pull_engine.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    ASSERT_EQ(mutex_engine.values()[s], pull_engine.values()[s]);
+  }
+}
+
+TEST(Scheduling, TinyChunksStillCoverTheFrontier) {
+  // Chunk size 1 maximises scheduling churn; correctness must hold.
+  const CsrGraph g = make_graph(graph::path_graph(200));
+  EngineOptions opts;
+  opts.schedule = Schedule::kDynamic;
+  opts.dynamic_chunk = 1;
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::Sssp{.source = 0}, opts);
+  (void)engine.run();
+  for (graph::vid_t id = 0; id < 200; ++id) {
+    ASSERT_EQ(engine.value_of(id), id);
+  }
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,108 @@
+// End-to-end smoke tests: every framework version, every shipped program,
+// small deterministic graphs, validated against the serial references.
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/hashmin.hpp"
+#include "apps/in_degree.hpp"
+#include "apps/max_value.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/serial_reference.hpp"
+#include "apps/sssp.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using ipregel::testing::expect_all_versions_match;
+using ipregel::testing::expect_all_versions_near;
+using ipregel::testing::make_graph;
+
+EdgeList small_social() {
+  // A small directed graph with a hub, a cycle, and a dangling vertex.
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(0, 3);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(3, 4);
+  e.add(4, 5);
+  e.add(5, 3);
+  e.add(6, 0);  // 6 has no in-edges; nothing points to 7..n
+  return e;
+}
+
+TEST(EngineSmoke, PageRankMatchesSerialOnSmallGraph) {
+  const CsrGraph g = make_graph(small_social());
+  const auto expected = apps::serial::pagerank(g, 10);
+  expect_all_versions_near(g, apps::PageRank{.rounds = 10}, expected, 1e-12,
+                           "pagerank/small");
+}
+
+TEST(EngineSmoke, HashminMatchesSerialOnSmallGraph) {
+  const CsrGraph g = make_graph(small_social());
+  const auto expected = apps::serial::hashmin(g);
+  expect_all_versions_match(g, apps::Hashmin{}, expected, "hashmin/small");
+}
+
+TEST(EngineSmoke, SsspMatchesSerialOnSmallGraph) {
+  const CsrGraph g = make_graph(small_social());
+  const auto expected = apps::serial::sssp_unit(g, 0);
+  expect_all_versions_match(g, apps::Sssp{.source = 0}, expected,
+                            "sssp/small");
+}
+
+TEST(EngineSmoke, BfsParentMatchesSerialOnSmallGraph) {
+  const CsrGraph g = make_graph(small_social());
+  const auto expected = apps::serial::bfs_parent(g, 0);
+  expect_all_versions_match(g, apps::BfsParent{.source = 0}, expected,
+                            "bfs/small");
+}
+
+TEST(EngineSmoke, MaxValueMatchesSerialOnSmallGraph) {
+  const CsrGraph g = make_graph(small_social());
+  const auto expected = apps::serial::max_value(g, 7);
+  expect_all_versions_match(g, apps::MaxValue{.seed = 7}, expected,
+                            "maxvalue/small");
+}
+
+TEST(EngineSmoke, InDegreeMatchesSerialOnSmallGraph) {
+  const CsrGraph g = make_graph(small_social());
+  const auto expected = apps::serial::in_degree(g);
+  expect_all_versions_match(g, apps::InDegree{}, expected, "indegree/small");
+}
+
+TEST(EngineSmoke, WeightedSsspMatchesDijkstra) {
+  EdgeList e;
+  e.add(0, 1, 4);
+  e.add(0, 2, 1);
+  e.add(2, 1, 1);
+  e.add(1, 3, 3);
+  e.add(2, 3, 7);
+  e.add(3, 4, 1);
+  const CsrGraph g = make_graph(e);
+  const auto expected = apps::serial::sssp_weighted(g, 0);
+  expect_all_versions_match(g, apps::WeightedSssp{.source = 0}, expected,
+                            "weighted-sssp/small");
+}
+
+TEST(EngineSmoke, RunIsRepeatable) {
+  const CsrGraph g = make_graph(small_social());
+  Engine<apps::Hashmin, CombinerKind::kSpinlockPush, true> engine(g);
+  const RunResult first = engine.run();
+  const auto after_first =
+      std::vector<graph::vid_t>(engine.values().begin(),
+                                engine.values().end());
+  const RunResult second = engine.run();
+  EXPECT_EQ(first.supersteps, second.supersteps);
+  EXPECT_EQ(first.total_messages, second.total_messages);
+  EXPECT_TRUE(std::equal(engine.values().begin(), engine.values().end(),
+                         after_first.begin()));
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,90 @@
+// Heavier randomized cross-validation: moderately sized random graphs,
+// every framework version against the serial references, plus a
+// cross-framework (iPregel vs Pregel+ baseline) agreement sweep.
+
+#include <gtest/gtest.h>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/serial_reference.hpp"
+#include "apps/sssp.hpp"
+#include "graph/generators.hpp"
+#include "pregelplus/cluster.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using ipregel::testing::expect_all_versions_match;
+using ipregel::testing::expect_all_versions_near;
+using ipregel::testing::make_graph;
+
+TEST(EngineStress, AllVersionsOnAMidSizeScaleFreeGraph) {
+  // ~16k vertices, ~130k edges: large enough for real thread interleaving
+  // and hub contention on the per-mailbox locks.
+  const CsrGraph g = make_graph(graph::rmat(14, 8, {.seed = 2024}));
+  expect_all_versions_match(g, apps::Hashmin{}, apps::serial::hashmin(g),
+                            "stress/hashmin");
+  expect_all_versions_match(g, apps::Sssp{.source = 2},
+                            apps::serial::sssp_unit(g, 2), "stress/sssp");
+  expect_all_versions_near(g, apps::PageRank{.rounds = 10},
+                           apps::serial::pagerank(g, 10), 1e-10,
+                           "stress/pagerank");
+}
+
+TEST(EngineStress, AllVersionsOnAMidSizeRoadGraph) {
+  // High diameter: thousands of supersteps through the bypass frontier.
+  const CsrGraph g = make_graph(
+      graph::grid_2d(60, 200, {.removal_fraction = 0.05, .seed = 5}));
+  expect_all_versions_match(g, apps::Sssp{.source = 0},
+                            apps::serial::sssp_unit(g, 0),
+                            "stress/road-sssp");
+  expect_all_versions_match(g, apps::Hashmin{}, apps::serial::hashmin(g),
+                            "stress/road-hashmin");
+}
+
+TEST(EngineStress, IPregelAndPregelPlusAgreeEverywhere) {
+  // The Fig. 8 comparison is only meaningful if both frameworks compute
+  // identical answers on the same inputs.
+  const CsrGraph g = make_graph(graph::rmat(12, 6, {.seed = 31}));
+  for (const std::size_t nodes : {1u, 3u, 8u}) {
+    pregelplus::Cluster<apps::Hashmin> cluster(
+        g, {}, {.num_nodes = nodes, .procs_per_node = 2});
+    (void)cluster.run();
+    const auto cluster_values = cluster.collect_values();
+    Engine<apps::Hashmin, CombinerKind::kSpinlockPush, true> engine(g);
+    (void)engine.run();
+    for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+      ASSERT_EQ(engine.values()[s], cluster_values[s])
+          << "nodes=" << nodes << " slot=" << s;
+    }
+  }
+}
+
+TEST(EngineStress, ManyConsecutiveRunsDoNotLeakState) {
+  const CsrGraph g = make_graph(graph::rmat(10, 5, {.seed = 8}));
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::Sssp{.source = 2});
+  const RunResult first = engine.run();
+  for (int i = 0; i < 10; ++i) {
+    const RunResult again = engine.run();
+    ASSERT_EQ(again.supersteps, first.supersteps) << "iteration " << i;
+    ASSERT_EQ(again.total_messages, first.total_messages);
+  }
+}
+
+TEST(EngineStress, WidePoolOnASmallGraph) {
+  // More threads than frontier entries: partitions of size 0/1 everywhere.
+  const CsrGraph g = make_graph(graph::path_graph(17));
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::Sssp{.source = 0}, EngineOptions{.threads = 8});
+  (void)engine.run();
+  for (graph::vid_t id = 0; id < 17; ++id) {
+    ASSERT_EQ(engine.value_of(id), id);
+  }
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,192 @@
+// Unit tests for CsrGraph, including the paper's three addressing modes
+// (section 5) and the minimal-internals build options (sections 3.2/6.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "runtime/memory_tracker.hpp"
+
+namespace {
+
+using ipregel::graph::AddressingMode;
+using ipregel::graph::CsrBuildOptions;
+using ipregel::graph::CsrGraph;
+using ipregel::graph::EdgeList;
+using ipregel::graph::vid_t;
+
+EdgeList diamond() {
+  // 0 -> {1, 2}, 1 -> 3, 2 -> 3, 3 -> 0
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(1, 3);
+  e.add(2, 3);
+  e.add(3, 0);
+  return e;
+}
+
+std::vector<vid_t> sorted(std::span<const vid_t> s) {
+  std::vector<vid_t> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(CsrGraph, OutAdjacencyIsExact) {
+  const CsrGraph g = CsrGraph::build(diamond());
+  ASSERT_EQ(g.num_vertices(), 4u);
+  ASSERT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(sorted(g.out_neighbours(0)), (std::vector<vid_t>{1, 2}));
+  EXPECT_EQ(sorted(g.out_neighbours(1)), (std::vector<vid_t>{3}));
+  EXPECT_EQ(sorted(g.out_neighbours(2)), (std::vector<vid_t>{3}));
+  EXPECT_EQ(sorted(g.out_neighbours(3)), (std::vector<vid_t>{0}));
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 5.0 / 4.0);
+}
+
+TEST(CsrGraph, InAdjacencyOnRequestOnly) {
+  const CsrGraph no_in = CsrGraph::build(diamond());
+  EXPECT_FALSE(no_in.has_in_edges());
+
+  const CsrGraph with_in =
+      CsrGraph::build(diamond(), {.build_in_edges = true});
+  ASSERT_TRUE(with_in.has_in_edges());
+  EXPECT_EQ(sorted(with_in.in_neighbours(3)), (std::vector<vid_t>{1, 2}));
+  EXPECT_EQ(sorted(with_in.in_neighbours(0)), (std::vector<vid_t>{3}));
+  EXPECT_EQ(with_in.in_degree(3), 2u);
+}
+
+TEST(CsrGraph, DirectMappingRequiresZeroBase) {
+  EdgeList shifted = diamond();
+  ipregel::graph::shift_ids(shifted, 5);
+  EXPECT_THROW(
+      (void)CsrGraph::build(shifted,
+                            {.addressing = AddressingMode::kDirect}),
+      std::invalid_argument);
+}
+
+TEST(CsrGraph, OffsetMappingSubtractsTheBase) {
+  EdgeList shifted = diamond();
+  ipregel::graph::shift_ids(shifted, 100);
+  const CsrGraph g =
+      CsrGraph::build(shifted, {.addressing = AddressingMode::kOffset});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_slots(), 4u) << "offset mapping wastes no slots";
+  EXPECT_EQ(g.id_offset(), 100u);
+  EXPECT_EQ(g.first_slot(), 0u);
+  EXPECT_EQ(g.slot_of(103), 3u);
+  EXPECT_EQ(g.id_of(3), 103u);
+  EXPECT_EQ(sorted(g.out_neighbours(g.slot_of(100))),
+            (std::vector<vid_t>{101, 102}));
+}
+
+TEST(CsrGraph, DesolateMappingWastesLeadingSlots) {
+  // The paper's "desolate memory": slot == id even for a base > 0, buying
+  // subtraction-free addressing for a few unused elements.
+  EdgeList shifted = diamond();
+  ipregel::graph::shift_ids(shifted, 3);
+  const CsrGraph g =
+      CsrGraph::build(shifted, {.addressing = AddressingMode::kDesolate});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_slots(), 7u) << "3 wasted slots + 4 vertices";
+  EXPECT_EQ(g.first_slot(), 3u);
+  EXPECT_EQ(g.id_offset(), 0u) << "no subtraction";
+  EXPECT_EQ(g.slot_of(5), 5u);
+  for (std::size_t s = 0; s < g.first_slot(); ++s) {
+    EXPECT_EQ(g.out_degree(s), 0u) << "wasted slots must look empty";
+  }
+  EXPECT_EQ(sorted(g.out_neighbours(3)), (std::vector<vid_t>{4, 5}));
+}
+
+TEST(CsrGraph, AddressingModesAgreeOnAdjacency) {
+  EdgeList shifted = diamond();
+  ipregel::graph::shift_ids(shifted, 1);
+  const CsrGraph offset =
+      CsrGraph::build(shifted, {.addressing = AddressingMode::kOffset});
+  const CsrGraph desolate =
+      CsrGraph::build(shifted, {.addressing = AddressingMode::kDesolate});
+  for (vid_t id = 1; id <= 4; ++id) {
+    EXPECT_EQ(sorted(offset.out_neighbours(offset.slot_of(id))),
+              sorted(desolate.out_neighbours(desolate.slot_of(id))))
+        << "id " << id;
+  }
+}
+
+TEST(CsrGraph, WeightsStayAlignedWithTargets) {
+  EdgeList e;
+  e.add(0, 1, 10);
+  e.add(0, 2, 20);
+  e.add(1, 2, 30);
+  const CsrGraph g = CsrGraph::build(e);
+  ASSERT_TRUE(g.has_weights());
+  const auto n = g.out_neighbours(0);
+  const auto w = g.out_weights(0);
+  ASSERT_EQ(n.size(), 2u);
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    EXPECT_EQ(w[i], n[i] == 1 ? 10u : 20u);
+  }
+}
+
+TEST(CsrGraph, WeightsCanBeDropped) {
+  EdgeList e;
+  e.add(0, 1, 10);
+  const CsrGraph g = CsrGraph::build(e, {.keep_weights = false});
+  EXPECT_FALSE(g.has_weights());
+}
+
+TEST(CsrGraph, MultiEdgesArePreserved) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 1);
+  e.add(1, 0);
+  const CsrGraph g = CsrGraph::build(e);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(CsrGraph, SelfLoopsAreOrdinaryEdges) {
+  EdgeList e;
+  e.add(0, 0);
+  e.add(0, 1);
+  const CsrGraph g = CsrGraph::build(e);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(sorted(g.out_neighbours(0)), (std::vector<vid_t>{0, 1}));
+}
+
+TEST(CsrGraph, EmptyGraphIsWellFormed) {
+  const CsrGraph g = CsrGraph::build(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_slots(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(CsrGraph, IsolatedVerticesExistInTheIdSpace) {
+  // Section 3.3: ids must be consecutive; ids with no edges still count.
+  EdgeList e;
+  e.add(0, 5);  // 1..4 have no edges but are part of the dense space
+  const CsrGraph g = CsrGraph::build(e);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  for (vid_t id = 1; id <= 4; ++id) {
+    EXPECT_EQ(g.out_degree(g.slot_of(id)), 0u);
+  }
+}
+
+TEST(CsrGraph, TopologyBytesAreTracked) {
+  auto& tracker = ipregel::runtime::MemoryTracker::instance();
+  tracker.reset();
+  {
+    const CsrGraph g = CsrGraph::build(diamond(), {.build_in_edges = true});
+    EXPECT_EQ(tracker.bytes(ipregel::runtime::MemCategory::kGraphTopology),
+              g.topology_bytes());
+    EXPECT_GT(g.topology_bytes(), 0u);
+  }
+  EXPECT_EQ(tracker.bytes(ipregel::runtime::MemCategory::kGraphTopology), 0u)
+      << "destroying the graph must release its accounting";
+}
+
+}  // namespace

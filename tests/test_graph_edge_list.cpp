@@ -1,0 +1,96 @@
+// Unit tests for graph::EdgeList, the loader/generator interchange format.
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+
+namespace {
+
+using ipregel::graph::Edge;
+using ipregel::graph::EdgeList;
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_FALSE(e.weighted());
+}
+
+TEST(EdgeList, AddUnweighted) {
+  EdgeList e;
+  e.add(1, 2);
+  e.add(2, 3);
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_FALSE(e.weighted());
+  EXPECT_EQ(e.edges()[0], (Edge{1, 2}));
+  EXPECT_EQ(e.edges()[1], (Edge{2, 3}));
+}
+
+TEST(EdgeList, AddWeighted) {
+  EdgeList e;
+  e.add(1, 2, 7);
+  EXPECT_TRUE(e.weighted());
+  EXPECT_EQ(e.weights()[0], 7u);
+}
+
+TEST(EdgeList, LateWeightBackfillsUnitWeights) {
+  // Mixing unweighted then weighted edges must keep the arrays aligned:
+  // earlier edges get weight 1 (the paper's SSSP unit-weight assumption).
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 3, 9);
+  ASSERT_TRUE(e.weighted());
+  ASSERT_EQ(e.weights().size(), e.size());
+  EXPECT_EQ(e.weights()[0], 1u);
+  EXPECT_EQ(e.weights()[1], 1u);
+  EXPECT_EQ(e.weights()[2], 9u);
+}
+
+TEST(EdgeList, SymmetrizeDoublesAndMirrors) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(5, 3);
+  e.symmetrize();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e.edges()[2], (Edge{1, 0}));
+  EXPECT_EQ(e.edges()[3], (Edge{3, 5}));
+}
+
+TEST(EdgeList, SymmetrizeCarriesWeights) {
+  EdgeList e;
+  e.add(0, 1, 4);
+  e.add(1, 2, 6);
+  e.symmetrize();
+  ASSERT_EQ(e.weights().size(), 4u);
+  EXPECT_EQ(e.weights()[2], 4u);
+  EXPECT_EQ(e.weights()[3], 6u);
+}
+
+TEST(EdgeList, IdRangeSpansBothEndpoints) {
+  EdgeList e;
+  e.add(10, 3);
+  e.add(7, 25);
+  const auto [min_id, max_id] = e.id_range();
+  EXPECT_EQ(min_id, 3u);
+  EXPECT_EQ(max_id, 25u);
+}
+
+TEST(EdgeList, IdRangeOfEmptyListIsZero) {
+  const EdgeList e;
+  const auto [min_id, max_id] = e.id_range();
+  EXPECT_EQ(min_id, 0u);
+  EXPECT_EQ(max_id, 0u);
+}
+
+TEST(EdgeList, ConstructFromVectors) {
+  std::vector<Edge> edges{{0, 1}, {1, 0}};
+  EdgeList e(std::move(edges));
+  EXPECT_EQ(e.size(), 2u);
+  std::vector<Edge> edges2{{0, 1}};
+  std::vector<ipregel::graph::weight_t> w{5};
+  EdgeList e2(std::move(edges2), std::move(w));
+  EXPECT_TRUE(e2.weighted());
+}
+
+}  // namespace

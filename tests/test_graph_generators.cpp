@@ -1,0 +1,146 @@
+// Unit and property tests for the synthetic graph generators backing the
+// benchmark workloads (DESIGN.md "Substitutions").
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace ipregel::graph;  // NOLINT(google-build-using-namespace)
+
+TEST(Generators, RmatProducesRequestedCounts) {
+  const EdgeList e = rmat(10, 8, {.seed = 1});
+  EXPECT_EQ(e.size(), std::size_t{8} << 10);
+  for (const Edge& edge : e.edges()) {
+    EXPECT_LT(edge.src, 1u << 10);
+    EXPECT_LT(edge.dst, 1u << 10);
+  }
+}
+
+TEST(Generators, RmatIsDeterministicPerSeed) {
+  const EdgeList a = rmat(8, 4, {.seed = 7});
+  const EdgeList b = rmat(8, 4, {.seed = 7});
+  const EdgeList c = rmat(8, 4, {.seed = 8});
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // The whole point of the Wikipedia stand-in: a heavy-tailed out-degree
+  // distribution. The maximum degree must dwarf the average.
+  const CsrGraph g = CsrGraph::build(rmat(12, 8, {.seed = 3}));
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(static_cast<double>(s.max_out_degree),
+            10.0 * s.average_out_degree);
+}
+
+TEST(Generators, RmatRejectsOversizedScale) {
+  EXPECT_THROW((void)rmat(32, 1), std::invalid_argument);
+}
+
+TEST(Generators, UniformRandomExactEdgeCountNoSelfLoops) {
+  const EdgeList e = uniform_random(1000, 50'000, 5);
+  EXPECT_EQ(e.size(), 50'000u);
+  for (const Edge& edge : e.edges()) {
+    EXPECT_NE(edge.src, edge.dst) << "self-loops are excluded";
+    EXPECT_LT(edge.src, 1000u);
+    EXPECT_LT(edge.dst, 1000u);
+  }
+}
+
+TEST(Generators, UniformRandomRejectsDegenerateVertexCount) {
+  EXPECT_THROW((void)uniform_random(1, 10, 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)uniform_random(1, 0, 1));
+}
+
+TEST(Generators, GridIsSymmetricAndNearRegular) {
+  const EdgeList e = grid_2d(10, 15);
+  // Full lattice: 10*14 horizontal + 9*15 vertical links, both directions.
+  EXPECT_EQ(e.size(), 2u * (10 * 14 + 9 * 15));
+  const CsrGraph g = CsrGraph::build(e);
+  EXPECT_TRUE(is_symmetric(g));
+  const GraphStats s = compute_stats(g);
+  EXPECT_LE(s.max_out_degree, 4u) << "a lattice vertex has <= 4 neighbours";
+  EXPECT_GE(s.average_out_degree, 3.0);
+}
+
+TEST(Generators, GridRemovalKeepsSymmetryAndReducesEdges) {
+  const EdgeList full = grid_2d(30, 30);
+  const EdgeList pruned = grid_2d(30, 30, {.removal_fraction = 0.2, .seed = 9});
+  EXPECT_LT(pruned.size(), full.size());
+  // Roughly 20% of the undirected links should be gone.
+  const double kept = static_cast<double>(pruned.size()) /
+                      static_cast<double>(full.size());
+  EXPECT_NEAR(kept, 0.8, 0.05);
+  EXPECT_TRUE(is_symmetric(CsrGraph::build(pruned)))
+      << "links must be removed as undirected pairs";
+}
+
+TEST(Generators, GridWeightsStayInRange) {
+  const EdgeList e = grid_2d(5, 5, {.max_weight = 10, .seed = 2});
+  ASSERT_TRUE(e.weighted());
+  for (const auto w : e.weights()) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 10u);
+  }
+}
+
+TEST(Generators, GridWeightsAreSymmetric) {
+  // The reverse direction of a link must carry the same weight, or
+  // shortest paths on "undirected" roads would be direction-dependent.
+  const EdgeList e = grid_2d(6, 7, {.max_weight = 9, .seed = 4});
+  std::map<std::pair<vid_t, vid_t>, weight_t> weight_of;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    weight_of[{e.edges()[i].src, e.edges()[i].dst}] = e.weights()[i];
+  }
+  for (const auto& [key, w] : weight_of) {
+    const auto reverse = weight_of.find({key.second, key.first});
+    ASSERT_NE(reverse, weight_of.end());
+    EXPECT_EQ(reverse->second, w);
+  }
+}
+
+TEST(Generators, GridEmptyDimensionsYieldEmptyGraph) {
+  EXPECT_TRUE(grid_2d(0, 10).empty());
+  EXPECT_TRUE(grid_2d(10, 0).empty());
+}
+
+TEST(Generators, PathCycleStarCompleteTreeCounts) {
+  EXPECT_EQ(path_graph(5).size(), 4u);
+  EXPECT_EQ(path_graph(0).size(), 0u);
+  EXPECT_EQ(path_graph(1).size(), 0u);
+  EXPECT_EQ(cycle_graph(5).size(), 5u);
+  EXPECT_EQ(cycle_graph(0).size(), 0u);
+  EXPECT_EQ(star_graph(5).size(), 4u);
+  EXPECT_EQ(star_graph(5, /*bidirectional=*/true).size(), 8u);
+  EXPECT_EQ(complete_graph(4).size(), 12u);  // n*(n-1)
+  EXPECT_EQ(binary_tree(3).size(), 2u * 6);  // 7 nodes, 6 links, both dirs
+  EXPECT_EQ(binary_tree(3, /*bidirectional=*/false).size(), 6u);
+  EXPECT_EQ(binary_tree(0).size(), 0u);
+}
+
+TEST(Generators, CycleIsSingleLoop) {
+  const EdgeList e = cycle_graph(4);
+  const CsrGraph g = CsrGraph::build(e);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    ASSERT_EQ(g.out_degree(s), 1u);
+    EXPECT_EQ(g.out_neighbours(s)[0], (g.id_of(s) + 1) % 4);
+  }
+}
+
+TEST(Generators, ShiftIdsMovesTheWholeIdSpace) {
+  EdgeList e = path_graph(4);
+  shift_ids(e, 10);
+  const auto [min_id, max_id] = e.id_range();
+  EXPECT_EQ(min_id, 10u);
+  EXPECT_EQ(max_id, 13u);
+}
+
+}  // namespace

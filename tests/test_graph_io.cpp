@@ -1,0 +1,182 @@
+// Unit tests for the graph loaders/writers: KONECT-style edge lists,
+// DIMACS '.gr' road graphs, and the binary cache. Malformed input must
+// fail loudly with the offending line.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace ipregel::graph;  // NOLINT(google-build-using-namespace)
+
+/// Writes `content` to a unique temp file and returns the path.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& content) {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "ipregel_io_test_" +
+            std::to_string(counter++) + ".txt";
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(GraphIo, LoadsPlainEdgeList) {
+  const TempFile f("1 2\n2 3\n3 1\n");
+  const EdgeList e = load_edge_list_text(f.path());
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.edges()[0], (Edge{1, 2}));
+  EXPECT_FALSE(e.weighted());
+}
+
+TEST(GraphIo, SkipsKonectAndHashComments) {
+  const TempFile f("% KONECT header\n# SNAP header\n\n1 2\n% mid comment\n2 3\n");
+  const EdgeList e = load_edge_list_text(f.path());
+  EXPECT_EQ(e.size(), 2u);
+}
+
+TEST(GraphIo, ReadsThirdColumnAsWeight) {
+  const TempFile f("1 2 5\n2 3 7\n");
+  const EdgeList e = load_edge_list_text(f.path());
+  ASSERT_TRUE(e.weighted());
+  EXPECT_EQ(e.weights()[0], 5u);
+  EXPECT_EQ(e.weights()[1], 7u);
+}
+
+TEST(GraphIo, WeightReadingCanBeDisabled) {
+  const TempFile f("1 2 5\n");
+  const EdgeList e =
+      load_edge_list_text(f.path(), {.read_weights = false});
+  EXPECT_FALSE(e.weighted());
+}
+
+TEST(GraphIo, HandlesTabsAndCarriageReturns) {
+  const TempFile f("1\t2\r\n3\t4\r\n");
+  const EdgeList e = load_edge_list_text(f.path());
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.edges()[1], (Edge{3, 4}));
+}
+
+TEST(GraphIo, RejectsSingleEndpointLineWithLineNumber) {
+  const TempFile f("1 2\n3\n");
+  try {
+    (void)load_edge_list_text(f.path());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find(":2:"), std::string::npos)
+        << "error must name line 2: " << err.what();
+  }
+}
+
+TEST(GraphIo, RejectsNonNumericTokens) {
+  const TempFile f("1 banana\n");
+  EXPECT_THROW((void)load_edge_list_text(f.path()), std::runtime_error);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_edge_list_text("/nonexistent/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, LoadsDimacsGr) {
+  const TempFile f(
+      "c USA-style road file\n"
+      "p sp 4 5\n"
+      "a 1 2 10\n"
+      "a 2 1 10\n"
+      "a 2 3 4\n"
+      "a 3 4 1\n"
+      "a 4 1 2\n");
+  const EdgeList e = load_dimacs_gr(f.path());
+  ASSERT_EQ(e.size(), 5u);
+  ASSERT_TRUE(e.weighted());
+  EXPECT_EQ(e.edges()[2], (Edge{2, 3}));
+  EXPECT_EQ(e.weights()[2], 4u);
+}
+
+TEST(GraphIo, DimacsRejectsArcCountMismatch) {
+  const TempFile f("p sp 2 3\na 1 2 1\n");
+  EXPECT_THROW((void)load_dimacs_gr(f.path()), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsRejectsMissingHeader) {
+  const TempFile f("a 1 2 1\n");
+  EXPECT_THROW((void)load_dimacs_gr(f.path()), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsRejectsUnknownRecord) {
+  const TempFile f("p sp 2 1\nz 1 2\na 1 2 1\n");
+  EXPECT_THROW((void)load_dimacs_gr(f.path()), std::runtime_error);
+}
+
+TEST(GraphIo, TextRoundTripPreservesEdgesAndWeights) {
+  EdgeList original;
+  original.add(1, 2, 3);
+  original.add(4, 5, 6);
+  const std::string path = ::testing::TempDir() + "ipregel_roundtrip.txt";
+  save_edge_list_text(original, path);
+  const EdgeList loaded = load_edge_list_text(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.edges(), original.edges());
+  EXPECT_EQ(loaded.weights(), original.weights());
+}
+
+TEST(GraphIo, BinaryRoundTripUnweighted) {
+  EdgeList original;
+  for (vid_t i = 0; i < 1000; ++i) {
+    original.add(i, (i * 7 + 1) % 1000);
+  }
+  const std::string path = ::testing::TempDir() + "ipregel_roundtrip.bin";
+  save_edge_list_binary(original, path);
+  const EdgeList loaded = load_edge_list_binary(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.edges(), original.edges());
+  EXPECT_FALSE(loaded.weighted());
+}
+
+TEST(GraphIo, BinaryRoundTripWeighted) {
+  EdgeList original;
+  original.add(0, 1, 9);
+  original.add(1, 2, 8);
+  const std::string path = ::testing::TempDir() + "ipregel_roundtrip_w.bin";
+  save_edge_list_binary(original, path);
+  const EdgeList loaded = load_edge_list_binary(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.weights(), original.weights());
+}
+
+TEST(GraphIo, BinaryRejectsWrongMagic) {
+  const TempFile f("this is not a binary edge list at all, not even close");
+  EXPECT_THROW((void)load_edge_list_binary(f.path()), std::runtime_error);
+}
+
+TEST(GraphIo, BinaryRejectsTruncatedFile) {
+  EdgeList original;
+  original.add(0, 1);
+  original.add(1, 2);
+  const std::string path = ::testing::TempDir() + "ipregel_trunc.bin";
+  save_edge_list_binary(original, path);
+  // Chop the last 8 bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() - 8));
+  out.close();
+  EXPECT_THROW((void)load_edge_list_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

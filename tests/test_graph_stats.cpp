@@ -1,0 +1,89 @@
+// Unit tests for GraphStats and the symmetry check.
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace {
+
+using namespace ipregel::graph;  // NOLINT(google-build-using-namespace)
+
+TEST(GraphStats, CountsAndDegreesOnKnownGraph) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(0, 2);
+  e.add(0, 3);
+  e.add(1, 0);
+  // vertex 4 exists only as an isolated member of the id space
+  e.add(5, 0);
+  const CsrGraph g = CsrGraph::build(e, {.build_in_edges = true});
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 6u);
+  EXPECT_EQ(s.num_edges, 5u);
+  EXPECT_EQ(s.max_out_degree, 3u);
+  EXPECT_EQ(s.max_in_degree, 2u);  // vertex 0 <- {1, 5}
+  EXPECT_EQ(s.isolated_vertices, 1u);
+  EXPECT_DOUBLE_EQ(s.average_out_degree, 5.0 / 6.0);
+}
+
+TEST(GraphStats, HistogramBucketsByLog2Degree) {
+  EdgeList e;
+  // degrees: v0 = 1, v1 = 2, v2 = 5
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(1, 0);
+  for (vid_t t = 3; t < 8; ++t) {
+    e.add(2, t % 3);
+  }
+  const CsrGraph g = CsrGraph::build(e);
+  const GraphStats s = compute_stats(g);
+  ASSERT_GE(s.out_degree_histogram.size(), 3u);
+  EXPECT_EQ(s.out_degree_histogram[0], 1u);  // degree 1
+  EXPECT_EQ(s.out_degree_histogram[1], 1u);  // degrees 2..3
+  EXPECT_EQ(s.out_degree_histogram[2], 1u);  // degrees 4..7
+}
+
+TEST(GraphStats, SymmetryDetection) {
+  EdgeList sym;
+  sym.add(0, 1);
+  sym.add(1, 0);
+  sym.add(1, 2);
+  sym.add(2, 1);
+  EXPECT_TRUE(is_symmetric(CsrGraph::build(sym)));
+
+  EdgeList asym;
+  asym.add(0, 1);
+  asym.add(1, 0);
+  asym.add(1, 2);  // missing 2 -> 1
+  EXPECT_FALSE(is_symmetric(CsrGraph::build(asym)));
+}
+
+TEST(GraphStats, SymmetrizedListAlwaysPassesSymmetry) {
+  EdgeList e = rmat(8, 4, {.seed = 21});
+  e.symmetrize();
+  EXPECT_TRUE(is_symmetric(CsrGraph::build(e)));
+}
+
+TEST(GraphStats, ToStringMentionsTheEssentials) {
+  const CsrGraph g = CsrGraph::build(path_graph(4));
+  const std::string s = compute_stats(g).to_string("tiny");
+  EXPECT_NE(s.find("tiny"), std::string::npos);
+  EXPECT_NE(s.find("|V| = 4"), std::string::npos);
+  EXPECT_NE(s.find("|E| = 3"), std::string::npos);
+}
+
+TEST(GraphStats, DesolateSlotsAreNotCountedAsVertices) {
+  EdgeList e = path_graph(4);
+  shift_ids(e, 10);
+  const CsrGraph g =
+      CsrGraph::build(e, {.addressing = AddressingMode::kDesolate});
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 4u);
+  // Only the path's terminal vertex (no out-edges, in-edges not built)
+  // counts as isolated; the 10 wasted desolate slots must not.
+  EXPECT_EQ(s.isolated_vertices, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// The Pregel+ baseline must compute the same results as iPregel and the
+// serial references, at every cluster size, or the Fig. 8 comparison is
+// meaningless.
+
+#include <gtest/gtest.h>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/serial_reference.hpp"
+#include "apps/sssp.hpp"
+#include "graph/generators.hpp"
+#include "pregelplus/cluster.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using ipregel::graph::CsrGraph;
+using ipregel::graph::EdgeList;
+using ipregel::testing::make_graph;
+
+CsrGraph test_graph() {
+  EdgeList e = ipregel::graph::rmat(8, 4, {.seed = 3});
+  return make_graph(e);
+}
+
+TEST(PregelPlus, SsspMatchesSerialAcrossClusterSizes) {
+  // A grid is connected, so the wavefront is guaranteed to spread.
+  const CsrGraph g = make_graph(ipregel::graph::grid_2d(12, 17));
+  const auto expected = ipregel::apps::serial::sssp_unit(g, 2);
+  for (std::size_t nodes : {1u, 2u, 5u}) {
+    pregelplus::Cluster<ipregel::apps::Sssp> cluster(
+        g, {.source = 2}, {.num_nodes = nodes, .procs_per_node = 2});
+    const auto result = cluster.run();
+    EXPECT_GT(result.supersteps, 1u);
+    const auto values = cluster.collect_values();
+    ASSERT_EQ(values.size(), expected.size());
+    for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+      ASSERT_EQ(values[s], expected[s]) << "nodes=" << nodes << " slot=" << s;
+    }
+  }
+}
+
+TEST(PregelPlus, HashminMatchesSerial) {
+  const CsrGraph g = test_graph();
+  const auto expected = ipregel::apps::serial::hashmin(g);
+  pregelplus::Cluster<ipregel::apps::Hashmin> cluster(
+      g, {}, {.num_nodes = 3, .procs_per_node = 2});
+  cluster.run();
+  const auto values = cluster.collect_values();
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_EQ(values[s], expected[s]) << "slot=" << s;
+  }
+}
+
+TEST(PregelPlus, PageRankMatchesSerial) {
+  const CsrGraph g = test_graph();
+  const auto expected = ipregel::apps::serial::pagerank(g, 10);
+  pregelplus::Cluster<ipregel::apps::PageRank> cluster(
+      g, {.rounds = 10}, {.num_nodes = 2, .procs_per_node = 2});
+  cluster.run();
+  const auto values = cluster.collect_values();
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_NEAR(values[s], expected[s], 1e-12) << "slot=" << s;
+  }
+}
+
+TEST(PregelPlus, CrossNodeTrafficOnlyWithMultipleNodes) {
+  const CsrGraph g = test_graph();
+  pregelplus::Cluster<ipregel::apps::Hashmin> single(
+      g, {}, {.num_nodes = 1, .procs_per_node = 2});
+  const auto r1 = single.run();
+  EXPECT_EQ(r1.cross_node_bytes, 0u);
+  EXPECT_DOUBLE_EQ(r1.comm_seconds, 0.0);
+
+  pregelplus::Cluster<ipregel::apps::Hashmin> multi(
+      g, {}, {.num_nodes = 4, .procs_per_node = 2});
+  const auto r4 = multi.run();
+  EXPECT_GT(r4.cross_node_bytes, 0u);
+  EXPECT_GT(r4.comm_seconds, 0.0);
+  EXPECT_EQ(r1.supersteps, r4.supersteps);
+}
+
+TEST(PregelPlus, OutOfMemoryDetection) {
+  const CsrGraph g = test_graph();
+  pregelplus::Cluster<ipregel::apps::PageRank> cluster(
+      g, {.rounds = 5},
+      {.num_nodes = 1, .procs_per_node = 2, .node_memory_bytes = 1024});
+  const auto result = cluster.run();
+  EXPECT_TRUE(result.out_of_memory);
+  EXPECT_EQ(result.oom_superstep, 0u);
+}
+
+}  // namespace

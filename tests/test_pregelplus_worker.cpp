@@ -1,0 +1,160 @@
+// Unit tests for the Pregel+ baseline's building blocks: hash
+// partitioning, wrapped-message serialisation, hashmap delivery, and the
+// memory/network accounting the Fig. 8 simulation relies on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/hashmin.hpp"
+#include "apps/sssp.hpp"
+#include "graph/generators.hpp"
+#include "pregelplus/cluster.hpp"
+#include "pregelplus/worker.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using ipregel::graph::CsrGraph;
+using ipregel::graph::EdgeList;
+using ipregel::graph::vid_t;
+using ipregel::testing::make_graph;
+
+TEST(PregelPlusWorker, HashPartitionCoversEveryVertexOnce) {
+  const CsrGraph g = make_graph(ipregel::graph::rmat(7, 4, {.seed = 2}));
+  constexpr std::size_t kWorkers = 5;
+  const ipregel::apps::Hashmin program;
+  std::set<vid_t> seen;
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    pregelplus::Worker<ipregel::apps::Hashmin> worker(w, kWorkers, program,
+                                                      g);
+    for (const vid_t id : worker.local_ids()) {
+      EXPECT_EQ(id % kWorkers, w) << "vertex on the wrong worker";
+      EXPECT_TRUE(seen.insert(id).second) << "vertex owned twice";
+    }
+    total += worker.num_local_vertices();
+  }
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(PregelPlusWorker, WireBytesCountIdPlusPayload) {
+  // The paper's "messages are wrapped with the vertex identifier of the
+  // recipient" overhead: 4 id bytes on top of every payload.
+  EXPECT_EQ((pregelplus::Worker<ipregel::apps::Hashmin>::
+                 kWireBytesPerMessage),
+            sizeof(vid_t) + sizeof(vid_t));
+  EXPECT_EQ((pregelplus::Worker<ipregel::apps::Sssp>::kWireBytesPerMessage),
+            sizeof(vid_t) + sizeof(std::uint32_t));
+}
+
+TEST(PregelPlusWorker, SerializeDeliverRoundTrip) {
+  // One worker cluster: superstep 0 of Hashmin broadcasts every id; the
+  // buffer for worker 0 must contain one combined message per recipient.
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(0, 2);
+  const CsrGraph g = make_graph(e);
+  const ipregel::apps::Hashmin program;
+  pregelplus::Worker<ipregel::apps::Hashmin> worker(0, 1, program, g);
+  const auto stats = worker.compute_phase(0);
+  EXPECT_EQ(stats.executed, 3u);
+  EXPECT_EQ(stats.sent, 3u);
+  const auto buffer = worker.serialize_for(0);
+  EXPECT_EQ(buffer.size(),
+            3 * pregelplus::Worker<ipregel::apps::Hashmin>::
+                    kWireBytesPerMessage);
+  worker.deliver(buffer);
+  // Second serialisation is empty: the maps were drained.
+  EXPECT_TRUE(worker.serialize_for(0).empty());
+}
+
+TEST(PregelPlusWorker, StoreBytesGrowWithThePartition) {
+  const CsrGraph small = make_graph(ipregel::graph::path_graph(10));
+  const CsrGraph large = make_graph(ipregel::graph::path_graph(1000));
+  const ipregel::apps::Hashmin program;
+  const pregelplus::MemoryModel model;
+  pregelplus::Worker<ipregel::apps::Hashmin> ws(0, 1, program, small);
+  pregelplus::Worker<ipregel::apps::Hashmin> wl(0, 1, program, large);
+  EXPECT_GT(wl.store_bytes(model), 50 * ws.store_bytes(model));
+}
+
+TEST(PregelPlusCluster, WorkerCountIsNodesTimesProcs) {
+  pregelplus::ClusterConfig cfg{.num_nodes = 3, .procs_per_node = 2};
+  EXPECT_EQ(cfg.num_workers(), 6u);
+}
+
+TEST(PregelPlusCluster, SimulatedTimeDecomposesIntoComputePlusComm) {
+  const CsrGraph g = make_graph(ipregel::graph::rmat(8, 4, {.seed = 6}));
+  pregelplus::Cluster<ipregel::apps::Hashmin> cluster(
+      g, {}, {.num_nodes = 2, .procs_per_node = 2});
+  const auto r = cluster.run();
+  EXPECT_NEAR(r.simulated_seconds, r.compute_seconds + r.comm_seconds,
+              1e-9);
+  EXPECT_GT(r.compute_seconds, 0.0);
+}
+
+TEST(PregelPlusCluster, PerSuperstepBreakdownSumsToTotal) {
+  const CsrGraph g = make_graph(ipregel::graph::path_graph(30));
+  pregelplus::Cluster<ipregel::apps::Sssp> cluster(
+      g, {.source = 0}, {.num_nodes = 2, .procs_per_node = 1});
+  const auto r = cluster.run(static_cast<std::size_t>(-1), true);
+  ASSERT_EQ(r.per_superstep_seconds.size(), r.supersteps);
+  double sum = 0.0;
+  for (const double s : r.per_superstep_seconds) {
+    sum += s;
+  }
+  EXPECT_NEAR(sum, r.simulated_seconds, 1e-9);
+}
+
+TEST(PregelPlusCluster, SuperstepCapIsHonoured) {
+  const CsrGraph g = make_graph(ipregel::graph::path_graph(100));
+  pregelplus::Cluster<ipregel::apps::Sssp> cluster(
+      g, {.source = 0}, {.num_nodes = 1, .procs_per_node = 2});
+  const auto r = cluster.run(5);
+  EXPECT_EQ(r.supersteps, 5u);
+}
+
+TEST(PregelPlusCluster, MoreNodesMoreCrossTraffic) {
+  const CsrGraph g = make_graph(ipregel::graph::rmat(8, 6, {.seed = 10}));
+  std::uint64_t previous = 0;
+  for (const std::size_t nodes : {2u, 4u, 8u}) {
+    pregelplus::Cluster<ipregel::apps::Hashmin> cluster(
+        g, {}, {.num_nodes = nodes, .procs_per_node = 2});
+    const auto r = cluster.run();
+    EXPECT_GT(r.cross_node_bytes, previous)
+        << "a finer partition must push more bytes across node boundaries";
+    previous = r.cross_node_bytes;
+  }
+}
+
+TEST(PregelPlusCluster, MessagesMatchIPregelCounts) {
+  // Combining is sender-side in Pregel+ and receiver-side in iPregel, but
+  // the number of *logical* sends is an application property.
+  const CsrGraph g = make_graph(ipregel::graph::rmat(8, 4, {.seed = 12}));
+  pregelplus::Cluster<ipregel::apps::Hashmin> cluster(
+      g, {}, {.num_nodes = 2, .procs_per_node = 2});
+  const auto sim = cluster.run();
+  const auto local =
+      ipregel::run_version(g, ipregel::apps::Hashmin{},
+                           {ipregel::CombinerKind::kSpinlockPush, false});
+  EXPECT_EQ(sim.total_messages, local.total_messages);
+  EXPECT_EQ(sim.supersteps, local.supersteps);
+}
+
+TEST(PregelPlusCluster, EnvironmentOverheadIsChargedPerProcess) {
+  const CsrGraph g = make_graph(ipregel::graph::path_graph(10));
+  pregelplus::Cluster<ipregel::apps::Hashmin> with_env(
+      g, {},
+      {.num_nodes = 1, .procs_per_node = 2, .process_env_bytes = 1 << 20});
+  pregelplus::Cluster<ipregel::apps::Hashmin> without_env(
+      g, {}, {.num_nodes = 1, .procs_per_node = 2, .process_env_bytes = 0});
+  const auto a = with_env.run();
+  const auto b = without_env.run();
+  EXPECT_EQ(a.peak_node_memory_bytes - b.peak_node_memory_bytes,
+            2u * (1 << 20))
+      << "two processes per node -> twice the redundant environment";
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Property tests on algorithmic invariants — facts that must hold for any
+// correct execution regardless of scheduling, combiner, or thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::vid_t;
+using ipregel::testing::make_graph;
+
+class SeededGraph : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] CsrGraph random_graph() const {
+    EdgeList e = graph::uniform_random(400, 1600, GetParam());
+    return make_graph(e);
+  }
+};
+
+TEST_P(SeededGraph, SsspSatisfiesTheTriangleInequality) {
+  // For every edge (u, v): dist(v) <= dist(u) + 1, and every finite
+  // distance is witnessed by some in-edge achieving equality.
+  const CsrGraph g = random_graph();
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> engine(
+      g, apps::Sssp{.source = 0});
+  (void)engine.run();
+  const auto dist = engine.values();
+  for (std::size_t u = g.first_slot(); u < g.num_slots(); ++u) {
+    if (dist[u] == apps::Sssp::kInfinity) {
+      continue;
+    }
+    for (const vid_t v : g.out_neighbours(u)) {
+      ASSERT_LE(dist[g.slot_of(v)], dist[u] + 1)
+          << "edge (" << g.id_of(u) << ", " << v << ")";
+    }
+  }
+  for (std::size_t v = g.first_slot(); v < g.num_slots(); ++v) {
+    if (dist[v] == apps::Sssp::kInfinity || dist[v] == 0) {
+      continue;
+    }
+    bool witnessed = false;
+    for (const vid_t u : g.in_neighbours(v)) {
+      if (dist[g.slot_of(u)] + 1 == dist[v]) {
+        witnessed = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(witnessed) << "dist of " << g.id_of(v)
+                           << " has no witnessing predecessor";
+  }
+}
+
+TEST_P(SeededGraph, HashminLabelsAreComponentMinimaAndClosed) {
+  // Every label must (a) not exceed the vertex's own id, (b) be the label
+  // of some vertex in the graph, (c) be stable: no edge can improve it.
+  const CsrGraph g = random_graph();
+  Engine<apps::Hashmin, CombinerKind::kSpinlockPush, true> engine(g);
+  (void)engine.run();
+  const auto label = engine.values();
+  for (std::size_t u = g.first_slot(); u < g.num_slots(); ++u) {
+    ASSERT_LE(label[u], g.id_of(u));
+    for (const vid_t v : g.out_neighbours(u)) {
+      ASSERT_LE(label[g.slot_of(v)], label[u])
+          << "fixpoint violated on edge (" << g.id_of(u) << ", " << v << ")";
+    }
+  }
+}
+
+TEST_P(SeededGraph, PageRankValuesAreFiniteAndPositive) {
+  const CsrGraph g = random_graph();
+  Engine<apps::PageRank, CombinerKind::kPull, false> engine(
+      g, apps::PageRank{.rounds = 12});
+  (void)engine.run();
+  const double base = 0.15 / static_cast<double>(g.num_vertices());
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_TRUE(std::isfinite(engine.values()[s]));
+    ASSERT_GE(engine.values()[s], base - 1e-15)
+        << "rank below the teleport floor";
+    ASSERT_LT(engine.values()[s], 1.0);
+  }
+}
+
+TEST_P(SeededGraph, ThreadCountDoesNotChangeResults) {
+  // Determinism across parallelism: 1-thread and 4-thread executions must
+  // agree bit-for-bit for integer programs.
+  const CsrGraph g = random_graph();
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> one(
+      g, apps::Sssp{.source = 0}, EngineOptions{.threads = 1});
+  Engine<apps::Sssp, CombinerKind::kSpinlockPush, true> four(
+      g, apps::Sssp{.source = 0}, EngineOptions{.threads = 4});
+  (void)one.run();
+  (void)four.run();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    ASSERT_EQ(one.values()[s], four.values()[s]);
+  }
+}
+
+TEST_P(SeededGraph, RepeatedRunsAreIdentical) {
+  const CsrGraph g = random_graph();
+  Engine<apps::Hashmin, CombinerKind::kPull, true> engine(g);
+  const RunResult first = engine.run();
+  std::vector<vid_t> snapshot(engine.values().begin(),
+                              engine.values().end());
+  const RunResult second = engine.run();
+  EXPECT_EQ(first.supersteps, second.supersteps);
+  EXPECT_EQ(first.total_messages, second.total_messages);
+  EXPECT_EQ(first.total_executed_vertices, second.total_executed_vertices);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    ASSERT_EQ(engine.values()[s], snapshot[s]);
+  }
+}
+
+TEST_P(SeededGraph, MessageCountIsCombinerIndependent) {
+  // The combiner changes how messages are *stored*, never how many are
+  // *sent*: all versions must report identical message totals.
+  const CsrGraph g = random_graph();
+  std::size_t reference = 0;
+  bool have_reference = false;
+  for (const VersionId v : applicable_versions<apps::Hashmin>()) {
+    const RunResult r = run_version(g, apps::Hashmin{}, v);
+    if (!have_reference) {
+      reference = r.total_messages;
+      have_reference = true;
+    } else {
+      ASSERT_EQ(r.total_messages, reference) << version_name(v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededGraph,
+                         ::testing::Values(3ull, 17ull, 252ull, 9000ull));
+
+}  // namespace
+}  // namespace ipregel

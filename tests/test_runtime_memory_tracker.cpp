@@ -1,0 +1,134 @@
+// Unit tests for the category-tagged memory accounting the paper-style
+// footprint experiments are built on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/memory_tracker.hpp"
+
+namespace {
+
+using ipregel::runtime::MemCategory;
+using ipregel::runtime::MemoryTracker;
+using ipregel::runtime::MemReservation;
+
+class MemoryTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MemoryTracker::instance().reset(); }
+  void TearDown() override { MemoryTracker::instance().reset(); }
+};
+
+TEST_F(MemoryTrackerTest, AddSubBalanceToZero) {
+  auto& t = MemoryTracker::instance();
+  t.add(MemCategory::kLocks, 1000);
+  t.add(MemCategory::kMailboxes, 500);
+  EXPECT_EQ(t.bytes(MemCategory::kLocks), 1000u);
+  EXPECT_EQ(t.bytes(MemCategory::kMailboxes), 500u);
+  EXPECT_EQ(t.total(), 1500u);
+  t.sub(MemCategory::kLocks, 1000);
+  t.sub(MemCategory::kMailboxes, 500);
+  EXPECT_EQ(t.total(), 0u);
+}
+
+TEST_F(MemoryTrackerTest, PeakTracksHighWaterMark) {
+  auto& t = MemoryTracker::instance();
+  t.add(MemCategory::kOther, 100);
+  t.add(MemCategory::kOther, 300);
+  t.sub(MemCategory::kOther, 350);
+  t.add(MemCategory::kOther, 10);
+  EXPECT_EQ(t.total(), 60u);
+  EXPECT_EQ(t.peak(), 400u);
+}
+
+TEST_F(MemoryTrackerTest, ResetClearsEverything) {
+  auto& t = MemoryTracker::instance();
+  t.add(MemCategory::kFrontier, 123);
+  t.reset();
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.peak(), 0u);
+  EXPECT_EQ(t.bytes(MemCategory::kFrontier), 0u);
+}
+
+TEST_F(MemoryTrackerTest, ReservationIsRaii) {
+  auto& t = MemoryTracker::instance();
+  {
+    MemReservation r(MemCategory::kOutboxes, 2048);
+    EXPECT_EQ(t.bytes(MemCategory::kOutboxes), 2048u);
+  }
+  EXPECT_EQ(t.bytes(MemCategory::kOutboxes), 0u);
+}
+
+TEST_F(MemoryTrackerTest, ReservationMoveTransfersOwnership) {
+  auto& t = MemoryTracker::instance();
+  MemReservation a(MemCategory::kHashIndex, 100);
+  MemReservation b(std::move(a));
+  EXPECT_EQ(t.bytes(MemCategory::kHashIndex), 100u)
+      << "move must not double-count or release";
+  MemReservation c;
+  c = std::move(b);
+  EXPECT_EQ(t.bytes(MemCategory::kHashIndex), 100u);
+}
+
+TEST_F(MemoryTrackerTest, ReservationRebindSwitchesAmounts) {
+  auto& t = MemoryTracker::instance();
+  MemReservation r(MemCategory::kFrontier, 64);
+  r.rebind(MemCategory::kFrontier, 256);
+  EXPECT_EQ(t.bytes(MemCategory::kFrontier), 256u);
+  r.rebind(MemCategory::kCommBuffers, 32);
+  EXPECT_EQ(t.bytes(MemCategory::kFrontier), 0u);
+  EXPECT_EQ(t.bytes(MemCategory::kCommBuffers), 32u);
+}
+
+TEST_F(MemoryTrackerTest, ReportNamesNonEmptyCategories) {
+  auto& t = MemoryTracker::instance();
+  t.add(MemCategory::kLocks, 4 << 20);
+  const std::string report = t.report();
+  EXPECT_NE(report.find("locks"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+  EXPECT_EQ(report.find("outboxes"), std::string::npos)
+      << "empty categories must not clutter the report";
+  t.reset();
+}
+
+TEST_F(MemoryTrackerTest, ConcurrentUpdatesDoNotLoseBytes) {
+  auto& t = MemoryTracker::instance();
+  constexpr int kThreads = 4;
+  constexpr int kOps = 20'000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int op = 0; op < kOps; ++op) {
+        t.add(MemCategory::kCommBuffers, 8);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(t.bytes(MemCategory::kCommBuffers),
+            static_cast<std::size_t>(kThreads) * kOps * 8);
+}
+
+TEST_F(MemoryTrackerTest, ProcessRssIsReadable) {
+  // The paper's metric (max resident set size). Some container kernels
+  // hide VmHWM; the fallback must still produce a plausible RSS.
+  EXPECT_GT(ipregel::runtime::read_peak_rss_bytes(), 1u << 20)
+      << "a running test binary occupies more than 1 MiB";
+}
+
+TEST_F(MemoryTrackerTest, CategoryNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(MemCategory::kCount); ++i) {
+    names.emplace_back(to_string(static_cast<MemCategory>(i)));
+    EXPECT_FALSE(names.back().empty());
+    EXPECT_NE(names.back(), "invalid");
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace

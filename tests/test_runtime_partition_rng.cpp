@@ -1,0 +1,134 @@
+// Unit and property tests for the static partitioner (the paper's "equal
+// share of the vertices") and the deterministic RNG stack.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "runtime/partition.hpp"
+#include "runtime/rng.hpp"
+
+namespace {
+
+using ipregel::runtime::block_partition;
+using ipregel::runtime::ceil_div;
+using ipregel::runtime::Range;
+using ipregel::runtime::SplitMix64;
+using ipregel::runtime::Xoshiro256;
+
+class BlockPartitionProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BlockPartitionProperty, CoversDisjointlyAndBalanced) {
+  const auto [n, parts] = GetParam();
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  std::size_t min_size = n + 1;
+  std::size_t max_size = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const Range r = block_partition(n, parts, p);
+    EXPECT_EQ(r.begin, expected_begin) << "blocks must tile [0, n)";
+    expected_begin = r.end;
+    covered += r.size();
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(expected_begin, n);
+  // The paper's load-balance premise: shares differ by at most one vertex.
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockPartitionProperty,
+    ::testing::Values(std::make_tuple(0, 1), std::make_tuple(1, 1),
+                      std::make_tuple(1, 8), std::make_tuple(7, 3),
+                      std::make_tuple(100, 7), std::make_tuple(1000, 1),
+                      std::make_tuple(12345, 16), std::make_tuple(64, 64),
+                      std::make_tuple(63, 64), std::make_tuple(65, 64)));
+
+TEST(BlockPartition, ZeroPartsFallsBackToWholeRange) {
+  const Range r = block_partition(10, 0, 0);
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 10u);
+}
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+  EXPECT_EQ(ceil_div(7, 0), 0u) << "guarded against zero chunk";
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4) << "streams from different seeds must look unrelated";
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1'000'000ull}) {
+    for (int i = 0; i < 1'000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  int histogram[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.next_below(kBuckets)];
+  }
+  for (const int h : histogram) {
+    EXPECT_NEAR(h, kDraws / static_cast<int>(kBuckets),
+                kDraws / static_cast<int>(kBuckets) / 10)
+        << "bucket deviates more than 10% from uniform";
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, Mix64IsAPermutationProbe) {
+  // Distinct inputs must produce distinct outputs (mix64 is bijective);
+  // probe a window.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    outputs.insert(ipregel::runtime::mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+}  // namespace

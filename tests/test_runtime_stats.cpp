@@ -1,0 +1,102 @@
+// Unit tests for the paper's measurement methodology (section 7.1.2):
+// repeat runs until the 99%-confidence margin of error is below 1% of the
+// mean.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "runtime/stats.hpp"
+
+namespace {
+
+using ipregel::runtime::PrecisionOptions;
+using ipregel::runtime::run_until_precise;
+using ipregel::runtime::student_t_99;
+using ipregel::runtime::summarize;
+
+TEST(Stats, SummarizeConstantSample) {
+  const std::vector<double> xs(10, 3.5);
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.n, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_half_width, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Stats, SummarizeKnownSample) {
+  // Hand-computed: mean 5, sample stddev sqrt(10/3).
+  const std::vector<double> xs{3.0, 4.0, 5.0, 6.0, 7.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(10.0 / 4.0), 1e-12);
+  // CI half width = t(4, 99%) * stddev / sqrt(5).
+  EXPECT_NEAR(s.ci_half_width, 4.604 * s.stddev / std::sqrt(5.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(Stats, SummarizeEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const std::vector<double> one{2.0};
+  const auto s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.ci_half_width, 0.0) << "no CI from a single sample";
+}
+
+TEST(Stats, StudentTTableIsMonotoneDecreasing) {
+  // t-critical values shrink towards the normal quantile as dof grows.
+  for (std::size_t dof = 1; dof < 40; ++dof) {
+    EXPECT_GE(student_t_99(dof), student_t_99(dof + 1)) << "dof " << dof;
+  }
+  EXPECT_NEAR(student_t_99(1), 63.657, 1e-3);
+  EXPECT_NEAR(student_t_99(4), 4.604, 1e-3);
+  EXPECT_NEAR(student_t_99(1000), 2.576, 1e-3) << "normal asymptote";
+}
+
+TEST(Stats, RunUntilPreciseStopsAtMinRunsForStableSamples) {
+  int calls = 0;
+  const auto result = run_until_precise(
+      [&] {
+        ++calls;
+        return 1.0;  // perfectly stable: margin is 0 after min_runs
+      },
+      PrecisionOptions{.min_runs = 5, .max_runs = 50});
+  EXPECT_EQ(calls, 5) << "the paper runs 5 times before checking the margin";
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.samples.size(), 5u);
+}
+
+TEST(Stats, RunUntilPreciseKeepsSamplingNoisyMeasurements) {
+  // Alternating 1/2: relative margin stays far above 1%; must hit the cap.
+  int calls = 0;
+  const auto result = run_until_precise(
+      [&] { return (++calls % 2 == 0) ? 2.0 : 1.0; },
+      PrecisionOptions{.min_runs = 5,
+                       .max_runs = 12,
+                       .target_relative_margin = 0.01});
+  EXPECT_EQ(result.samples.size(), 12u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Stats, RunUntilPreciseConvergesOnShrinkingNoise) {
+  // Noise decays: the CI tightens as samples accumulate and the loop must
+  // stop before the cap.
+  int calls = 0;
+  const auto result = run_until_precise(
+      [&] {
+        ++calls;
+        return 10.0 + (calls % 2 == 0 ? 0.01 : -0.01);
+      },
+      PrecisionOptions{.min_runs = 5,
+                       .max_runs = 100,
+                       .target_relative_margin = 0.01});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.samples.size(), 100u);
+  EXPECT_NEAR(result.summary.mean, 10.0, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Unit tests for runtime::ThreadPool — the explicit OpenMP-team analogue
+// every framework version runs on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using ipregel::runtime::Range;
+using ipregel::runtime::ThreadPool;
+
+TEST(ThreadPool, EveryMemberRunsExactlyOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t tid) { hits[tid].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int runs = 0;
+  pool.run([&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10'001;  // deliberately not divisible by 3
+  std::vector<std::atomic<int>> seen(kN);
+  pool.parallel_for(kN, [&](std::size_t, Range r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      seen[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroElementsIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, Range) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForEachVisitsEachElement) {
+  ThreadPool pool(2);
+  constexpr std::size_t kN = 1'000;
+  std::vector<std::atomic<int>> seen(kN);
+  pool.parallel_for_each(kN, [&](std::size_t, std::size_t i) {
+    seen[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelReduceSumsCorrectly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 12'345;
+  const auto total = pool.parallel_reduce<std::uint64_t>(
+      kN, 0,
+      [](std::size_t, Range r) {
+        std::uint64_t s = 0;
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          s += i;
+        }
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, BackToBackRegionsAreSafe) {
+  // The engine dispatches several regions per superstep over thousands of
+  // supersteps; the dispatch protocol must never lose or duplicate a job.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> counter{0};
+  for (int i = 0; i < 5'000; ++i) {
+    pool.run([&](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 5'000 * 4);
+}
+
+TEST(ThreadPool, RangesArePairwiseDisjointAndOrdered) {
+  ThreadPool pool(4);
+  std::vector<Range> ranges(4);
+  pool.parallel_for(100, [&](std::size_t tid, Range r) {
+    ranges[tid] = r;
+  });
+  std::size_t expected_begin = 0;
+  for (const Range& r : ranges) {
+    EXPECT_EQ(r.begin, expected_begin);
+    expected_begin = r.end;
+  }
+  EXPECT_EQ(expected_begin, 100u);
+}
+
+TEST(ThreadPool, SmallNDoesNotInvokeEmptyRanges) {
+  // With n < team size, surplus members must not observe empty ranges.
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(2, [&](std::size_t, Range r) {
+    EXPECT_FALSE(r.empty());
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_addressing.dir/ablation_addressing.cpp.o"
+  "CMakeFiles/ablation_addressing.dir/ablation_addressing.cpp.o.d"
+  "ablation_addressing"
+  "ablation_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_locks.dir/ablation_locks.cpp.o"
+  "CMakeFiles/ablation_locks.dir/ablation_locks.cpp.o.d"
+  "ablation_locks"
+  "ablation_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_versions.dir/fig7_versions.cpp.o"
+  "CMakeFiles/fig7_versions.dir/fig7_versions.cpp.o.d"
+  "fig7_versions"
+  "fig7_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_leadchange.dir/fig8_leadchange.cpp.o"
+  "CMakeFiles/fig8_leadchange.dir/fig8_leadchange.cpp.o.d"
+  "fig8_leadchange"
+  "fig8_leadchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_leadchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

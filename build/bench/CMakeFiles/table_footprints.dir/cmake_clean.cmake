@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_footprints.dir/table_footprints.cpp.o"
+  "CMakeFiles/table_footprints.dir/table_footprints.cpp.o.d"
+  "table_footprints"
+  "table_footprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipregel_apps.dir/serial_reference.cpp.o"
+  "CMakeFiles/ipregel_apps.dir/serial_reference.cpp.o.d"
+  "libipregel_apps.a"
+  "libipregel_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipregel_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipregel_apps.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipregel_benchlib.dir/extrapolate.cpp.o"
+  "CMakeFiles/ipregel_benchlib.dir/extrapolate.cpp.o.d"
+  "CMakeFiles/ipregel_benchlib.dir/reporting.cpp.o"
+  "CMakeFiles/ipregel_benchlib.dir/reporting.cpp.o.d"
+  "CMakeFiles/ipregel_benchlib.dir/workloads.cpp.o"
+  "CMakeFiles/ipregel_benchlib.dir/workloads.cpp.o.d"
+  "libipregel_benchlib.a"
+  "libipregel_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipregel_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

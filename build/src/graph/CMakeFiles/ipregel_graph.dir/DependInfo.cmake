@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/ipregel_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/ipregel_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/ipregel_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/ipregel_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/ipregel_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/ipregel_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/graph/CMakeFiles/ipregel_graph.dir/graph_stats.cpp.o" "gcc" "src/graph/CMakeFiles/ipregel_graph.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/ipregel_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/ipregel_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/normalize.cpp" "src/graph/CMakeFiles/ipregel_graph.dir/normalize.cpp.o" "gcc" "src/graph/CMakeFiles/ipregel_graph.dir/normalize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ipregel_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipregel_graph.dir/csr.cpp.o"
+  "CMakeFiles/ipregel_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/ipregel_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/ipregel_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/ipregel_graph.dir/generators.cpp.o"
+  "CMakeFiles/ipregel_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ipregel_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/ipregel_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/ipregel_graph.dir/io.cpp.o"
+  "CMakeFiles/ipregel_graph.dir/io.cpp.o.d"
+  "CMakeFiles/ipregel_graph.dir/normalize.cpp.o"
+  "CMakeFiles/ipregel_graph.dir/normalize.cpp.o.d"
+  "libipregel_graph.a"
+  "libipregel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipregel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipregel_runtime.dir/memory_tracker.cpp.o"
+  "CMakeFiles/ipregel_runtime.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/ipregel_runtime.dir/stats.cpp.o"
+  "CMakeFiles/ipregel_runtime.dir/stats.cpp.o.d"
+  "CMakeFiles/ipregel_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/ipregel_runtime.dir/thread_pool.cpp.o.d"
+  "libipregel_runtime.a"
+  "libipregel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipregel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

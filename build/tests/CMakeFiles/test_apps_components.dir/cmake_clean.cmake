@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_components.dir/test_apps_components.cpp.o"
+  "CMakeFiles/test_apps_components.dir/test_apps_components.cpp.o.d"
+  "test_apps_components"
+  "test_apps_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

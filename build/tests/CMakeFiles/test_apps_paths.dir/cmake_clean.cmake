@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_paths.dir/test_apps_paths.cpp.o"
+  "CMakeFiles/test_apps_paths.dir/test_apps_paths.cpp.o.d"
+  "test_apps_paths"
+  "test_apps_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_aggregator.dir/test_core_aggregator.cpp.o"
+  "CMakeFiles/test_core_aggregator.dir/test_core_aggregator.cpp.o.d"
+  "test_core_aggregator"
+  "test_core_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

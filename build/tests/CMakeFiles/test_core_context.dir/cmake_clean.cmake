@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_context.dir/test_core_context.cpp.o"
+  "CMakeFiles/test_core_context.dir/test_core_context.cpp.o.d"
+  "test_core_context"
+  "test_core_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_frontier.dir/test_core_frontier.cpp.o"
+  "CMakeFiles/test_core_frontier.dir/test_core_frontier.cpp.o.d"
+  "test_core_frontier"
+  "test_core_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

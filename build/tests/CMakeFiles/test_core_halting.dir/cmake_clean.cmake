@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_halting.dir/test_core_halting.cpp.o"
+  "CMakeFiles/test_core_halting.dir/test_core_halting.cpp.o.d"
+  "test_core_halting"
+  "test_core_halting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_halting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

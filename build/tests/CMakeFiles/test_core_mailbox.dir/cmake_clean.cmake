@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mailbox.dir/test_core_mailbox.cpp.o"
+  "CMakeFiles/test_core_mailbox.dir/test_core_mailbox.cpp.o.d"
+  "test_core_mailbox"
+  "test_core_mailbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

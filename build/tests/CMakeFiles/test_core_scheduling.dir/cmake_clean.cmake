@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_scheduling.dir/test_core_scheduling.cpp.o"
+  "CMakeFiles/test_core_scheduling.dir/test_core_scheduling.cpp.o.d"
+  "test_core_scheduling"
+  "test_core_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

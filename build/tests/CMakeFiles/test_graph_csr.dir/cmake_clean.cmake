@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_csr.dir/test_graph_csr.cpp.o"
+  "CMakeFiles/test_graph_csr.dir/test_graph_csr.cpp.o.d"
+  "test_graph_csr"
+  "test_graph_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

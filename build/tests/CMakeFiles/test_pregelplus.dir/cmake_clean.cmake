@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pregelplus.dir/test_pregelplus.cpp.o"
+  "CMakeFiles/test_pregelplus.dir/test_pregelplus.cpp.o.d"
+  "test_pregelplus"
+  "test_pregelplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pregelplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pregelplus_apps.dir/test_pregelplus_apps.cpp.o"
+  "CMakeFiles/test_pregelplus_apps.dir/test_pregelplus_apps.cpp.o.d"
+  "test_pregelplus_apps"
+  "test_pregelplus_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pregelplus_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pregelplus_worker.dir/test_pregelplus_worker.cpp.o"
+  "CMakeFiles/test_pregelplus_worker.dir/test_pregelplus_worker.cpp.o.d"
+  "test_pregelplus_worker"
+  "test_pregelplus_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pregelplus_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_all_versions.dir/test_property_all_versions.cpp.o"
+  "CMakeFiles/test_property_all_versions.dir/test_property_all_versions.cpp.o.d"
+  "test_property_all_versions"
+  "test_property_all_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_all_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

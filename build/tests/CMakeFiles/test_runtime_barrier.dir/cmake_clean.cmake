@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_barrier.dir/test_runtime_barrier.cpp.o"
+  "CMakeFiles/test_runtime_barrier.dir/test_runtime_barrier.cpp.o.d"
+  "test_runtime_barrier"
+  "test_runtime_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

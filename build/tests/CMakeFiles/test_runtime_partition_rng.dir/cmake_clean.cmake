@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_partition_rng.dir/test_runtime_partition_rng.cpp.o"
+  "CMakeFiles/test_runtime_partition_rng.dir/test_runtime_partition_rng.cpp.o.d"
+  "test_runtime_partition_rng"
+  "test_runtime_partition_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_partition_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

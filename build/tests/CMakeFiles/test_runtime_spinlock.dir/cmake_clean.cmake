@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_spinlock.dir/test_runtime_spinlock.cpp.o"
+  "CMakeFiles/test_runtime_spinlock.dir/test_runtime_spinlock.cpp.o.d"
+  "test_runtime_spinlock"
+  "test_runtime_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

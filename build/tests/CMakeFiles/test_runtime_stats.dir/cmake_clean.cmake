@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_stats.dir/test_runtime_stats.cpp.o"
+  "CMakeFiles/test_runtime_stats.dir/test_runtime_stats.cpp.o.d"
+  "test_runtime_stats"
+  "test_runtime_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

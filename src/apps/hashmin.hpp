@@ -43,6 +43,13 @@ struct Hashmin {
     ctx.vote_to_halt();
   }
 
+  /// Lightweight-recovery hook: every vertex re-offers its current label.
+  /// A superset of the in-flight messages (the original run only
+  /// broadcasts on label change), but extra labels are ≥ the recipient's
+  /// eventual minimum and cannot perturb the min-combined fixpoint: final
+  /// labels are bit-identical.
+  void resend(auto& ctx) const { ctx.broadcast(ctx.value()); }
+
   static void combine(graph::vid_t& old,
                       const graph::vid_t& incoming) noexcept {
     old = std::min(old, incoming);

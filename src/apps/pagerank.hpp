@@ -52,6 +52,18 @@ struct PageRank {
     }
   }
 
+  /// Lightweight-recovery hook: regenerates the messages this vertex sent
+  /// in the superstep the context reports (the one preceding the resumed
+  /// superstep). PageRank's broadcast is a pure function of the vertex
+  /// value at the barrier — rank / out-degree, sent whenever the round
+  /// limit had not been reached — so the regenerated messages are exactly
+  /// the originals and recovery is bit-identical.
+  void resend(auto& ctx) const {
+    if (ctx.superstep() < rounds && ctx.out_degree() > 0) {
+      ctx.broadcast(ctx.value() / static_cast<double>(ctx.out_degree()));
+    }
+  }
+
   static void combine(double& old, const double& incoming) noexcept {
     old += incoming;  // Fig. 6: *old += new
   }

@@ -47,6 +47,19 @@ struct Sssp {
     ctx.vote_to_halt();
   }
 
+  /// Lightweight-recovery hook: every reached vertex re-offers its current
+  /// distance to its out-neighbours. This is a *superset* of the messages
+  /// actually in flight at the snapshot barrier (the original run only
+  /// broadcasts on improvement), but every extra message is a valid
+  /// relaxation the recipient has already absorbed or will simply ignore —
+  /// the min-combined fixpoint, and therefore the final values, are
+  /// bit-identical.
+  void resend(auto& ctx) const {
+    if (ctx.value() != kInfinity) {
+      ctx.broadcast(ctx.value() + 1);
+    }
+  }
+
   static void combine(message_type& old,
                       const message_type& incoming) noexcept {
     old = std::min(old, incoming);  // Fig. 5: if (*old > new) *old = new

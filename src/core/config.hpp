@@ -4,6 +4,9 @@
 #include <string_view>
 #include <vector>
 
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
+
 namespace ipregel {
 
 /// The combiner module versions of the paper's Fig. 2 / section 6.
@@ -93,6 +96,11 @@ struct EngineOptions {
   Schedule schedule = Schedule::kStatic;
   /// Chunk size for Schedule::kDynamic (ignored under kStatic).
   std::size_t dynamic_chunk = 2048;
+  /// Superstep-boundary checkpointing (off by default — zero overhead).
+  ft::CheckpointPolicy checkpoint{};
+  /// Deterministic crash injection for fault-tolerance tests and benches
+  /// (disarmed by default).
+  ft::FaultPlan fault{};
 };
 
 /// Per-superstep execution record.
@@ -112,6 +120,11 @@ struct RunResult {
   std::size_t total_messages = 0;
   std::size_t total_executed_vertices = 0;
   bool reached_superstep_cap = false;
+  /// Snapshots written by this run's checkpoint policy, and the wall time
+  /// they cost (capture + serialise + fsync'd rename) — the numerator of
+  /// the checkpoint-overhead ablation.
+  std::size_t checkpoints_written = 0;
+  double checkpoint_seconds = 0.0;
   std::vector<SuperstepStats> per_superstep;  ///< empty unless requested
 };
 

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -15,6 +17,8 @@
 #include "core/frontier.hpp"
 #include "core/mailbox.hpp"
 #include "core/program_traits.hpp"
+#include "ft/fingerprint.hpp"
+#include "ft/snapshot.hpp"
 #include "graph/csr.hpp"
 #include "runtime/memory_tracker.hpp"
 #include "runtime/spin_lock.hpp"
@@ -251,6 +255,27 @@ class Engine {
   /// freshly initialised vertex values.
   RunResult run() {
     reset_state();
+    return superstep_loop();
+  }
+
+  /// Resumes a crashed run from a snapshot: restores the captured state
+  /// (validating it against this engine's graph and configuration — see
+  /// restore_state) and re-enters the superstep loop at the snapshot's
+  /// superstep. The returned RunResult covers only the resumed portion,
+  /// except `supersteps`, which is the cumulative superstep count.
+  RunResult run_from(const ft::EngineSnapshot& snapshot) {
+    restore_state(snapshot);
+    return superstep_loop();
+  }
+
+  /// True when Program provides the `resend(ctx)` hook that lightweight
+  /// recovery uses to regenerate in-flight messages from vertex values.
+  [[nodiscard]] static constexpr bool resend_capable() noexcept {
+    return kResendCapable;
+  }
+
+ private:
+  RunResult superstep_loop() {
     RunResult result;
     if (graph_.num_slots() == 0) {
       return result;
@@ -267,6 +292,12 @@ class Engine {
         c = ThreadCounters{};
       }
       aggregator_.begin_superstep();
+      fault_active_ = options_.fault.armed() &&
+                      superstep_ == options_.fault.superstep;
+      if (fault_active_) {
+        fault_calls_.store(0, std::memory_order_relaxed);
+        fault_tripped_.store(false, std::memory_order_relaxed);
+      }
 
       // --- selection + local computation + communication -----------------
       const bool use_frontier = Bypass && superstep_ > 0;
@@ -289,6 +320,14 @@ class Engine {
       }
 
       // --- superstep epilogue --------------------------------------------
+      if (fault_active_ && fault_tripped_.load(std::memory_order_relaxed)) {
+        // The superstep was abandoned mid-flight: values partially
+        // updated, messages half-delivered. This engine's state is torn,
+        // exactly as a real crash would leave it — recovery means a fresh
+        // engine restoring the last snapshot, never resuming this one.
+        throw ft::InjectedFault(superstep_,
+                                options_.fault.after_compute_calls);
+      }
       std::size_t sent = 0;
       std::size_t active = 0;
       std::size_t executed = 0;
@@ -334,11 +373,16 @@ class Engine {
         result.reached_superstep_cap = true;
         break;
       }
+      // The barrier is the only point where engine state is quiescent and
+      // consistent, so snapshots are taken here (a terminated run writes
+      // none — there is nothing left to lose).
+      maybe_checkpoint(result, step_timer.seconds());
     }
     result.seconds = total.seconds();
     return result;
   }
 
+ public:
   /// Vertex values after run(); indexed by slot.
   [[nodiscard]] std::span<const Value> values() const noexcept {
     return values_;
@@ -352,6 +396,184 @@ class Engine {
     return graph_;
   }
   [[nodiscard]] const Program& program() const noexcept { return program_; }
+
+  /// Captures a snapshot of the engine's state. Only meaningful at a
+  /// superstep barrier (which is where run() calls it; external callers
+  /// must not invoke it while a superstep is in flight). The snapshot's
+  /// `meta.superstep` is the superstep a resumed run executes first.
+  ///
+  /// Heavyweight captures values, halted flags, the pending combined
+  /// mailbox generation, the bypass frontier, and aggregator state;
+  /// lightweight captures values + halted flags only and therefore
+  /// requires a resend-capable, aggregator-free program (rejected here,
+  /// at capture time, not at the far end of a recovery).
+  [[nodiscard]] ft::EngineSnapshot capture_state(
+      ft::CheckpointMode mode) const {
+    if constexpr (!kTriviallyCheckpointable) {
+      (void)mode;
+      throw std::logic_error(
+          "checkpointing serialises vertex values and messages as raw "
+          "bytes; this program's types are not trivially copyable");
+    } else {
+    if (mode == ft::CheckpointMode::kLightweight) {
+      if constexpr (!kResendCapable) {
+        throw std::invalid_argument(
+            "lightweight checkpointing requires the program to provide "
+            "resend(ctx) so recovery can regenerate in-flight messages");
+      }
+      if constexpr (HasAggregator<Program>) {
+        throw std::invalid_argument(
+            "lightweight checkpointing cannot capture aggregator state; "
+            "use heavyweight mode for aggregator programs");
+      }
+    }
+    const std::size_t slots = graph_.num_slots();
+    ft::EngineSnapshot snap;
+    ft::SnapshotMeta& m = snap.meta;
+    m.mode = mode;
+    m.combiner = static_cast<std::uint8_t>(Combiner);
+    m.selection_bypass = Bypass;
+    m.has_aggregator = HasAggregator<Program>;
+    m.superstep = superstep_;
+    m.num_slots = slots;
+    m.first_slot = graph_.first_slot();
+    m.num_vertices = graph_.num_vertices();
+    m.num_edges = graph_.num_edges();
+    m.graph_fingerprint = fingerprint();
+    m.value_size = sizeof(Value);
+    m.message_size = sizeof(Msg);
+    snap.values.resize(slots * sizeof(Value));
+    std::memcpy(snap.values.data(), values_.data(), snap.values.size());
+    snap.halted = halted_;
+    if (mode == ft::CheckpointMode::kHeavyweight) {
+      // Generation (superstep_ & 1) holds the messages the next superstep
+      // consumes — for push combiners the combined inboxes, for pull the
+      // armed outboxes; both expose the same raw view.
+      const unsigned gen = static_cast<unsigned>(superstep_ & 1);
+      const auto messages = mail_->messages(gen);
+      const auto flags = mail_->flags(gen);
+      snap.inbox.resize(slots * sizeof(Msg));
+      std::memcpy(snap.inbox.data(), messages.data(), snap.inbox.size());
+      snap.inbox_flags.assign(flags.begin(), flags.end());
+      if constexpr (Bypass) {
+        const auto& work = frontier_->current();
+        snap.frontier.assign(work.begin(), work.end());
+      }
+      if constexpr (HasAggregator<Program>) {
+        using Agg = typename Program::aggregate_type;
+        static_assert(std::is_trivially_copyable_v<Agg>,
+                      "aggregator checkpointing requires a trivially "
+                      "copyable aggregate type");
+        m.aggregate_size = sizeof(Agg);
+        snap.aggregate.resize(sizeof(Agg));
+        std::memcpy(snap.aggregate.data(), &aggregator_.previous,
+                    sizeof(Agg));
+      }
+    }
+    return snap;
+    }
+  }
+
+  /// Restores engine state from a snapshot, validating it first: graph
+  /// fingerprint and shape, value/message sizes, and — for heavyweight
+  /// snapshots — that this engine's version can consume the captured
+  /// mailbox layout (same combiner family, same bypass setting). Rejects
+  /// with ft::SnapshotMismatch before touching any engine state, so a bad
+  /// snapshot never leaves the engine half-restored.
+  ///
+  /// Lightweight snapshots carry no mailbox state and therefore restore
+  /// under ANY version of the program — a crashed spinlock-push run can
+  /// resume under pull — at the cost of one message-regeneration pass via
+  /// Program::resend.
+  void restore_state(const ft::EngineSnapshot& snap) {
+    if constexpr (!kTriviallyCheckpointable) {
+      (void)snap;
+      throw std::logic_error(
+          "checkpoint recovery deserialises raw bytes; this program's "
+          "types are not trivially copyable");
+    } else {
+    const ft::SnapshotMeta& m = snap.meta;
+    const auto reject = [](const std::string& what) {
+      throw ft::SnapshotMismatch("snapshot rejected: " + what);
+    };
+    if (m.num_slots != graph_.num_slots() ||
+        m.first_slot != graph_.first_slot() ||
+        m.num_vertices != graph_.num_vertices() ||
+        m.num_edges != graph_.num_edges()) {
+      reject("graph shape differs (|V|, |E|, or slot layout)");
+    }
+    if (m.graph_fingerprint != fingerprint()) {
+      reject("graph fingerprint differs — this snapshot was taken on a "
+             "different graph");
+    }
+    if (m.value_size != sizeof(Value)) {
+      reject("vertex value size differs (snapshot " +
+             std::to_string(m.value_size) + " bytes, program " +
+             std::to_string(sizeof(Value)) + ")");
+    }
+    if (m.mode == ft::CheckpointMode::kHeavyweight) {
+      if (m.message_size != sizeof(Msg)) {
+        reject("message size differs (snapshot " +
+               std::to_string(m.message_size) + " bytes, program " +
+               std::to_string(sizeof(Msg)) + ")");
+      }
+      const bool snap_pull =
+          static_cast<CombinerKind>(m.combiner) == CombinerKind::kPull;
+      if (snap_pull != (Combiner == CombinerKind::kPull)) {
+        reject("combiner family differs (push mailboxes and pull outboxes "
+               "are not interchangeable); use a lightweight snapshot to "
+               "resume across versions");
+      }
+      if (m.selection_bypass != Bypass) {
+        reject("selection-bypass setting differs; use a lightweight "
+               "snapshot to resume across versions");
+      }
+      if (m.has_aggregator != HasAggregator<Program>) {
+        reject("aggregator support differs between snapshot and program");
+      }
+    } else {
+      if constexpr (!kResendCapable) {
+        reject("lightweight recovery requires the program to provide "
+               "resend(ctx)");
+      }
+      if constexpr (HasAggregator<Program>) {
+        reject("lightweight snapshots cannot restore aggregator state");
+      }
+    }
+
+    superstep_ = m.superstep;
+    std::memcpy(values_.data(), snap.values.data(), snap.values.size());
+    halted_.assign(snap.halted.begin(), snap.halted.end());
+    mail_->reset();
+    if constexpr (Bypass) {
+      frontier_->reset();
+    }
+    aggregator_.init(pool().size());
+    reset_checkpoint_pacing();
+    const unsigned gen = static_cast<unsigned>(superstep_ & 1);
+    if (m.mode == ft::CheckpointMode::kHeavyweight) {
+      mail_->restore(
+          gen,
+          std::span<const Msg>(
+              reinterpret_cast<const Msg*>(snap.inbox.data()),
+              snap.inbox.size() / sizeof(Msg)),
+          std::span<const std::uint8_t>(snap.inbox_flags));
+      if constexpr (Bypass) {
+        std::vector<std::size_t> work(snap.frontier.begin(),
+                                      snap.frontier.end());
+        frontier_->restore(std::move(work));
+      }
+      if constexpr (HasAggregator<Program>) {
+        std::memcpy(&aggregator_.previous, snap.aggregate.data(),
+                    snap.aggregate.size());
+      }
+    } else {
+      if constexpr (kResendCapable) {
+        regenerate_messages();
+      }
+    }
+    }
+  }
 
  private:
   using LockType =
@@ -367,8 +589,109 @@ class Engine {
     std::size_t executed = 0;
   };
 
+  /// Detected from Program: lightweight recovery needs `resend(ctx)`.
+  static constexpr bool kResendCapable =
+      requires(const Program& p, Context& c) { p.resend(c); };
+  /// Snapshots memcpy values and messages; non-trivially-copyable types
+  /// cannot be checkpointed (rejected at runtime, not compile time, so
+  /// such programs still run with checkpointing off).
+  static constexpr bool kTriviallyCheckpointable =
+      std::is_trivially_copyable_v<Value> &&
+      std::is_trivially_copyable_v<Msg>;
+
   [[nodiscard]] runtime::ThreadPool& pool() noexcept {
     return external_pool_ != nullptr ? *external_pool_ : *owned_pool_;
+  }
+
+  [[nodiscard]] runtime::ThreadPool& pool() const noexcept {
+    return external_pool_ != nullptr ? *external_pool_ : *owned_pool_;
+  }
+
+  /// Cached ft::graph_fingerprint of the bound graph (O(E) on first use).
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    if (fingerprint_ == 0) {
+      fingerprint_ = ft::graph_fingerprint(graph_);
+    }
+    return fingerprint_;
+  }
+
+  void reset_checkpoint_pacing() noexcept {
+    since_checkpoint_seconds_ = 0.0;
+    checkpoint_cost_seconds_ = 0.0;
+  }
+
+  /// Superstep-barrier checkpoint hook. kEveryK snapshots on multiples of
+  /// `every`; kAdaptive follows Young's rule with measured costs: snapshot
+  /// once early to learn the cost C, then every time accumulated superstep
+  /// time since the last snapshot reaches C / overhead_budget, which keeps
+  /// the checkpointing tax near the configured fraction regardless of how
+  /// expensive supersteps are.
+  void maybe_checkpoint(RunResult& result, double step_seconds) {
+    const ft::CheckpointPolicy& cp = options_.checkpoint;
+    if (!cp.enabled()) {
+      return;
+    }
+    bool due = false;
+    if (cp.trigger == ft::CheckpointTrigger::kEveryK) {
+      due = cp.every != 0 && superstep_ % cp.every == 0;
+    } else {
+      since_checkpoint_seconds_ += step_seconds;
+      if (checkpoint_cost_seconds_ == 0.0) {
+        due = true;  // first snapshot measures the cost
+      } else {
+        const double budget =
+            cp.overhead_budget > 0.0 ? cp.overhead_budget : 0.05;
+        due = since_checkpoint_seconds_ >=
+              checkpoint_cost_seconds_ / budget;
+      }
+    }
+    if (!due) {
+      return;
+    }
+    runtime::Timer cp_timer;
+    {
+      const ft::EngineSnapshot snap = capture_state(cp.mode);
+      checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint,
+                             snap.payload_bytes());
+      ft::write_snapshot(
+          ft::snapshot_path(cp.directory, cp.basename, superstep_), snap);
+    }
+    checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint, 0);
+    ft::prune_snapshots(cp.directory, cp.basename, cp.keep);
+    checkpoint_cost_seconds_ = cp_timer.seconds();
+    since_checkpoint_seconds_ = 0.0;
+    ++result.checkpoints_written;
+    result.checkpoint_seconds += checkpoint_cost_seconds_;
+  }
+
+  /// Lightweight recovery: re-runs the *sending side* of the superstep
+  /// preceding the snapshot from the restored vertex values, via
+  /// Program::resend. Deliveries land in the generation the resumed
+  /// superstep consumes, and the bypass frontier is rebuilt through the
+  /// normal claim paths — after this, the engine is indistinguishable
+  /// from one whose messages survived (up to resend sending a superset of
+  /// the original messages, which resend contracts must make harmless).
+  void regenerate_messages() {
+    if (superstep_ == 0) {
+      return;  // superstep 0 consumes no messages
+    }
+    const std::size_t resume = superstep_;
+    superstep_ = resume - 1;  // resend contexts observe the sender's superstep
+    nxt_gen_ = static_cast<unsigned>(resume & 1);
+    cur_gen_ = nxt_gen_ ^ 1u;
+    for (auto& c : counters_) {
+      c = ThreadCounters{};
+    }
+    const std::size_t first = graph_.first_slot();
+    for_indices(pool(), graph_.num_slots() - first,
+                [&](std::size_t tid, std::size_t i) {
+                  Context ctx(*this, first + i, tid, nullptr);
+                  program_.resend(ctx);
+                });
+    if constexpr (Bypass) {
+      frontier_->flip();
+    }
+    superstep_ = resume;
   }
 
   /// Distributes [0, n) under the configured scheduling policy and calls
@@ -402,11 +725,28 @@ class Engine {
       frontier_->reset();
     }
     aggregator_.init(pool().size());
+    reset_checkpoint_pacing();
   }
 
   /// Selection check + message consumption + compute for one vertex.
   void process_vertex(std::size_t slot, std::size_t tid, unsigned cur,
                       unsigned /*nxt*/) {
+    if (fault_active_) {
+      // Deterministic crash injection: after the configured number of
+      // compute calls this superstep, every worker bails at its next
+      // vertex boundary and the barrier throws ft::InjectedFault. No
+      // signals, no exceptions off worker threads — but the abandoned
+      // superstep leaves values half-updated and messages half-delivered,
+      // which is the torn state a real crash produces.
+      if (fault_tripped_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (fault_calls_.fetch_add(1, std::memory_order_relaxed) >=
+          options_.fault.after_compute_calls) {
+        fault_tripped_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
     Msg combined{};
     bool has = false;
     if constexpr (Combiner == CombinerKind::kPull) {
@@ -508,6 +848,17 @@ class Engine {
   std::size_t superstep_ = 0;
   unsigned cur_gen_ = 0;
   unsigned nxt_gen_ = 1;
+
+  // Fault injection (options_.fault): armed per-superstep, tripped once.
+  bool fault_active_ = false;
+  std::atomic<std::size_t> fault_calls_{0};
+  std::atomic<bool> fault_tripped_{false};
+
+  // Checkpoint pacing (adaptive trigger) + staging-buffer accounting.
+  double since_checkpoint_seconds_ = 0.0;
+  double checkpoint_cost_seconds_ = 0.0;
+  runtime::MemReservation checkpoint_mem_;
+  mutable std::uint64_t fingerprint_ = 0;
 
   runtime::MemReservation values_mem_;
   runtime::MemReservation internals_mem_;

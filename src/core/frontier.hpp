@@ -97,6 +97,16 @@ class Frontier {
   [[nodiscard]] bool empty() const noexcept { return current_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return current_.size(); }
 
+  /// Replaces the current work list wholesale — checkpoint recovery only.
+  /// At a superstep barrier the pending lists are empty and every claim
+  /// bit is clear (flip() cleared the gathered ones), so restoring the
+  /// dense list is the complete frontier state.
+  void restore(std::vector<std::size_t> slots) {
+    reset();
+    current_ = std::move(slots);
+    lists_mem_.rebind(runtime::MemCategory::kFrontier, list_bytes());
+  }
+
   /// Clears all state (between independent runs of an engine).
   void reset() {
     for (auto& word : claimed_) {

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "runtime/memory_tracker.hpp"
@@ -86,6 +88,26 @@ class PushMailboxes {
     std::memset(has_[1].data(), 0, has_[1].size());
   }
 
+  /// Raw views of one generation, for checkpoint capture at the superstep
+  /// barrier (no delivery is concurrent with the barrier, so these are
+  /// stable to read).
+  [[nodiscard]] std::span<const Msg> messages(unsigned gen) const noexcept {
+    return inbox_[gen];
+  }
+  [[nodiscard]] std::span<const std::uint8_t> flags(
+      unsigned gen) const noexcept {
+    return has_[gen];
+  }
+
+  /// Restores one generation from a snapshot (the other is cleared);
+  /// checkpoint recovery only.
+  void restore(unsigned gen, std::span<const Msg> messages,
+               std::span<const std::uint8_t> flags) noexcept {
+    reset();
+    std::copy(messages.begin(), messages.end(), inbox_[gen].begin());
+    std::copy(flags.begin(), flags.end(), has_[gen].begin());
+  }
+
  private:
   std::vector<Msg> inbox_[2];
   std::vector<std::uint8_t> has_[2];
@@ -144,6 +166,22 @@ class PullOutboxes {
   void reset() noexcept {
     std::memset(has_[0].data(), 0, has_[0].size());
     std::memset(has_[1].data(), 0, has_[1].size());
+  }
+
+  /// Raw views / restore of one generation — checkpoint capture and
+  /// recovery, same contract as PushMailboxes.
+  [[nodiscard]] std::span<const Msg> messages(unsigned gen) const noexcept {
+    return outbox_[gen];
+  }
+  [[nodiscard]] std::span<const std::uint8_t> flags(
+      unsigned gen) const noexcept {
+    return has_[gen];
+  }
+  void restore(unsigned gen, std::span<const Msg> messages,
+               std::span<const std::uint8_t> flags) noexcept {
+    reset();
+    std::copy(messages.begin(), messages.end(), outbox_[gen].begin());
+    std::copy(flags.begin(), flags.end(), has_[gen].begin());
   }
 
  private:

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <filesystem>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "ft/fingerprint.hpp"
+#include "ft/snapshot.hpp"
 
 namespace ipregel {
 
@@ -19,16 +24,61 @@ namespace ipregel {
 /// support (pull without broadcast-only, bypass without always-halts)
 /// throws std::invalid_argument — the runtime analogue of the engine's
 /// static_asserts.
+///
+/// When `resume_from` names a snapshot file, the run resumes from it
+/// instead of starting at superstep 0. The snapshot is validated *before*
+/// any engine is constructed: its graph fingerprint must match `graph`,
+/// and a heavyweight snapshot must have been captured under a version
+/// with the same mailbox layout (same combiner family — the two push
+/// combiners are interchangeable — and the same bypass setting) as the
+/// requested one. Lightweight snapshots resume under any valid version.
+/// Validation failures throw ft::SnapshotMismatch; corrupted or
+/// version-incompatible files throw ft::FormatError from the reader.
 template <VertexProgram Program>
 RunResult run_version(
     const graph::CsrGraph& graph, Program program, VersionId version,
     EngineOptions options = {}, runtime::ThreadPool* pool = nullptr,
-    std::vector<typename Program::value_type>* out_values = nullptr) {
+    std::vector<typename Program::value_type>* out_values = nullptr,
+    const std::filesystem::path& resume_from = {}) {
+  std::optional<ft::EngineSnapshot> snapshot;
+  if (!resume_from.empty()) {
+    snapshot = ft::read_snapshot(resume_from);
+    const ft::SnapshotMeta& m = snapshot->meta;
+    if (m.graph_fingerprint != ft::graph_fingerprint(graph)) {
+      throw ft::SnapshotMismatch(
+          resume_from.string() +
+          ": snapshot rejected: graph fingerprint differs — it was taken "
+          "on a different graph");
+    }
+    if (m.mode == ft::CheckpointMode::kHeavyweight) {
+      const bool snap_pull =
+          static_cast<CombinerKind>(m.combiner) == CombinerKind::kPull;
+      const VersionId snap_version{static_cast<CombinerKind>(m.combiner),
+                                   m.selection_bypass};
+      if (snap_pull != (version.combiner == CombinerKind::kPull) ||
+          m.selection_bypass != version.selection_bypass) {
+        throw ft::SnapshotMismatch(
+            resume_from.string() +
+            ": snapshot rejected: heavyweight snapshot captured under '" +
+            std::string(version_name(snap_version)) +
+            "' cannot resume under '" +
+            std::string(version_name(version)) +
+            "' (mailbox layouts differ); use lightweight snapshots to "
+            "resume across versions");
+      }
+    }
+  }
+
   const auto execute = [&](auto& engine) {
-    RunResult result = engine.run();
+    // One engine.values() materialisation, shared by both paths; reserve
+    // before inserting so a caller-reused vector never over-allocates
+    // through assign's growth policy.
+    RunResult result = snapshot ? engine.run_from(*snapshot) : engine.run();
     if (out_values != nullptr) {
       const auto values = engine.values();
-      out_values->assign(values.begin(), values.end());
+      out_values->clear();
+      out_values->reserve(values.size());
+      out_values->insert(out_values->end(), values.begin(), values.end());
     }
     return result;
   };

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ipregel::ft {
+
+/// What a snapshot contains — the FTPregel lightweight-vs-heavyweight
+/// trade-off, adapted to shared memory.
+enum class CheckpointMode {
+  /// Full engine state: vertex values, halted flags, the pending combined
+  /// mailbox generation, the selection-bypass frontier, and aggregator
+  /// state. Recovery resumes *exactly* where the run stopped, under the
+  /// same combiner family, with zero recomputation.
+  kHeavyweight,
+  /// Vertex values + halted flags only — the cheap checkpoint FTPregel
+  /// writes in ~1/30th of the heavyweight time. In-flight messages are NOT
+  /// saved; recovery regenerates them from the restored values via the
+  /// program's `resend(ctx)` hook, then recomputes the frontier. Works
+  /// across combiner versions (a spinlock-push snapshot can resume under
+  /// pull), but requires the program to be resend-capable and is not
+  /// available to aggregator programs (the folded aggregate cannot be
+  /// regenerated from vertex state).
+  kLightweight,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CheckpointMode m) noexcept {
+  return m == CheckpointMode::kHeavyweight ? "heavyweight" : "lightweight";
+}
+
+/// When the engine writes snapshots.
+enum class CheckpointTrigger {
+  kOff,             ///< never checkpoint (the default; zero overhead)
+  kEveryK,          ///< at every k-th superstep barrier
+  kAdaptive,        ///< when accumulated superstep cost since the last
+                    ///< snapshot exceeds (last snapshot cost) / budget —
+                    ///< Young's rule with the measured costs from the
+                    ///< engine's per-superstep timers
+};
+
+/// Checkpointing configuration, carried inside EngineOptions.
+struct CheckpointPolicy {
+  CheckpointTrigger trigger = CheckpointTrigger::kOff;
+  CheckpointMode mode = CheckpointMode::kHeavyweight;
+
+  /// kEveryK: snapshot when superstep % every == 0 (after supersteps
+  /// every, 2*every, ...).
+  std::size_t every = 10;
+
+  /// kAdaptive: target fraction of run time spent checkpointing. The
+  /// engine snapshots once early to measure the cost, then spaces
+  /// subsequent snapshots so overhead stays near this fraction.
+  double overhead_budget = 0.05;
+
+  /// Where snapshot files go. Empty disables checkpointing even when the
+  /// trigger says otherwise (there is nowhere to write).
+  std::string directory;
+
+  /// Snapshot files are named "<basename>.<superstep>.ipsnap"; a partially
+  /// written file carries a ".tmp" suffix until its atomic rename.
+  std::string basename = "snapshot";
+
+  /// Retain only the newest `keep` snapshots (0 = keep all).
+  std::size_t keep = 2;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return trigger != CheckpointTrigger::kOff && !directory.empty();
+  }
+};
+
+}  // namespace ipregel::ft

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/rng.hpp"
+
+namespace ipregel::ft {
+
+/// Thrown by the engine when a FaultPlan trips. The engine's in-memory
+/// state is torn at that point (the superstep was abandoned mid-flight,
+/// messages half-delivered) — exactly like a crash, minus the process
+/// exit. Recovery means building a fresh engine and restoring a snapshot;
+/// the throwing engine must not be resumed.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(std::size_t superstep, std::size_t compute_calls)
+      : std::runtime_error("injected fault: crashed in superstep " +
+                           std::to_string(superstep) + " after " +
+                           std::to_string(compute_calls) + " compute calls"),
+        superstep_(superstep),
+        compute_calls_(compute_calls) {}
+
+  [[nodiscard]] std::size_t superstep() const noexcept { return superstep_; }
+  [[nodiscard]] std::size_t compute_calls() const noexcept {
+    return compute_calls_;
+  }
+
+ private:
+  std::size_t superstep_;
+  std::size_t compute_calls_;
+};
+
+/// Deterministic in-process crash injection.
+///
+/// Signals and process kills make tests flaky and un-debuggable; instead
+/// the engine itself counts compute calls and, at the configured point,
+/// abandons the superstep mid-flight and throws InjectedFault. The crash
+/// point is exact and reproducible: superstep `superstep`, after
+/// `after_compute_calls` vertices have entered compute in that superstep
+/// (0 = before any vertex runs; remaining workers stop at the next vertex
+/// boundary, leaving the generation half-delivered — a genuinely torn
+/// state).
+struct FaultPlan {
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+  /// Superstep in which to crash; kNever disables the plan.
+  std::size_t superstep = kNever;
+  /// Compute calls (across all threads, within that superstep) to allow
+  /// before tripping.
+  std::size_t after_compute_calls = 0;
+
+  [[nodiscard]] bool armed() const noexcept { return superstep != kNever; }
+
+  /// Derives a reproducible crash point from an rng seed: superstep in
+  /// [min_superstep, max_superstep], compute-call offset in
+  /// [0, max_compute_calls). Same seed, same crash — the property tests
+  /// and benches sweep seeds instead of hand-picking crash sites.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed,
+                                           std::size_t min_superstep,
+                                           std::size_t max_superstep,
+                                           std::size_t max_compute_calls) {
+    runtime::SplitMix64 rng(seed);
+    const std::size_t span = max_superstep - min_superstep + 1;
+    FaultPlan plan;
+    plan.superstep = min_superstep + rng.next() % span;
+    plan.after_compute_calls =
+        max_compute_calls == 0 ? 0 : rng.next() % max_compute_calls;
+    return plan;
+  }
+};
+
+}  // namespace ipregel::ft

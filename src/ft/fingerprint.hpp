@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ft/binary_format.hpp"
+#include "graph/csr.hpp"
+#include "runtime/rng.hpp"
+
+namespace ipregel::ft {
+
+/// Content fingerprint of a CSR graph: counts, addressing layout, full
+/// out-adjacency, and edge weights when present.
+///
+/// A snapshot is only meaningful relative to the exact graph the crashed
+/// run was bound to — slot indices, frontier entries, and mailbox
+/// positions all bake in the topology. Restoring onto a different graph
+/// must be rejected up front, so every snapshot records this fingerprint
+/// and every resume recomputes and compares it (O(E), once per resume;
+/// the engine also caches it across checkpoints of one run).
+///
+/// In-neighbour lists are deliberately excluded: they are derived data,
+/// and whether they were materialised is a property of the resuming
+/// configuration (the pull combiner needs them, push does not), not of
+/// the graph identity.
+[[nodiscard]] inline std::uint64_t graph_fingerprint(
+    const graph::CsrGraph& g) {
+  std::uint64_t h = 0x6950726567656C21ULL;  // arbitrary non-zero basis
+  const auto fold = [&h](std::uint64_t v) { h = runtime::mix64(h ^ v); };
+  fold(g.num_vertices());
+  fold(g.num_slots());
+  fold(g.first_slot());
+  fold(static_cast<std::uint64_t>(g.id_offset()));
+  fold(g.num_edges());
+  fold(g.has_weights() ? 1 : 0);
+  std::uint32_t topo_crc = 0;
+  std::uint32_t weight_crc = 0;
+  for (std::size_t slot = g.first_slot(); slot < g.num_slots(); ++slot) {
+    const auto neighbours = g.out_neighbours(slot);
+    fold(neighbours.size());
+    topo_crc = crc32(neighbours.data(),
+                     neighbours.size_bytes(), topo_crc);
+    if (g.has_weights()) {
+      const auto weights = g.out_weights(slot);
+      weight_crc = crc32(weights.data(), weights.size_bytes(), weight_crc);
+    }
+  }
+  fold((static_cast<std::uint64_t>(topo_crc) << 32) | weight_crc);
+  return h;
+}
+
+}  // namespace ipregel::ft

@@ -1,0 +1,278 @@
+#include "ft/snapshot.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ft/binary_format.hpp"
+
+namespace ipregel::ft {
+namespace {
+
+// Section tags, in file order.
+constexpr std::uint32_t kMetaTag = 1;
+constexpr std::uint32_t kValuesTag = 2;
+constexpr std::uint32_t kHaltedTag = 3;
+constexpr std::uint32_t kInboxTag = 4;
+constexpr std::uint32_t kInboxFlagsTag = 5;
+constexpr std::uint32_t kFrontierTag = 6;
+constexpr std::uint32_t kAggregateTag = 7;
+
+std::vector<std::uint8_t> encode_meta(const SnapshotMeta& m) {
+  FieldWriter w;
+  w.u8(static_cast<std::uint8_t>(m.mode));
+  w.u8(m.combiner);
+  w.u8(m.selection_bypass ? 1 : 0);
+  w.u8(m.has_aggregator ? 1 : 0);
+  w.u64(m.superstep);
+  w.u64(m.num_slots);
+  w.u64(m.first_slot);
+  w.u64(m.num_vertices);
+  w.u64(m.num_edges);
+  w.u64(m.graph_fingerprint);
+  w.u32(m.value_size);
+  w.u32(m.message_size);
+  w.u32(m.aggregate_size);
+  return w.bytes();
+}
+
+SnapshotMeta decode_meta(const std::vector<std::uint8_t>& bytes,
+                         const std::string& path, std::uint32_t version) {
+  FieldReader r(bytes, path + " (snapshot metadata)");
+  SnapshotMeta m;
+  m.format_version = version;
+  m.mode = static_cast<CheckpointMode>(r.u8());
+  m.combiner = r.u8();
+  m.selection_bypass = r.u8() != 0;
+  m.has_aggregator = r.u8() != 0;
+  m.superstep = r.u64();
+  m.num_slots = r.u64();
+  m.first_slot = r.u64();
+  m.num_vertices = r.u64();
+  m.num_edges = r.u64();
+  m.graph_fingerprint = r.u64();
+  m.value_size = r.u32();
+  m.message_size = r.u32();
+  m.aggregate_size = r.u32();
+  r.done();
+  if (m.mode != CheckpointMode::kHeavyweight &&
+      m.mode != CheckpointMode::kLightweight) {
+    throw FormatError(path + ": unknown checkpoint mode in metadata");
+  }
+  return m;
+}
+
+void check_sizes(const EngineSnapshot& s, const std::string& path) {
+  const auto& m = s.meta;
+  const auto expect = [&path](const char* what, std::size_t got,
+                              std::size_t want) {
+    if (got != want) {
+      throw FormatError(path + ": " + what + " section holds " +
+                        std::to_string(got) + " bytes, metadata implies " +
+                        std::to_string(want));
+    }
+  };
+  expect("values", s.values.size(), m.num_slots * m.value_size);
+  expect("halted", s.halted.size(), m.num_slots);
+  if (m.mode == CheckpointMode::kHeavyweight) {
+    expect("inbox", s.inbox.size(), m.num_slots * m.message_size);
+    expect("inbox flags", s.inbox_flags.size(), m.num_slots);
+    if (m.has_aggregator) {
+      expect("aggregate", s.aggregate.size(), m.aggregate_size);
+    }
+    for (const std::uint64_t slot : s.frontier) {
+      if (slot >= m.num_slots) {
+        throw FormatError(path + ": frontier entry " + std::to_string(slot) +
+                          " out of range (num_slots = " +
+                          std::to_string(m.num_slots) + ")");
+      }
+    }
+  } else {
+    // A lightweight snapshot must not smuggle heavyweight sections.
+    expect("inbox", s.inbox.size(), 0);
+    expect("inbox flags", s.inbox_flags.size(), 0);
+    expect("aggregate", s.aggregate.size(), 0);
+  }
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& path, const EngineSnapshot& snap) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot write snapshot: " + tmp);
+    }
+    BinaryWriter w(out, kSnapshotMagic, kSnapshotFormatVersion);
+    const std::vector<std::uint8_t> meta = encode_meta(snap.meta);
+    w.section(kMetaTag, meta.data(), meta.size());
+    w.section(kValuesTag, snap.values.data(), snap.values.size());
+    w.section(kHaltedTag, snap.halted.data(), snap.halted.size());
+    if (snap.meta.mode == CheckpointMode::kHeavyweight) {
+      w.section(kInboxTag, snap.inbox.data(), snap.inbox.size());
+      w.section(kInboxFlagsTag, snap.inbox_flags.data(),
+                snap.inbox_flags.size());
+      if (snap.meta.selection_bypass) {
+        w.section(kFrontierTag, snap.frontier.data(),
+                  snap.frontier.size() * sizeof(std::uint64_t));
+      }
+      if (snap.meta.has_aggregator) {
+        w.section(kAggregateTag, snap.aggregate.data(),
+                  snap.aggregate.size());
+      }
+    }
+    w.finish();
+    if (!out) {
+      throw std::runtime_error("short write to snapshot: " + tmp);
+    }
+  }
+  // Publish atomically: the previous good snapshot survives a crash at any
+  // point before this rename.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot publish snapshot " + path + ": " +
+                             ec.message());
+  }
+}
+
+EngineSnapshot read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open snapshot: " + path);
+  }
+  BinaryReader r(in, path, kSnapshotMagic, kSnapshotFormatVersion,
+                 kSnapshotFormatVersion);
+  EngineSnapshot snap;
+  snap.meta =
+      decode_meta(r.expect_section(kMetaTag), path, r.version());
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+  while (r.next_section(tag, payload)) {
+    switch (tag) {
+      case kValuesTag:
+        snap.values = std::move(payload);
+        break;
+      case kHaltedTag:
+        snap.halted = std::move(payload);
+        break;
+      case kInboxTag:
+        snap.inbox = std::move(payload);
+        break;
+      case kInboxFlagsTag:
+        snap.inbox_flags = std::move(payload);
+        break;
+      case kFrontierTag: {
+        if (payload.size() % sizeof(std::uint64_t) != 0) {
+          throw FormatError(path + ": frontier section size is not a "
+                                   "multiple of 8");
+        }
+        snap.frontier.resize(payload.size() / sizeof(std::uint64_t));
+        std::copy_n(payload.data(), payload.size(),
+                    reinterpret_cast<std::uint8_t*>(snap.frontier.data()));
+        break;
+      }
+      case kAggregateTag:
+        snap.aggregate = std::move(payload);
+        break;
+      default:
+        // Unknown section within a known format version: corruption, not
+        // forward compatibility.
+        throw FormatError(path + ": unknown section tag " +
+                          std::to_string(tag));
+    }
+    payload.clear();
+  }
+  check_sizes(snap, path);
+  return snap;
+}
+
+SnapshotMeta read_snapshot_meta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open snapshot: " + path);
+  }
+  BinaryReader r(in, path, kSnapshotMagic, kSnapshotFormatVersion,
+                 kSnapshotFormatVersion);
+  return decode_meta(r.expect_section(kMetaTag), path, r.version());
+}
+
+std::string snapshot_path(const std::string& dir, const std::string& basename,
+                          std::uint64_t superstep) {
+  return (std::filesystem::path(dir) /
+          (basename + "." + std::to_string(superstep) + kSnapshotSuffix))
+      .string();
+}
+
+namespace {
+
+/// Parses "<basename>.<N>.ipsnap"; returns the superstep or nullopt.
+std::optional<std::uint64_t> snapshot_superstep(const std::string& filename,
+                                                const std::string& basename) {
+  const std::string prefix = basename + ".";
+  const std::string suffix = kSnapshotSuffix;
+  if (filename.size() <= prefix.size() + suffix.size() ||
+      filename.compare(0, prefix.size(), prefix) != 0 ||
+      filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  const char* first = filename.data() + prefix.size();
+  const char* last = filename.data() + filename.size() - suffix.size();
+  std::uint64_t n = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, n);
+  if (ec != std::errc{} || ptr != last) {
+    return std::nullopt;
+  }
+  return n;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& dir, const std::string& basename) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (const auto step = snapshot_superstep(name, basename)) {
+      found.emplace_back(*step, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+std::optional<std::string> latest_snapshot(const std::string& dir,
+                                           const std::string& basename) {
+  const auto found = list_snapshots(dir, basename);
+  if (found.empty()) {
+    return std::nullopt;
+  }
+  return found.back().second;
+}
+
+void prune_snapshots(const std::string& dir, const std::string& basename,
+                     std::size_t keep) {
+  if (keep == 0) {
+    return;
+  }
+  const auto found = list_snapshots(dir, basename);
+  if (found.size() <= keep) {
+    return;
+  }
+  for (std::size_t i = 0; i < found.size() - keep; ++i) {
+    std::error_code ec;
+    std::filesystem::remove(found[i].second, ec);
+  }
+}
+
+}  // namespace ipregel::ft

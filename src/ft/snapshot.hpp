@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ft/checkpoint.hpp"
+
+namespace ipregel::ft {
+
+/// Current snapshot format version. Bump on any layout change; readers
+/// reject files whose version they do not understand instead of
+/// misinterpreting them.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Snapshot file magic ("IPSNAPv1" as little-endian bytes).
+inline constexpr std::uint64_t kSnapshotMagic = 0x31764150414E5350ULL;
+
+/// Filename suffix of finished snapshots.
+inline constexpr const char* kSnapshotSuffix = ".ipsnap";
+
+/// A snapshot that structurally parsed but cannot be used for the
+/// requested resume: wrong graph (fingerprint), wrong engine shape
+/// (combiner family, bypass, value/message sizes), or a mode the program
+/// cannot recover from.
+class SnapshotMismatch : public std::runtime_error {
+ public:
+  explicit SnapshotMismatch(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Everything needed to decide whether a snapshot fits an engine, written
+/// as the file's first section.
+struct SnapshotMeta {
+  std::uint32_t format_version = kSnapshotFormatVersion;
+  CheckpointMode mode = CheckpointMode::kHeavyweight;
+  /// static_cast of the engine's CombinerKind (core interprets it; the ft
+  /// layer only stores it).
+  std::uint8_t combiner = 0;
+  bool selection_bypass = false;
+  bool has_aggregator = false;
+  /// The superstep the resumed run executes first (state is captured at
+  /// the barrier *after* superstep-1 completed).
+  std::uint64_t superstep = 0;
+  std::uint64_t num_slots = 0;
+  std::uint64_t first_slot = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  /// ft::graph_fingerprint of the graph the run was bound to. A snapshot
+  /// restored onto a different graph is garbage; this is checked before
+  /// any byte of state is applied.
+  std::uint64_t graph_fingerprint = 0;
+  std::uint32_t value_size = 0;
+  std::uint32_t message_size = 0;
+  std::uint32_t aggregate_size = 0;
+};
+
+/// Engine state captured at a superstep barrier, as raw bytes — the
+/// in-memory staging form of a snapshot. The engine fills/consumes it
+/// (it knows the types); this layer persists it.
+struct EngineSnapshot {
+  SnapshotMeta meta;
+  std::vector<std::uint8_t> values;       ///< num_slots * value_size
+  std::vector<std::uint8_t> halted;       ///< num_slots
+  std::vector<std::uint8_t> inbox;        ///< HW: num_slots * message_size
+  std::vector<std::uint8_t> inbox_flags;  ///< HW: num_slots
+  std::vector<std::uint64_t> frontier;    ///< HW + bypass: next work list
+  std::vector<std::uint8_t> aggregate;    ///< HW + aggregator: folded value
+
+  /// Staging-buffer footprint (what the MemoryTracker accounts while the
+  /// snapshot is alive).
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return values.size() + halted.size() + inbox.size() +
+           inbox_flags.size() + frontier.size() * sizeof(std::uint64_t) +
+           aggregate.size();
+  }
+};
+
+/// Writes `snap` to `path` atomically: the bytes go to "<path>.tmp" and
+/// the file is renamed into place only after a successful flush, so a
+/// crash *during checkpointing* can never destroy the previous good
+/// snapshot. Throws std::runtime_error on I/O failure.
+void write_snapshot(const std::string& path, const EngineSnapshot& snap);
+
+/// Reads and fully validates a snapshot (magic, format version, per-
+/// section CRC, internal size consistency). Throws FormatError on
+/// structural damage — never returns partially-loaded state.
+[[nodiscard]] EngineSnapshot read_snapshot(const std::string& path);
+
+/// Reads only the metadata section (cheap peek for resume dispatch).
+[[nodiscard]] SnapshotMeta read_snapshot_meta(const std::string& path);
+
+/// "<dir>/<basename>.<superstep><kSnapshotSuffix>".
+[[nodiscard]] std::string snapshot_path(const std::string& dir,
+                                        const std::string& basename,
+                                        std::uint64_t superstep);
+
+/// Path of the newest (highest-superstep) finished snapshot matching
+/// basename in dir, or nullopt when none exists.
+[[nodiscard]] std::optional<std::string> latest_snapshot(
+    const std::string& dir, const std::string& basename);
+
+/// Deletes all but the newest `keep` snapshots matching basename (no-op
+/// when keep == 0).
+void prune_snapshots(const std::string& dir, const std::string& basename,
+                     std::size_t keep);
+
+}  // namespace ipregel::ft

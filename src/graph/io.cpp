@@ -2,9 +2,12 @@
 
 #include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string_view>
+
+#include "ft/binary_format.hpp"
 
 namespace ipregel::graph {
 namespace {
@@ -164,26 +167,38 @@ void save_edge_list_text(const EdgeList& list, const std::string& path) {
 }
 
 namespace {
-constexpr std::uint64_t kBinaryMagic = 0x4950524547454C31ULL;  // "IPREGEL1"
-}
+
+// "IPREGEL2": version 2 of the cache switched to the shared CRC-protected
+// section framing of ft/binary_format.hpp. Version-1 files ("IPREGEL1",
+// raw arrays, no checksums) are detected and rejected with a regeneration
+// hint rather than a generic bad-magic error.
+constexpr std::uint64_t kEdgeListMagic = 0x4950524547454C32ULL;
+constexpr std::uint64_t kLegacyEdgeListMagic = 0x4950524547454C31ULL;
+constexpr std::uint32_t kEdgeListFormatVersion = 1;
+
+constexpr std::uint32_t kEdgeMetaTag = 1;   // u64 count | u8 weighted
+constexpr std::uint32_t kEdgesTag = 2;      // count * Edge
+constexpr std::uint32_t kWeightsTag = 3;    // count * weight_t (if weighted)
+
+}  // namespace
 
 void save_edge_list_binary(const EdgeList& list, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw std::runtime_error("cannot write graph file: " + path);
   }
-  const std::uint64_t magic = kBinaryMagic;
-  const std::uint64_t count = list.size();
-  const std::uint64_t weighted = list.weighted() ? 1 : 0;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
-  out.write(reinterpret_cast<const char*>(&weighted), sizeof weighted);
-  out.write(reinterpret_cast<const char*>(list.edges().data()),
-            static_cast<std::streamsize>(count * sizeof(Edge)));
-  if (weighted != 0) {
-    out.write(reinterpret_cast<const char*>(list.weights().data()),
-              static_cast<std::streamsize>(count * sizeof(weight_t)));
+  ft::BinaryWriter writer(out, kEdgeListMagic, kEdgeListFormatVersion);
+  ft::FieldWriter meta;
+  meta.u64(list.size());
+  meta.u8(list.weighted() ? 1 : 0);
+  writer.section(kEdgeMetaTag, meta.bytes().data(), meta.bytes().size());
+  writer.section(kEdgesTag, list.edges().data(),
+                 list.size() * sizeof(Edge));
+  if (list.weighted()) {
+    writer.section(kWeightsTag, list.weights().data(),
+                   list.size() * sizeof(weight_t));
   }
+  writer.finish();
   if (!out) {
     throw std::runtime_error("short write to " + path);
   }
@@ -194,29 +209,62 @@ EdgeList load_edge_list_binary(const std::string& path) {
   if (!in) {
     throw std::runtime_error("cannot open graph file: " + path);
   }
-  std::uint64_t magic = 0;
-  std::uint64_t count = 0;
-  std::uint64_t weighted = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  in.read(reinterpret_cast<char*>(&count), sizeof count);
-  in.read(reinterpret_cast<char*>(&weighted), sizeof weighted);
-  if (!in || magic != kBinaryMagic) {
-    throw std::runtime_error(path + ": not an iPregel binary edge list");
+  // Peek at the magic first so a stale version-1 cache gets an actionable
+  // message instead of "wrong magic number".
+  {
+    std::uint64_t magic = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+    if (in && magic == kLegacyEdgeListMagic) {
+      throw ft::FormatError(
+          path +
+          ": legacy (unchecksummed) binary edge-list cache; delete it and "
+          "regenerate with save_edge_list_binary");
+    }
+    in.clear();
+    in.seekg(0);
+  }
+  ft::BinaryReader reader(in, path, kEdgeListMagic, kEdgeListFormatVersion,
+                          kEdgeListFormatVersion);
+
+  const std::vector<std::uint8_t> meta_bytes =
+      reader.expect_section(kEdgeMetaTag);
+  ft::FieldReader meta(meta_bytes, path + ": edge-list metadata");
+  const std::uint64_t count = meta.u64();
+  const bool weighted = meta.u8() != 0;
+  meta.done();
+
+  const std::vector<std::uint8_t> edge_bytes =
+      reader.expect_section(kEdgesTag);
+  if (edge_bytes.size() != count * sizeof(Edge)) {
+    throw ft::FormatError(path + ": edge section size mismatch (header "
+                          "declares " + std::to_string(count) + " edges)");
   }
   std::vector<Edge> edges(count);
-  in.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (count != 0) {
+    std::memcpy(edges.data(), edge_bytes.data(), edge_bytes.size());
+  }
+
   std::vector<weight_t> weights;
-  if (weighted != 0) {
+  if (weighted) {
+    const std::vector<std::uint8_t> weight_bytes =
+        reader.expect_section(kWeightsTag);
+    if (weight_bytes.size() != count * sizeof(weight_t)) {
+      throw ft::FormatError(path + ": weight section size mismatch");
+    }
     weights.resize(count);
-    in.read(reinterpret_cast<char*>(weights.data()),
-            static_cast<std::streamsize>(count * sizeof(weight_t)));
+    if (count != 0) {
+      std::memcpy(weights.data(), weight_bytes.data(), weight_bytes.size());
+    }
   }
-  if (!in) {
-    throw std::runtime_error(path + ": truncated binary edge list");
+
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> extra;
+  if (reader.next_section(tag, extra)) {
+    throw ft::FormatError(path + ": unexpected trailing section (tag " +
+                          std::to_string(tag) + ")");
   }
-  return weighted != 0 ? EdgeList(std::move(edges), std::move(weights))
-                       : EdgeList(std::move(edges));
+  return weighted ? EdgeList(std::move(edges), std::move(weights))
+                  : EdgeList(std::move(edges));
 }
 
 }  // namespace ipregel::graph

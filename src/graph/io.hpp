@@ -35,7 +35,10 @@ struct TextLoadOptions {
 /// Writes an edge list as "src dst [weight]" text.
 void save_edge_list_text(const EdgeList& list, const std::string& path);
 
-/// Binary cache: magic + version + counts + raw arrays.
+/// Binary cache, framed with ft/binary_format.hpp: magic + format version
+/// + CRC-protected sections (metadata, edges, weights). The loader throws
+/// ft::FormatError (a std::runtime_error) on corruption, truncation, or a
+/// stale legacy-format cache — it never returns partially-read data.
 void save_edge_list_binary(const EdgeList& list, const std::string& path);
 [[nodiscard]] EdgeList load_edge_list_binary(const std::string& path);
 

@@ -25,6 +25,11 @@
 #include "core/mailbox.hpp"
 #include "core/program_traits.hpp"
 #include "core/runner.hpp"
+#include "ft/binary_format.hpp"
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
+#include "ft/fingerprint.hpp"
+#include "ft/snapshot.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"

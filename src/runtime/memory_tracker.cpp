@@ -28,6 +28,8 @@ std::string_view to_string(MemCategory c) noexcept {
       return "hash-index";
     case MemCategory::kCommBuffers:
       return "comm-buffers";
+    case MemCategory::kCheckpoint:
+      return "checkpoint-staging";
     case MemCategory::kOther:
       return "other";
     case MemCategory::kCount:

@@ -29,6 +29,7 @@ enum class MemCategory : std::size_t {
   kFrontier,        ///< selection-bypass work lists + claim bitmap
   kHashIndex,       ///< id -> location hashmaps (baseline addressing)
   kCommBuffers,     ///< serialised message buffers (distributed baseline)
+  kCheckpoint,      ///< fault-tolerance snapshot staging buffers
   kOther,           ///< anything else the framework allocates
   kCount
 };

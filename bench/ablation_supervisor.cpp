@@ -1,0 +1,147 @@
+// Supervisor-overhead ablation: what does running under ft::supervise
+// cost when nothing goes wrong, and what does recovery cost when faults
+// do strike?
+//
+// Three configurations per workload:
+//  - bare: run_version, no checkpointing, no supervisor — the baseline.
+//  - supervised, 0 faults: per-superstep checkpoints plus the supervisor
+//    wrapper, but a clean run. The delta over bare is the steady-state
+//    price of crash insurance (dominated by snapshot writes; the
+//    supervisor itself adds one directory scan).
+//  - supervised, 3 faults: a deterministic 3-fault schedule; the
+//    supervisor restores the newest snapshot after each crash. The delta
+//    over the 0-fault run is the recovery cost: re-executed supersteps
+//    plus three snapshot restores.
+//
+// Expected shape: the 0-fault overhead tracks the checkpoint ablation's
+// every-superstep heavyweight numbers; the 3-fault wall time stays well
+// under 4x bare because each retry loses only the work since the last
+// barrier snapshot, not the whole run.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "benchlib/reporting.hpp"
+#include "benchlib/workloads.hpp"
+#include "core/runner.hpp"
+#include "ft/supervisor.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+using namespace ipregel;         // NOLINT(google-build-using-namespace)
+using namespace ipregel::bench;  // NOLINT(google-build-using-namespace)
+
+struct SupervisedCost {
+  double wall_seconds = 0.0;
+  std::size_t attempts = 0;
+};
+
+template <typename Program>
+SupervisedCost measure_supervised(const Workload& w, Program program,
+                                  VersionId version,
+                                  runtime::ThreadPool& pool,
+                                  const std::string& dir,
+                                  std::size_t num_faults,
+                                  std::size_t supersteps,
+                                  std::size_t every) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  EngineOptions options;
+  options.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  options.checkpoint.every = every;
+  options.checkpoint.directory = dir;
+
+  ft::RetryPolicy policy;
+  policy.max_attempts = num_faults + 2;
+  // Spread the faults across the run: each attempt crashes at the first
+  // compute call of an evenly spaced superstep.
+  for (std::size_t f = 0; f < num_faults; ++f) {
+    policy.fault_schedule.push_back(ft::FaultPlan{
+        .superstep = 1 + (f + 1) * (supersteps - 2) / (num_faults + 1),
+        .after_compute_calls = 0});
+  }
+
+  SupervisedCost cost;
+  runtime::Timer timer;
+  const ft::SupervisedOutcome out =
+      ft::supervise(w.graph, program, version, options, policy, &pool);
+  cost.wall_seconds = timer.seconds();
+  cost.attempts = out.attempts;
+  if (!out.ok()) {
+    std::cerr << "supervised run failed: " << out.error->what() << "\n";
+  }
+  return cost;
+}
+
+template <typename Program>
+void row(Table& table, const std::string& app, const Workload& w,
+         Program program, VersionId version, runtime::ThreadPool& pool,
+         const std::string& dir, std::size_t every) {
+  runtime::Timer timer;
+  const RunResult bare = run_version(w.graph, program, version, {}, &pool);
+  const double bare_seconds = timer.seconds();
+
+  const SupervisedCost clean = measure_supervised(
+      w, program, version, pool, dir, 0, bare.supersteps, every);
+  const SupervisedCost faulty = measure_supervised(
+      w, program, version, pool, dir, 3, bare.supersteps, every);
+
+  table.add_row({app, std::string(version_name(version)), w.name,
+                 std::to_string(bare.supersteps) + "/" +
+                     std::to_string(every),
+                 fmt_seconds(bare_seconds),
+                 fmt_seconds(clean.wall_seconds),
+                 fmt_factor(clean.wall_seconds /
+                            (bare_seconds > 0.0 ? bare_seconds : 1.0)),
+                 fmt_seconds(faulty.wall_seconds),
+                 std::to_string(faulty.attempts)});
+}
+
+}  // namespace
+
+int main() {
+  runtime::ThreadPool pool;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ipregel_ablation_sup")
+          .string();
+
+  std::cout << "iPregel supervisor-overhead ablation (threads = "
+            << pool.size()
+            << ", heavyweight snapshots; cadence in the steps/ckpt "
+               "column)\n";
+  Table table("Bare vs supervised (0 faults) vs supervised (3 faults)",
+              {"application", "version", "graph", "steps/ckpt", "bare (s)",
+               "sup+0f (s)", "sup/bare", "sup+3f (s)", "attempts"});
+
+  // Checkpoint cadence matches the regime: a snapshot per superstep for
+  // the short heavy supersteps of the wiki-like graph, one every 50 for
+  // the road graph's thousand feather-weight supersteps (per-superstep
+  // snapshots there would cost 100x the run itself — see the checkpoint
+  // ablation's adaptive trigger for the principled cadence choice).
+  const Workload wiki = make_wiki_like();
+  const Workload road = make_road_like();
+  row(table, "PageRank", wiki, apps::PageRank{.rounds = kPageRankRounds},
+      {CombinerKind::kSpinlockPush, false}, pool, dir, 1);
+  row(table, "Hashmin", wiki, apps::Hashmin{},
+      {CombinerKind::kSpinlockPush, true}, pool, dir, 1);
+  row(table, "SSSP", road, apps::Sssp{.source = kSsspSource},
+      {CombinerKind::kSpinlockPush, true}, pool, dir, 50);
+  table.print();
+  table.write_csv("bench_supervisor.csv");
+
+  std::filesystem::remove_all(dir);
+  std::cout << "\nexpected: the 0-fault supervised run pays only the "
+               "checkpoint-write overhead over bare; the 3-fault run "
+               "finishes in ~1-2x the 0-fault time because every retry "
+               "resumes from the last barrier snapshot instead of "
+               "superstep 0.\n";
+  return 0;
+}

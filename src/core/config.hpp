@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string_view>
 #include <vector>
 
+#include "core/run_error.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
 
@@ -101,6 +103,9 @@ struct EngineOptions {
   /// Deterministic crash injection for fault-tolerance tests and benches
   /// (disarmed by default).
   ft::FaultPlan fault{};
+  /// Failure-domain guards: superstep/run watchdog timeouts and the
+  /// tracked-memory budget (all disabled by default).
+  RunGuards guards{};
 };
 
 /// Per-superstep execution record.
@@ -126,6 +131,20 @@ struct RunResult {
   std::size_t checkpoints_written = 0;
   double checkpoint_seconds = 0.0;
   std::vector<SuperstepStats> per_superstep;  ///< empty unless requested
+};
+
+/// The typed result of a checked run: either a RunResult (ok()) or a
+/// structured RunError describing the failure. Engine::run_checked,
+/// run_version_checked, and ft::supervise return this instead of throwing,
+/// so call sites handle failure as data — the superstep loop's analogue of
+/// the Pregel+ cluster result carrying its out_of_memory marker.
+struct RunOutcome {
+  /// Valid only when ok(); zero-initialised on failure (the failing run's
+  /// partial statistics die with its abandoned superstep).
+  RunResult result{};
+  std::optional<RunError> error;
+
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
 };
 
 }  // namespace ipregel

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <memory>
@@ -253,9 +254,26 @@ class Engine {
   /// Executes the program to completion (or to the superstep cap) and
   /// returns timing/volume statistics. Reentrant: each call starts from
   /// freshly initialised vertex values.
+  ///
+  /// Failure domain: a compute()/resend() exception, watchdog trip, or
+  /// memory-budget breach throws RunError with superstep/thread/vertex
+  /// context (a FaultPlan trip still throws ft::InjectedFault). The
+  /// exception never escapes a background thread — the pool captures it,
+  /// cancels the team cooperatively, and rethrows on thread 0 once the
+  /// team has quiesced. The failing superstep's state is torn (abandoned
+  /// mid-flight, like a crash), but the engine object stays valid: a fresh
+  /// run() fully reinitialises and run_from() restores a snapshot — the
+  /// strong guarantee at superstep granularity.
   RunResult run() {
     reset_state();
     return superstep_loop();
+  }
+
+  /// run() with failures surfaced as data instead of exceptions: RunError
+  /// and ft::InjectedFault become RunOutcome::error (configuration errors —
+  /// snapshot mismatches, bypass violations — still throw).
+  RunOutcome run_checked() {
+    return to_outcome([&] { return run(); });
   }
 
   /// Resumes a crashed run from a snapshot: restores the captured state
@@ -266,6 +284,11 @@ class Engine {
   RunResult run_from(const ft::EngineSnapshot& snapshot) {
     restore_state(snapshot);
     return superstep_loop();
+  }
+
+  /// run_from() with failures surfaced as data (see run_checked).
+  RunOutcome run_from_checked(const ft::EngineSnapshot& snapshot) {
+    return to_outcome([&] { return run_from(snapshot); });
   }
 
   /// True when Program provides the `resend(ctx)` hook that lightweight
@@ -282,8 +305,22 @@ class Engine {
     }
     runtime::ThreadPool& workers = pool();
     runtime::Timer total;
+    guard_trip_.store(0, std::memory_order_relaxed);
+    run_deadline_armed_ = options_.guards.run_seconds > 0.0;
+    step_deadline_armed_ = options_.guards.superstep_seconds > 0.0;
+    if (run_deadline_armed_) {
+      run_deadline_ = GuardClock::now() + guard_duration(options_.guards.run_seconds);
+    }
     for (;;) {
       runtime::Timer step_timer;
+      // The barrier is the quiescent point: budget and deadlines are
+      // enforced here (the first iteration doubles as the run-start
+      // check), then re-checked cooperatively inside the phases.
+      enforce_memory_budget();
+      if (step_deadline_armed_) {
+        step_deadline_ = GuardClock::now() +
+                         guard_duration(options_.guards.superstep_seconds);
+      }
       const unsigned cur = static_cast<unsigned>(superstep_ & 1);
       const unsigned nxt = cur ^ 1u;
       cur_gen_ = cur;
@@ -328,6 +365,12 @@ class Engine {
         throw ft::InjectedFault(superstep_,
                                 options_.fault.after_compute_calls);
       }
+      // Thread 0's barrier-side watchdog check: catches deadlines that the
+      // per-vertex ticks missed (e.g. a near-empty frontier), then
+      // surfaces any trip as a typed error. The tripped superstep was
+      // abandoned mid-flight — same torn state as a crash.
+      check_deadlines(workers);
+      throw_if_guard_tripped();
       std::size_t sent = 0;
       std::size_t active = 0;
       std::size_t executed = 0;
@@ -686,7 +729,16 @@ class Engine {
     for_indices(pool(), graph_.num_slots() - first,
                 [&](std::size_t tid, std::size_t i) {
                   Context ctx(*this, first + i, tid, nullptr);
-                  program_.resend(ctx);
+                  try {
+                    program_.resend(ctx);
+                  } catch (const std::exception& e) {
+                    throw RunError(RunErrorKind::kUserException, superstep_,
+                                   tid, graph_.id_of(first + i), e.what());
+                  } catch (...) {
+                    throw RunError(RunErrorKind::kUserException, superstep_,
+                                   tid, graph_.id_of(first + i),
+                                   "resend() threw a non-std::exception");
+                  }
                 });
     if constexpr (Bypass) {
       frontier_->flip();
@@ -694,12 +746,119 @@ class Engine {
     superstep_ = resume;
   }
 
+  // --- failure-domain guards ------------------------------------------
+  using GuardClock = std::chrono::steady_clock;
+
+  [[nodiscard]] static GuardClock::duration guard_duration(
+      double seconds) noexcept {
+    return std::chrono::duration_cast<GuardClock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+
+  /// Records the first watchdog trip and cancels the team. Callable from
+  /// any team thread; first trip wins.
+  void trip_guard(runtime::ThreadPool& workers,
+                  std::uint8_t which) noexcept {
+    std::uint8_t expected = 0;
+    guard_trip_.compare_exchange_strong(expected, which,
+                                        std::memory_order_relaxed);
+    workers.request_cancel();
+  }
+
+  /// Compares the wall clock against the armed superstep/run deadlines.
+  /// Called from every team thread at vertex-boundary ticks and from
+  /// thread 0 at the barrier, so a straggling member trips its own
+  /// deadline even while thread 0 waits for it.
+  void check_deadlines(runtime::ThreadPool& workers) noexcept {
+    if (!step_deadline_armed_ && !run_deadline_armed_) {
+      return;
+    }
+    const GuardClock::time_point now = GuardClock::now();
+    if (step_deadline_armed_ && now >= step_deadline_) {
+      trip_guard(workers, kTripSuperstep);
+    } else if (run_deadline_armed_ && now >= run_deadline_) {
+      trip_guard(workers, kTripRun);
+    }
+  }
+
+  /// Cooperative cancellation poll for parallel-region bodies: true means
+  /// "unwind now" (a teammate failed, a watchdog tripped, or an external
+  /// request_cancel arrived).
+  [[nodiscard]] bool guard_tick(runtime::ThreadPool& workers) noexcept {
+    if (workers.cancel_requested()) {
+      return true;
+    }
+    check_deadlines(workers);
+    return workers.cancel_requested();
+  }
+
+  /// Translates a recorded watchdog trip into its typed error (thread 0,
+  /// at the barrier, once the team has quiesced).
+  void throw_if_guard_tripped() {
+    const std::uint8_t trip = guard_trip_.load(std::memory_order_relaxed);
+    if (trip == 0) {
+      return;
+    }
+    if (trip == kTripSuperstep) {
+      throw RunError(RunErrorKind::kSuperstepTimeout, superstep_, 0,
+                     RunError::kNoVertex,
+                     "superstep exceeded the watchdog limit of " +
+                         std::to_string(options_.guards.superstep_seconds) +
+                         " s");
+    }
+    throw RunError(RunErrorKind::kRunTimeout, superstep_, 0,
+                   RunError::kNoVertex,
+                   "run exceeded the watchdog limit of " +
+                       std::to_string(options_.guards.run_seconds) + " s");
+  }
+
+  /// Enforces guards.memory_budget_bytes against the process-wide tracked
+  /// total — the shared-memory mirror of the Pregel+ cluster's
+  /// out_of_memory marker, raised at the barrier instead of mid-flight.
+  void enforce_memory_budget() {
+    const std::size_t budget = options_.guards.memory_budget_bytes;
+    if (budget == 0) {
+      return;
+    }
+    const std::size_t used = runtime::MemoryTracker::instance().total();
+    if (used > budget) {
+      throw RunError(RunErrorKind::kMemoryBudget, superstep_, 0,
+                     RunError::kNoVertex,
+                     "tracked framework memory (" + std::to_string(used) +
+                         " bytes) exceeds the configured budget (" +
+                         std::to_string(budget) + " bytes)");
+    }
+  }
+
+  /// Shared body of the *_checked entry points: typed failures become
+  /// outcome data, configuration errors keep throwing.
+  template <typename F>
+  [[nodiscard]] RunOutcome to_outcome(F&& f) {
+    RunOutcome out;
+    try {
+      out.result = f();
+    } catch (const RunError& e) {
+      out.error = e;
+    } catch (const ft::InjectedFault& e) {
+      out.error = RunError(RunErrorKind::kInjectedFault, e.superstep(), 0,
+                           RunError::kNoVertex, e.what());
+    }
+    return out;
+  }
+
   /// Distributes [0, n) under the configured scheduling policy and calls
-  /// `fn(tid, i)` for every index.
+  /// `fn(tid, i)` for every index. Every 64 indices each thread polls the
+  /// cancellation flag and the watchdog deadlines, so a failing teammate
+  /// or an expired deadline unwinds the whole team at vertex granularity.
   template <typename Fn>
   void for_indices(runtime::ThreadPool& workers, std::size_t n, Fn&& fn) {
-    const auto body = [&fn](std::size_t tid, runtime::Range r) {
+    const auto body = [this, &fn, &workers](std::size_t tid,
+                                            runtime::Range r) {
+      std::size_t tick = 0;
       for (std::size_t i = r.begin; i < r.end; ++i) {
+        if ((tick++ & 63u) == 0u && guard_tick(workers)) {
+          return;
+        }
         fn(tid, i);
       }
     };
@@ -776,7 +935,18 @@ class Engine {
       return;
     }
     Context ctx(*this, slot, tid, has ? &combined : nullptr);
-    program_.compute(ctx);
+    try {
+      program_.compute(ctx);
+    } catch (const RunError&) {
+      throw;  // already carries its context
+    } catch (const std::exception& e) {
+      throw RunError(RunErrorKind::kUserException, superstep_, tid,
+                     graph_.id_of(slot), e.what());
+    } catch (...) {
+      throw RunError(RunErrorKind::kUserException, superstep_, tid,
+                     graph_.id_of(slot),
+                     "compute() threw a non-std::exception");
+    }
     halted_[slot] = ctx.voted_ ? 1 : 0;
     ThreadCounters& c = counters_[tid];
     ++c.executed;
@@ -853,6 +1023,17 @@ class Engine {
   bool fault_active_ = false;
   std::atomic<std::size_t> fault_calls_{0};
   std::atomic<bool> fault_tripped_{false};
+
+  // Watchdog state (options_.guards): deadlines armed per run/superstep by
+  // thread 0, compared by every team member at guard ticks; the first trip
+  // is recorded here and translated to a RunError at the barrier.
+  static constexpr std::uint8_t kTripSuperstep = 1;
+  static constexpr std::uint8_t kTripRun = 2;
+  GuardClock::time_point step_deadline_{};
+  GuardClock::time_point run_deadline_{};
+  bool step_deadline_armed_ = false;
+  bool run_deadline_armed_ = false;
+  std::atomic<std::uint8_t> guard_trip_{0};
 
   // Checkpoint pacing (adaptive trigger) + staging-buffer accounting.
   double since_checkpoint_seconds_ = 0.0;

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ipregel {
+
+// Forward-declared here so RunOutcome can embed the statistics struct that
+// config.hpp (which includes this header) defines.
+struct RunResult;
+
+/// Why a run failed — the failure taxonomy of the engine's failure-domain
+/// layer. Every abnormal termination of the superstep loop maps to exactly
+/// one of these, so callers can branch on the *kind* of failure instead of
+/// string-matching exception messages.
+enum class RunErrorKind : std::uint8_t {
+  /// Program::compute (or resend) threw. Deterministic for a deterministic
+  /// program, so not retryable by default.
+  kUserException,
+  /// A ft::FaultPlan tripped — a simulated crash. Transient by
+  /// construction (the plan is per-attempt), so retryable.
+  kInjectedFault,
+  /// One superstep exceeded EngineOptions::guards.superstep_seconds.
+  kSuperstepTimeout,
+  /// The whole run exceeded EngineOptions::guards.run_seconds.
+  kRunTimeout,
+  /// Tracked framework memory exceeded
+  /// EngineOptions::guards.memory_budget_bytes — the shared-memory analogue
+  /// of the Pregel+ cluster's out_of_memory marker (Fig. 8).
+  kMemoryBudget,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RunErrorKind k) noexcept {
+  switch (k) {
+    case RunErrorKind::kUserException:
+      return "user-exception";
+    case RunErrorKind::kInjectedFault:
+      return "injected-fault";
+    case RunErrorKind::kSuperstepTimeout:
+      return "superstep-timeout";
+    case RunErrorKind::kRunTimeout:
+      return "run-timeout";
+    case RunErrorKind::kMemoryBudget:
+      return "memory-budget";
+  }
+  return "invalid";
+}
+
+/// A structured run failure: what went wrong (kind), where (superstep,
+/// thread, and — for compute failures — the vertex whose compute threw),
+/// and the underlying detail message.
+///
+/// Thrown by Engine::run / run_from and translated into a RunOutcome by the
+/// *_checked entry points. After a RunError the engine object is still
+/// valid: vertex values may be torn (the failing superstep was abandoned
+/// mid-flight, like a crash), but a fresh run() fully reinitialises state
+/// and run_from() restores a snapshot — the strong guarantee holds at
+/// superstep granularity, not mid-superstep.
+class RunError : public std::runtime_error {
+ public:
+  /// Sentinel for failures with no single responsible vertex (watchdog,
+  /// budget, injected fault).
+  static constexpr std::uint64_t kNoVertex =
+      static_cast<std::uint64_t>(-1);
+
+  RunError(RunErrorKind kind, std::size_t superstep, std::size_t thread,
+           std::uint64_t vertex, const std::string& detail)
+      : std::runtime_error(format(kind, superstep, thread, vertex, detail)),
+        kind_(kind),
+        superstep_(superstep),
+        thread_(thread),
+        vertex_(vertex) {}
+
+  [[nodiscard]] RunErrorKind kind() const noexcept { return kind_; }
+  /// Superstep in flight (or about to start) when the failure surfaced.
+  [[nodiscard]] std::size_t superstep() const noexcept { return superstep_; }
+  /// Team thread id that raised the failure (0 for barrier-side checks).
+  [[nodiscard]] std::size_t thread() const noexcept { return thread_; }
+  [[nodiscard]] bool has_vertex() const noexcept {
+    return vertex_ != kNoVertex;
+  }
+  /// External id of the vertex whose compute threw (kUserException only).
+  [[nodiscard]] std::uint64_t vertex() const noexcept { return vertex_; }
+
+  /// Whether retrying the run (from the latest checkpoint) can plausibly
+  /// succeed without any change of configuration: true only for simulated
+  /// crashes. Deterministic failures (user exceptions, budget breaches)
+  /// would recur; ft::RetryPolicy can widen this per-kind.
+  [[nodiscard]] bool retryable() const noexcept {
+    return kind_ == RunErrorKind::kInjectedFault;
+  }
+
+ private:
+  [[nodiscard]] static std::string format(RunErrorKind kind,
+                                          std::size_t superstep,
+                                          std::size_t thread,
+                                          std::uint64_t vertex,
+                                          const std::string& detail) {
+    std::string out = "[";
+    out += to_string(kind);
+    out += "] superstep " + std::to_string(superstep) + ", thread " +
+           std::to_string(thread);
+    if (vertex != kNoVertex) {
+      out += ", vertex " + std::to_string(vertex);
+    }
+    out += ": " + detail;
+    return out;
+  }
+
+  RunErrorKind kind_;
+  std::size_t superstep_;
+  std::size_t thread_;
+  std::uint64_t vertex_;
+};
+
+/// Watchdog and budget limits for a run; all disabled (0) by default, so
+/// the guards cost one branch per check site when unused.
+struct RunGuards {
+  /// Wall-clock ceiling for a single superstep. Checked cooperatively at
+  /// vertex boundaries (every thread, every 64 vertices) and at the
+  /// superstep barrier from thread 0 — a superstep that retires vertices
+  /// is interrupted promptly; one stuck inside a single compute call is
+  /// only detected once that call returns.
+  double superstep_seconds = 0.0;
+  /// Wall-clock ceiling for the whole run (all supersteps).
+  double run_seconds = 0.0;
+  /// Ceiling on MemoryTracker-tracked framework bytes (process-wide),
+  /// enforced at run start and at every superstep barrier.
+  std::size_t memory_budget_bytes = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return superstep_seconds > 0.0 || run_seconds > 0.0 ||
+           memory_budget_bytes != 0;
+  }
+};
+
+}  // namespace ipregel

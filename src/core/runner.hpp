@@ -127,6 +127,36 @@ RunResult run_version(
       ", always_halts=" + (Program::always_halts ? "true" : "false") + ")");
 }
 
+/// run_version with failures surfaced as data: a compute() exception,
+/// watchdog trip, memory-budget breach, or injected fault returns a
+/// RunOutcome whose error carries the failure's kind and superstep/thread/
+/// vertex context, instead of throwing. Configuration errors (inapplicable
+/// version, snapshot mismatch, corrupted snapshot file) still throw — they
+/// are caller bugs, not run failures, and retrying them cannot help.
+///
+/// Because each call constructs a fresh engine, a failed run leaves no
+/// torn state behind for the caller: the next call starts clean (or from a
+/// snapshot via resume_from) — the entry point ft::supervise builds its
+/// retry loop on.
+template <VertexProgram Program>
+RunOutcome run_version_checked(
+    const graph::CsrGraph& graph, Program program, VersionId version,
+    EngineOptions options = {}, runtime::ThreadPool* pool = nullptr,
+    std::vector<typename Program::value_type>* out_values = nullptr,
+    const std::filesystem::path& resume_from = {}) {
+  RunOutcome out;
+  try {
+    out.result = run_version(graph, std::move(program), version, options,
+                             pool, out_values, resume_from);
+  } catch (const RunError& e) {
+    out.error = e;
+  } catch (const ft::InjectedFault& e) {
+    out.error = RunError(RunErrorKind::kInjectedFault, e.superstep(), 0,
+                         RunError::kNoVertex, e.what());
+  }
+  return out;
+}
+
 /// The subset of kAllVersions a program supports.
 template <VertexProgram Program>
 [[nodiscard]] std::vector<VersionId> applicable_versions() {

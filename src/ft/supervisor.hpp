@@ -1,0 +1,147 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "ft/fault.hpp"
+#include "ft/snapshot.hpp"
+
+namespace ipregel::ft {
+
+/// When and how often ft::supervise retries a failed run.
+struct RetryPolicy {
+  /// Total attempts, including the first (>= 1). Exhausting the budget
+  /// returns the last failure instead of retrying forever.
+  std::size_t max_attempts = 3;
+
+  /// Exponential backoff between attempts: sleep `backoff_initial_seconds`
+  /// before the first retry, multiply by `backoff_multiplier` after each,
+  /// cap at `backoff_max_seconds`. Zero initial backoff disables sleeping
+  /// (what deterministic tests use).
+  double backoff_initial_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 5.0;
+
+  /// Widen the retryable set beyond injected faults. Deterministic
+  /// failures recur on retry, so both default to off; timeouts are worth
+  /// retrying when the cause may be transient (a noisy co-tenant, a cold
+  /// page cache), user exceptions almost never are.
+  bool retry_timeouts = false;
+  bool retry_user_exceptions = false;
+
+  /// Per-attempt injected faults for deterministic supervisor tests and
+  /// benches: attempt k runs under fault_schedule[k] (disarmed once the
+  /// schedule is exhausted). When empty, the caller's options.fault is
+  /// honoured on the FIRST attempt only — a fixed armed plan would
+  /// otherwise re-trip on every retry and the supervisor could never win.
+  std::vector<FaultPlan> fault_schedule;
+
+  [[nodiscard]] bool should_retry(const RunError& e) const noexcept {
+    switch (e.kind()) {
+      case RunErrorKind::kInjectedFault:
+        return true;
+      case RunErrorKind::kUserException:
+        return retry_user_exceptions;
+      case RunErrorKind::kSuperstepTimeout:
+      case RunErrorKind::kRunTimeout:
+        return retry_timeouts;
+      case RunErrorKind::kMemoryBudget:
+        return false;  // the budget does not grow back by itself
+    }
+    return false;
+  }
+};
+
+/// What a supervised run did on top of its RunOutcome: how many attempts
+/// it took, how many of them resumed from a snapshot instead of starting
+/// at superstep 0, and how long it slept backing off.
+struct SupervisedOutcome {
+  /// Statistics of the final successful attempt (see RunResult's note on
+  /// run_from: `supersteps` is cumulative). Zero-initialised on failure.
+  RunResult result{};
+  /// Set when every attempt failed; the LAST failure (earlier ones were
+  /// retried away by definition).
+  std::optional<RunError> error;
+  std::size_t attempts = 0;
+  /// Attempts that restored a checkpoint (including attempt 0 picking up a
+  /// snapshot a previous process left behind — crash-restart).
+  std::size_t resumed_from_snapshot = 0;
+  double backoff_seconds = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Supervised execution: run under `version`, and on a retryable failure
+/// restore the newest checkpoint and try again, up to the policy's attempt
+/// budget with exponential backoff.
+///
+/// This is the recovery loop that PR 1's snapshot subsystem was built for:
+/// options.checkpoint paces the snapshots, the supervisor consumes them.
+/// Every attempt constructs a fresh engine (a failed attempt's torn state
+/// dies with it) and resumes from `latest_snapshot` of the checkpoint
+/// directory when one exists — so work is lost only back to the last
+/// barrier snapshot, not to superstep 0, and a run that faults N times
+/// finishes with values identical to an uninterrupted run (deterministic
+/// programs; see tests/test_ft_supervisor.cpp for the exactness fine
+/// print). Without a checkpoint directory the supervisor still retries,
+/// just from scratch.
+template <VertexProgram Program>
+SupervisedOutcome supervise(
+    const graph::CsrGraph& graph, Program program, VersionId version,
+    EngineOptions options, RetryPolicy policy = {},
+    runtime::ThreadPool* pool = nullptr,
+    std::vector<typename Program::value_type>* out_values = nullptr) {
+  SupervisedOutcome out;
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  double backoff = policy.backoff_initial_seconds;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    EngineOptions attempt_options = options;
+    if (!policy.fault_schedule.empty()) {
+      attempt_options.fault = attempt < policy.fault_schedule.size()
+                                  ? policy.fault_schedule[attempt]
+                                  : FaultPlan{};
+    } else if (attempt > 0) {
+      attempt_options.fault = FaultPlan{};  // never re-trip a fixed plan
+    }
+
+    std::filesystem::path resume;
+    if (options.checkpoint.enabled()) {
+      if (const auto latest = latest_snapshot(options.checkpoint.directory,
+                                              options.checkpoint.basename)) {
+        resume = *latest;
+      }
+    }
+    ++out.attempts;
+    if (!resume.empty()) {
+      ++out.resumed_from_snapshot;
+    }
+
+    RunOutcome attempt_outcome = run_version_checked(
+        graph, program, version, attempt_options, pool, out_values, resume);
+    if (attempt_outcome.ok()) {
+      out.result = std::move(attempt_outcome.result);
+      out.error.reset();
+      return out;
+    }
+    out.error = std::move(attempt_outcome.error);
+    if (attempt + 1 >= attempts || !policy.should_retry(*out.error)) {
+      return out;
+    }
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      out.backoff_seconds += backoff;
+      backoff = std::min(backoff * policy.backoff_multiplier,
+                         policy.backoff_max_seconds);
+    }
+  }
+  return out;
+}
+
+}  // namespace ipregel::ft

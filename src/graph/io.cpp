@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <string_view>
 
@@ -18,7 +19,9 @@ namespace {
 }
 
 /// Parses the next unsigned integer in `sv` starting at `pos`; advances
-/// `pos` past it. Returns false when only whitespace remains.
+/// `pos` past it. Returns false when only whitespace remains. Overflow is
+/// rejected explicitly: a vertex id or weight wider than T must fail the
+/// load, not wrap into a valid-looking small value.
 template <typename T>
 bool next_uint(std::string_view sv, std::size_t& pos, T& out) {
   while (pos < sv.size() && (sv[pos] == ' ' || sv[pos] == '\t' ||
@@ -30,6 +33,11 @@ bool next_uint(std::string_view sv, std::size_t& pos, T& out) {
   }
   const auto [ptr, ec] =
       std::from_chars(sv.data() + pos, sv.data() + sv.size(), out);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::out_of_range("value exceeds the " +
+                            std::to_string(sizeof(T) * 8) +
+                            "-bit range of this field");
+  }
   if (ec != std::errc{}) {
     throw std::invalid_argument("not an unsigned integer");
   }
@@ -75,6 +83,9 @@ EdgeList load_edge_list_text(const std::string& path,
       } else {
         list.add(src, dst);
       }
+    } catch (const std::out_of_range& e) {
+      fail(path, line_no,
+           std::string(e.what()) + ": '" + line + "'");
     } catch (const std::invalid_argument&) {
       fail(path, line_no, "malformed edge line: '" + line + "'");
     }
@@ -113,8 +124,16 @@ EdgeList load_dimacs_gr(const std::string& path) {
         if (!next_uint(line, pos, n) || !next_uint(line, pos, m)) {
           fail(path, line_no, "malformed DIMACS problem line");
         }
+      } catch (const std::out_of_range& e) {
+        fail(path, line_no,
+             std::string("DIMACS problem line: ") + e.what());
       } catch (const std::invalid_argument&) {
         fail(path, line_no, "malformed DIMACS problem line");
+      }
+      if (n > std::numeric_limits<vid_t>::max()) {
+        fail(path, line_no,
+             "header declares " + std::to_string(n) +
+                 " vertices, which exceeds the 32-bit vertex-id space");
       }
       declared_edges = m;
       list.reserve(m);
@@ -131,6 +150,10 @@ EdgeList load_dimacs_gr(const std::string& path) {
             !next_uint(line, pos, w)) {
           fail(path, line_no, "malformed DIMACS arc line");
         }
+      } catch (const std::out_of_range& e) {
+        fail(path, line_no,
+             std::string("DIMACS arc line: ") + e.what() + ": '" + line +
+                 "'");
       } catch (const std::invalid_argument&) {
         fail(path, line_no, "malformed DIMACS arc line");
       }

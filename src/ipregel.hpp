@@ -24,12 +24,14 @@
 #include "core/frontier.hpp"
 #include "core/mailbox.hpp"
 #include "core/program_traits.hpp"
+#include "core/run_error.hpp"
 #include "core/runner.hpp"
 #include "ft/binary_format.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
 #include "ft/fingerprint.hpp"
 #include "ft/snapshot.hpp"
+#include "ft/supervisor.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"

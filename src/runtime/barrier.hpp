@@ -13,6 +13,16 @@ namespace ipregel::runtime {
 /// `std::barrier` it is a single cache line of state and supports spinning,
 /// which is appropriate for the short inter-superstep waits of a
 /// compute-bound framework.
+///
+/// Failure domain: the barrier is poisonable. A participant that fails
+/// (e.g. a worker whose superstep body threw) calls `poison()` instead of
+/// arriving; every current and future waiter then returns `false` from
+/// `arrive_and_wait()` immediately instead of spinning forever on a
+/// generation that can never complete — the classic "teammate died at the
+/// barrier" deadlock. Poisoning is permanent: the barrier is dead
+/// afterwards and callers must unwind (its participant count is no longer
+/// coherent), which is exactly the cancellation protocol a superstep loop
+/// needs at its synchronisation points.
 class SenseBarrier {
  public:
   explicit SenseBarrier(std::size_t participants) noexcept
@@ -22,19 +32,39 @@ class SenseBarrier {
   SenseBarrier& operator=(const SenseBarrier&) = delete;
 
   /// Blocks until all `participants` threads of this generation arrived.
-  /// The last arriver flips the sense and releases everyone.
-  void arrive_and_wait() noexcept {
+  /// The last arriver flips the sense and releases everyone. Returns true
+  /// on a normal release; returns false — promptly, without waiting for
+  /// the full generation — once the barrier has been poisoned.
+  bool arrive_and_wait() noexcept {
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return false;
+    }
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       remaining_.store(participants_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
     } else {
       while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (poisoned_.load(std::memory_order_acquire)) {
+          return false;
+        }
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
 #endif
       }
     }
+    return !poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Marks the barrier as dead and releases every waiter (they return
+  /// false from arrive_and_wait). Permanent; safe to call from any thread,
+  /// any number of times.
+  void poison() noexcept {
+    poisoned_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
   }
 
   [[nodiscard]] std::size_t participants() const noexcept {
@@ -45,6 +75,7 @@ class SenseBarrier {
   const std::size_t participants_;
   std::atomic<std::size_t> remaining_;
   std::atomic<bool> sense_{false};
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace ipregel::runtime

@@ -1,5 +1,6 @@
 #include "runtime/memory_tracker.hpp"
 
+#include <cassert>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -55,10 +56,28 @@ void MemoryTracker::add(MemCategory c, std::size_t bytes) noexcept {
   }
 }
 
+namespace {
+
+/// Saturating decrement: releasing more than a counter holds clamps it to
+/// zero instead of wrapping to ~18 exabytes (which would poison every
+/// subsequent budget check and report). A mismatched release is a caller
+/// bug, so debug builds assert on it.
+void saturating_sub(std::atomic<std::size_t>& counter,
+                    std::size_t bytes) noexcept {
+  std::size_t cur = counter.load(std::memory_order_relaxed);
+  std::size_t next = 0;
+  do {
+    assert(cur >= bytes && "MemoryTracker release exceeds what was added");
+    next = cur >= bytes ? cur - bytes : 0;
+  } while (!counter.compare_exchange_weak(cur, next,
+                                          std::memory_order_relaxed));
+}
+
+}  // namespace
+
 void MemoryTracker::sub(MemCategory c, std::size_t bytes) noexcept {
-  by_category_[static_cast<std::size_t>(c)].fetch_sub(
-      bytes, std::memory_order_relaxed);
-  total_.fetch_sub(bytes, std::memory_order_relaxed);
+  saturating_sub(by_category_[static_cast<std::size_t>(c)], bytes);
+  saturating_sub(total_, bytes);
 }
 
 std::size_t MemoryTracker::bytes(MemCategory c) const noexcept {

@@ -48,6 +48,10 @@ class MemoryTracker {
   static MemoryTracker& instance() noexcept;
 
   void add(MemCategory c, std::size_t bytes) noexcept;
+  /// Saturating: releasing more than a category (or the total) holds
+  /// clamps to zero rather than wrapping the counter; debug builds assert
+  /// on the mismatch. Keeps budget checks and reports sane after a
+  /// double-release bug instead of reporting exabytes in use.
   void sub(MemCategory c, std::size_t bytes) noexcept;
 
   [[nodiscard]] std::size_t bytes(MemCategory c) const noexcept;

@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace ipregel::runtime {
 namespace {
@@ -36,8 +37,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   assert(fn);
+  // Fresh region: the previous region's cancellation (from a failure, a
+  // watchdog, or an explicit request) must not bleed into this one.
+  cancel_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  error_tid_ = 0;
   if (size_ == 1) {
-    fn(0);
+    fn(0);  // no team to quiesce; exceptions propagate directly
     return;
   }
   job_ = &fn;
@@ -45,10 +51,17 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   epoch_.fetch_add(1, std::memory_order_release);
   epoch_.notify_all();
 
-  fn(0);
+  try {
+    fn(0);
+  } catch (...) {
+    capture_error(0, std::current_exception());
+  }
 
   // Wait for the background members. Spin briefly: regions are usually
-  // balanced, so the stragglers finish within the spin window.
+  // balanced, so the stragglers finish within the spin window. The wait is
+  // bounded by the region's own runtime: workers report completion even on
+  // their exception path (worker_loop captures, never terminates), so a
+  // failing member can no longer strand this loop forever.
   int spins = kSpinIterations;
   while (done_.load(std::memory_order_acquire) != size_ - 1) {
     if (--spins > 0) {
@@ -58,6 +71,23 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     }
   }
   job_ = nullptr;
+  if (first_error_ != nullptr) {
+    // The team has quiesced: rethrow the first failure on thread 0. The
+    // cancellation flag stays raised until the next region so the caller
+    // can still observe it.
+    std::exception_ptr ep = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(ep);
+  }
+}
+
+void ThreadPool::capture_error(std::size_t tid,
+                               std::exception_ptr ep) noexcept {
+  cancel_.store(true, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (first_error_ == nullptr) {
+    first_error_ = ep;
+    error_tid_ = tid;
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t tid) {
@@ -74,7 +104,13 @@ void ThreadPool::worker_loop(std::size_t tid) {
     if (stop_.load(std::memory_order_acquire)) {
       return;
     }
-    (*job_)(tid);
+    try {
+      (*job_)(tid);
+    } catch (...) {
+      // A background member must never let an exception reach
+      // std::terminate; park it for thread 0 and keep the protocol alive.
+      capture_error(tid, std::current_exception());
+    }
     done_.fetch_add(1, std::memory_order_release);
   }
 }

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,16 +21,28 @@ namespace ipregel::runtime {
 /// thread 0, so a pool of size N uses N-1 background threads.
 ///
 /// Two usage patterns are supported:
-///  - `run(fn)` executes `fn(tid)` once on every team member. The iPregel
-///    engine uses a single `run` for an entire computation and synchronises
-///    supersteps internally with a `SenseBarrier`, avoiding per-superstep
-///    fork-join overhead (SSSP on road-like graphs runs thousands of
-///    supersteps).
+///  - `run(fn)` executes `fn(tid)` once on every team member.
 ///  - `parallel_for(n, fn)` statically block-partitions [0, n) across the
 ///    team — the "equal share of the vertices" distribution of section 4.
 ///
 /// Dispatch uses C++20 atomic wait/notify with a short spin prelude, so
 /// back-to-back regions do not pay a futex round-trip.
+///
+/// Failure domain. A parallel region is exception-safe: an exception thrown
+/// by any team member (including thread 0) is captured via
+/// std::exception_ptr instead of escaping a background thread into
+/// std::terminate. The first capture wins and raises the team-wide
+/// cancellation flag; the remaining members run their shares to completion
+/// (or bail early if the region body polls `cancel_requested()`), and once
+/// the team has quiesced the captured exception is rethrown on thread 0.
+/// Workers always report completion — even on the exception path — so the
+/// caller's completion wait is bounded by the region's own runtime and a
+/// failing member can no longer strand the caller in an infinite spin.
+///
+/// The cancellation flag is also a cooperative external kill switch:
+/// `request_cancel()` may be called from any thread (the engine's superstep
+/// watchdog uses it); region bodies that poll `cancel_requested()` at work
+/// boundaries unwind early. The flag is cleared when the next region starts.
 class ThreadPool {
  public:
   /// Creates a team of `threads` members (>= 1). Zero selects
@@ -44,8 +58,28 @@ class ThreadPool {
 
   /// Runs `fn(tid)` on every team member (tid in [0, size())) and returns
   /// when all members finished. Must not be called re-entrantly from inside
-  /// a running region.
+  /// a running region. If any member threw, the first exception (by capture
+  /// order) is rethrown here after the team quiesced.
   void run(const std::function<void(std::size_t)>& fn);
+
+  /// Raises the team-wide cancellation flag. Cooperative: region bodies
+  /// observe it via `cancel_requested()` at their own work boundaries.
+  /// Cleared when the next region starts.
+  void request_cancel() noexcept {
+    cancel_.store(true, std::memory_order_release);
+  }
+
+  /// True when the current (or just-finished) region was cancelled, either
+  /// by a failing team member or by an explicit request_cancel().
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// Thread id of the member whose exception the last failing region
+  /// rethrew (meaningful only immediately after run() threw).
+  [[nodiscard]] std::size_t failing_thread() const noexcept {
+    return error_tid_;
+  }
 
   /// Runs `fn(tid, range)` with [0, n) block-partitioned across the team.
   template <typename Fn>
@@ -76,6 +110,7 @@ class ThreadPool {
   /// atomic RMW per chunk but rebalances skewed per-element work, the
   /// "load-balancing strategies" the paper's conclusion names as future
   /// work (a scale-free graph's hub vertices make static shares uneven).
+  /// Cancellation-aware: a cancelled region stops claiming chunks.
   template <typename Fn>
   void parallel_for_dynamic(std::size_t n, std::size_t chunk, Fn&& fn) {
     if (n == 0) {
@@ -85,6 +120,9 @@ class ThreadPool {
     std::atomic<std::size_t> cursor{0};
     run([&](std::size_t tid) {
       for (;;) {
+        if (cancel_requested()) {
+          break;
+        }
         const std::size_t begin =
             cursor.fetch_add(step, std::memory_order_relaxed);
         if (begin >= n) {
@@ -114,12 +152,23 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t tid);
 
+  /// Records `ep` as the region's outcome if it is the first failure, and
+  /// raises the cancellation flag either way.
+  void capture_error(std::size_t tid, std::exception_ptr ep) noexcept;
+
   std::size_t size_;
   std::vector<std::thread> workers_;
   const std::function<void(std::size_t)>* job_ = nullptr;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::size_t> done_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> cancel_{false};
+
+  // First-exception capture: written under error_mutex_, read by thread 0
+  // only after the team quiesced (done_ acquire gives the happens-before).
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+  std::size_t error_tid_ = 0;
 };
 
 }  // namespace ipregel::runtime

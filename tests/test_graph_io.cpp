@@ -78,6 +78,68 @@ TEST(GraphIo, RejectsSingleEndpointLineWithLineNumber) {
   }
 }
 
+/// Expects `fn` to throw a std::runtime_error naming `path:line` and
+/// mentioning the value range — the overflow-rejection contract.
+template <typename Fn>
+void expect_overflow_error(Fn&& fn, const std::string& path,
+                           std::size_t line_no) {
+  try {
+    std::forward<Fn>(fn)();
+    FAIL() << "expected overflow to be rejected";
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    const std::string anchor = path + ":" + std::to_string(line_no) + ":";
+    EXPECT_NE(what.find(anchor), std::string::npos)
+        << "error must carry '" << anchor << "': " << what;
+    EXPECT_NE(what.find("range"), std::string::npos)
+        << "error must say the value is out of range: " << what;
+  }
+}
+
+TEST(GraphIo, RejectsVertexIdOverflowInsteadOfWrapping) {
+  // 2^32 would silently wrap to vertex 0 if from_chars' out_of_range were
+  // treated like success (or lumped in with "malformed").
+  const TempFile f("1 2\n4294967296 1\n");
+  expect_overflow_error([&] { (void)load_edge_list_text(f.path()); },
+                        f.path(), 2);
+}
+
+TEST(GraphIo, RejectsWeightOverflow) {
+  const TempFile f("1 2 99999999999999999999\n");
+  expect_overflow_error([&] { (void)load_edge_list_text(f.path()); },
+                        f.path(), 1);
+}
+
+TEST(GraphIo, MaxVertexIdStillLoads) {
+  // The boundary itself is valid: rejection must start at 2^32, not at
+  // some conservative smaller cut-off.
+  const TempFile f("4294967295 0\n");
+  const EdgeList e = load_edge_list_text(f.path());
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e.edges()[0].src, 4294967295u);
+}
+
+TEST(GraphIo, DimacsRejectsArcEndpointOverflow) {
+  const TempFile f("p sp 3 1\na 4294967296 2 5\n");
+  expect_overflow_error([&] { (void)load_dimacs_gr(f.path()); }, f.path(),
+                        2);
+}
+
+TEST(GraphIo, DimacsRejectsHeaderVertexCountBeyondIdSpace) {
+  // A 64-bit count survives parsing but cannot be addressed by 32-bit
+  // vertex ids; the header must be rejected up front, not discovered as a
+  // wrapped id thousands of arcs later.
+  const TempFile f("p sp 8589934592 1\na 1 2 5\n");
+  try {
+    (void)load_dimacs_gr(f.path());
+    FAIL() << "expected the header to be rejected";
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find(":1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("8589934592"), std::string::npos) << what;
+  }
+}
+
 TEST(GraphIo, RejectsNonNumericTokens) {
   const TempFile f("1 banana\n");
   EXPECT_THROW((void)load_edge_list_text(f.path()), std::runtime_error);

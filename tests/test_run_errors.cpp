@@ -1,0 +1,306 @@
+// Failure-domain property tests: a throwing compute() must surface as a
+// structured RunError — never std::terminate, never a barrier deadlock —
+// under every framework version, whether the throwing vertex lives on
+// thread 0 or a background team member, and the engine must stay reusable
+// for a fresh run afterwards. Watchdog trips and memory-budget breaches
+// must each produce their own distinct typed outcome.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "core/run_error.hpp"
+#include "core/runner.hpp"
+#include "ft/fault.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using ipregel::testing::make_graph;
+
+/// Hashmin semantics plus a deterministic bomb: compute() throws at one
+/// configured (vertex, superstep) while `armed` — shared across engine
+/// copies of the program, so a test can defuse it between runs.
+struct ThrowyHashmin {
+  using value_type = graph::vid_t;
+  using message_type = graph::vid_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  graph::vid_t throw_id = 0;
+  std::size_t throw_superstep = 0;
+  std::shared_ptr<std::atomic<bool>> armed =
+      std::make_shared<std::atomic<bool>>(true);
+
+  [[nodiscard]] graph::vid_t initial_value(graph::vid_t id) const noexcept {
+    return id;
+  }
+
+  void compute(auto& ctx) const {
+    if (armed->load(std::memory_order_relaxed) &&
+        ctx.superstep() == throw_superstep && ctx.id() == throw_id) {
+      throw std::runtime_error("boom from compute");
+    }
+    if (ctx.is_first_superstep()) {
+      ctx.broadcast(ctx.value());
+    } else {
+      graph::vid_t smallest = ctx.value();
+      graph::vid_t m = 0;
+      while (ctx.get_next_message(m)) {
+        smallest = std::min(smallest, m);
+      }
+      if (smallest < ctx.value()) {
+        ctx.value() = smallest;
+        ctx.broadcast(smallest);
+      }
+    }
+    ctx.vote_to_halt();
+  }
+
+  void resend(auto& ctx) const { ctx.broadcast(ctx.value()); }
+
+  static void combine(graph::vid_t& old,
+                      const graph::vid_t& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+/// Every vertex's compute sleeps, so a superstep's wall time is
+/// controllable; broadcasts for `rounds` supersteps to keep the run alive.
+struct SleepyProgram {
+  using value_type = std::uint32_t;
+  using message_type = std::uint32_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  std::chrono::microseconds nap{2000};
+  std::size_t rounds = 1;
+
+  [[nodiscard]] std::uint32_t initial_value(graph::vid_t) const noexcept {
+    return 0;
+  }
+
+  void compute(auto& ctx) const {
+    std::this_thread::sleep_for(nap);
+    if (ctx.superstep() + 1 < rounds) {
+      ctx.broadcast(1);
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(std::uint32_t& old,
+                      const std::uint32_t& incoming) noexcept {
+    old += incoming;
+  }
+};
+
+CsrGraph make_component_graph() {
+  graph::EdgeList edges = graph::uniform_random(240, 720, 17);
+  edges.symmetrize();
+  return make_graph(edges);
+}
+
+// --- the satellite property: typed errors across all six versions --------
+
+TEST(RunErrors, ThrowingComputeYieldsTypedErrorAcrossAllVersions) {
+  const CsrGraph g = make_component_graph();
+  const graph::vid_t first_id = g.id_of(g.first_slot());
+  const graph::vid_t middle_id =
+      g.id_of(g.first_slot() + (g.num_slots() - g.first_slot()) / 2);
+  const graph::vid_t last_id = g.id_of(g.num_slots() - 1);
+
+  for (const VersionId v : applicable_versions<ThrowyHashmin>()) {
+    for (const graph::vid_t victim : {first_id, middle_id, last_id}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE(std::string(version_name(v)) + " / vertex " +
+                     std::to_string(victim) + " / " +
+                     std::to_string(threads) + " threads");
+        EngineOptions options;
+        options.threads = threads;
+        const RunOutcome outcome = run_version_checked(
+            g, ThrowyHashmin{.throw_id = victim}, v, options);
+        ASSERT_FALSE(outcome.ok());
+        EXPECT_EQ(outcome.error->kind(), RunErrorKind::kUserException);
+        EXPECT_EQ(outcome.error->superstep(), 0u);
+        ASSERT_TRUE(outcome.error->has_vertex());
+        EXPECT_EQ(outcome.error->vertex(), victim);
+        EXPECT_NE(std::string(outcome.error->what()).find("boom"),
+                  std::string::npos);
+        EXPECT_LT(outcome.error->thread(), threads);
+      }
+    }
+  }
+}
+
+TEST(RunErrors, BackgroundThreadExceptionNamesItsThread) {
+  // Static partitioning puts the last slot on the last team member, so the
+  // throw happens on a background thread — the case that used to escape
+  // worker_loop straight into std::terminate.
+  const CsrGraph g = make_component_graph();
+  EngineOptions options;
+  options.threads = 4;
+  const RunOutcome outcome = run_version_checked(
+      g, ThrowyHashmin{.throw_id = g.id_of(g.num_slots() - 1)},
+      VersionId{CombinerKind::kSpinlockPush, false}, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kUserException);
+  EXPECT_EQ(outcome.error->thread(), 3u);
+}
+
+TEST(RunErrors, MidRunExceptionCarriesItsSuperstep) {
+  // A grid guarantees every vertex receives a message in superstep 1, so a
+  // bomb armed for superstep 1 always detonates — including under the
+  // selection bypass, whose frontier drives that superstep.
+  const CsrGraph g =
+      make_graph(graph::grid_2d(8, 8, {.removal_fraction = 0.0}));
+  EngineOptions options;
+  options.threads = 4;
+  for (const VersionId v : applicable_versions<ThrowyHashmin>()) {
+    SCOPED_TRACE(version_name(v));
+    const RunOutcome outcome = run_version_checked(
+        g,
+        ThrowyHashmin{.throw_id = g.id_of(g.num_slots() - 1),
+                      .throw_superstep = 1},
+        v, options);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error->kind(), RunErrorKind::kUserException);
+    EXPECT_EQ(outcome.error->superstep(), 1u);
+  }
+}
+
+TEST(RunErrors, UncheckedRunThrowsRunError) {
+  const CsrGraph g = make_component_graph();
+  EXPECT_THROW((void)run_version(
+                   g, ThrowyHashmin{.throw_id = g.id_of(g.first_slot())},
+                   VersionId{CombinerKind::kMutexPush, false}, {}),
+               RunError);
+}
+
+TEST(RunErrors, EngineRemainsReusableAfterUserException) {
+  const CsrGraph g = make_component_graph();
+  ThrowyHashmin program{.throw_id = g.id_of(g.first_slot())};
+  EngineOptions options;
+  options.threads = 4;
+  Engine<ThrowyHashmin, CombinerKind::kSpinlockPush, true> engine(
+      g, program, options);
+
+  const RunOutcome bad = engine.run_checked();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error->kind(), RunErrorKind::kUserException);
+
+  // Defuse (the engine's program copy shares the flag) and rerun on the
+  // SAME engine: run() reinitialises the torn state, and the result must
+  // match a clean Hashmin fixpoint.
+  program.armed->store(false);
+  const RunOutcome good = engine.run_checked();
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(good.result.supersteps, 0u);
+
+  std::vector<graph::vid_t> expected;
+  (void)run_version(g, apps::Hashmin{},
+                    VersionId{CombinerKind::kSpinlockPush, true}, options,
+                    nullptr, &expected);
+  const auto values = engine.values();
+  ASSERT_EQ(values.size(), expected.size());
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    EXPECT_EQ(values[s], expected[s]) << "slot " << s;
+  }
+}
+
+// --- watchdog -------------------------------------------------------------
+
+TEST(RunErrors, SuperstepWatchdogTripsAsTypedOutcome) {
+  const CsrGraph g =
+      make_graph(graph::grid_2d(8, 8, {.removal_fraction = 0.0}));
+  EngineOptions options;
+  options.threads = 2;
+  options.guards.superstep_seconds = 0.02;
+  // 64 vertices x 2 ms per compute across 2 threads ~= 64 ms of superstep,
+  // far past the 20 ms limit.
+  const RunOutcome outcome = run_version_checked(
+      g, SleepyProgram{.nap = std::chrono::microseconds{2000}, .rounds = 8},
+      VersionId{CombinerKind::kSpinlockPush, false}, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kSuperstepTimeout);
+  EXPECT_FALSE(outcome.error->retryable());
+}
+
+TEST(RunErrors, RunWatchdogTripsAsDistinctOutcome) {
+  const CsrGraph g =
+      make_graph(graph::grid_2d(8, 8, {.removal_fraction = 0.0}));
+  EngineOptions options;
+  options.threads = 2;
+  options.guards.run_seconds = 0.005;  // well under one superstep's cost
+  const RunOutcome outcome = run_version_checked(
+      g, SleepyProgram{.nap = std::chrono::microseconds{1000}, .rounds = 8},
+      VersionId{CombinerKind::kSpinlockPush, false}, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kRunTimeout);
+}
+
+TEST(RunErrors, GenerousWatchdogDoesNotPerturbResults) {
+  const CsrGraph g = make_component_graph();
+  EngineOptions guarded;
+  guarded.threads = 4;
+  guarded.guards.superstep_seconds = 60.0;
+  guarded.guards.run_seconds = 300.0;
+  std::vector<graph::vid_t> with_guards;
+  std::vector<graph::vid_t> without;
+  (void)run_version(g, apps::Hashmin{},
+                    VersionId{CombinerKind::kSpinlockPush, true}, guarded,
+                    nullptr, &with_guards);
+  (void)run_version(g, apps::Hashmin{},
+                    VersionId{CombinerKind::kSpinlockPush, true},
+                    EngineOptions{.threads = 4}, nullptr, &without);
+  EXPECT_EQ(with_guards, without);
+}
+
+// --- memory budget --------------------------------------------------------
+
+TEST(RunErrors, MemoryBudgetBreachIsTypedAndNotRetryable) {
+  const CsrGraph g = make_component_graph();
+  EngineOptions options;
+  options.threads = 2;
+  options.guards.memory_budget_bytes = 1;  // nothing fits in one byte
+  const RunOutcome outcome =
+      run_version_checked(g, apps::Hashmin{},
+                          VersionId{CombinerKind::kSpinlockPush, false},
+                          options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kMemoryBudget);
+  EXPECT_EQ(outcome.error->superstep(), 0u);
+  EXPECT_FALSE(outcome.error->retryable());
+  EXPECT_NE(std::string(outcome.error->what()).find("budget"),
+            std::string::npos);
+}
+
+// --- injected faults through the checked interface ------------------------
+
+TEST(RunErrors, InjectedFaultSurfacesAsRetryableOutcome) {
+  const CsrGraph g = make_component_graph();
+  EngineOptions options;
+  options.threads = 2;
+  options.fault.superstep = 1;
+  options.fault.after_compute_calls = 0;
+  const RunOutcome outcome =
+      run_version_checked(g, apps::Hashmin{},
+                          VersionId{CombinerKind::kSpinlockPush, true},
+                          options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kInjectedFault);
+  EXPECT_EQ(outcome.error->superstep(), 1u);
+  EXPECT_TRUE(outcome.error->retryable());
+}
+
+}  // namespace
+}  // namespace ipregel

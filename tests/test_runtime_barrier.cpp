@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -72,6 +73,49 @@ TEST(SenseBarrier, ReusableAcrossManyGenerations) {
     t.join();
   }
   EXPECT_EQ(sum.load(), 20'000);
+}
+
+// --- poisoning ------------------------------------------------------------
+
+TEST(SenseBarrier, NormalGenerationsReturnTrue) {
+  SenseBarrier barrier(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(barrier.arrive_and_wait());
+  }
+  EXPECT_FALSE(barrier.poisoned());
+}
+
+TEST(SenseBarrier, PoisonReleasesBlockedWaiters) {
+  // Two of three participants arrive and block; the third poisons instead
+  // of arriving. Both waiters must unblock promptly and observe false —
+  // the mechanism that keeps a failing team from deadlocking at the
+  // superstep barrier.
+  SenseBarrier barrier(3);
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 2; ++t) {
+    waiters.emplace_back([&] {
+      if (!barrier.arrive_and_wait()) {
+        released.fetch_add(1);
+      }
+    });
+  }
+  // Give the waiters time to block, then poison. (A sleep here can only
+  // make the test less strict, never flaky.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  barrier.poison();
+  for (auto& t : waiters) {
+    t.join();  // would hang forever if poison failed to release them
+  }
+  EXPECT_EQ(released.load(), 2);
+  EXPECT_TRUE(barrier.poisoned());
+}
+
+TEST(SenseBarrier, ArrivalAfterPoisonReturnsImmediately) {
+  SenseBarrier barrier(4);  // 4 participants, but nobody else ever arrives
+  barrier.poison();
+  EXPECT_FALSE(barrier.arrive_and_wait());
+  EXPECT_FALSE(barrier.arrive_and_wait());
 }
 
 }  // namespace

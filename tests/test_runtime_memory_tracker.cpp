@@ -131,4 +131,35 @@ TEST_F(MemoryTrackerTest, CategoryNamesAreUniqueAndNonEmpty) {
   EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
 }
 
+#ifdef NDEBUG
+// The saturating behaviour is only observable with assertions off: a debug
+// build intentionally aborts on over-release (it is always an accounting
+// bug), while a release build clamps at zero instead of wrapping a
+// size_t — an underflowed "18 exabytes tracked" would make every memory
+// report garbage and instantly trip any configured memory budget.
+TEST_F(MemoryTrackerTest, OverReleaseSaturatesAtZeroInRelease) {
+  auto& t = MemoryTracker::instance();
+  t.add(MemCategory::kVertexValues, 100);
+  t.sub(MemCategory::kVertexValues, 250);
+  EXPECT_EQ(t.bytes(MemCategory::kVertexValues), 0u);
+  EXPECT_EQ(t.total(), 0u);
+  // The tracker stays usable after clamping.
+  t.add(MemCategory::kVertexValues, 40);
+  EXPECT_EQ(t.total(), 40u);
+}
+
+TEST_F(MemoryTrackerTest, SaturationClampsEachCounterIndependently) {
+  auto& t = MemoryTracker::instance();
+  t.add(MemCategory::kLocks, 10);
+  t.add(MemCategory::kMailboxes, 500);
+  t.sub(MemCategory::kLocks, 100);
+  // The over-released category clamps at zero; other categories are
+  // untouched. The total saturates by the full release amount (both
+  // counters are independently protected from wrap-around).
+  EXPECT_EQ(t.bytes(MemCategory::kLocks), 0u);
+  EXPECT_EQ(t.bytes(MemCategory::kMailboxes), 500u);
+  EXPECT_EQ(t.total(), 410u);
+}
+#endif  // NDEBUG
+
 }  // namespace

@@ -6,6 +6,9 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
@@ -119,6 +122,126 @@ TEST(ThreadPool, SmallNDoesNotInvokeEmptyRanges) {
     calls.fetch_add(1);
   });
   EXPECT_EQ(calls.load(), 2);
+}
+
+// --- failure domains ------------------------------------------------------
+
+TEST(ThreadPool, BackgroundThreadExceptionRethrownOnCaller) {
+  // An exception on a background team member used to escape worker_loop
+  // straight into std::terminate; it must instead surface on the caller.
+  ThreadPool pool(4);
+  bool caught = false;
+  try {
+    pool.run([](std::size_t tid) {
+      if (tid == 3) {
+        throw std::runtime_error("worker 3 died");
+      }
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "worker 3 died");
+  }
+  ASSERT_TRUE(caught);
+  EXPECT_EQ(pool.failing_thread(), 3u);
+}
+
+TEST(ThreadPool, ThreadZeroExceptionRethrownAfterQuiesce) {
+  ThreadPool pool(4);
+  std::atomic<int> others{0};
+  bool caught = false;
+  try {
+    pool.run([&](std::size_t tid) {
+      if (tid == 0) {
+        throw std::runtime_error("caller thread died");
+      }
+      others.fetch_add(1);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "caller thread died");
+  }
+  ASSERT_TRUE(caught);
+  EXPECT_EQ(pool.failing_thread(), 0u);
+  // The rethrow happens only after the region quiesced: every background
+  // member finished its (non-throwing) work.
+  EXPECT_EQ(others.load(), 3);
+}
+
+TEST(ThreadPool, ExceptionRaisesCancellationForTheTeam) {
+  // The first failure must raise the shared cancel flag so cooperative
+  // members can stop early instead of finishing a doomed region.
+  ThreadPool pool(4);
+  std::atomic<bool> cancel_seen{false};
+  try {
+    pool.run([&](std::size_t tid) {
+      if (tid == 1) {
+        throw std::runtime_error("fail fast");
+      }
+      for (int i = 0; i < 100'000 && !pool.cancel_requested(); ++i) {
+        std::this_thread::yield();
+      }
+      if (pool.cancel_requested()) {
+        cancel_seen.store(true);
+      }
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_TRUE(cancel_seen.load());
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndMatchesReportedThread) {
+  ThreadPool pool(4);
+  std::size_t thrown_by = pool.size();
+  try {
+    pool.run([](std::size_t tid) {
+      throw std::runtime_error("thread " + std::to_string(tid));
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    thrown_by = std::stoul(std::string(e.what()).substr(7));
+  }
+  EXPECT_EQ(thrown_by, pool.failing_thread())
+      << "rethrown exception must come from the recorded failing thread";
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.run([](std::size_t) { throw std::runtime_error("boom"); }),
+        std::runtime_error);
+    std::atomic<int> hits{0};
+    pool.run([&](std::size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 4) << "round " << round;
+    EXPECT_FALSE(pool.cancel_requested())
+        << "a new region must start with the cancel flag cleared";
+  }
+}
+
+TEST(ThreadPool, RequestCancelStopsDynamicScheduling) {
+  // Once cancellation is requested, parallel_for_dynamic must stop
+  // claiming chunks: far fewer than n items get processed.
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 1'000'000;
+  std::atomic<std::size_t> processed{0};
+  pool.parallel_for_dynamic(kItems, 64, [&](std::size_t, Range r) {
+    if (processed.fetch_add(r.end - r.begin) > 10'000) {
+      pool.request_cancel();
+    }
+  });
+  EXPECT_LT(processed.load(), kItems)
+      << "cancellation did not stop the chunk cursor";
+}
+
+TEST(ThreadPool, SingleThreadPoolPropagatesExceptionDirectly) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.run([](std::size_t) { throw std::runtime_error("solo"); }),
+      std::runtime_error);
+  std::atomic<int> hits{0};
+  pool.run([&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 1);
 }
 
 }  // namespace

@@ -117,7 +117,7 @@ int main() {
   rows(table, "SSSP", road, apps::Sssp{.source = kSsspSource},
        {CombinerKind::kSpinlockPush, true}, pool, dir);
   table.print();
-  table.write_csv("bench_checkpoint.csv");
+  table.write_csv("results/bench_checkpoint.csv");
 
   // The adaptive trigger, for contrast: one early snapshot to measure the
   // cost, then spacing chosen so overhead stays near the 5% budget.

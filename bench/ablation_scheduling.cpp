@@ -62,7 +62,7 @@ int main() {
   row(table, "SSSP", road, apps::Sssp{.source = kSsspSource},
       {CombinerKind::kSpinlockPush, true}, pool);
   table.print();
-  table.write_csv("bench_scheduling.csv");
+  table.write_csv("results/bench_scheduling.csv");
   std::cout << "\nexpected: dynamic helps scan-all on the skewed graph; "
                "under the bypass the shares are already balanced (the "
                "paper's section 4 argument) and dynamic's atomics are "

@@ -135,7 +135,7 @@ int main() {
   row(table, "SSSP", road, apps::Sssp{.source = kSsspSource},
       {CombinerKind::kSpinlockPush, true}, pool, dir, 50);
   table.print();
-  table.write_csv("bench_supervisor.csv");
+  table.write_csv("results/bench_supervisor.csv");
 
   std::filesystem::remove_all(dir);
   std::cout << "\nexpected: the 0-fault supervised run pays only the "

@@ -87,7 +87,7 @@ void run_workload(const Workload& w, runtime::ThreadPool& pool) {
   bench_app(table, "Hashmin", w.graph, apps::Hashmin{}, pool);
   bench_app(table, "SSSP", w.graph, apps::Sssp{.source = kSsspSource}, pool);
   table.print();
-  table.write_csv("bench_fig7.csv");
+  table.write_csv("results/bench_fig7.csv");
 }
 
 }  // namespace

@@ -123,7 +123,7 @@ void bench_cell(const std::string& app, const Workload& w, Program program,
                        : fmt_factor(p.seconds / reference.seconds)});
   }
   table.print();
-  table.write_csv("bench_fig8.csv");
+  table.write_csv("results/bench_fig8.csv");
 
   const std::optional<std::size_t> change =
       lead_change(curve, reference.seconds);

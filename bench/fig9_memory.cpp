@@ -113,7 +113,7 @@ int main() {
                  fmt_bytes(full.tracked_bytes - full.graph_bytes),
                  fmt_bytes(full.vm_hwm_bytes)});
   table.print();
-  table.write_csv("bench_fig9.csv");
+  table.write_csv("results/bench_fig9.csv");
 
   const double error =
       (static_cast<double>(full.tracked_bytes) - projected_100) /

@@ -34,7 +34,7 @@ int main() {
                  "58,333,344"});
 
   table.print();
-  table.write_csv("bench_table1.csv");
+  table.write_csv("results/bench_table1.csv");
 
   std::cout << "\nstructural contract: wiki-like must be dense & skewed "
                "(paper avg deg 9.4), road-like sparse & near-regular with "

@@ -34,7 +34,7 @@ int main() {
                              static_cast<double>(fr.num_vertices)),
                  "68,349,466", "2,586,147,869", "37.84"});
   table.print();
-  table.write_csv("bench_table2.csv");
+  table.write_csv("results/bench_table2.csv");
 
   // Verify the generator honours the 10% contract of section 7.4.2.
   const graph::EdgeList ten = make_twitter_scaled(10);

@@ -78,7 +78,7 @@ int main() {
   report<CombinerKind::kPull, false>(table, e);
   report<CombinerKind::kPull, true>(table, e);
   table.print();
-  table.write_csv("bench_footprints.csv");
+  table.write_csv("results/bench_footprints.csv");
 
   std::cout << "\nchecks: locks(mutex) = 10x locks(spinlock) per section "
                "6.1 (40 B vs 4 B per vertex); locks(broadcast) = 0; pull "

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <sstream>
+
+#include "io/vfs.hpp"
 
 namespace ipregel::bench {
 
@@ -45,11 +46,8 @@ void Table::print() const {
   std::cout << std::string(total, '-') << '\n';
 }
 
-void Table::write_csv(const std::string& path) const {
-  std::ofstream out(path, std::ios::app);
-  if (!out) {
-    return;  // CSV dump is best-effort; the console table is authoritative
-  }
+void Table::write_csv(const std::string& path, io::Vfs* vfs) const {
+  std::ostringstream out;
   const auto escape = [](const std::string& s) {
     if (s.find_first_of(",\"\n") == std::string::npos) {
       return s;
@@ -73,6 +71,19 @@ void Table::write_csv(const std::string& path) const {
       out << (c ? "," : "") << escape(row[c]);
     }
     out << '\n';
+  }
+  // CSV dump is best-effort; the console table is authoritative.
+  try {
+    io::Vfs& fs = io::vfs_or_real(vfs);
+    const std::string parent = io::parent_dir(path);
+    if (parent != "." && parent != "/") {
+      fs.mkdir(parent);
+    }
+    const std::string body = out.str();
+    const auto file = fs.open(path, io::Vfs::OpenMode::kAppend);
+    file->write(body.data(), body.size());
+    file->close();
+  } catch (const io::IoError&) {
   }
 }
 

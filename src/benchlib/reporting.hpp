@@ -4,6 +4,10 @@
 #include <string>
 #include <vector>
 
+namespace ipregel::io {
+class Vfs;
+}  // namespace ipregel::io
+
 namespace ipregel::bench {
 
 /// Fixed-width console table, the output format of every figure/table
@@ -19,8 +23,11 @@ class Table {
   /// Renders the table (title, rule, headers, rows) to stdout.
   void print() const;
 
-  /// Appends the table as CSV to `path` (creates the file if needed).
-  void write_csv(const std::string& path) const;
+  /// Appends the table as CSV to `path` (creates the file — and its
+  /// parent directory, one level — if needed) through `vfs` (nullptr =
+  /// the real filesystem). Best-effort: the console table is
+  /// authoritative, so I/O failures are swallowed.
+  void write_csv(const std::string& path, io::Vfs* vfs = nullptr) const;
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 

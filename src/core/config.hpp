@@ -126,9 +126,13 @@ struct RunResult {
   std::size_t total_executed_vertices = 0;
   bool reached_superstep_cap = false;
   /// Snapshots written by this run's checkpoint policy, and the wall time
-  /// they cost (capture + serialise + fsync'd rename) — the numerator of
-  /// the checkpoint-overhead ablation.
+  /// they cost (capture + serialise + fsync + atomic rename + parent-
+  /// directory fsync) — the numerator of the checkpoint-overhead ablation.
   std::size_t checkpoints_written = 0;
+  /// Checkpoints that were due but hit a disk error (ENOSPC, EIO) while
+  /// being written. The run continues — losing one checkpoint costs
+  /// recomputation, not correctness — and retries at the next trigger.
+  std::size_t checkpoints_skipped = 0;
   double checkpoint_seconds = 0.0;
   std::vector<SuperstepStats> per_superstep;  ///< empty unless requested
 };

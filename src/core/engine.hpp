@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -21,6 +22,7 @@
 #include "ft/fingerprint.hpp"
 #include "ft/snapshot.hpp"
 #include "graph/csr.hpp"
+#include "io/vfs.hpp"
 #include "runtime/memory_tracker.hpp"
 #include "runtime/spin_lock.hpp"
 #include "runtime/thread_pool.hpp"
@@ -692,15 +694,33 @@ class Engine {
       return;
     }
     runtime::Timer cp_timer;
-    {
-      const ft::EngineSnapshot snap = capture_state(cp.mode);
-      checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint,
-                             snap.payload_bytes());
-      ft::write_snapshot(
-          ft::snapshot_path(cp.directory, cp.basename, superstep_), snap);
+    try {
+      {
+        const ft::EngineSnapshot snap = capture_state(cp.mode);
+        checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint,
+                               snap.payload_bytes());
+        ft::write_snapshot(
+            ft::snapshot_path(cp.directory, cp.basename, superstep_), snap,
+            cp.vfs);
+      }
+      checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint, 0);
+      ft::prune_snapshots(cp.directory, cp.basename, cp.keep, cp.vfs);
+    } catch (const io::PowerLoss&) {
+      // Simulation only: the machine this models is dead; the run is too.
+      checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint, 0);
+      throw;
+    } catch (const io::IoError& e) {
+      // A full or flaky disk costs one checkpoint, not the run: the
+      // previous snapshot is still intact (publish is atomic), so skip,
+      // warn, and retry at the next trigger. Pacing state is left alone —
+      // a skipped snapshot paid no cost worth amortising.
+      checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint, 0);
+      ++result.checkpoints_skipped;
+      std::fprintf(stderr,
+                   "ipregel: checkpoint at superstep %zu skipped: %s\n",
+                   superstep_, e.what());
+      return;
     }
-    checkpoint_mem_.rebind(runtime::MemCategory::kCheckpoint, 0);
-    ft::prune_snapshots(cp.directory, cp.basename, cp.keep);
     checkpoint_cost_seconds_ = cp_timer.seconds();
     since_checkpoint_seconds_ = 0.0;
     ++result.checkpoints_written;

@@ -42,7 +42,7 @@ RunResult run_version(
     const std::filesystem::path& resume_from = {}) {
   std::optional<ft::EngineSnapshot> snapshot;
   if (!resume_from.empty()) {
-    snapshot = ft::read_snapshot(resume_from);
+    snapshot = ft::read_snapshot(resume_from, options.checkpoint.vfs);
     const ft::SnapshotMeta& m = snapshot->meta;
     if (m.graph_fingerprint != ft::graph_fingerprint(graph)) {
       throw ft::SnapshotMismatch(

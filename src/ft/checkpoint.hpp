@@ -4,6 +4,10 @@
 #include <string>
 #include <string_view>
 
+namespace ipregel::io {
+class Vfs;
+}  // namespace ipregel::io
+
 namespace ipregel::ft {
 
 /// What a snapshot contains — the FTPregel lightweight-vs-heavyweight
@@ -63,6 +67,11 @@ struct CheckpointPolicy {
 
   /// Retain only the newest `keep` snapshots (0 = keep all).
   std::size_t keep = 2;
+
+  /// Filesystem the snapshots go through. nullptr = the real filesystem;
+  /// tests inject an io::FaultyVfs here to exercise power loss and disk
+  /// errors deterministically. Not owned.
+  io::Vfs* vfs = nullptr;
 
   [[nodiscard]] bool enabled() const noexcept {
     return trigger != CheckpointTrigger::kOff && !directory.empty();

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <charconv>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 
 #include "ft/binary_format.hpp"
+#include "io/stream.hpp"
+#include "io/vfs.hpp"
 
 namespace ipregel::ft {
 namespace {
@@ -99,120 +98,110 @@ void check_sizes(const EngineSnapshot& s, const std::string& path) {
 
 }  // namespace
 
-void write_snapshot(const std::string& path, const EngineSnapshot& snap) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("cannot write snapshot: " + tmp);
+void write_snapshot(const std::string& path, const EngineSnapshot& snap,
+                    io::Vfs* vfs) {
+  // Crash-consistent publish: bytes to "<path>.tmp", flush + fsync(tmp),
+  // rename into place, fsync the parent directory. The previous good
+  // snapshot survives a power loss at any point before the rename is
+  // durable; after it, the new one is.
+  io::AtomicFile out(io::vfs_or_real(vfs), path);
+  BinaryWriter w(out.stream(), kSnapshotMagic, kSnapshotFormatVersion);
+  const std::vector<std::uint8_t> meta = encode_meta(snap.meta);
+  w.section(kMetaTag, meta.data(), meta.size());
+  w.section(kValuesTag, snap.values.data(), snap.values.size());
+  w.section(kHaltedTag, snap.halted.data(), snap.halted.size());
+  if (snap.meta.mode == CheckpointMode::kHeavyweight) {
+    w.section(kInboxTag, snap.inbox.data(), snap.inbox.size());
+    w.section(kInboxFlagsTag, snap.inbox_flags.data(),
+              snap.inbox_flags.size());
+    if (snap.meta.selection_bypass) {
+      w.section(kFrontierTag, snap.frontier.data(),
+                snap.frontier.size() * sizeof(std::uint64_t));
     }
-    BinaryWriter w(out, kSnapshotMagic, kSnapshotFormatVersion);
-    const std::vector<std::uint8_t> meta = encode_meta(snap.meta);
-    w.section(kMetaTag, meta.data(), meta.size());
-    w.section(kValuesTag, snap.values.data(), snap.values.size());
-    w.section(kHaltedTag, snap.halted.data(), snap.halted.size());
-    if (snap.meta.mode == CheckpointMode::kHeavyweight) {
-      w.section(kInboxTag, snap.inbox.data(), snap.inbox.size());
-      w.section(kInboxFlagsTag, snap.inbox_flags.data(),
-                snap.inbox_flags.size());
-      if (snap.meta.selection_bypass) {
-        w.section(kFrontierTag, snap.frontier.data(),
-                  snap.frontier.size() * sizeof(std::uint64_t));
-      }
-      if (snap.meta.has_aggregator) {
-        w.section(kAggregateTag, snap.aggregate.data(),
-                  snap.aggregate.size());
-      }
-    }
-    w.finish();
-    if (!out) {
-      throw std::runtime_error("short write to snapshot: " + tmp);
+    if (snap.meta.has_aggregator) {
+      w.section(kAggregateTag, snap.aggregate.data(),
+                snap.aggregate.size());
     }
   }
-  // Publish atomically: the previous good snapshot survives a crash at any
-  // point before this rename.
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("cannot publish snapshot " + path + ": " +
-                             ec.message());
-  }
+  w.finish();
+  out.commit();  // throws the typed IoError for any buffered failure too
 }
 
-EngineSnapshot read_snapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open snapshot: " + path);
-  }
-  BinaryReader r(in, path, kSnapshotMagic, kSnapshotFormatVersion,
-                 kSnapshotFormatVersion);
-  EngineSnapshot snap;
-  snap.meta =
-      decode_meta(r.expect_section(kMetaTag), path, r.version());
-  std::uint32_t tag = 0;
-  std::vector<std::uint8_t> payload;
-  while (r.next_section(tag, payload)) {
-    switch (tag) {
-      case kValuesTag:
-        snap.values = std::move(payload);
-        break;
-      case kHaltedTag:
-        snap.halted = std::move(payload);
-        break;
-      case kInboxTag:
-        snap.inbox = std::move(payload);
-        break;
-      case kInboxFlagsTag:
-        snap.inbox_flags = std::move(payload);
-        break;
-      case kFrontierTag: {
-        if (payload.size() % sizeof(std::uint64_t) != 0) {
-          throw FormatError(path + ": frontier section size is not a "
-                                   "multiple of 8");
+EngineSnapshot read_snapshot(const std::string& path, io::Vfs* vfs) {
+  io::VfsIStream in(io::vfs_or_real(vfs), path);
+  try {
+    BinaryReader r(in.stream(), path, kSnapshotMagic, kSnapshotFormatVersion,
+                   kSnapshotFormatVersion);
+    EngineSnapshot snap;
+    snap.meta =
+        decode_meta(r.expect_section(kMetaTag), path, r.version());
+    std::uint32_t tag = 0;
+    std::vector<std::uint8_t> payload;
+    while (r.next_section(tag, payload)) {
+      switch (tag) {
+        case kValuesTag:
+          snap.values = std::move(payload);
+          break;
+        case kHaltedTag:
+          snap.halted = std::move(payload);
+          break;
+        case kInboxTag:
+          snap.inbox = std::move(payload);
+          break;
+        case kInboxFlagsTag:
+          snap.inbox_flags = std::move(payload);
+          break;
+        case kFrontierTag: {
+          if (payload.size() % sizeof(std::uint64_t) != 0) {
+            throw FormatError(path + ": frontier section size is not a "
+                                     "multiple of 8");
+          }
+          snap.frontier.resize(payload.size() / sizeof(std::uint64_t));
+          std::copy_n(payload.data(), payload.size(),
+                      reinterpret_cast<std::uint8_t*>(snap.frontier.data()));
+          break;
         }
-        snap.frontier.resize(payload.size() / sizeof(std::uint64_t));
-        std::copy_n(payload.data(), payload.size(),
-                    reinterpret_cast<std::uint8_t*>(snap.frontier.data()));
-        break;
+        case kAggregateTag:
+          snap.aggregate = std::move(payload);
+          break;
+        default:
+          // Unknown section within a known format version: corruption, not
+          // forward compatibility.
+          throw FormatError(path + ": unknown section tag " +
+                            std::to_string(tag));
       }
-      case kAggregateTag:
-        snap.aggregate = std::move(payload);
-        break;
-      default:
-        // Unknown section within a known format version: corruption, not
-        // forward compatibility.
-        throw FormatError(path + ": unknown section tag " +
-                          std::to_string(tag));
+      payload.clear();
     }
-    payload.clear();
+    check_sizes(snap, path);
+    return snap;
+  } catch (const FormatError&) {
+    // A failed read surfaces to the parser as truncation; report the real
+    // I/O failure (EIO, power loss, ...) rather than "corrupt file".
+    in.rethrow_io_error();
+    throw;
   }
-  check_sizes(snap, path);
-  return snap;
 }
 
-SnapshotMeta read_snapshot_meta(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open snapshot: " + path);
+SnapshotMeta read_snapshot_meta(const std::string& path, io::Vfs* vfs) {
+  io::VfsIStream in(io::vfs_or_real(vfs), path);
+  try {
+    BinaryReader r(in.stream(), path, kSnapshotMagic, kSnapshotFormatVersion,
+                   kSnapshotFormatVersion);
+    return decode_meta(r.expect_section(kMetaTag), path, r.version());
+  } catch (const FormatError&) {
+    in.rethrow_io_error();
+    throw;
   }
-  BinaryReader r(in, path, kSnapshotMagic, kSnapshotFormatVersion,
-                 kSnapshotFormatVersion);
-  return decode_meta(r.expect_section(kMetaTag), path, r.version());
 }
 
 std::string snapshot_path(const std::string& dir, const std::string& basename,
                           std::uint64_t superstep) {
-  return (std::filesystem::path(dir) /
-          (basename + "." + std::to_string(superstep) + kSnapshotSuffix))
-      .string();
+  return dir + "/" + basename + "." + std::to_string(superstep) +
+         kSnapshotSuffix;
 }
 
-namespace {
-
-/// Parses "<basename>.<N>.ipsnap"; returns the superstep or nullopt.
-std::optional<std::uint64_t> snapshot_superstep(const std::string& filename,
-                                                const std::string& basename) {
+std::optional<std::uint64_t> parse_snapshot_filename(
+    const std::string& filename, const std::string& basename) {
   const std::string prefix = basename + ".";
   const std::string suffix = kSnapshotSuffix;
   if (filename.size() <= prefix.size() + suffix.size() ||
@@ -232,28 +221,29 @@ std::optional<std::uint64_t> snapshot_superstep(const std::string& filename,
 }
 
 std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
-    const std::string& dir, const std::string& basename) {
+    const std::string& dir, const std::string& basename, io::Vfs* vfs) {
   std::vector<std::pair<std::uint64_t, std::string>> found;
-  std::error_code ec;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file(ec)) {
-      continue;
-    }
-    const std::string name = entry.path().filename().string();
-    if (const auto step = snapshot_superstep(name, basename)) {
-      found.emplace_back(*step, entry.path().string());
+  std::vector<std::string> names;
+  try {
+    names = io::vfs_or_real(vfs).list(dir);
+  } catch (const io::PowerLoss&) {
+    throw;
+  } catch (const io::IoError&) {
+    return found;  // a checkpoint directory that never existed is empty
+  }
+  for (const std::string& name : names) {
+    if (const auto step = parse_snapshot_filename(name, basename)) {
+      found.emplace_back(*step, dir + "/" + name);
     }
   }
   std::sort(found.begin(), found.end());
   return found;
 }
 
-}  // namespace
-
 std::optional<std::string> latest_snapshot(const std::string& dir,
-                                           const std::string& basename) {
-  const auto found = list_snapshots(dir, basename);
+                                           const std::string& basename,
+                                           io::Vfs* vfs) {
+  const auto found = list_snapshots(dir, basename, vfs);
   if (found.empty()) {
     return std::nullopt;
   }
@@ -261,17 +251,23 @@ std::optional<std::string> latest_snapshot(const std::string& dir,
 }
 
 void prune_snapshots(const std::string& dir, const std::string& basename,
-                     std::size_t keep) {
+                     std::size_t keep, io::Vfs* vfs) {
   if (keep == 0) {
     return;
   }
-  const auto found = list_snapshots(dir, basename);
+  io::Vfs& fs = io::vfs_or_real(vfs);
+  const auto found = list_snapshots(dir, basename, vfs);
   if (found.size() <= keep) {
     return;
   }
   for (std::size_t i = 0; i < found.size() - keep; ++i) {
-    std::error_code ec;
-    std::filesystem::remove(found[i].second, ec);
+    try {
+      fs.unlink(found[i].second);
+    } catch (const io::PowerLoss&) {
+      throw;
+    } catch (const io::IoError&) {
+      // Best-effort GC: an undeletable stale snapshot is not an error.
+    }
   }
 }
 

@@ -5,9 +5,14 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ft/checkpoint.hpp"
+
+namespace ipregel::io {
+class Vfs;
+}  // namespace ipregel::io
 
 namespace ipregel::ft {
 
@@ -79,33 +84,55 @@ struct EngineSnapshot {
   }
 };
 
-/// Writes `snap` to `path` atomically: the bytes go to "<path>.tmp" and
-/// the file is renamed into place only after a successful flush, so a
-/// crash *during checkpointing* can never destroy the previous good
-/// snapshot. Throws std::runtime_error on I/O failure.
-void write_snapshot(const std::string& path, const EngineSnapshot& snap);
+/// Writes `snap` to `path` crash-consistently through `vfs` (nullptr =
+/// the real filesystem): the bytes go to "<path>.tmp", are flushed and
+/// fsync'd, the file is renamed into place, and the parent directory is
+/// fsync'd — so a power loss at ANY point leaves either the previous good
+/// snapshot or the new one under `path`, never a torn file. Throws
+/// io::IoError on I/O failure.
+void write_snapshot(const std::string& path, const EngineSnapshot& snap,
+                    io::Vfs* vfs = nullptr);
 
 /// Reads and fully validates a snapshot (magic, format version, per-
 /// section CRC, internal size consistency). Throws FormatError on
-/// structural damage — never returns partially-loaded state.
-[[nodiscard]] EngineSnapshot read_snapshot(const std::string& path);
+/// structural damage and io::IoError when the damage is really an I/O
+/// failure — never returns partially-loaded state.
+[[nodiscard]] EngineSnapshot read_snapshot(const std::string& path,
+                                           io::Vfs* vfs = nullptr);
 
 /// Reads only the metadata section (cheap peek for resume dispatch).
-[[nodiscard]] SnapshotMeta read_snapshot_meta(const std::string& path);
+[[nodiscard]] SnapshotMeta read_snapshot_meta(const std::string& path,
+                                              io::Vfs* vfs = nullptr);
 
 /// "<dir>/<basename>.<superstep><kSnapshotSuffix>".
 [[nodiscard]] std::string snapshot_path(const std::string& dir,
                                         const std::string& basename,
                                         std::uint64_t superstep);
 
+/// Parses "<basename>.<N><kSnapshotSuffix>"; returns the superstep N or
+/// nullopt when `filename` is not a finished snapshot of `basename`.
+[[nodiscard]] std::optional<std::uint64_t> parse_snapshot_filename(
+    const std::string& filename, const std::string& basename);
+
+/// All finished snapshots matching basename in dir as (superstep, path),
+/// sorted ascending by superstep. A missing or unreadable directory yields
+/// an empty list (a simulated power cut still propagates).
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>>
+list_snapshots(const std::string& dir, const std::string& basename,
+               io::Vfs* vfs = nullptr);
+
 /// Path of the newest (highest-superstep) finished snapshot matching
-/// basename in dir, or nullopt when none exists.
+/// basename in dir, or nullopt when none exists. Purely name-based — see
+/// SnapshotDirectory (ft/snapshot_dir.hpp) for the content-validating
+/// variant recovery should use.
 [[nodiscard]] std::optional<std::string> latest_snapshot(
-    const std::string& dir, const std::string& basename);
+    const std::string& dir, const std::string& basename,
+    io::Vfs* vfs = nullptr);
 
 /// Deletes all but the newest `keep` snapshots matching basename (no-op
-/// when keep == 0).
+/// when keep == 0). Best-effort: deletion failures are ignored (a
+/// simulated power cut still propagates).
 void prune_snapshots(const std::string& dir, const std::string& basename,
-                     std::size_t keep);
+                     std::size_t keep, io::Vfs* vfs = nullptr);
 
 }  // namespace ipregel::ft

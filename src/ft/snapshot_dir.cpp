@@ -1,0 +1,60 @@
+#include "ft/snapshot_dir.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "ft/snapshot.hpp"
+#include "io/vfs.hpp"
+
+namespace ipregel::ft {
+
+SnapshotDirectory::SnapshotDirectory(std::string dir, std::string basename,
+                                     io::Vfs* vfs, std::size_t keep)
+    : dir_(std::move(dir)),
+      basename_(std::move(basename)),
+      vfs_(vfs),
+      keep_(keep) {}
+
+std::vector<SnapshotDirectory::Entry> SnapshotDirectory::list() const {
+  std::vector<Entry> entries;
+  for (const auto& found : list_snapshots(dir_, basename_, vfs_)) {
+    entries.push_back(Entry{found.first, found.second});
+  }
+  return entries;
+}
+
+std::optional<SnapshotDirectory::Entry> SnapshotDirectory::newest_valid() {
+  const std::vector<Entry> entries = list();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    try {
+      (void)read_snapshot(it->path, vfs_);  // full validation, result unused
+      return *it;
+    } catch (const io::PowerLoss&) {
+      throw;  // the simulated machine died mid-recovery; no fallback
+    } catch (const std::exception& e) {
+      // Torn, corrupt, or unreadable: take it out of the candidate set so
+      // it stops shadowing older good snapshots, but keep the bytes for
+      // post-mortem.
+      std::fprintf(stderr,
+                   "ipregel: quarantining snapshot %s: %s\n",
+                   it->path.c_str(), e.what());
+      try {
+        io::vfs_or_real(vfs_).rename(it->path, it->path + ".quarantined");
+        ++quarantined_;
+      } catch (const io::PowerLoss&) {
+        throw;
+      } catch (const io::IoError&) {
+        // Cannot even rename it — leave it in place and keep walking; the
+        // next recovery will stumble over it again, which is annoying but
+        // safe.
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void SnapshotDirectory::prune() {
+  prune_snapshots(dir_, basename_, keep_, vfs_);
+}
+
+}  // namespace ipregel::ft

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ipregel::io {
+class Vfs;
+}  // namespace ipregel::io
+
+namespace ipregel::ft {
+
+/// Recovery-side manager of a checkpoint directory.
+///
+/// The write side (engine + ft::write_snapshot) guarantees each snapshot
+/// file is published atomically; this class is the matching read-side
+/// discipline. `latest_snapshot` picks the newest snapshot *by name* —
+/// fine when the disk is honest, but a recovery path must assume it is
+/// not. `newest_valid()` walks candidates newest-first, fully validates
+/// each (magic, format version, every section CRC, internal size
+/// consistency), and returns the first that passes. A candidate that
+/// fails is quarantined: renamed to "<path>.quarantined" with the reason
+/// logged, so it stops shadowing older good snapshots on the next walk
+/// but remains on disk for post-mortem. The net effect is a fallback
+/// ladder — a torn newest snapshot degrades recovery to the previous one
+/// instead of failing it.
+class SnapshotDirectory {
+ public:
+  /// A finished snapshot file, identified by the superstep a resumed run
+  /// executes first.
+  struct Entry {
+    std::uint64_t superstep = 0;
+    std::string path;
+  };
+
+  /// `vfs` nullptr = the real filesystem; not owned. `keep` bounds
+  /// retention for prune().
+  explicit SnapshotDirectory(std::string dir,
+                             std::string basename = "snapshot",
+                             io::Vfs* vfs = nullptr, std::size_t keep = 2);
+
+  /// All finished snapshots, ascending by superstep, validity unknown.
+  /// A missing directory yields an empty list.
+  [[nodiscard]] std::vector<Entry> list() const;
+
+  /// The newest snapshot whose content fully validates, or nullopt when
+  /// none does. Corrupt or unreadable candidates encountered on the way
+  /// are quarantined (best-effort; a file that cannot even be renamed is
+  /// left in place and skipped). A simulated power cut propagates.
+  [[nodiscard]] std::optional<Entry> newest_valid();
+
+  /// Deletes all but the newest `keep` snapshots (no-op when keep == 0).
+  void prune();
+
+  /// Snapshots this instance quarantined so far.
+  [[nodiscard]] std::size_t quarantined() const noexcept {
+    return quarantined_;
+  }
+
+ private:
+  std::string dir_;
+  std::string basename_;
+  io::Vfs* vfs_;
+  std::size_t keep_;
+  std::size_t quarantined_ = 0;
+};
+
+}  // namespace ipregel::ft

@@ -12,6 +12,7 @@
 #include "core/runner.hpp"
 #include "ft/fault.hpp"
 #include "ft/snapshot.hpp"
+#include "ft/snapshot_dir.hpp"
 
 namespace ipregel::ft {
 
@@ -73,6 +74,9 @@ struct SupervisedOutcome {
   /// Attempts that restored a checkpoint (including attempt 0 picking up a
   /// snapshot a previous process left behind — crash-restart).
   std::size_t resumed_from_snapshot = 0;
+  /// Snapshots that failed content validation during recovery and were
+  /// quarantined (recovery then fell back to the next older candidate).
+  std::size_t snapshots_quarantined = 0;
   double backoff_seconds = 0.0;
 
   [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
@@ -113,10 +117,17 @@ SupervisedOutcome supervise(
 
     std::filesystem::path resume;
     if (options.checkpoint.enabled()) {
-      if (const auto latest = latest_snapshot(options.checkpoint.directory,
-                                              options.checkpoint.basename)) {
-        resume = *latest;
+      // Content-validating pick: a torn or corrupt newest snapshot is
+      // quarantined and recovery degrades to the previous good one instead
+      // of dying on a FormatError at resume time.
+      SnapshotDirectory snapshots(options.checkpoint.directory,
+                                  options.checkpoint.basename,
+                                  options.checkpoint.vfs,
+                                  options.checkpoint.keep);
+      if (const auto newest = snapshots.newest_valid()) {
+        resume = newest->path;
       }
+      out.snapshots_quarantined += snapshots.quarantined();
     }
     ++out.attempts;
     if (!resume.empty()) {

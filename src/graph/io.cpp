@@ -9,6 +9,8 @@
 #include <string_view>
 
 #include "ft/binary_format.hpp"
+#include "io/stream.hpp"
+#include "io/vfs.hpp"
 
 namespace ipregel::graph {
 namespace {
@@ -205,12 +207,13 @@ constexpr std::uint32_t kWeightsTag = 3;    // count * weight_t (if weighted)
 
 }  // namespace
 
-void save_edge_list_binary(const EdgeList& list, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("cannot write graph file: " + path);
-  }
-  ft::BinaryWriter writer(out, kEdgeListMagic, kEdgeListFormatVersion);
+void save_edge_list_binary(const EdgeList& list, const std::string& path,
+                           io::Vfs* vfs) {
+  // Atomic publish: a crash mid-save leaves the previous cache (or
+  // nothing), never a torn file under the final name.
+  io::AtomicFile out(io::vfs_or_real(vfs), path);
+  ft::BinaryWriter writer(out.stream(), kEdgeListMagic,
+                          kEdgeListFormatVersion);
   ft::FieldWriter meta;
   meta.u64(list.size());
   meta.u8(list.weighted() ? 1 : 0);
@@ -222,16 +225,13 @@ void save_edge_list_binary(const EdgeList& list, const std::string& path) {
                    list.size() * sizeof(weight_t));
   }
   writer.finish();
-  if (!out) {
-    throw std::runtime_error("short write to " + path);
-  }
+  out.commit();
 }
 
-EdgeList load_edge_list_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open graph file: " + path);
-  }
+namespace {
+
+EdgeList load_edge_list_binary_from(std::istream& in,
+                                    const std::string& path) {
   // Peek at the magic first so a stale version-1 cache gets an actionable
   // message instead of "wrong magic number".
   {
@@ -288,6 +288,20 @@ EdgeList load_edge_list_binary(const std::string& path) {
   }
   return weighted ? EdgeList(std::move(edges), std::move(weights))
                   : EdgeList(std::move(edges));
+}
+
+}  // namespace
+
+EdgeList load_edge_list_binary(const std::string& path, io::Vfs* vfs) {
+  io::VfsIStream in(io::vfs_or_real(vfs), path);
+  try {
+    return load_edge_list_binary_from(in.stream(), path);
+  } catch (const ft::FormatError&) {
+    // A failed read surfaces to the parser as truncation; report the real
+    // I/O failure (EIO, power loss, ...) rather than "corrupt file".
+    in.rethrow_io_error();
+    throw;
+  }
 }
 
 }  // namespace ipregel::graph

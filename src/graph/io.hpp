@@ -5,6 +5,10 @@
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 
+namespace ipregel::io {
+class Vfs;
+}  // namespace ipregel::io
+
 namespace ipregel::graph {
 
 /// Graph file I/O.
@@ -39,7 +43,16 @@ void save_edge_list_text(const EdgeList& list, const std::string& path);
 /// + CRC-protected sections (metadata, edges, weights). The loader throws
 /// ft::FormatError (a std::runtime_error) on corruption, truncation, or a
 /// stale legacy-format cache — it never returns partially-read data.
-void save_edge_list_binary(const EdgeList& list, const std::string& path);
-[[nodiscard]] EdgeList load_edge_list_binary(const std::string& path);
+///
+/// The writer publishes crash-consistently through `vfs` (nullptr = the
+/// real filesystem): bytes go to "<path>.tmp", are fsync'd, renamed into
+/// place, and the parent directory is fsync'd — a power loss mid-save
+/// leaves the previous cache (or nothing) under `path`, never a torn
+/// file the next run would have to quarantine. I/O failures throw
+/// io::IoError.
+void save_edge_list_binary(const EdgeList& list, const std::string& path,
+                           io::Vfs* vfs = nullptr);
+[[nodiscard]] EdgeList load_edge_list_binary(const std::string& path,
+                                             io::Vfs* vfs = nullptr);
 
 }  // namespace ipregel::graph

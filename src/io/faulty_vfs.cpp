@@ -1,0 +1,259 @@
+#include "io/faulty_vfs.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace ipregel::io {
+
+/// File handle over an in-memory inode. Content mutations run under the
+/// disk-wide mutex and through the fault plan.
+class FaultyVfs::MemFile final : public Vfs::File {
+ public:
+  MemFile(FaultyVfs& vfs, std::shared_ptr<Inode> inode, std::string path,
+          bool writable)
+      : vfs_(vfs),
+        inode_(std::move(inode)),
+        path_(std::move(path)),
+        writable_(writable) {}
+
+  std::size_t read(void* buf, std::size_t n) override {
+    std::lock_guard<std::mutex> lock(vfs_.mu_);
+    if (vfs_.frozen_) {
+      vfs_.throw_power_cut(IoOp::kRead, path_);
+    }
+    const std::vector<std::uint8_t>& data = inode_->live;
+    if (pos_ >= data.size()) {
+      return 0;
+    }
+    const std::size_t got = std::min(n, data.size() - pos_);
+    std::memcpy(buf, data.data() + pos_, got);
+    pos_ += got;
+    return got;
+  }
+
+  void write(const void* buf, std::size_t n) override {
+    std::lock_guard<std::mutex> lock(vfs_.mu_);
+    if (vfs_.frozen_) {
+      vfs_.throw_power_cut(IoOp::kWrite, path_);
+    }
+    if (!writable_) {
+      throw IoError(IoOp::kWrite, path_, EBADF, "opened read-only");
+    }
+    ++vfs_.ops_;
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    Plan& plan = vfs_.plan_;
+    if (plan.kind == FaultKind::kNone || plan.at_op == 0 ||
+        vfs_.ops_ != plan.at_op) {
+      inode_->live.insert(inode_->live.end(), p, p + n);
+      return;
+    }
+    switch (plan.kind) {
+      case FaultKind::kEio:
+        plan = Plan{};
+        throw IoError(IoOp::kWrite, path_, EIO, "injected I/O error");
+      case FaultKind::kEnospc:
+        plan = Plan{};
+        throw IoError(IoOp::kWrite, path_, ENOSPC, "injected disk-full");
+      case FaultKind::kShortWrite:
+        plan = Plan{};
+        inode_->live.insert(inode_->live.end(), p, p + n / 2);
+        throw IoError(IoOp::kWrite, path_, EIO, "injected short write");
+      case FaultKind::kTornWrite:
+        // Half the payload reaches the platter out of order — both the
+        // bytes and the (never directory-synced) entry become durable —
+        // and then the power dies.
+        inode_->live.insert(inode_->live.end(), p, p + n / 2);
+        inode_->synced = inode_->live;
+        vfs_.synced_[path_] = inode_;
+        vfs_.frozen_ = true;
+        vfs_.throw_power_cut(IoOp::kWrite, path_);
+      case FaultKind::kPowerCut:
+        vfs_.frozen_ = true;
+        vfs_.throw_power_cut(IoOp::kWrite, path_);
+      case FaultKind::kNone:
+        break;
+    }
+  }
+
+  void seek(std::uint64_t pos) override {
+    std::lock_guard<std::mutex> lock(vfs_.mu_);
+    if (vfs_.frozen_) {
+      vfs_.throw_power_cut(IoOp::kRead, path_);
+    }
+    pos_ = static_cast<std::size_t>(pos);
+  }
+
+  void fsync() override {
+    std::lock_guard<std::mutex> lock(vfs_.mu_);
+    vfs_.begin_mutation(IoOp::kFsync, path_);
+    inode_->synced = inode_->live;
+  }
+
+  void close() override {}  // nothing buffered at this layer
+
+ private:
+  FaultyVfs& vfs_;
+  std::shared_ptr<Inode> inode_;
+  std::string path_;
+  bool writable_;
+  std::size_t pos_ = 0;
+};
+
+void FaultyVfs::throw_power_cut(IoOp op, const std::string& path) {
+  throw PowerLoss(op, path);
+}
+
+void FaultyVfs::begin_mutation(IoOp op, const std::string& path) {
+  if (frozen_) {
+    throw_power_cut(op, path);
+  }
+  ++ops_;
+  if (plan_.kind == FaultKind::kNone || plan_.at_op == 0 ||
+      ops_ != plan_.at_op) {
+    return;
+  }
+  switch (plan_.kind) {
+    case FaultKind::kEio:
+    case FaultKind::kShortWrite:  // degrades to plain EIO off the write path
+      plan_ = Plan{};
+      throw IoError(op, path, EIO, "injected I/O error");
+    case FaultKind::kEnospc:
+      plan_ = Plan{};
+      throw IoError(op, path, ENOSPC, "injected disk-full");
+    case FaultKind::kTornWrite:  // degrades to a power cut off the write path
+    case FaultKind::kPowerCut:
+      frozen_ = true;
+      throw_power_cut(op, path);
+    case FaultKind::kNone:
+      break;
+  }
+}
+
+void FaultyVfs::set_plan(Plan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  ops_ = 0;
+}
+
+void FaultyVfs::reboot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  frozen_ = false;
+  plan_ = Plan{};
+  ops_ = 0;
+  live_ = synced_;
+  for (auto& entry : live_) {
+    entry.second->live = entry.second->synced;
+  }
+}
+
+void FaultyVfs::sync_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  synced_ = live_;
+  for (auto& entry : synced_) {
+    entry.second->synced = entry.second->live;
+  }
+}
+
+std::uint64_t FaultyVfs::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultyVfs::power_is_cut() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frozen_;
+}
+
+std::unique_ptr<Vfs::File> FaultyVfs::open(const std::string& path,
+                                           OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode == OpenMode::kRead) {
+    if (frozen_) {
+      throw_power_cut(IoOp::kOpen, path);
+    }
+    const auto it = live_.find(path);
+    if (it == live_.end()) {
+      throw IoError(IoOp::kOpen, path, ENOENT);
+    }
+    return std::make_unique<MemFile>(*this, it->second, path,
+                                     /*writable=*/false);
+  }
+  begin_mutation(IoOp::kOpen, path);
+  std::shared_ptr<Inode>& node = live_[path];
+  if (node == nullptr) {
+    node = std::make_shared<Inode>();
+  }
+  if (mode == OpenMode::kTruncate) {
+    node->live.clear();
+  }
+  return std::make_unique<MemFile>(*this, node, path, /*writable=*/true);
+}
+
+void FaultyVfs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  begin_mutation(IoOp::kRename, from);
+  const auto it = live_.find(from);
+  if (it == live_.end()) {
+    throw IoError(IoOp::kRename, from, ENOENT, "renaming to " + to);
+  }
+  live_[to] = it->second;
+  live_.erase(from);
+}
+
+void FaultyVfs::unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  begin_mutation(IoOp::kUnlink, path);
+  if (live_.erase(path) == 0) {
+    throw IoError(IoOp::kUnlink, path, ENOENT);
+  }
+}
+
+bool FaultyVfs::exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frozen_) {
+    throw_power_cut(IoOp::kList, path);
+  }
+  return live_.count(path) != 0;
+}
+
+std::vector<std::string> FaultyVfs::list(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frozen_) {
+    throw_power_cut(IoOp::kList, dir);
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : live_) {
+    const std::string& path = entry.first;
+    if (parent_dir(path) == dir) {
+      names.push_back(path.substr(path.find_last_of('/') + 1));
+    }
+  }
+  return names;
+}
+
+void FaultyVfs::fsync_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  begin_mutation(IoOp::kFsync, dir);
+  // Creations and renames under `dir` become durable...
+  for (const auto& entry : live_) {
+    if (parent_dir(entry.first) == dir) {
+      synced_[entry.first] = entry.second;
+    }
+  }
+  // ...and so do unlinks.
+  for (auto it = synced_.begin(); it != synced_.end();) {
+    if (parent_dir(it->first) == dir && live_.count(it->first) == 0) {
+      it = synced_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultyVfs::mkdir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  begin_mutation(IoOp::kMkdir, dir);
+  // The namespace is flat; directories spring into being with their files.
+}
+
+}  // namespace ipregel::io

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/vfs.hpp"
+
+namespace ipregel::io {
+
+/// An in-memory disk with deterministic fault injection — the test double
+/// that makes crash consistency a provable property instead of a hope.
+///
+/// ## Durability model (strict POSIX)
+///
+/// The disk keeps two views of every file and of the namespace:
+///
+///  - the *live* view: what a running process observes (page cache);
+///  - the *synced* view: what survives a power loss (the platter).
+///
+/// `write` changes only the live content. `File::fsync` copies the file's
+/// live content to its synced content. Namespace changes (create, rename,
+/// unlink) are live immediately but reach the synced namespace only via
+/// `fsync_dir` on the parent — the strictest reading of POSIX, which is
+/// exactly what a publish discipline must be correct against. `reboot()`
+/// discards every live-only byte and entry, models power coming back, and
+/// re-arms nothing.
+///
+/// ## Fault plans
+///
+/// Mutating operations (open-for-write, write, fsync, rename, unlink,
+/// fsync_dir, mkdir) are counted; `Plan{kind, at_op}` makes the
+/// `at_op`-th counted operation fail:
+///
+///  - kEio / kEnospc: the operation fails with that errno and no effect;
+///    one-shot (the plan disarms), so later operations succeed — the
+///    shape of a transient disk error or a full disk that gets cleaned.
+///  - kShortWrite: half the payload is applied, then EIO; one-shot.
+///  - kTornWrite: half the payload is applied AND made durable (content
+///    reordered onto the platter), then the power is cut.
+///  - kPowerCut: the operation does not execute and the disk freezes —
+///    every subsequent operation throws PowerLoss until `reboot()`.
+///
+/// A probe run against an unarmed FaultyVfs yields `mutating_ops()`, the
+/// loop bound a crash matrix iterates `at_op` over.
+class FaultyVfs final : public Vfs {
+ public:
+  enum class FaultKind : std::uint8_t {
+    kNone,
+    kEio,
+    kEnospc,
+    kShortWrite,
+    kTornWrite,
+    kPowerCut,
+  };
+
+  struct Plan {
+    FaultKind kind = FaultKind::kNone;
+    /// 1-based index of the counted mutating operation that faults
+    /// (0 = disarmed).
+    std::uint64_t at_op = 0;
+  };
+
+  FaultyVfs() = default;
+
+  /// Arms a fault plan and resets the operation counter.
+  void set_plan(Plan plan);
+  /// Power restored: the live state reverts to the synced state, the plan
+  /// disarms, and the operation counter resets.
+  void reboot();
+  /// Test scaffolding: makes all current live state durable at once.
+  void sync_all();
+  /// Counted mutating operations so far (the crash-matrix loop bound).
+  [[nodiscard]] std::uint64_t mutating_ops() const;
+  [[nodiscard]] bool power_is_cut() const;
+
+  // Vfs
+  std::unique_ptr<File> open(const std::string& path, OpenMode mode) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void unlink(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  void fsync_dir(const std::string& dir) override;
+  void mkdir(const std::string& dir) override;
+
+ private:
+  struct Inode {
+    std::vector<std::uint8_t> live;
+    std::vector<std::uint8_t> synced;
+  };
+  class MemFile;
+  friend class MemFile;
+
+  /// Counts one mutating operation and applies the armed plan. For write
+  /// operations the short/torn variants are handled by the caller; on
+  /// non-write operations they degrade to EIO / power cut respectively.
+  /// Caller must hold mu_.
+  void begin_mutation(IoOp op, const std::string& path);
+  /// Plan decision for one write: how many of `n` bytes to apply before
+  /// failing. Returns n (and no exception follows) in the common case.
+  /// Caller must hold mu_; throws after the caller applies the prefix via
+  /// the returned FaultAction.
+  [[noreturn]] void throw_power_cut(IoOp op, const std::string& path);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Inode>> live_;
+  std::map<std::string, std::shared_ptr<Inode>> synced_;
+  Plan plan_;
+  std::uint64_t ops_ = 0;
+  bool frozen_ = false;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    FaultyVfs::FaultKind k) noexcept {
+  switch (k) {
+    case FaultyVfs::FaultKind::kNone:
+      return "none";
+    case FaultyVfs::FaultKind::kEio:
+      return "eio";
+    case FaultyVfs::FaultKind::kEnospc:
+      return "enospc";
+    case FaultyVfs::FaultKind::kShortWrite:
+      return "short-write";
+    case FaultyVfs::FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultyVfs::FaultKind::kPowerCut:
+      return "power-cut";
+  }
+  return "invalid";
+}
+
+}  // namespace ipregel::io

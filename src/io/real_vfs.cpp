@@ -1,0 +1,179 @@
+// The POSIX implementation behind io::real_vfs(). Durability rules it
+// relies on (and that FaultyVfs models strictly):
+//  - write() reaches the page cache only; fsync() flushes the file's bytes
+//    to stable storage.
+//  - rename() is atomic in the namespace but the *entry* is durable only
+//    after the parent directory is fsync'd.
+// AtomicFile (stream.hpp) sequences these into the publish discipline.
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/vfs.hpp"
+
+namespace ipregel::io {
+namespace {
+
+class RealFile final : public Vfs::File {
+ public:
+  RealFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~RealFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);  // best effort; an explicit close() reports errors
+    }
+  }
+
+  std::size_t read(void* buf, std::size_t n) override {
+    for (;;) {
+      const ssize_t got = ::read(fd_, buf, n);
+      if (got >= 0) {
+        return static_cast<std::size_t>(got);
+      }
+      if (errno != EINTR) {
+        throw IoError(IoOp::kRead, path_, errno);
+      }
+    }
+  }
+
+  void write(const void* buf, std::size_t n) override {
+    const char* p = static_cast<const char*>(buf);
+    while (n != 0) {
+      const ssize_t put = ::write(fd_, p, n);
+      if (put < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        throw IoError(IoOp::kWrite, path_, errno);
+      }
+      p += put;
+      n -= static_cast<std::size_t>(put);
+    }
+  }
+
+  void seek(std::uint64_t pos) override {
+    if (::lseek(fd_, static_cast<off_t>(pos), SEEK_SET) < 0) {
+      throw IoError(IoOp::kRead, path_, errno, "seek failed");
+    }
+  }
+
+  void fsync() override {
+    if (::fsync(fd_) != 0) {
+      throw IoError(IoOp::kFsync, path_, errno);
+    }
+  }
+
+  void close() override {
+    if (fd_ < 0) {
+      return;  // idempotent
+    }
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      throw IoError(IoOp::kClose, path_, errno);
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class RealVfs final : public Vfs {
+ public:
+  std::unique_ptr<File> open(const std::string& path, OpenMode mode) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kRead:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kTruncate:
+        flags = O_WRONLY | O_CREAT | O_TRUNC;
+        break;
+      case OpenMode::kAppend:
+        flags = O_WRONLY | O_CREAT | O_APPEND;
+        break;
+    }
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      throw IoError(IoOp::kOpen, path, errno);
+    }
+    return std::make_unique<RealFile>(fd, path);
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      throw IoError(IoOp::kRename, from, errno, "renaming to " + to);
+    }
+  }
+
+  void unlink(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      throw IoError(IoOp::kUnlink, path, errno);
+    }
+  }
+
+  bool exists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  std::vector<std::string> list(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      throw IoError(IoOp::kList, dir, errno);
+    }
+    std::vector<std::string> names;
+    for (;;) {
+      errno = 0;
+      const dirent* entry = ::readdir(d);
+      if (entry == nullptr) {
+        const int err = errno;
+        ::closedir(d);
+        if (err != 0) {
+          throw IoError(IoOp::kList, dir, err);
+        }
+        return names;
+      }
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        names.push_back(name);
+      }
+    }
+  }
+
+  void fsync_dir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      throw IoError(IoOp::kFsync, dir, errno, "cannot open directory");
+    }
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw IoError(IoOp::kFsync, dir, err);
+    }
+    if (::close(fd) != 0) {
+      throw IoError(IoOp::kClose, dir, errno);
+    }
+  }
+
+  void mkdir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw IoError(IoOp::kMkdir, dir, errno);
+    }
+  }
+};
+
+}  // namespace
+
+Vfs& real_vfs() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+}  // namespace ipregel::io

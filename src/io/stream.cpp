@@ -1,0 +1,171 @@
+#include "io/stream.hpp"
+
+#include <cstring>
+
+namespace ipregel::io {
+
+namespace {
+constexpr std::size_t kBufBytes = 1u << 16;
+}  // namespace
+
+FileStreambuf::FileStreambuf(Vfs::File& file, Mode mode)
+    : file_(file), mode_(mode), buf_(kBufBytes) {
+  if (mode_ == Mode::kWrite) {
+    setp(buf_.data(), buf_.data() + buf_.size());
+  } else {
+    setg(buf_.data(), buf_.data(), buf_.data());
+  }
+}
+
+FileStreambuf::~FileStreambuf() {
+  if (mode_ == Mode::kWrite) {
+    flush_put_area();  // best effort; commit paths flush explicitly
+  }
+}
+
+void FileStreambuf::flush_now() {
+  if (!flush_put_area()) {
+    rethrow_io_error();
+  }
+}
+
+void FileStreambuf::rethrow_io_error() const {
+  if (error_ != nullptr) {
+    std::rethrow_exception(error_);
+  }
+}
+
+bool FileStreambuf::write_through(const char* s, std::size_t n) noexcept {
+  if (error_ != nullptr) {
+    return false;
+  }
+  try {
+    file_.write(s, n);
+    return true;
+  } catch (...) {
+    error_ = std::current_exception();
+    return false;
+  }
+}
+
+bool FileStreambuf::flush_put_area() noexcept {
+  const std::size_t pending = static_cast<std::size_t>(pptr() - pbase());
+  setp(buf_.data(), buf_.data() + buf_.size());
+  if (pending == 0) {
+    return error_ == nullptr;
+  }
+  return write_through(buf_.data(), pending);
+}
+
+FileStreambuf::int_type FileStreambuf::overflow(int_type ch) {
+  if (!flush_put_area()) {
+    return traits_type::eof();
+  }
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+std::streamsize FileStreambuf::xsputn(const char* s, std::streamsize n) {
+  if (n <= 0 || error_ != nullptr) {
+    return error_ == nullptr ? n : 0;
+  }
+  const std::size_t count = static_cast<std::size_t>(n);
+  if (count >= buf_.size()) {
+    // Large payloads bypass the buffer (one write instead of many).
+    if (!flush_put_area() || !write_through(s, count)) {
+      return 0;
+    }
+    return n;
+  }
+  if (static_cast<std::size_t>(epptr() - pptr()) < count &&
+      !flush_put_area()) {
+    return 0;
+  }
+  std::memcpy(pptr(), s, count);
+  pbump(static_cast<int>(count));
+  return n;
+}
+
+int FileStreambuf::sync() { return flush_put_area() ? 0 : -1; }
+
+FileStreambuf::int_type FileStreambuf::underflow() {
+  if (mode_ != Mode::kRead || error_ != nullptr) {
+    return traits_type::eof();
+  }
+  std::size_t got = 0;
+  try {
+    got = file_.read(buf_.data(), buf_.size());
+  } catch (...) {
+    error_ = std::current_exception();
+    return traits_type::eof();
+  }
+  if (got == 0) {
+    return traits_type::eof();
+  }
+  setg(buf_.data(), buf_.data(), buf_.data() + got);
+  return traits_type::to_int_type(buf_[0]);
+}
+
+FileStreambuf::pos_type FileStreambuf::seekoff(
+    off_type off, std::ios_base::seekdir dir, std::ios_base::openmode which) {
+  // Only "rewind to the start of an input file" is supported — enough for
+  // readers that peek at a magic number before parsing in earnest.
+  if (mode_ != Mode::kRead || off != 0 || dir != std::ios_base::beg ||
+      (which & std::ios_base::in) == 0) {
+    return pos_type(off_type(-1));
+  }
+  try {
+    file_.seek(0);
+  } catch (...) {
+    error_ = std::current_exception();
+    return pos_type(off_type(-1));
+  }
+  setg(buf_.data(), buf_.data(), buf_.data());
+  return pos_type(0);
+}
+
+FileStreambuf::pos_type FileStreambuf::seekpos(pos_type pos,
+                                               std::ios_base::openmode which) {
+  return seekoff(off_type(pos), std::ios_base::beg, which);
+}
+
+VfsIStream::VfsIStream(Vfs& vfs, const std::string& path)
+    : file_(vfs.open(path, Vfs::OpenMode::kRead)),
+      buf_(*file_, FileStreambuf::Mode::kRead),
+      in_(&buf_) {}
+
+AtomicFile::AtomicFile(Vfs& vfs, std::string final_path)
+    : vfs_(vfs),
+      final_(std::move(final_path)),
+      tmp_(final_ + ".tmp"),
+      file_(vfs_.open(tmp_, Vfs::OpenMode::kTruncate)),
+      buf_(*file_, FileStreambuf::Mode::kWrite),
+      out_(&buf_) {}
+
+AtomicFile::~AtomicFile() {
+  if (committed_) {
+    return;
+  }
+  try {
+    file_->close();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+  try {
+    vfs_.unlink(tmp_);
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void AtomicFile::commit() {
+  buf_.flush_now();
+  file_->fsync();
+  file_->close();
+  vfs_.rename(tmp_, final_);
+  vfs_.fsync_dir(parent_dir(final_));
+  committed_ = true;
+}
+
+}  // namespace ipregel::io

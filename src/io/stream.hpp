@@ -1,0 +1,109 @@
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "io/vfs.hpp"
+
+namespace ipregel::io {
+
+/// std::streambuf over a Vfs::File, so the binary framing layer
+/// (ft/binary_format.hpp) can keep its iostream interface while every byte
+/// goes through the injectable filesystem.
+///
+/// iostreams cannot carry a typed error through their state bits, so the
+/// buffer captures the first IoError (as an exception_ptr, preserving the
+/// dynamic type — PowerLoss stays PowerLoss), reports failure to the
+/// stream the normal way (eof/short counts, which set badbit/failbit), and
+/// lets the owner rethrow the real error via rethrow_io_error().
+class FileStreambuf final : public std::streambuf {
+ public:
+  enum class Mode : std::uint8_t { kRead, kWrite };
+
+  FileStreambuf(Vfs::File& file, Mode mode);
+  ~FileStreambuf() override;
+
+  /// Flushes the put area to the file; throws the stored (or a fresh)
+  /// IoError on failure. Write mode only.
+  void flush_now();
+
+  [[nodiscard]] bool failed() const noexcept { return error_ != nullptr; }
+  /// Rethrows the captured IoError, if any; otherwise returns.
+  void rethrow_io_error() const;
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+  int_type underflow() override;
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override;
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override;
+
+ private:
+  /// Writes through to the file, capturing the first failure. Returns
+  /// false (and discards the payload) once failed.
+  bool write_through(const char* s, std::size_t n) noexcept;
+  bool flush_put_area() noexcept;
+
+  Vfs::File& file_;
+  Mode mode_;
+  std::vector<char> buf_;
+  std::exception_ptr error_;
+};
+
+/// An input stream over a Vfs file. The constructor throws IoError when
+/// the file cannot be opened.
+class VfsIStream {
+ public:
+  VfsIStream(Vfs& vfs, const std::string& path);
+
+  [[nodiscard]] std::istream& stream() noexcept { return in_; }
+  /// Rethrows the underlying read error, if any — call when a parse
+  /// failure may really be an I/O failure in disguise.
+  void rethrow_io_error() const { buf_.rethrow_io_error(); }
+
+ private:
+  std::unique_ptr<Vfs::File> file_;
+  FileStreambuf buf_;
+  std::istream in_;
+};
+
+/// Crash-consistent file publication:
+///
+///   AtomicFile file(vfs, "dir/data.bin");
+///   file.stream() << ...;            // bytes go to "dir/data.bin.tmp"
+///   file.commit();                   // flush, fsync(tmp), rename,
+///                                    // fsync(dir) — now durable
+///
+/// Until commit() returns, "dir/data.bin" is untouched: a crash at ANY
+/// point leaves either the previous version (or nothing) under the final
+/// name, never a torn file. An AtomicFile destroyed without commit()
+/// unlinks its temporary. commit() throws a typed IoError (including any
+/// failure captured during buffered writes) and leaves the final name
+/// unchanged.
+class AtomicFile {
+ public:
+  AtomicFile(Vfs& vfs, std::string final_path);
+  ~AtomicFile();
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  [[nodiscard]] std::ostream& stream() noexcept { return out_; }
+  void commit();
+
+ private:
+  Vfs& vfs_;
+  std::string final_;
+  std::string tmp_;
+  std::unique_ptr<Vfs::File> file_;
+  FileStreambuf buf_;
+  std::ostream out_;
+  bool committed_ = false;
+};
+
+}  // namespace ipregel::io

@@ -1,0 +1,58 @@
+#include "io/vfs.hpp"
+
+#include <cstring>
+
+namespace ipregel::io {
+namespace {
+
+std::string format_io_error(IoOp op, const std::string& path, int errno_value,
+                            const std::string& detail) {
+  std::string out(to_string(op));
+  out += ' ';
+  out += path;
+  out += ": ";
+  out += std::strerror(errno_value);
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace
+
+IoError::IoError(IoOp op, std::string path, int errno_value,
+                 const std::string& detail)
+    : std::runtime_error(format_io_error(op, path, errno_value, detail)),
+      op_(op),
+      path_(std::move(path)),
+      errno_(errno_value) {}
+
+std::vector<std::uint8_t> Vfs::read_all(const std::string& path) {
+  const std::unique_ptr<File> file = open(path, OpenMode::kRead);
+  std::vector<std::uint8_t> out;
+  std::uint8_t chunk[1u << 16];
+  for (;;) {
+    const std::size_t got = file->read(chunk, sizeof chunk);
+    if (got == 0) {
+      break;
+    }
+    out.insert(out.end(), chunk, chunk + got);
+  }
+  file->close();
+  return out;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+}  // namespace ipregel::io

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipregel::io {
+
+/// The durable-storage layer every persistent artefact goes through.
+///
+/// Until this layer existed, snapshots, the binary edge-list cache, and
+/// bench CSVs each reached disk through a raw std::ofstream: no fsync, no
+/// error taxonomy, and no way to test what a power loss at a given syscall
+/// boundary does to the bytes the recovery path depends on. `Vfs` is the
+/// seam that fixes all three at once:
+///
+///  - `RealVfs` (see real_vfs()) is POSIX-backed and implements the full
+///    publish discipline: write to "<path>.tmp", flush, fsync the file,
+///    rename into place, fsync the parent directory — after which the file
+///    is durable even across power loss (see stream.hpp's AtomicFile).
+///  - `FaultyVfs` (faulty_vfs.hpp) is an in-memory disk with deterministic
+///    fault injection — EIO, ENOSPC, short and torn writes, and "power cut
+///    at syscall N", which freezes the simulated platter so a test can
+///    reboot and assert what recovery actually finds.
+///
+/// Failures carry a typed IoError (operation + path + errno) instead of a
+/// stringly std::runtime_error, so callers can branch on *what* failed —
+/// the checkpoint path treats ENOSPC as "skip this snapshot", not "abort
+/// the run".
+
+/// The operation an IoError happened in.
+enum class IoOp : std::uint8_t {
+  kOpen,
+  kRead,
+  kWrite,
+  kFsync,
+  kClose,
+  kRename,
+  kUnlink,
+  kList,
+  kMkdir,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(IoOp op) noexcept {
+  switch (op) {
+    case IoOp::kOpen:
+      return "open";
+    case IoOp::kRead:
+      return "read";
+    case IoOp::kWrite:
+      return "write";
+    case IoOp::kFsync:
+      return "fsync";
+    case IoOp::kClose:
+      return "close";
+    case IoOp::kRename:
+      return "rename";
+    case IoOp::kUnlink:
+      return "unlink";
+    case IoOp::kList:
+      return "list";
+    case IoOp::kMkdir:
+      return "mkdir";
+  }
+  return "invalid";
+}
+
+/// A filesystem operation failed. Carries the operation, the path it was
+/// applied to, and the errno value, so callers can branch on the failure
+/// (ENOSPC vs EIO vs ENOENT) instead of string-matching what().
+class IoError : public std::runtime_error {
+ public:
+  IoError(IoOp op, std::string path, int errno_value,
+          const std::string& detail = {});
+
+  [[nodiscard]] IoOp op() const noexcept { return op_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// The errno value at failure (EIO, ENOSPC, ENOENT, ...).
+  [[nodiscard]] int errno_value() const noexcept { return errno_; }
+
+ private:
+  IoOp op_;
+  std::string path_;
+  int errno_;
+};
+
+/// The simulated disk lost power (FaultyVfs only — a real power loss kills
+/// the process, so no production code path throws this). Deliberately NOT
+/// absorbed by the checkpoint-skip logic: a run that loses its disk is
+/// over, exactly like the machine it models.
+class PowerLoss final : public IoError {
+ public:
+  PowerLoss(IoOp op, std::string path)
+      : IoError(op, std::move(path), /*errno_value=*/5 /* EIO */,
+                "simulated power loss") {}
+};
+
+/// Minimal virtual filesystem: exactly the operations the persistence
+/// paths need, each throwing a typed IoError on failure.
+class Vfs {
+ public:
+  enum class OpenMode : std::uint8_t {
+    kRead,      ///< existing file, read-only
+    kTruncate,  ///< create or truncate, write-only
+    kAppend,    ///< create or append, write-only
+  };
+
+  /// An open file handle. All methods throw IoError on failure; close()
+  /// is idempotent and the destructor closes without throwing.
+  class File {
+   public:
+    File() = default;
+    File(const File&) = delete;
+    File& operator=(const File&) = delete;
+    virtual ~File() = default;
+
+    /// Reads up to `n` bytes; returns the number read (0 = end of file).
+    virtual std::size_t read(void* buf, std::size_t n) = 0;
+    /// Writes all `n` bytes or throws (a short write is a failure).
+    virtual void write(const void* buf, std::size_t n) = 0;
+    /// Repositions the read cursor (kRead handles only).
+    virtual void seek(std::uint64_t pos) = 0;
+    /// Flushes file content to stable storage.
+    virtual void fsync() = 0;
+    virtual void close() = 0;
+  };
+
+  Vfs() = default;
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+  virtual ~Vfs() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<File> open(const std::string& path,
+                                                   OpenMode mode) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  virtual void unlink(const std::string& path) = 0;
+  [[nodiscard]] virtual bool exists(const std::string& path) = 0;
+  /// Filenames (not full paths) of the entries in `dir`, unsorted.
+  [[nodiscard]] virtual std::vector<std::string> list(
+      const std::string& dir) = 0;
+  /// Makes `dir`'s entries (creations, renames, unlinks) durable. The
+  /// second half of an atomic publish: rename alone is atomic in the
+  /// namespace but not durable until the directory is synced.
+  virtual void fsync_dir(const std::string& dir) = 0;
+  /// Creates `dir` (single level); an already-existing directory is not an
+  /// error.
+  virtual void mkdir(const std::string& dir) = 0;
+
+  /// Convenience: the whole file as bytes.
+  [[nodiscard]] std::vector<std::uint8_t> read_all(const std::string& path);
+};
+
+/// The process-wide POSIX-backed Vfs. Every persistence entry point takes
+/// an optional Vfs* and falls back to this when given nullptr.
+[[nodiscard]] Vfs& real_vfs();
+
+[[nodiscard]] inline Vfs& vfs_or_real(Vfs* vfs) noexcept {
+  return vfs != nullptr ? *vfs : real_vfs();
+}
+
+/// Directory part of `path` ("." when it has none). Pure string math — no
+/// filesystem access.
+[[nodiscard]] std::string parent_dir(const std::string& path);
+
+}  // namespace ipregel::io

@@ -1,0 +1,236 @@
+// SnapshotDirectory: the recovery-side fallback ladder. Retention GC,
+// quarantine of CRC-corrupt snapshots, fallback ordering when the newest
+// 1..K-1 candidates are invalid, and the end-to-end property that
+// ft::supervise degrades past a corrupt latest snapshot to the previous
+// good one instead of failing the resume.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "core/runner.hpp"
+#include "ft/snapshot.hpp"
+#include "ft/snapshot_dir.hpp"
+#include "ft/supervisor.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using ipregel::testing::make_graph;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& label = "d") {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("ipregel_snapdir_") + info->name() + "_" + label))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] const std::string& str() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// A small but fully valid lightweight snapshot for superstep `s`.
+ft::EngineSnapshot make_snap(std::uint64_t s) {
+  ft::EngineSnapshot snap;
+  snap.meta.mode = ft::CheckpointMode::kLightweight;
+  snap.meta.superstep = s;
+  snap.meta.num_slots = 4;
+  snap.meta.num_vertices = 4;
+  snap.meta.num_edges = 6;
+  snap.meta.graph_fingerprint = 0xF00D;
+  snap.meta.value_size = 4;
+  snap.meta.message_size = 4;
+  snap.values.assign(16, static_cast<std::uint8_t>(s));
+  snap.halted.assign(4, 0);
+  return snap;
+}
+
+void write_snaps(const std::string& dir, std::uint64_t first,
+                 std::uint64_t last) {
+  for (std::uint64_t s = first; s <= last; ++s) {
+    ft::write_snapshot(ft::snapshot_path(dir, "snapshot", s), make_snap(s));
+  }
+}
+
+/// Flips one byte in the middle of the file — lands inside a section
+/// payload, so the section CRC catches it.
+void corrupt(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(data.size(), 2u);
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0xFF);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(ParseSnapshotFilename, AcceptsOnlyFinishedSnapshots) {
+  EXPECT_EQ(ft::parse_snapshot_filename("snapshot.12.ipsnap", "snapshot"),
+            std::uint64_t{12});
+  EXPECT_EQ(ft::parse_snapshot_filename("cp.0.ipsnap", "cp"),
+            std::uint64_t{0});
+  // In-flight, quarantined, foreign, and malformed names are invisible.
+  EXPECT_FALSE(
+      ft::parse_snapshot_filename("snapshot.12.ipsnap.tmp", "snapshot"));
+  EXPECT_FALSE(ft::parse_snapshot_filename("snapshot.12.ipsnap.quarantined",
+                                           "snapshot"));
+  EXPECT_FALSE(ft::parse_snapshot_filename("other.12.ipsnap", "snapshot"));
+  EXPECT_FALSE(ft::parse_snapshot_filename("snapshot..ipsnap", "snapshot"));
+  EXPECT_FALSE(ft::parse_snapshot_filename("snapshot.1x.ipsnap", "snapshot"));
+}
+
+TEST(SnapshotDirectoryTest, MissingDirectoryIsEmpty) {
+  ft::SnapshotDirectory snapshots("/nonexistent/ipregel/ckpt");
+  EXPECT_TRUE(snapshots.list().empty());
+  EXPECT_FALSE(snapshots.newest_valid().has_value());
+  EXPECT_EQ(snapshots.quarantined(), 0u);
+}
+
+TEST(SnapshotDirectoryTest, RetentionKeepsNewestK) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 5);
+  ft::SnapshotDirectory snapshots(dir.str(), "snapshot", nullptr,
+                                  /*keep=*/2);
+  ASSERT_EQ(snapshots.list().size(), 5u);
+  snapshots.prune();
+  const auto entries = snapshots.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].superstep, 4u);
+  EXPECT_EQ(entries[1].superstep, 5u);
+}
+
+TEST(SnapshotDirectoryTest, NewestValidPicksHighestSuperstep) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 3);
+  ft::SnapshotDirectory snapshots(dir.str());
+  const auto newest = snapshots.newest_valid();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->superstep, 3u);
+  EXPECT_EQ(newest->path, ft::snapshot_path(dir.str(), "snapshot", 3));
+  EXPECT_EQ(snapshots.quarantined(), 0u);
+}
+
+TEST(SnapshotDirectoryTest, QuarantinesCorruptNewestAndFallsBack) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 3);
+  const std::string newest_path = ft::snapshot_path(dir.str(), "snapshot", 3);
+  corrupt(newest_path);
+
+  ft::SnapshotDirectory snapshots(dir.str());
+  const auto newest = snapshots.newest_valid();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->superstep, 2u);
+  EXPECT_EQ(snapshots.quarantined(), 1u);
+  // The corrupt file moved aside — still on disk for post-mortem, but no
+  // longer a candidate.
+  EXPECT_FALSE(std::filesystem::exists(newest_path));
+  EXPECT_TRUE(std::filesystem::exists(newest_path + ".quarantined"));
+  for (const auto& entry : snapshots.list()) {
+    EXPECT_NE(entry.superstep, 3u);
+  }
+}
+
+TEST(SnapshotDirectoryTest, FallsBackPastMultipleCorruptCandidates) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 4);
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 4));
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 3));
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 2));
+
+  ft::SnapshotDirectory snapshots(dir.str());
+  const auto newest = snapshots.newest_valid();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->superstep, 1u);
+  EXPECT_EQ(snapshots.quarantined(), 3u);
+}
+
+TEST(SnapshotDirectoryTest, AllCorruptMeansNoCandidate) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 2);
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 1));
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 2));
+  ft::SnapshotDirectory snapshots(dir.str());
+  EXPECT_FALSE(snapshots.newest_valid().has_value());
+  EXPECT_EQ(snapshots.quarantined(), 2u);
+}
+
+TEST(SnapshotDirectoryTest, TruncatedSnapshotIsQuarantinedToo) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 2);
+  const std::string newest_path = ft::snapshot_path(dir.str(), "snapshot", 2);
+  // Chop the trailer off — the torn-tail shape a non-atomic writer
+  // would have left behind.
+  const auto size = std::filesystem::file_size(newest_path);
+  std::filesystem::resize_file(newest_path, size / 2);
+
+  ft::SnapshotDirectory snapshots(dir.str());
+  const auto newest = snapshots.newest_valid();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->superstep, 1u);
+  EXPECT_EQ(snapshots.quarantined(), 1u);
+}
+
+// End to end: a supervised run whose latest snapshot rotted on disk
+// resumes from the previous good one and still produces the clean run's
+// values. Hashmin is min-combined, so the equality is exact at any thread
+// count.
+TEST(SnapshotDirectoryTest, SuperviseFallsBackPastCorruptLatest) {
+  graph::EdgeList edges = graph::uniform_random(150, 300, 13);
+  edges.symmetrize();
+  const CsrGraph g = make_graph(edges);
+  const apps::Hashmin program{};
+  const VersionId version{CombinerKind::kSpinlockPush, false};
+
+  EngineOptions base;
+  base.threads = 4;
+  std::vector<graph::vid_t> clean;
+  const RunResult clean_result =
+      run_version(g, program, version, base, nullptr, &clean);
+  ASSERT_GE(clean_result.supersteps, 3u);
+
+  // Produce a trail of real snapshots, then rot the newest.
+  TempDir dir;
+  EngineOptions checkpointing = base;
+  checkpointing.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  checkpointing.checkpoint.every = 1;
+  checkpointing.checkpoint.mode = ft::CheckpointMode::kHeavyweight;
+  checkpointing.checkpoint.directory = dir.str();
+  (void)run_version(g, program, version, checkpointing);
+  ft::SnapshotDirectory trail(dir.str());
+  const auto entries = trail.list();
+  ASSERT_GE(entries.size(), 2u) << "need at least two snapshots to degrade";
+  corrupt(entries.back().path);
+
+  std::vector<graph::vid_t> recovered;
+  const ft::SupervisedOutcome outcome =
+      ft::supervise(g, program, version, checkpointing, ft::RetryPolicy{},
+                    nullptr, &recovered);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.resumed_from_snapshot, 1u);
+  EXPECT_EQ(outcome.snapshots_quarantined, 1u);
+  ASSERT_EQ(recovered.size(), clean.size());
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_EQ(recovered[s], clean[s]) << "value diverged at slot " << s;
+  }
+}
+
+}  // namespace
+}  // namespace ipregel

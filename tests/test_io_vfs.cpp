@@ -1,0 +1,340 @@
+// The durable-storage seam itself: typed IoError context, RealVfs
+// round-trips, AtomicFile's publish discipline, and the FaultyVfs
+// durability model (live vs synced state, fault plans, power cuts) that
+// the crash-consistency matrix builds on. If these invariants drift, the
+// matrix tests lose their meaning — a "passing" recovery against a disk
+// that silently syncs everything proves nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/faulty_vfs.hpp"
+#include "io/stream.hpp"
+#include "io/vfs.hpp"
+
+namespace ipregel::io {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("ipregel_vfs_") + info->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] const std::string& str() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+void write_file(Vfs& vfs, const std::string& path, const std::string& data,
+                Vfs::OpenMode mode = Vfs::OpenMode::kTruncate) {
+  const auto file = vfs.open(path, mode);
+  file->write(data.data(), data.size());
+  file->close();
+}
+
+TEST(ParentDir, StringMath) {
+  EXPECT_EQ(parent_dir("a/b/c"), "a/b");
+  EXPECT_EQ(parent_dir("dir/file.bin"), "dir");
+  EXPECT_EQ(parent_dir("file.bin"), ".");
+  EXPECT_EQ(parent_dir("/file.bin"), "/");
+  EXPECT_EQ(parent_dir("/a/b"), "/a");
+}
+
+TEST(IoErrorTest, CarriesOpPathAndErrno) {
+  TempDir dir;
+  const std::string missing = dir.str() + "/nope.bin";
+  try {
+    (void)real_vfs().open(missing, Vfs::OpenMode::kRead);
+    FAIL() << "open of a missing file did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.op(), IoOp::kOpen);
+    EXPECT_EQ(e.path(), missing);
+    EXPECT_EQ(e.errno_value(), ENOENT);
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << "what() should name the path: " << e.what();
+  }
+  // IoError stays a std::runtime_error so pre-Vfs call sites that catch
+  // the base class keep working.
+  EXPECT_THROW((void)real_vfs().open(missing, Vfs::OpenMode::kRead),
+               std::runtime_error);
+}
+
+TEST(RealVfsTest, RoundTrip) {
+  TempDir dir;
+  Vfs& vfs = real_vfs();
+  const std::string path = dir.str() + "/data.bin";
+
+  EXPECT_FALSE(vfs.exists(path));
+  write_file(vfs, path, "hello");
+  EXPECT_TRUE(vfs.exists(path));
+  EXPECT_EQ(vfs.read_all(path), bytes("hello"));
+
+  const std::vector<std::string> names = vfs.list(dir.str());
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "data.bin");
+
+  const std::string moved = dir.str() + "/moved.bin";
+  vfs.rename(path, moved);
+  EXPECT_FALSE(vfs.exists(path));
+  EXPECT_EQ(vfs.read_all(moved), bytes("hello"));
+  vfs.fsync_dir(dir.str());
+
+  vfs.unlink(moved);
+  EXPECT_FALSE(vfs.exists(moved));
+  EXPECT_THROW(vfs.unlink(moved), IoError);
+}
+
+TEST(RealVfsTest, AppendAndSeek) {
+  TempDir dir;
+  Vfs& vfs = real_vfs();
+  const std::string path = dir.str() + "/log.csv";
+  write_file(vfs, path, "ab");
+  write_file(vfs, path, "cd", Vfs::OpenMode::kAppend);
+  EXPECT_EQ(vfs.read_all(path), bytes("abcd"));
+
+  const auto file = vfs.open(path, Vfs::OpenMode::kRead);
+  char buf[4] = {};
+  ASSERT_EQ(file->read(buf, 2), 2u);
+  file->seek(0);
+  ASSERT_EQ(file->read(buf, 4), 4u);
+  EXPECT_EQ(std::string(buf, 4), "abcd");
+}
+
+TEST(RealVfsTest, MkdirIsIdempotent) {
+  TempDir dir;
+  const std::string sub = dir.str() + "/results";
+  real_vfs().mkdir(sub);
+  real_vfs().mkdir(sub);  // EEXIST is not an error
+  write_file(real_vfs(), sub + "/x.csv", "1");
+  EXPECT_TRUE(real_vfs().exists(sub + "/x.csv"));
+}
+
+TEST(AtomicFileTest, PublishesOnlyOnCommit) {
+  TempDir dir;
+  Vfs& vfs = real_vfs();
+  const std::string final_path = dir.str() + "/out.bin";
+  {
+    AtomicFile file(vfs, final_path);
+    file.stream() << "payload";
+    EXPECT_FALSE(vfs.exists(final_path)) << "visible before commit";
+    EXPECT_TRUE(vfs.exists(final_path + ".tmp"));
+    file.commit();
+  }
+  EXPECT_TRUE(vfs.exists(final_path));
+  EXPECT_FALSE(vfs.exists(final_path + ".tmp"));
+  EXPECT_EQ(vfs.read_all(final_path), bytes("payload"));
+}
+
+TEST(AtomicFileTest, AbandonUnlinksTempAndKeepsPrevious) {
+  TempDir dir;
+  Vfs& vfs = real_vfs();
+  const std::string final_path = dir.str() + "/out.bin";
+  write_file(vfs, final_path, "old");
+  {
+    AtomicFile file(vfs, final_path);
+    file.stream() << "new-but-abandoned";
+  }
+  EXPECT_FALSE(vfs.exists(final_path + ".tmp"));
+  EXPECT_EQ(vfs.read_all(final_path), bytes("old"));
+}
+
+// ---------------------------------------------------------------------------
+// FaultyVfs durability model: what survives reboot() is exactly what the
+// strict-POSIX rules say should.
+
+TEST(FaultyVfsTest, UnsyncedContentDiesAtReboot) {
+  FaultyVfs vfs;
+  write_file(vfs, "/d/f", "lost");
+  vfs.reboot();
+  EXPECT_FALSE(vfs.exists("/d/f")) << "entry was never directory-synced";
+}
+
+TEST(FaultyVfsTest, FileFsyncAloneDoesNotMakeTheEntryDurable) {
+  FaultyVfs vfs;
+  const auto file = vfs.open("/d/f", Vfs::OpenMode::kTruncate);
+  file->write("data", 4);
+  file->fsync();  // content synced, directory entry not
+  file->close();
+  vfs.reboot();
+  EXPECT_FALSE(vfs.exists("/d/f"))
+      << "strict POSIX: a created entry needs fsync_dir on the parent";
+}
+
+TEST(FaultyVfsTest, FsyncPlusDirFsyncSurvivesReboot) {
+  FaultyVfs vfs;
+  {
+    const auto file = vfs.open("/d/f", Vfs::OpenMode::kTruncate);
+    file->write("a", 1);
+    file->fsync();
+    file->close();
+  }
+  vfs.fsync_dir("/d");
+  // Content written after the last fsync is volatile again.
+  {
+    const auto file = vfs.open("/d/f", Vfs::OpenMode::kAppend);
+    file->write("b", 1);
+    file->close();
+  }
+  vfs.reboot();
+  ASSERT_TRUE(vfs.exists("/d/f"));
+  EXPECT_EQ(vfs.read_all("/d/f"), bytes("a"));
+}
+
+TEST(FaultyVfsTest, UnlinkNeedsDirFsyncToStick) {
+  FaultyVfs vfs;
+  write_file(vfs, "/d/f", "x");
+  {
+    const auto file = vfs.open("/d/f", Vfs::OpenMode::kRead);
+    (void)file;
+  }
+  vfs.sync_all();
+  vfs.unlink("/d/f");
+  vfs.reboot();
+  EXPECT_TRUE(vfs.exists("/d/f")) << "unsynced unlink resurrects at reboot";
+  vfs.unlink("/d/f");
+  vfs.fsync_dir("/d");
+  vfs.reboot();
+  EXPECT_FALSE(vfs.exists("/d/f"));
+}
+
+TEST(FaultyVfsTest, AtomicPublishIsDurable) {
+  FaultyVfs vfs;
+  {
+    AtomicFile file(vfs, "/d/out.bin");
+    file.stream() << "published";
+    file.commit();
+  }
+  vfs.reboot();
+  ASSERT_TRUE(vfs.exists("/d/out.bin"));
+  EXPECT_FALSE(vfs.exists("/d/out.bin.tmp"));
+  EXPECT_EQ(vfs.read_all("/d/out.bin"), bytes("published"));
+}
+
+TEST(FaultyVfsTest, EioIsOneShot) {
+  FaultyVfs vfs;
+  vfs.set_plan({FaultyVfs::FaultKind::kEio, 2});  // op 1 = open, op 2 = write
+  const auto file = vfs.open("/f", Vfs::OpenMode::kTruncate);
+  try {
+    file->write("xx", 2);
+    FAIL() << "armed write did not fault";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.op(), IoOp::kWrite);
+    EXPECT_EQ(e.errno_value(), EIO);
+  }
+  file->write("ok", 2);  // plan disarmed: the retry succeeds
+  EXPECT_EQ(vfs.read_all("/f"), bytes("ok"));
+}
+
+TEST(FaultyVfsTest, EnospcCarriesItsErrno) {
+  FaultyVfs vfs;
+  vfs.set_plan({FaultyVfs::FaultKind::kEnospc, 2});
+  const auto file = vfs.open("/f", Vfs::OpenMode::kTruncate);
+  try {
+    file->write("xx", 2);
+    FAIL() << "armed write did not fault";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errno_value(), ENOSPC);
+  }
+}
+
+TEST(FaultyVfsTest, ShortWriteAppliesHalfThenFails) {
+  FaultyVfs vfs;
+  vfs.set_plan({FaultyVfs::FaultKind::kShortWrite, 2});
+  const auto file = vfs.open("/f", Vfs::OpenMode::kTruncate);
+  EXPECT_THROW(file->write("12345678", 8), IoError);
+  EXPECT_EQ(vfs.read_all("/f"), bytes("1234"));
+  EXPECT_FALSE(vfs.power_is_cut());
+}
+
+TEST(FaultyVfsTest, TornWriteMakesHalfDurableAndCutsPower) {
+  FaultyVfs vfs;
+  vfs.set_plan({FaultyVfs::FaultKind::kTornWrite, 2});
+  const auto file = vfs.open("/f", Vfs::OpenMode::kTruncate);
+  EXPECT_THROW(file->write("12345678", 8), PowerLoss);
+  EXPECT_TRUE(vfs.power_is_cut());
+  EXPECT_THROW((void)vfs.exists("/f"), PowerLoss);
+  vfs.reboot();
+  // The torn half reached the platter even though nothing was fsync'd —
+  // that reordering is exactly what the publish discipline must survive.
+  ASSERT_TRUE(vfs.exists("/f"));
+  EXPECT_EQ(vfs.read_all("/f"), bytes("1234"));
+}
+
+TEST(FaultyVfsTest, PowerCutFreezesEverythingUntilReboot) {
+  FaultyVfs vfs;
+  write_file(vfs, "/f", "durable");
+  {
+    const auto file = vfs.open("/f", Vfs::OpenMode::kRead);
+    (void)file;
+  }
+  vfs.sync_all();
+  vfs.set_plan({FaultyVfs::FaultKind::kPowerCut, 2});
+  const auto file = vfs.open("/f", Vfs::OpenMode::kTruncate);  // op 1
+  EXPECT_THROW(file->write("x", 1), PowerLoss);                // op 2: cut
+  EXPECT_THROW(write_file(vfs, "/g", "y"), PowerLoss);
+  EXPECT_THROW(vfs.rename("/f", "/h"), PowerLoss);
+  vfs.reboot();
+  EXPECT_FALSE(vfs.power_is_cut());
+  // The cut op did not execute: the truncate's clear was live-only and the
+  // synced content is back.
+  EXPECT_EQ(vfs.read_all("/f"), bytes("durable"));
+}
+
+TEST(FaultyVfsTest, CountsMutatingOpsDeterministically) {
+  FaultyVfs vfs;
+  EXPECT_EQ(vfs.mutating_ops(), 0u);
+  {
+    const auto file = vfs.open("/d/f", Vfs::OpenMode::kTruncate);  // 1
+    file->write("x", 1);                                           // 2
+    file->fsync();                                                 // 3
+    file->close();
+  }
+  vfs.rename("/d/f", "/d/g");  // 4
+  vfs.fsync_dir("/d");         // 5
+  vfs.unlink("/d/g");          // 6
+  vfs.mkdir("/d/sub");         // 7
+  EXPECT_EQ(vfs.mutating_ops(), 7u);
+
+  // Reads never count: a recovery pass must not shift the op numbering of
+  // the next crash point.
+  write_file(vfs, "/d/h", "zz");
+  const std::uint64_t before = vfs.mutating_ops();
+  (void)vfs.read_all("/d/h");
+  (void)vfs.exists("/d/h");
+  (void)vfs.list("/d");
+  EXPECT_EQ(vfs.mutating_ops(), before);
+
+  vfs.set_plan({FaultyVfs::FaultKind::kNone, 0});
+  EXPECT_EQ(vfs.mutating_ops(), 0u) << "set_plan resets the counter";
+}
+
+TEST(FaultyVfsTest, ListReturnsDirectChildrenOnly) {
+  FaultyVfs vfs;
+  write_file(vfs, "/d/a", "1");
+  write_file(vfs, "/d/b", "2");
+  write_file(vfs, "/d/sub/c", "3");
+  write_file(vfs, "/other/x", "4");
+  std::vector<std::string> names = vfs.list("/d");
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace ipregel::io

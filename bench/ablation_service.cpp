@@ -1,0 +1,181 @@
+// Admission-control ablation: what does the serving layer's bounded
+// queue + memory ledger buy under overload?
+//
+// For each offered load (0.5x, 1x, 2x of what the service can hold =
+// executors + queue depth) a wave of mixed jobs (PageRank / Hashmin /
+// SSSP round-robin) is submitted back-to-back against two configurations:
+//
+//  - admission on: the bounded queue and reservation ledger from the
+//    service's Config — overload arrivals are rejected typed at submit.
+//  - admission off: an effectively unbounded queue and no ledger — every
+//    arrival is accepted and queues.
+//
+// Expected shape: identical numbers at 0.5x (admission control is free
+// when the service is not overloaded; at 1x the instantaneous burst may
+// clip a job or two before the executors dequeue). At 2x the "off"
+// column completes every job but its p99 latency grows with the backlog;
+// the "on" column sheds the excess at submit time and keeps the p99 of
+// the jobs it accepted near the 1x figure — the latency/goodput trade
+// the serving layer exists to make.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "benchlib/reporting.hpp"
+#include "benchlib/workloads.hpp"
+#include "runtime/timer.hpp"
+#include "service/job_manager.hpp"
+
+namespace {
+
+using namespace ipregel;         // NOLINT(google-build-using-namespace)
+using namespace ipregel::bench;  // NOLINT(google-build-using-namespace)
+
+constexpr std::size_t kExecutors = 2;
+constexpr std::size_t kDepth = 4;
+constexpr std::size_t kCapacity = kExecutors + kDepth;
+// Nominal per-job reservation; the ledger maths is what is under test,
+// not the actual footprint, so a fixed unit keeps the waves comparable.
+constexpr std::size_t kReservation = 1u << 20;
+
+service::JobManager::Config make_config(bool admission_on) {
+  service::JobManager::Config config;
+  config.executors = kExecutors;
+  config.team_threads = 2;
+  if (admission_on) {
+    config.max_queue_depth = kDepth;
+    config.memory_budget_bytes = kCapacity * kReservation;
+  } else {
+    config.max_queue_depth = static_cast<std::size_t>(1) << 20;
+    config.memory_budget_bytes = 0;  // unlimited ledger
+  }
+  return config;
+}
+
+struct WaveResult {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;  ///< typed ShedError at submit
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;  ///< queue + run seconds, completed only
+};
+
+[[nodiscard]] double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  return xs[std::min(rank == 0 ? 0 : rank - 1, xs.size() - 1)];
+}
+
+WaveResult run_wave(const Workload& w, bool admission_on,
+                    std::size_t offered) {
+  service::JobManager manager(make_config(admission_on));
+  const VersionId version{CombinerKind::kSpinlockPush, false};
+  service::JobSpec spec;
+  spec.memory_reservation_bytes = kReservation;
+
+  WaveResult out;
+  out.offered = offered;
+  std::vector<service::JobTicket<apps::PageRank>> pagerank_jobs;
+  std::vector<service::JobTicket<apps::Hashmin>> hashmin_jobs;
+  std::vector<service::JobTicket<apps::Sssp>> sssp_jobs;
+
+  runtime::Timer timer;
+  for (std::size_t i = 0; i < offered; ++i) {
+    try {
+      switch (i % 3) {
+        case 0:
+          pagerank_jobs.push_back(
+              manager.submit(w.graph, apps::PageRank{.rounds = 10}, version,
+                             {}, spec));
+          break;
+        case 1:
+          hashmin_jobs.push_back(
+              manager.submit(w.graph, apps::Hashmin{}, version, {}, spec));
+          break;
+        default:
+          sssp_jobs.push_back(
+              manager.submit(w.graph, apps::Sssp{.source = kSsspSource},
+                             version, {}, spec));
+          break;
+      }
+    } catch (const service::ShedError&) {
+      ++out.rejected;
+    }
+  }
+
+  const auto account = [&out](const service::JobReport& report) {
+    if (report.state == service::JobState::kCompleted) {
+      ++out.completed;
+      out.latencies.push_back(report.queue_seconds + report.run_seconds);
+    }
+  };
+  for (auto& t : pagerank_jobs) {
+    account(t.wait());
+  }
+  for (auto& t : hashmin_jobs) {
+    account(t.wait());
+  }
+  for (auto& t : sssp_jobs) {
+    account(t.wait());
+  }
+  out.wall_seconds = timer.seconds();
+  return out;
+}
+
+void row(Table& table, const Workload& w, bool admission_on, double load) {
+  const auto offered = static_cast<std::size_t>(
+      std::lround(load * static_cast<double>(kCapacity)));
+  const WaveResult r = run_wave(w, admission_on, offered);
+  const double throughput =
+      r.wall_seconds > 0.0
+          ? static_cast<double>(r.completed) / r.wall_seconds
+          : 0.0;
+  table.add_row({admission_on ? "on" : "off",
+                 fmt_factor(load),
+                 std::to_string(r.offered),
+                 std::to_string(r.completed),
+                 std::to_string(r.rejected),
+                 fmt_seconds(r.wall_seconds),
+                 fmt_factor(throughput),
+                 fmt_seconds(percentile(r.latencies, 0.50)),
+                 fmt_seconds(percentile(r.latencies, 0.99))});
+}
+
+}  // namespace
+
+int main() {
+  const Workload wiki = make_wiki_like();
+  std::cout << "iPregel admission-control ablation (" << wiki.name
+            << "; capacity = " << kExecutors << " executors + " << kDepth
+            << " queue slots; mixed PageRank/Hashmin/SSSP waves)\n";
+
+  Table table("Offered load vs admission control",
+              {"admission", "load", "offered", "completed", "rejected",
+               "wall (s)", "jobs/s", "p50 (s)", "p99 (s)"});
+  for (const bool admission_on : {true, false}) {
+    for (const double load : {0.5, 1.0, 2.0}) {
+      row(table, wiki, admission_on, load);
+    }
+  }
+  table.print();
+  table.write_csv("results/bench_service.csv");
+
+  std::cout << "\nexpected: both configurations match below capacity "
+               "(the instantaneous 1x burst may clip a job or two before "
+               "the executors dequeue); at 2x the unbounded queue "
+               "completes everything at the cost of a backlog-sized p99, "
+               "while admission control sheds the excess typed at submit "
+               "and holds p99 near the 1x figure.\n";
+  return 0;
+}

@@ -367,11 +367,13 @@ class Engine {
         throw ft::InjectedFault(superstep_,
                                 options_.fault.after_compute_calls);
       }
-      // Thread 0's barrier-side watchdog check: catches deadlines that the
-      // per-vertex ticks missed (e.g. a near-empty frontier), then
-      // surfaces any trip as a typed error. The tripped superstep was
-      // abandoned mid-flight — same torn state as a crash.
+      // Thread 0's barrier-side watchdog check: catches deadlines (and a
+      // raised cancel token) that the per-vertex ticks missed (e.g. a
+      // near-empty frontier), then surfaces any trip as a typed error. The
+      // tripped superstep was abandoned mid-flight — same torn state as a
+      // crash.
       check_deadlines(workers);
+      check_cancel_token(workers);
       throw_if_guard_tripped();
       std::size_t sent = 0;
       std::size_t active = 0;
@@ -801,14 +803,25 @@ class Engine {
     }
   }
 
+  /// Observes the caller's cooperative cancel token (guards.cancel_token).
+  /// Same cadence as the deadlines: every team thread at vertex-boundary
+  /// ticks, thread 0 at the barrier.
+  void check_cancel_token(runtime::ThreadPool& workers) noexcept {
+    const std::atomic<bool>* token = options_.guards.cancel_token;
+    if (token != nullptr && token->load(std::memory_order_relaxed)) {
+      trip_guard(workers, kTripCancelled);
+    }
+  }
+
   /// Cooperative cancellation poll for parallel-region bodies: true means
-  /// "unwind now" (a teammate failed, a watchdog tripped, or an external
-  /// request_cancel arrived).
+  /// "unwind now" (a teammate failed, a watchdog tripped, an external
+  /// request_cancel arrived, or the caller raised the cancel token).
   [[nodiscard]] bool guard_tick(runtime::ThreadPool& workers) noexcept {
     if (workers.cancel_requested()) {
       return true;
     }
     check_deadlines(workers);
+    check_cancel_token(workers);
     return workers.cancel_requested();
   }
 
@@ -826,25 +839,37 @@ class Engine {
                          std::to_string(options_.guards.superstep_seconds) +
                          " s");
     }
+    if (trip == kTripCancelled) {
+      throw RunError(RunErrorKind::kCancelled, superstep_, 0,
+                     RunError::kNoVertex,
+                     "run cancelled via guards.cancel_token");
+    }
     throw RunError(RunErrorKind::kRunTimeout, superstep_, 0,
                    RunError::kNoVertex,
                    "run exceeded the watchdog limit of " +
                        std::to_string(options_.guards.run_seconds) + " s");
   }
 
-  /// Enforces guards.memory_budget_bytes against the process-wide tracked
-  /// total — the shared-memory mirror of the Pregel+ cluster's
-  /// out_of_memory marker, raised at the barrier instead of mid-flight.
+  /// Enforces guards.memory_budget_bytes — the shared-memory mirror of the
+  /// Pregel+ cluster's out_of_memory marker, raised at the barrier instead
+  /// of mid-flight. When the calling thread has an active MemoryScope the
+  /// budget covers *this job's* attributed bytes only, so concurrent jobs
+  /// cannot trip each other; otherwise the process-wide total is used.
   void enforce_memory_budget() {
     const std::size_t budget = options_.guards.memory_budget_bytes;
     if (budget == 0) {
       return;
     }
-    const std::size_t used = runtime::MemoryTracker::instance().total();
+    const runtime::MemoryScope* scope = runtime::current_memory_scope();
+    const std::size_t used = scope != nullptr
+                                 ? scope->total()
+                                 : runtime::MemoryTracker::instance().total();
     if (used > budget) {
       throw RunError(RunErrorKind::kMemoryBudget, superstep_, 0,
                      RunError::kNoVertex,
-                     "tracked framework memory (" + std::to_string(used) +
+                     std::string("tracked framework memory (") +
+                         (scope != nullptr ? "job scope, " : "process, ") +
+                         std::to_string(used) +
                          " bytes) exceeds the configured budget (" +
                          std::to_string(budget) + " bytes)");
     }
@@ -1049,6 +1074,7 @@ class Engine {
   // is recorded here and translated to a RunError at the barrier.
   static constexpr std::uint8_t kTripSuperstep = 1;
   static constexpr std::uint8_t kTripRun = 2;
+  static constexpr std::uint8_t kTripCancelled = 3;
   GuardClock::time_point step_deadline_{};
   GuardClock::time_point run_deadline_{};
   bool step_deadline_armed_ = false;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -32,6 +33,11 @@ enum class RunErrorKind : std::uint8_t {
   /// EngineOptions::guards.memory_budget_bytes — the shared-memory analogue
   /// of the Pregel+ cluster's out_of_memory marker (Fig. 8).
   kMemoryBudget,
+  /// The caller raised EngineOptions::guards.cancel_token — a cooperative
+  /// external kill switch (the serving layer routes job cancellation and
+  /// shutdown through it). Observed at vertex-boundary guard ticks and at
+  /// the superstep barrier, like the watchdogs.
+  kCancelled,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(RunErrorKind k) noexcept {
@@ -46,6 +52,8 @@ enum class RunErrorKind : std::uint8_t {
       return "run-timeout";
     case RunErrorKind::kMemoryBudget:
       return "memory-budget";
+    case RunErrorKind::kCancelled:
+      return "cancelled";
   }
   return "invalid";
 }
@@ -128,13 +136,22 @@ struct RunGuards {
   double superstep_seconds = 0.0;
   /// Wall-clock ceiling for the whole run (all supersteps).
   double run_seconds = 0.0;
-  /// Ceiling on MemoryTracker-tracked framework bytes (process-wide),
-  /// enforced at run start and at every superstep barrier.
+  /// Ceiling on tracked framework bytes, enforced at run start and at
+  /// every superstep barrier. Compared against the calling thread's active
+  /// runtime::MemoryScope when one is installed (per-job accounting —
+  /// concurrent jobs cannot trip each other's budget), otherwise against
+  /// the process-wide MemoryTracker total.
   std::size_t memory_budget_bytes = 0;
+  /// Cooperative cancel token (not owned; may be null). When the pointee
+  /// becomes true the run unwinds at the next guard tick or barrier and
+  /// fails with RunErrorKind::kCancelled. The serving layer points this at
+  /// the job's cancel flag so external cancellation and shutdown ride the
+  /// same machinery as the watchdogs.
+  const std::atomic<bool>* cancel_token = nullptr;
 
   [[nodiscard]] bool any() const noexcept {
     return superstep_seconds > 0.0 || run_seconds > 0.0 ||
-           memory_budget_bytes != 0;
+           memory_budget_bytes != 0 || cancel_token != nullptr;
   }
 };
 

@@ -55,6 +55,8 @@ struct RetryPolicy {
         return retry_timeouts;
       case RunErrorKind::kMemoryBudget:
         return false;  // the budget does not grow back by itself
+      case RunErrorKind::kCancelled:
+        return false;  // the caller asked the run to stop; honour it
     }
     return false;
   }

@@ -39,6 +39,10 @@
 #include "graph/io.hpp"
 #include "graph/types.hpp"
 #include "runtime/memory_tracker.hpp"
+#include "service/degradation.hpp"
+#include "service/job.hpp"
+#include "service/job_manager.hpp"
+#include "service/shed.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"

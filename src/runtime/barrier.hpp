@@ -57,10 +57,24 @@ class SenseBarrier {
   }
 
   /// Marks the barrier as dead and releases every waiter (they return
-  /// false from arrive_and_wait). Permanent; safe to call from any thread,
-  /// any number of times.
+  /// false from arrive_and_wait). Safe to call from any thread, any number
+  /// of times. Poisoning outlives the failing generation: arrivals keep
+  /// returning false until the barrier is explicitly re-armed.
   void poison() noexcept {
     poisoned_.store(true, std::memory_order_release);
+  }
+
+  /// Re-arms a poisoned barrier for a fresh team of the same size: resets
+  /// the arrival count (the poisoned generation may have decremented it
+  /// partway) and clears the poison flag. The caller must guarantee no
+  /// thread is still inside arrive_and_wait — i.e. the old team has
+  /// quiesced, which is exactly what the thread pool's bounded completion
+  /// wait establishes between jobs. Re-arming a healthy barrier between
+  /// generations is also safe under the same quiescence precondition.
+  void rearm() noexcept {
+    remaining_.store(participants_, std::memory_order_relaxed);
+    sense_.store(false, std::memory_order_relaxed);
+    poisoned_.store(false, std::memory_order_release);
   }
 
   [[nodiscard]] bool poisoned() const noexcept {

@@ -80,6 +80,34 @@ void MemoryTracker::sub(MemCategory c, std::size_t bytes) noexcept {
   saturating_sub(total_, bytes);
 }
 
+void MemoryScope::add(std::size_t bytes) noexcept {
+  const std::size_t now =
+      total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryScope::sub(std::size_t bytes) noexcept {
+  saturating_sub(total_, bytes);
+}
+
+namespace {
+thread_local MemoryScope* t_memory_scope = nullptr;
+}  // namespace
+
+MemoryScope* current_memory_scope() noexcept { return t_memory_scope; }
+
+ScopedMemoryAttribution::ScopedMemoryAttribution(MemoryScope* scope) noexcept
+    : previous_(t_memory_scope) {
+  t_memory_scope = scope;
+}
+
+ScopedMemoryAttribution::~ScopedMemoryAttribution() {
+  t_memory_scope = previous_;
+}
+
 std::size_t MemoryTracker::bytes(MemCategory c) const noexcept {
   return by_category_[static_cast<std::size_t>(c)].load(
       std::memory_order_relaxed);

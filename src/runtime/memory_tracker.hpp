@@ -75,17 +75,70 @@ class MemoryTracker {
   std::atomic<std::size_t> peak_{0};
 };
 
+/// A per-job memory ledger. The MemoryTracker singleton answers "how much
+/// does the *process* hold", which is the wrong question once several jobs
+/// share the process: job A's mailboxes would trip job B's budget. A scope
+/// is a second, independent accumulator that MemReservations made while it
+/// is active (see ScopedMemoryAttribution) also report to, so a budget can
+/// be enforced against *this job's* bytes alone.
+class MemoryScope {
+ public:
+  void add(std::size_t bytes) noexcept;
+  /// Saturating, like MemoryTracker::sub.
+  void sub(std::size_t bytes) noexcept;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    total_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> total_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+/// The calling thread's active attribution scope (nullptr = none). Every
+/// MemReservation captures this at registration time and releases to the
+/// same scope, so attribution survives the reservation outliving the
+/// ScopedMemoryAttribution that was active when it was made.
+[[nodiscard]] MemoryScope* current_memory_scope() noexcept;
+
+/// RAII: attributes MemReservations made on this thread to `scope` (and
+/// still to the process-wide tracker) until destruction restores the
+/// previous scope. Nestable; nullptr deactivates attribution.
+class ScopedMemoryAttribution {
+ public:
+  explicit ScopedMemoryAttribution(MemoryScope* scope) noexcept;
+  ~ScopedMemoryAttribution();
+  ScopedMemoryAttribution(const ScopedMemoryAttribution&) = delete;
+  ScopedMemoryAttribution& operator=(const ScopedMemoryAttribution&) = delete;
+
+ private:
+  MemoryScope* previous_;
+};
+
 /// RAII registration of `bytes` against a category for the lifetime of the
 /// owning object. Movable; moved-from reservations release nothing.
 class MemReservation {
  public:
   MemReservation() noexcept = default;
   MemReservation(MemCategory c, std::size_t bytes) noexcept
-      : category_(c), bytes_(bytes) {
+      : category_(c), bytes_(bytes), scope_(current_memory_scope()) {
     MemoryTracker::instance().add(category_, bytes_);
+    if (scope_ != nullptr) {
+      scope_->add(bytes_);
+    }
   }
   MemReservation(MemReservation&& other) noexcept
-      : category_(other.category_), bytes_(other.bytes_) {
+      : category_(other.category_),
+        bytes_(other.bytes_),
+        scope_(other.scope_) {
     other.bytes_ = 0;
   }
   MemReservation& operator=(MemReservation&& other) noexcept {
@@ -93,6 +146,7 @@ class MemReservation {
       release();
       category_ = other.category_;
       bytes_ = other.bytes_;
+      scope_ = other.scope_;
       other.bytes_ = 0;
     }
     return *this;
@@ -101,12 +155,17 @@ class MemReservation {
   MemReservation& operator=(const MemReservation&) = delete;
   ~MemReservation() { release(); }
 
-  /// Re-targets this reservation to `bytes` (releasing the previous amount).
+  /// Re-targets this reservation to `bytes` (releasing the previous amount)
+  /// and re-captures the calling thread's attribution scope.
   void rebind(MemCategory c, std::size_t bytes) noexcept {
     release();
     category_ = c;
     bytes_ = bytes;
+    scope_ = current_memory_scope();
     MemoryTracker::instance().add(category_, bytes_);
+    if (scope_ != nullptr) {
+      scope_->add(bytes_);
+    }
   }
 
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
@@ -115,12 +174,16 @@ class MemReservation {
   void release() noexcept {
     if (bytes_ != 0) {
       MemoryTracker::instance().sub(category_, bytes_);
+      if (scope_ != nullptr) {
+        scope_->sub(bytes_);
+      }
       bytes_ = 0;
     }
   }
 
   MemCategory category_ = MemCategory::kOther;
   std::size_t bytes_ = 0;
+  MemoryScope* scope_ = nullptr;
 };
 
 /// Reads the process peak resident set size (VmHWM) in bytes from

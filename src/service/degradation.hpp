@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipregel::service {
+
+/// The degradation ladder, in the order the manager climbs it. Each rung
+/// trades a little quality of service for headroom; the ordering puts the
+/// cheapest concession first so overload degrades smoothly instead of
+/// falling off a cliff (the Pregelix argument: resource management, not
+/// OOM, separates a deployable engine from a research one).
+enum class DegradationStep : std::uint8_t {
+  /// Run the job on a smaller thread team: slower, but a smaller working
+  /// set of per-thread buffers and less memory bandwidth pressure.
+  kShrinkThreads,
+  /// Downgrade heavyweight checkpoints to lightweight ones: the snapshot
+  /// staging buffer shrinks from values+mailboxes to values only.
+  kLightweightCheckpoint,
+  /// Evict the least important queued job. The last rung: somebody's work
+  /// is dropped, but with a typed reason instead of an OOM kill.
+  kShedQueued,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    DegradationStep s) noexcept {
+  switch (s) {
+    case DegradationStep::kShrinkThreads:
+      return "shrink-threads";
+    case DegradationStep::kLightweightCheckpoint:
+      return "lightweight-checkpoint";
+    case DegradationStep::kShedQueued:
+      return "shed-queued";
+  }
+  return "invalid";
+}
+
+/// One recorded policy step-down.
+struct DegradationEvent {
+  DegradationStep step;
+  /// The job the step was applied to (for kShedQueued, the evicted job).
+  std::uint64_t job_id = 0;
+  std::string detail;
+};
+
+/// Thread-safe, append-only record of every degradation transition the
+/// manager took. The chaos-under-load matrix asserts on it: overload must
+/// leave an auditable trail, not just different timings.
+class DegradationLog {
+ public:
+  void record(DegradationStep step, std::uint64_t job_id,
+              std::string detail) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back({step, job_id, std::move(detail)});
+  }
+
+  [[nodiscard]] std::vector<DegradationEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  [[nodiscard]] std::size_t count(DegradationStep step) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const DegradationEvent& e : events_) {
+      if (e.step == step) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DegradationEvent> events_;
+};
+
+}  // namespace ipregel::service

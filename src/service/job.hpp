@@ -1,0 +1,165 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "service/shed.hpp"
+
+namespace ipregel::service {
+
+/// Per-job service parameters, orthogonal to the EngineOptions the job
+/// runs with (which stay the caller's business).
+struct JobSpec {
+  /// Higher runs first; ties run in submission order. Under overload a
+  /// strictly higher-priority arrival may evict the lowest-priority queued
+  /// job (never a running one).
+  int priority = 0;
+
+  /// Wall-clock budget covering queue wait AND execution; 0 = none. A job
+  /// still queued when it expires is shed (kDeadlineExpired); a running
+  /// job gets the remainder as its run watchdog and fails with
+  /// RunErrorKind::kRunTimeout if it blows through it.
+  double deadline_seconds = 0.0;
+
+  /// Bytes reserved from the service's global memory budget for the whole
+  /// time the job is admitted (queued + running). 0 lets the manager
+  /// derive an estimate from the graph's shape at submit time. Admission
+  /// fails (ShedError::kMemoryBudget) when the ledger cannot cover it.
+  std::size_t memory_reservation_bytes = 0;
+
+  /// Also enforce the reservation as the job's own memory budget
+  /// (guards.memory_budget_bytes against the job's MemoryScope): a job
+  /// that allocates past what it reserved fails typed (kMemoryBudget)
+  /// instead of silently eating its neighbours' headroom.
+  bool enforce_reservation = false;
+};
+
+/// Where a job ended up.
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kCompleted,  ///< ran to a successful RunResult
+  kFailed,     ///< ran and failed with a typed RunError (after retries)
+  kShed,       ///< never ran; report.shed_reason says why
+};
+
+[[nodiscard]] constexpr std::string_view to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kShed:
+      return "shed";
+  }
+  return "invalid";
+}
+
+/// Everything the service knows about a finished (or shed) job.
+struct JobReport {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+
+  /// kShed only.
+  std::optional<ShedReason> shed_reason;
+  /// kFailed only: the final attempt's typed failure.
+  std::optional<RunError> error;
+  /// kCompleted only.
+  RunResult result{};
+
+  /// Supervisor statistics (kCompleted/kFailed).
+  std::size_t attempts = 0;
+  std::size_t resumed_from_snapshot = 0;
+
+  /// Seconds spent waiting in the queue / executing.
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+
+  /// What the job actually ran with after degradation.
+  std::size_t threads_used = 0;
+  bool checkpoint_downgraded = false;
+  /// This job's attributed memory high-water mark (scope peak), bytes.
+  std::size_t peak_tracked_bytes = 0;
+};
+
+namespace detail {
+
+/// Type-erased completion state shared between the manager and a ticket.
+/// The typed layer (TypedJobState<Program>) adds the output values.
+struct JobStateBase {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  JobReport report;
+  /// Cooperative kill switch, routed into guards.cancel_token while the
+  /// job runs. Raised by JobManager::cancel and by destructive shutdown.
+  std::atomic<bool> cancel{false};
+
+  virtual ~JobStateBase() = default;
+
+  void finish(JobReport r) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      report = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  const JobReport& wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return report;
+  }
+};
+
+template <typename Program>
+struct TypedJobState : JobStateBase {
+  std::vector<typename Program::value_type> values;
+};
+
+}  // namespace detail
+
+/// The submitter's handle to an admitted job: wait for it, read its
+/// report, and — for completed jobs — its output values. Copyable (shared
+/// state); cheap to pass around.
+template <typename Program>
+class JobTicket {
+ public:
+  explicit JobTicket(
+      std::shared_ptr<detail::TypedJobState<Program>> state) noexcept
+      : state_(std::move(state)) {}
+
+  /// Blocks until the job completes, fails, or is shed.
+  const JobReport& wait() { return state_->wait(); }
+
+  /// Final vertex values (valid once wait() reported kCompleted).
+  [[nodiscard]] const std::vector<typename Program::value_type>& values()
+      const noexcept {
+    return state_->values;
+  }
+
+  [[nodiscard]] std::uint64_t id() const noexcept {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->report.id;
+  }
+
+ private:
+  friend class JobManager;
+  std::shared_ptr<detail::TypedJobState<Program>> state_;
+};
+
+}  // namespace ipregel::service

@@ -1,0 +1,326 @@
+#include "service/job_manager.hpp"
+
+#include <exception>
+#include <string>
+
+namespace ipregel::service {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+[[nodiscard]] double seconds_since(
+    std::chrono::steady_clock::time_point t) noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+}  // namespace
+
+JobManager::JobManager() : JobManager(Config{}) {}
+
+JobManager::JobManager(Config config) : config_(config) {
+  config_.executors = std::max<std::size_t>(1, config_.executors);
+  if (config_.team_threads == 0) {
+    config_.team_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  executors_.reserve(config_.executors);
+  for (std::size_t i = 0; i < config_.executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+JobManager::~JobManager() { shutdown(); }
+
+void JobManager::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Shed back-to-front so indices stay valid; these jobs were admitted
+    // (their reservations are held) but will never run.
+    while (!queue_.empty()) {
+      shed_at_locked(queue_.size() - 1, ShedReason::kShutdown);
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  executors_.clear();
+}
+
+bool JobManager::cancel(std::uint64_t job_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].id == job_id) {
+      shed_at_locked(i, ShedReason::kCancelled);
+      return true;
+    }
+  }
+  const auto it = running_.find(job_id);
+  if (it != running_.end()) {
+    // Cooperative: the run observes the token at its next guard tick or
+    // superstep barrier and fails with RunErrorKind::kCancelled.
+    it->second->cancel.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+JobManager::Stats JobManager::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void JobManager::admit(PendingJob&& job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (stopping_) {
+    ++stats_.rejected;
+    throw ShedError(ShedReason::kShutdown, "manager is shutting down");
+  }
+  // A reservation the whole budget could never cover is unservable at any
+  // load; reject it before it starves the queue.
+  if (config_.memory_budget_bytes != 0 &&
+      job.reserved_bytes > config_.memory_budget_bytes) {
+    ++stats_.rejected;
+    throw ShedError(
+        ShedReason::kMemoryBudget,
+        "reservation of " + std::to_string(job.reserved_bytes) +
+            " bytes exceeds the whole service budget of " +
+            std::to_string(config_.memory_budget_bytes) + " bytes");
+  }
+
+  // Depth bound: one strictly weaker queued job may be evicted to make
+  // room (the ladder's kShedQueued rung); otherwise the arrival is shed.
+  if (queue_.size() >= config_.max_queue_depth) {
+    const std::size_t weakest = weakest_locked();
+    if (weakest != kNpos &&
+        queue_[weakest].spec.priority < job.spec.priority) {
+      log_.record(DegradationStep::kShedQueued, queue_[weakest].id,
+                  "queue at depth bound " +
+                      std::to_string(config_.max_queue_depth) +
+                      "; evicted priority " +
+                      std::to_string(queue_[weakest].spec.priority) +
+                      " for arriving priority " +
+                      std::to_string(job.spec.priority));
+      shed_at_locked(weakest, ShedReason::kPriorityEvicted);
+    } else {
+      ++stats_.rejected;
+      throw ShedError(ShedReason::kQueueFull,
+                      "queue at its depth bound of " +
+                          std::to_string(config_.max_queue_depth) +
+                          " and no queued job is lower priority");
+    }
+  }
+
+  // Memory ledger: evict strictly weaker queued jobs while the reservation
+  // does not fit. Running jobs are never evicted, so when they hold the
+  // budget the arrival is shed instead.
+  if (config_.memory_budget_bytes != 0) {
+    while (stats_.reserved_bytes + job.reserved_bytes >
+           config_.memory_budget_bytes) {
+      const std::size_t weakest = weakest_locked();
+      if (weakest == kNpos ||
+          queue_[weakest].spec.priority >= job.spec.priority) {
+        ++stats_.rejected;
+        throw ShedError(
+            ShedReason::kMemoryBudget,
+            "admitting " + std::to_string(job.reserved_bytes) +
+                " bytes would exceed the service budget (" +
+                std::to_string(stats_.reserved_bytes) + " of " +
+                std::to_string(config_.memory_budget_bytes) +
+                " bytes already reserved)");
+      }
+      log_.record(DegradationStep::kShedQueued, queue_[weakest].id,
+                  "evicted to free " +
+                      std::to_string(queue_[weakest].reserved_bytes) +
+                      " reserved bytes for arriving priority " +
+                      std::to_string(job.spec.priority));
+      shed_at_locked(weakest, ShedReason::kPriorityEvicted);
+    }
+  }
+
+  job.id = next_id_++;
+  job.submitted_at = std::chrono::steady_clock::now();
+  {
+    // Publish the id so JobTicket::id() works before completion.
+    const std::lock_guard<std::mutex> slock(job.state->mu);
+    job.state->report.id = job.id;
+  }
+  stats_.reserved_bytes += job.reserved_bytes;
+  stats_.peak_reserved_bytes =
+      std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+  ++stats_.admitted;
+  queue_.push_back(std::move(job));
+  stats_.max_queue_depth_seen =
+      std::max(stats_.max_queue_depth_seen, queue_.size());
+  lock.unlock();
+  work_cv_.notify_one();
+}
+
+JobManager::PendingJob JobManager::pop_best_locked() {
+  // Highest priority wins; the queue is in submission order, so the first
+  // hit is also the oldest of that priority (FIFO within a priority).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].spec.priority > queue_[best].spec.priority) {
+      best = i;
+    }
+  }
+  PendingJob job = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return job;
+}
+
+std::size_t JobManager::weakest_locked() const noexcept {
+  if (queue_.empty()) {
+    return kNpos;
+  }
+  // Lowest priority loses; >= keeps the newest of that priority (shedding
+  // the most recent arrival preserves FIFO fairness among equals).
+  std::size_t weakest = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].spec.priority <= queue_[weakest].spec.priority) {
+      weakest = i;
+    }
+  }
+  return weakest;
+}
+
+void JobManager::shed_at_locked(std::size_t index, ShedReason reason) {
+  PendingJob job = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  release_reservation_locked(job.reserved_bytes);
+  ++stats_.shed;
+  JobReport report;
+  report.id = job.id;
+  report.state = JobState::kShed;
+  report.shed_reason = reason;
+  report.queue_seconds = seconds_since(job.submitted_at);
+  job.state->finish(std::move(report));
+}
+
+void JobManager::release_reservation_locked(std::size_t bytes) noexcept {
+  stats_.reserved_bytes =
+      stats_.reserved_bytes >= bytes ? stats_.reserved_bytes - bytes : 0;
+}
+
+void JobManager::executor_loop() {
+  for (;;) {
+    PendingJob job;
+    ExecPlan plan;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      job = pop_best_locked();
+      const double waited = seconds_since(job.submitted_at);
+
+      // Jobs whose service window closed while queued never start: the
+      // capacity they would burn belongs to jobs that can still make it.
+      if ((job.spec.deadline_seconds > 0.0 &&
+           waited >= job.spec.deadline_seconds) ||
+          job.state->cancel.load(std::memory_order_acquire)) {
+        const ShedReason reason =
+            job.state->cancel.load(std::memory_order_acquire)
+                ? ShedReason::kCancelled
+                : ShedReason::kDeadlineExpired;
+        release_reservation_locked(job.reserved_bytes);
+        ++stats_.shed;
+        JobReport report;
+        report.id = job.id;
+        report.state = JobState::kShed;
+        report.shed_reason = reason;
+        report.queue_seconds = waited;
+        lock.unlock();
+        job.state->finish(std::move(report));
+        continue;
+      }
+
+      // --- degradation ladder, decided per job start ---------------------
+      plan.threads = config_.team_threads;
+      if (config_.memory_budget_bytes != 0) {
+        const double pressure =
+            static_cast<double>(stats_.reserved_bytes) /
+            static_cast<double>(config_.memory_budget_bytes);
+        if (pressure >= config_.memory_pressure && plan.threads > 1) {
+          plan.threads = std::max<std::size_t>(1, plan.threads / 2);
+          log_.record(DegradationStep::kShrinkThreads, job.id,
+                      "reservation pressure " + std::to_string(pressure) +
+                          "; team " + std::to_string(config_.team_threads) +
+                          " -> " + std::to_string(plan.threads));
+        }
+        if (pressure >= config_.memory_pressure_severe) {
+          plan.downgrade_checkpoint = true;
+        }
+      }
+      if (job.spec.deadline_seconds > 0.0) {
+        plan.run_seconds = job.spec.deadline_seconds - waited;
+        if (waited >=
+            config_.deadline_pressure * job.spec.deadline_seconds) {
+          plan.downgrade_checkpoint = true;
+        }
+      }
+      if (job.spec.enforce_reservation) {
+        plan.memory_budget_bytes = job.reserved_bytes;
+      }
+      running_.emplace(job.id, job.state);
+    }
+
+    JobReport report;
+    report.id = job.id;
+    report.queue_seconds = seconds_since(job.submitted_at);
+    report.threads_used = plan.threads;
+
+    // All of this job's MemReservations (engine buffers, checkpoint
+    // staging) are attributed to its scope: the per-job budget guard and
+    // peak_tracked_bytes see this job alone, not its neighbours.
+    runtime::MemoryScope scope;
+    runtime::Timer timer;
+    {
+      const runtime::ScopedMemoryAttribution attribution(&scope);
+      try {
+        job.execute(*job.state, plan, report);
+      } catch (const std::exception& e) {
+        // Configuration errors (inapplicable version, snapshot mismatch)
+        // escape ft::supervise as exceptions; they must fail the job, not
+        // the executor thread.
+        report.state = JobState::kFailed;
+        report.error = RunError(
+            RunErrorKind::kUserException, 0, 0, RunError::kNoVertex,
+            std::string("job configuration error: ") + e.what());
+      }
+    }
+    report.run_seconds = timer.seconds();
+    report.peak_tracked_bytes = scope.peak();
+    if (report.checkpoint_downgraded) {
+      // Recorded after the fact: the closure knows whether the program can
+      // actually take lightweight snapshots; a mere request is not a
+      // transition.
+      log_.record(DegradationStep::kLightweightCheckpoint, job.id,
+                  "heavyweight -> lightweight checkpoints");
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      running_.erase(job.id);
+      release_reservation_locked(job.reserved_bytes);
+      if (report.state == JobState::kCompleted) {
+        ++stats_.completed;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    job.state->finish(std::move(report));
+  }
+}
+
+}  // namespace ipregel::service

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ipregel::service {
+
+/// Why the job service refused to run (or finish) a job. Every job the
+/// JobManager does not execute to a RunOutcome carries exactly one of
+/// these, so load generators and callers can account for every submission
+/// — the overload analogue of RunErrorKind's failure taxonomy.
+enum class ShedReason : std::uint8_t {
+  /// The queue was at its depth bound and the job was not important enough
+  /// to displace anything (admission-time rejection).
+  kQueueFull,
+  /// Admitting the job would push the global memory reservation over the
+  /// service budget (admission-time rejection).
+  kMemoryBudget,
+  /// The job was admitted but later evicted from the queue to make room
+  /// for a higher-priority arrival or to relieve memory pressure — the
+  /// final rung of the degradation ladder.
+  kPriorityEvicted,
+  /// The job's deadline elapsed while it was still queued; starting it
+  /// could only waste capacity the deadline already forfeited.
+  kDeadlineExpired,
+  /// The caller cancelled the job before it started running.
+  kCancelled,
+  /// The manager was shut down while the job was still queued.
+  kShutdown,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ShedReason r) noexcept {
+  switch (r) {
+    case ShedReason::kQueueFull:
+      return "queue-full";
+    case ShedReason::kMemoryBudget:
+      return "memory-budget";
+    case ShedReason::kPriorityEvicted:
+      return "priority-evicted";
+    case ShedReason::kDeadlineExpired:
+      return "deadline-expired";
+    case ShedReason::kCancelled:
+      return "cancelled";
+    case ShedReason::kShutdown:
+      return "shutdown";
+  }
+  return "invalid";
+}
+
+/// Thrown by JobManager::submit when admission control rejects the job
+/// outright (queue depth or memory reservation). Jobs shed *after*
+/// admission do not throw — their ticket's JobReport carries the reason —
+/// because by then the submitter has already moved on.
+class ShedError : public std::runtime_error {
+ public:
+  ShedError(ShedReason reason, const std::string& detail)
+      : std::runtime_error("[shed:" + std::string(to_string(reason)) + "] " +
+                           detail),
+        reason_(reason) {}
+
+  [[nodiscard]] ShedReason reason() const noexcept { return reason_; }
+
+ private:
+  ShedReason reason_;
+};
+
+}  // namespace ipregel::service

@@ -284,6 +284,65 @@ TEST(RunErrors, MemoryBudgetBreachIsTypedAndNotRetryable) {
             std::string::npos);
 }
 
+// --- cooperative cancellation ---------------------------------------------
+
+TEST(RunErrors, RaisedCancelTokenTripsAsTypedOutcome) {
+  // The serving layer points guards.cancel_token at a per-job flag; a
+  // raise from another thread mid-run must surface as kCancelled, not as
+  // a timeout or a hang.
+  const CsrGraph g =
+      make_graph(graph::grid_2d(8, 8, {.removal_fraction = 0.0}));
+  std::atomic<bool> token{false};
+  EngineOptions options;
+  options.threads = 2;
+  options.guards.cancel_token = &token;
+  std::thread killer([&] {
+    // SleepyProgram naps 1 ms per compute: the run comfortably outlives
+    // this delay, so the raise lands mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.store(true);
+  });
+  const RunOutcome outcome = run_version_checked(
+      g, SleepyProgram{.nap = std::chrono::microseconds{1000}, .rounds = 64},
+      VersionId{CombinerKind::kSpinlockPush, false}, options);
+  killer.join();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kCancelled);
+  EXPECT_FALSE(outcome.error->retryable())
+      << "a deliberate cancel must not be retried by the supervisor";
+}
+
+TEST(RunErrors, PreRaisedCancelTokenStopsTheRunImmediately) {
+  const CsrGraph g = make_component_graph();
+  std::atomic<bool> token{true};  // cancelled before the run even starts
+  EngineOptions options;
+  options.threads = 2;
+  options.guards.cancel_token = &token;
+  const RunOutcome outcome =
+      run_version_checked(g, apps::Hashmin{},
+                          VersionId{CombinerKind::kSpinlockPush, false},
+                          options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kCancelled);
+}
+
+TEST(RunErrors, UnraisedCancelTokenDoesNotPerturbResults) {
+  const CsrGraph g = make_component_graph();
+  std::atomic<bool> token{false};
+  EngineOptions watched;
+  watched.threads = 4;
+  watched.guards.cancel_token = &token;
+  std::vector<graph::vid_t> with_token;
+  std::vector<graph::vid_t> without;
+  (void)run_version(g, apps::Hashmin{},
+                    VersionId{CombinerKind::kSpinlockPush, true}, watched,
+                    nullptr, &with_token);
+  (void)run_version(g, apps::Hashmin{},
+                    VersionId{CombinerKind::kSpinlockPush, true},
+                    EngineOptions{.threads = 4}, nullptr, &without);
+  EXPECT_EQ(with_token, without);
+}
+
 // --- injected faults through the checked interface ------------------------
 
 TEST(RunErrors, InjectedFaultSurfacesAsRetryableOutcome) {

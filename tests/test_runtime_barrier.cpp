@@ -118,4 +118,85 @@ TEST(SenseBarrier, ArrivalAfterPoisonReturnsImmediately) {
   EXPECT_FALSE(barrier.arrive_and_wait());
 }
 
+// --- re-arm ---------------------------------------------------------------
+
+TEST(SenseBarrier, RearmRestoresSynchronisationAfterPoison) {
+  // Poison a generation that was partially arrived (the hard case: the
+  // internal countdown is mid-decrement), quiesce the old team, re-arm,
+  // and drive a full team through many generations. A stale countdown or
+  // sense bit would deadlock here and trip the ctest timeout.
+  constexpr std::size_t kThreads = 3;
+  SenseBarrier barrier(kThreads);
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 2; ++t) {
+    waiters.emplace_back([&] { EXPECT_FALSE(barrier.arrive_and_wait()); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  barrier.poison();
+  for (auto& t : waiters) {
+    t.join();  // the old team has quiesced — rearm's precondition
+  }
+  ASSERT_TRUE(barrier.poisoned());
+
+  barrier.rearm();
+  EXPECT_FALSE(barrier.poisoned());
+
+  std::atomic<std::int64_t> sum{0};
+  std::vector<std::thread> team;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    team.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        sum.fetch_add(1);
+        EXPECT_TRUE(barrier.arrive_and_wait());
+      }
+    });
+  }
+  for (auto& t : team) {
+    t.join();
+  }
+  EXPECT_EQ(sum.load(), 500 * static_cast<std::int64_t>(kThreads));
+}
+
+TEST(SenseBarrier, ArrivalsFailUntilRearmThenSucceed) {
+  SenseBarrier barrier(1);
+  barrier.poison();
+  EXPECT_FALSE(barrier.arrive_and_wait());
+  EXPECT_FALSE(barrier.arrive_and_wait()) << "poison must persist";
+  barrier.rearm();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(barrier.arrive_and_wait());
+  }
+}
+
+TEST(SenseBarrier, RearmAfterOddGenerationCountStaysCoherent) {
+  // rearm resets the sense bit unconditionally; a team that stopped after
+  // an odd number of generations (sense flipped) must still synchronise.
+  SenseBarrier barrier(2);
+  {
+    std::thread partner([&] { EXPECT_TRUE(barrier.arrive_and_wait()); });
+    EXPECT_TRUE(barrier.arrive_and_wait());
+    partner.join();  // exactly one completed generation: sense is flipped
+  }
+  barrier.rearm();
+  {
+    std::thread partner([&] { EXPECT_TRUE(barrier.arrive_and_wait()); });
+    EXPECT_TRUE(barrier.arrive_and_wait());
+    partner.join();
+  }
+}
+
+TEST(SenseBarrier, PoisonRearmCyclesStayCoherent) {
+  // The service re-arms barriers between jobs; alternating failed and
+  // healthy generations must never corrupt the countdown.
+  SenseBarrier barrier(2);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    barrier.poison();
+    EXPECT_FALSE(barrier.arrive_and_wait());
+    barrier.rearm();
+    std::thread partner([&] { EXPECT_TRUE(barrier.arrive_and_wait()); });
+    EXPECT_TRUE(barrier.arrive_and_wait());
+    partner.join();
+  }
+}
+
 }  // namespace

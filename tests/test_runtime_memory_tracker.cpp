@@ -1,19 +1,29 @@
 // Unit tests for the category-tagged memory accounting the paper-style
-// footprint experiments are built on.
+// footprint experiments are built on — plus the per-job attribution
+// scopes the multi-job service enforces its budgets through.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "apps/hashmin.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
 #include "runtime/memory_tracker.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using ipregel::runtime::MemCategory;
+using ipregel::runtime::MemoryScope;
 using ipregel::runtime::MemoryTracker;
 using ipregel::runtime::MemReservation;
+using ipregel::runtime::ScopedMemoryAttribution;
+using ipregel::runtime::current_memory_scope;
 
 class MemoryTrackerTest : public ::testing::Test {
  protected:
@@ -129,6 +139,208 @@ TEST_F(MemoryTrackerTest, CategoryNamesAreUniqueAndNonEmpty) {
   }
   std::sort(names.begin(), names.end());
   EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+// --- per-job attribution scopes -------------------------------------------
+
+TEST_F(MemoryTrackerTest, NoScopeActiveByDefault) {
+  EXPECT_EQ(current_memory_scope(), nullptr);
+}
+
+TEST_F(MemoryTrackerTest, ScopeTracksTotalAndPeakIndependently) {
+  MemoryScope scope;
+  scope.add(100);
+  scope.add(300);
+  scope.sub(250);
+  EXPECT_EQ(scope.total(), 150u);
+  EXPECT_EQ(scope.peak(), 400u);
+  EXPECT_EQ(MemoryTracker::instance().total(), 0u)
+      << "a scope is not the global tracker";
+  scope.reset();
+  EXPECT_EQ(scope.total(), 0u);
+  EXPECT_EQ(scope.peak(), 0u);
+}
+
+TEST_F(MemoryTrackerTest, ScopeSubSaturatesAtZero) {
+  MemoryScope scope;
+  scope.add(10);
+  scope.sub(100);
+  EXPECT_EQ(scope.total(), 0u);
+}
+
+TEST_F(MemoryTrackerTest, ScopedAttributionInstallsAndRestoresNested) {
+  MemoryScope outer;
+  MemoryScope inner;
+  {
+    ScopedMemoryAttribution a(&outer);
+    EXPECT_EQ(current_memory_scope(), &outer);
+    {
+      ScopedMemoryAttribution b(&inner);
+      EXPECT_EQ(current_memory_scope(), &inner);
+    }
+    EXPECT_EQ(current_memory_scope(), &outer);
+    {
+      ScopedMemoryAttribution off(nullptr);
+      EXPECT_EQ(current_memory_scope(), nullptr);
+    }
+    EXPECT_EQ(current_memory_scope(), &outer);
+  }
+  EXPECT_EQ(current_memory_scope(), nullptr);
+}
+
+TEST_F(MemoryTrackerTest, AttributionIsThreadLocal) {
+  MemoryScope scope;
+  const ScopedMemoryAttribution attr(&scope);
+  MemoryScope* seen_in_thread = &scope;  // sentinel: must be overwritten
+  std::thread t([&] { seen_in_thread = current_memory_scope(); });
+  t.join();
+  EXPECT_EQ(seen_in_thread, nullptr)
+      << "another thread must not inherit this thread's scope";
+}
+
+TEST_F(MemoryTrackerTest, ReservationChargesActiveScopeAndGlobal) {
+  MemoryScope scope;
+  {
+    const ScopedMemoryAttribution attr(&scope);
+    const MemReservation r(MemCategory::kMailboxes, 2048);
+    EXPECT_EQ(scope.total(), 2048u);
+    EXPECT_EQ(MemoryTracker::instance().total(), 2048u)
+        << "scoped attribution must not bypass the global tracker";
+  }
+  EXPECT_EQ(scope.total(), 0u);
+  EXPECT_EQ(MemoryTracker::instance().total(), 0u);
+}
+
+TEST_F(MemoryTrackerTest, ReservationReleasesToItsCaptureScope) {
+  // The scope is captured at registration; a reservation outliving the
+  // attribution window must still release to the scope it charged.
+  MemoryScope scope;
+  MemReservation r;
+  {
+    const ScopedMemoryAttribution attr(&scope);
+    r = MemReservation(MemCategory::kLocks, 512);
+  }
+  EXPECT_EQ(scope.total(), 512u);
+  r = MemReservation();  // release with no attribution active
+  EXPECT_EQ(scope.total(), 0u);
+}
+
+TEST_F(MemoryTrackerTest, RebindRecapturesTheCurrentScope) {
+  MemoryScope a;
+  MemoryScope b;
+  MemReservation r;
+  {
+    const ScopedMemoryAttribution attr(&a);
+    r = MemReservation(MemCategory::kFrontier, 64);
+  }
+  {
+    const ScopedMemoryAttribution attr(&b);
+    r.rebind(MemCategory::kFrontier, 256);
+  }
+  EXPECT_EQ(a.total(), 0u) << "rebind must release to the old scope";
+  EXPECT_EQ(b.total(), 256u) << "rebind must charge the new scope";
+}
+
+TEST_F(MemoryTrackerTest, MoveTransfersScopeOwnership) {
+  MemoryScope scope;
+  MemReservation b;
+  {
+    const ScopedMemoryAttribution attr(&scope);
+    MemReservation a(MemCategory::kHashIndex, 100);
+    b = std::move(a);
+  }
+  EXPECT_EQ(scope.total(), 100u) << "move must not release or double-count";
+  b = MemReservation();
+  EXPECT_EQ(scope.total(), 0u);
+}
+
+// --- the satellite regression: concurrent budgeted runs -------------------
+
+TEST_F(MemoryTrackerTest, ForeignAllocationsDoNotTripAScopedBudget) {
+  // A co-tenant holding most of the process's tracked memory must not
+  // trip a job whose budget is enforced against its own scope. Before
+  // scoped attribution, guards.memory_budget_bytes compared against the
+  // global tracker and this run would fail instantly.
+  using ipregel::CombinerKind;
+  using ipregel::EngineOptions;
+  using ipregel::RunOutcome;
+  using ipregel::VersionId;
+  namespace apps = ipregel::apps;
+  namespace graph = ipregel::graph;
+
+  const graph::CsrGraph g =
+      ipregel::testing::make_graph(graph::grid_2d(16, 16));
+  const MemReservation foreign(MemCategory::kMailboxes, 1u << 30);
+
+  MemoryScope scope;
+  const ScopedMemoryAttribution attr(&scope);
+  EngineOptions options;
+  options.threads = 2;
+  options.guards.memory_budget_bytes = 1u << 26;  // far under `foreign`
+  const RunOutcome outcome = ipregel::run_version_checked(
+      g, apps::Hashmin{}, VersionId{CombinerKind::kSpinlockPush, false},
+      options);
+  ASSERT_TRUE(outcome.ok())
+      << "the co-tenant's bytes leaked into this job's budget: "
+      << outcome.error->what();
+  EXPECT_GT(scope.peak(), 0u);
+  EXPECT_LT(scope.peak(), options.guards.memory_budget_bytes);
+}
+
+TEST_F(MemoryTrackerTest, TwoConcurrentBudgetedRunsDoNotTripEachOther) {
+  using ipregel::CombinerKind;
+  using ipregel::EngineOptions;
+  using ipregel::RunOutcome;
+  using ipregel::VersionId;
+  namespace apps = ipregel::apps;
+  namespace graph = ipregel::graph;
+  const VersionId version{CombinerKind::kSpinlockPush, false};
+
+  const graph::CsrGraph g =
+      ipregel::testing::make_graph(graph::grid_2d(24, 24));
+
+  // Measure one run's own footprint through a probe scope.
+  std::size_t solo_peak = 0;
+  {
+    MemoryScope probe;
+    const ScopedMemoryAttribution attr(&probe);
+    (void)ipregel::run_version(g, apps::Hashmin{}, version,
+                               EngineOptions{.threads = 2});
+    solo_peak = probe.peak();
+  }
+  ASSERT_GT(solo_peak, 0u);
+
+  // Budget each run for its own bytes plus headroom — deliberately less
+  // than two runs' combined bytes, so any cross-job attribution leak
+  // trips kMemoryBudget on whichever run loses the race.
+  EngineOptions options;
+  options.threads = 2;
+  options.guards.memory_budget_bytes = solo_peak + solo_peak / 2;
+
+  std::atomic<int> ready{0};
+  std::vector<std::optional<RunOutcome>> outcomes(2);
+  std::vector<std::thread> jobs;
+  for (int j = 0; j < 2; ++j) {
+    jobs.emplace_back([&, j] {
+      MemoryScope scope;
+      const ScopedMemoryAttribution attr(&scope);
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+        std::this_thread::yield();  // maximise engine-lifetime overlap
+      }
+      outcomes[static_cast<std::size_t>(j)] = ipregel::run_version_checked(
+          g, apps::Hashmin{}, version, options);
+    });
+  }
+  for (auto& t : jobs) {
+    t.join();
+  }
+  for (int j = 0; j < 2; ++j) {
+    ASSERT_TRUE(outcomes[static_cast<std::size_t>(j)].has_value());
+    EXPECT_TRUE(outcomes[static_cast<std::size_t>(j)]->ok())
+        << "run " << j << " tripped on its neighbour's memory: "
+        << outcomes[static_cast<std::size_t>(j)]->error->what();
+  }
 }
 
 #ifdef NDEBUG

@@ -244,4 +244,77 @@ TEST(ThreadPool, SingleThreadPoolPropagatesExceptionDirectly) {
   EXPECT_EQ(hits.load(), 1);
 }
 
+// --- cancel storm ---------------------------------------------------------
+
+TEST(ThreadPool, CancelStormFirstErrorWinsEveryRound) {
+  // The service cancels running jobs from outside the team while the
+  // team itself may be throwing; hammer both paths concurrently across
+  // many regions. Invariants under the storm: the rethrown exception
+  // always names the recorded failing thread, every region terminates
+  // (the ctest timeout is the deadlock detector), and the pool stays
+  // reusable with the cancel flag cleared between regions.
+  ThreadPool pool(4);
+  std::atomic<bool> storm_over{false};
+  std::thread canceller([&] {
+    while (!storm_over.load()) {
+      pool.request_cancel();  // external kill switch, arbitrary timing
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto bomber = static_cast<std::size_t>(round) % pool.size();
+    try {
+      pool.run([&](std::size_t tid) {
+        if (tid == bomber) {
+          throw std::runtime_error("thread " + std::to_string(tid));
+        }
+        while (!pool.cancel_requested()) {
+          std::this_thread::yield();  // cooperative members drain early
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::stoul(std::string(e.what()).substr(7)),
+                pool.failing_thread())
+          << "round " << round
+          << ": winner does not match the recorded failing thread";
+    }
+  }
+  storm_over.store(true);
+  canceller.join();
+
+  // After 200 storms the pool must still run a clean region with the
+  // flag lowered — no sticky cancellation, no lost worker.
+  std::atomic<int> hits{0};
+  pool.run([&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), static_cast<int>(pool.size()));
+  EXPECT_FALSE(pool.cancel_requested());
+}
+
+TEST(ThreadPool, ExternalCancelUnblocksCooperativeRegion) {
+  // A region whose members only exit on the cancel flag must complete in
+  // bounded time once an outside thread raises it — the mechanism the
+  // watchdog and the job service rely on to reclaim a stuck team.
+  ThreadPool pool(4);
+  std::atomic<int> entered{0};
+  std::thread killer([&] {
+    while (entered.load() < static_cast<int>(pool.size())) {
+      std::this_thread::yield();
+    }
+    pool.request_cancel();  // every member is provably inside the region
+  });
+  pool.run([&](std::size_t) {
+    entered.fetch_add(1);
+    while (!pool.cancel_requested()) {
+      std::this_thread::yield();
+    }
+  });
+  killer.join();
+  // And the next region starts fresh.
+  std::atomic<int> hits{0};
+  pool.run([&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), static_cast<int>(pool.size()));
+}
+
 }  // namespace

@@ -1,0 +1,396 @@
+// The headline chaos-under-load matrix for the job service: a
+// deterministic load generator offers mixed PageRank / SSSP / Hashmin jobs
+// at 0.5x, 1x, and 2x of the manager's capacity while faults are injected
+// into the jobs themselves — supervisor-retried compute faults, FaultyVfs
+// EIO/ENOSPC on checkpoint writes, watchdog trips, impossible deadlines.
+// The properties under test:
+//
+//  - no crash, no deadlock (ctest TIMEOUT is the deadlock detector; the CI
+//    ASan/TSan builds make "no leak / no race" a hard failure);
+//  - every accepted-and-completed job is bit-identical to a solo run of
+//    the same program — degradation may change *how* a job runs, never
+//    what it computes (the version mix is chosen from the combinations
+//    that are exact at any thread count);
+//  - every job the service does not complete carries a typed reason
+//    (ShedReason or RunErrorKind) — nothing vanishes;
+//  - the queue-depth bound and the global memory-reservation budget are
+//    never exceeded, at any load;
+//  - at 2x load at least one degradation step is on the record.
+//
+// Capacity model: kExecutors jobs running + kDepth queued. The wave is
+// offered while all executors are pinned by gated jobs, so "load factor"
+// measures offered queue pressure exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "core/runner.hpp"
+#include "ft/fault.hpp"
+#include "io/faulty_vfs.hpp"
+#include "service/job_manager.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using ipregel::testing::make_graph;
+using service::JobManager;
+using service::JobReport;
+using service::JobState;
+using service::JobTicket;
+using service::ShedError;
+
+constexpr std::size_t kExecutors = 3;
+constexpr std::size_t kDepth = 4;
+/// Flat per-job reservation; the budget fits exactly one full system
+/// (every executor busy + every queue slot taken).
+constexpr std::size_t kRes = 1u << 20;
+constexpr std::size_t kBudget = (kExecutors + kDepth) * kRes;
+
+// Version choices that are bit-exact at ANY thread count (see
+// tests/test_io_crash_matrix.cpp): PageRank under the pull combiner,
+// min-combined SSSP and Hashmin under push.
+constexpr VersionId kPullVer{CombinerKind::kPull, false};
+constexpr VersionId kPushBypassVer{CombinerKind::kSpinlockPush, true};
+constexpr VersionId kPushVer{CombinerKind::kSpinlockPush, false};
+
+/// Pins an executor until its gate opens (see test_service_manager.cpp).
+struct Spinner {
+  using value_type = graph::vid_t;
+  using message_type = graph::vid_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+
+  std::atomic<bool>* open = nullptr;
+  std::atomic<bool>* started = nullptr;
+
+  [[nodiscard]] value_type initial_value(graph::vid_t id) const noexcept {
+    return id;
+  }
+  void compute(auto& ctx) const {
+    if (started != nullptr) {
+      started->store(true, std::memory_order_release);
+    }
+    if (open->load(std::memory_order_acquire)) {
+      ctx.vote_to_halt();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  static void combine(graph::vid_t& old,
+                      const graph::vid_t& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+/// Deterministic compute fault: fails every attempt, never retryable.
+struct AlwaysThrows {
+  using value_type = graph::vid_t;
+  using message_type = graph::vid_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  [[nodiscard]] graph::vid_t initial_value(graph::vid_t id) const noexcept {
+    return id;
+  }
+  void compute(auto&) const {
+    throw std::runtime_error("injected compute fault");
+  }
+  static void combine(graph::vid_t& old,
+                      const graph::vid_t& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+struct Fixtures {
+  CsrGraph pr_graph = make_graph(graph::rmat(7, 6, {.seed = 11}));
+  CsrGraph sssp_graph =
+      make_graph(graph::grid_2d(10, 10, {.max_weight = 9, .seed = 3}));
+  CsrGraph hm_graph = make_graph(graph::grid_2d(12, 12));
+  CsrGraph tiny = make_graph(graph::grid_2d(2, 2));
+
+  apps::PageRank pr{.rounds = 10};
+
+  std::vector<apps::PageRank::value_type> pr_solo;
+  std::vector<apps::Sssp::value_type> sssp_solo;
+  std::vector<apps::Hashmin::value_type> hm_solo;
+
+  Fixtures() {
+    (void)run_version(pr_graph, pr, kPullVer, EngineOptions{}, nullptr,
+                      &pr_solo);
+    (void)run_version(sssp_graph, apps::Sssp{}, kPushBypassVer,
+                      EngineOptions{}, nullptr, &sssp_solo);
+    (void)run_version(hm_graph, apps::Hashmin{}, kPushBypassVer,
+                      EngineOptions{}, nullptr, &hm_solo);
+  }
+};
+
+Fixtures& fixtures() {
+  static Fixtures f;
+  return f;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& label) {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ipregel_chaos_" + label))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] const std::string& str() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// One chaos wave at a given load factor. Returns nothing; asserts
+/// everything. `work_jobs` = offered queued jobs while all executors are
+/// pinned; kDepth is the no-shedding capacity.
+void run_wave(const std::string& label, std::size_t work_jobs,
+              bool expect_overload) {
+  Fixtures& fx = fixtures();
+  SCOPED_TRACE(label + " (" + std::to_string(work_jobs) + " offered)");
+
+  JobManager mgr({.executors = kExecutors,
+                  .team_threads = 2,
+                  .max_queue_depth = kDepth,
+                  .memory_budget_bytes = kBudget});
+
+  // --- pin every executor so the wave meets a genuinely busy service ----
+  std::atomic<bool> gate{false};
+  std::deque<std::atomic<bool>> started(kExecutors);
+  std::vector<JobTicket<Spinner>> pins;
+  for (std::size_t i = 0; i < kExecutors; ++i) {
+    started[i].store(false);
+    pins.push_back(mgr.submit(
+        fx.tiny, Spinner{.open = &gate, .started = &started[i]}, kPushVer,
+        {}, {.priority = 100, .memory_reservation_bytes = kRes}));
+  }
+  for (std::size_t i = 0; i < kExecutors; ++i) {
+    for (int spin = 0;
+         spin < 5000 && !started[i].load(std::memory_order_acquire);
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(started[i].load(std::memory_order_acquire))
+        << "executor pin " << i << " never started";
+  }
+
+  // --- at 2x, one job whose deadline cannot survive the queue ----------
+  std::vector<JobTicket<apps::Hashmin>> doomed;
+  if (expect_overload) {
+    doomed.push_back(mgr.submit(
+        fx.hm_graph, apps::Hashmin{}, kPushBypassVer, {},
+        {.priority = -1,
+         .deadline_seconds = 0.005,
+         .memory_reservation_bytes = kRes}));
+  }
+
+  // --- the deterministic wave ------------------------------------------
+  // Job i: program kind cycles PageRank/SSSP/Hashmin; chaos flavour per
+  // kind — PageRank jobs carry a supervisor fault schedule with real
+  // checkpoints, SSSP jobs checkpoint onto a FaultyVfs that rejects the
+  // first write (ENOSPC/EIO alternating), Hashmin jobs run clean.
+  // Priorities strictly increase, so at overload each arrival past the
+  // depth bound evicts the weakest queued job — a deterministic
+  // kShedQueued degradation, never an unaccounted drop.
+  std::deque<io::FaultyVfs> disks;
+  std::deque<TempDir> dirs;
+  std::vector<JobTicket<apps::PageRank>> pr_jobs;
+  std::vector<JobTicket<apps::Sssp>> sssp_jobs;
+  std::vector<JobTicket<apps::Hashmin>> hm_jobs;
+  std::size_t rejected = 0;
+
+  for (std::size_t i = 0; i < work_jobs; ++i) {
+    const service::JobSpec spec{.priority = static_cast<int>(i),
+                                .memory_reservation_bytes = kRes};
+    try {
+      switch (i % 3) {
+        case 0: {
+          dirs.emplace_back(label + "_pr" + std::to_string(i));
+          EngineOptions opts;
+          opts.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+          opts.checkpoint.every = 1;
+          opts.checkpoint.directory = dirs.back().str();
+          ft::RetryPolicy retry;
+          retry.max_attempts = 4;
+          retry.fault_schedule = {
+              ft::FaultPlan{.superstep = 1, .after_compute_calls = 0}};
+          pr_jobs.push_back(mgr.submit(fx.pr_graph, fx.pr, kPullVer, opts,
+                                       spec, retry));
+          break;
+        }
+        case 1: {
+          io::FaultyVfs& disk = disks.emplace_back();
+          disk.mkdir("ckpt");
+          disk.set_plan({.kind = (i % 2 == 1)
+                                     ? io::FaultyVfs::FaultKind::kEnospc
+                                     : io::FaultyVfs::FaultKind::kEio,
+                         .at_op = 1});
+          EngineOptions opts;
+          opts.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+          opts.checkpoint.every = 1;
+          opts.checkpoint.directory = "ckpt";
+          opts.checkpoint.vfs = &disk;
+          sssp_jobs.push_back(mgr.submit(fx.sssp_graph, apps::Sssp{},
+                                         kPushBypassVer, opts, spec));
+          break;
+        }
+        default:
+          hm_jobs.push_back(mgr.submit(fx.hm_graph, apps::Hashmin{},
+                                       kPushBypassVer, {}, spec));
+          break;
+      }
+    } catch (const ShedError& e) {
+      ++rejected;
+      EXPECT_TRUE(e.reason() == service::ShedReason::kQueueFull ||
+                  e.reason() == service::ShedReason::kMemoryBudget)
+          << "unexpected admission rejection: " << e.what();
+    }
+  }
+
+  // --- release the pins and drain --------------------------------------
+  gate.store(true, std::memory_order_release);
+  for (auto& pin : pins) {
+    ASSERT_EQ(pin.wait().state, JobState::kCompleted);
+  }
+
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  const auto account = [&](const JobReport& r) {
+    switch (r.state) {
+      case JobState::kCompleted:
+        ++completed;
+        break;
+      case JobState::kShed:
+        ++shed;
+        ASSERT_TRUE(r.shed_reason.has_value())
+            << "shed job " << r.id << " has no typed reason";
+        break;
+      case JobState::kFailed:
+        ASSERT_TRUE(r.error.has_value())
+            << "failed job " << r.id << " has no typed error";
+        FAIL() << "wave job " << r.id
+               << " failed unexpectedly: " << r.error->what();
+        break;
+      default:
+        FAIL() << "job " << r.id << " ended in non-terminal state";
+    }
+  };
+
+  for (auto& t : pr_jobs) {
+    const JobReport& r = t.wait();
+    account(r);
+    if (r.state == JobState::kCompleted) {
+      // The scheduled fault must have tripped and been absorbed by a
+      // snapshot restore — the service run stays bit-identical anyway.
+      EXPECT_EQ(r.attempts, 2u);
+      EXPECT_EQ(r.resumed_from_snapshot, 1u);
+      EXPECT_EQ(t.values(), fx.pr_solo)
+          << "PageRank diverged from the solo run";
+    }
+  }
+  for (auto& t : sssp_jobs) {
+    const JobReport& r = t.wait();
+    account(r);
+    if (r.state == JobState::kCompleted) {
+      // The faulty disk must have cost a checkpoint, not the run.
+      EXPECT_GE(r.result.checkpoints_skipped, 1u);
+      EXPECT_EQ(t.values(), fx.sssp_solo)
+          << "SSSP diverged from the solo run";
+    }
+  }
+  for (auto& t : hm_jobs) {
+    const JobReport& r = t.wait();
+    account(r);
+    if (r.state == JobState::kCompleted) {
+      EXPECT_EQ(t.values(), fx.hm_solo)
+          << "Hashmin diverged from the solo run";
+    }
+  }
+  for (auto& t : doomed) {
+    const JobReport& r = t.wait();
+    EXPECT_EQ(r.state, JobState::kShed)
+        << "an impossible deadline must shed, not run";
+    if (r.state == JobState::kShed) {
+      ++shed;
+      ASSERT_TRUE(r.shed_reason.has_value());
+    }
+  }
+
+  // --- watchdog-trip and compute-fault jobs on the drained service ------
+  {
+    EngineOptions opts;
+    opts.guards.run_seconds = 1e-6;
+    auto t = mgr.submit(fx.hm_graph, apps::Hashmin{}, kPushBypassVer, opts,
+                        {.memory_reservation_bytes = kRes});
+    const JobReport& r = t.wait();
+    ASSERT_EQ(r.state, JobState::kFailed);
+    EXPECT_EQ(r.error->kind(), RunErrorKind::kRunTimeout);
+  }
+  {
+    auto t = mgr.submit(fx.tiny, AlwaysThrows{}, kPushVer, {},
+                        {.memory_reservation_bytes = kRes});
+    const JobReport& r = t.wait();
+    ASSERT_EQ(r.state, JobState::kFailed);
+    EXPECT_EQ(r.error->kind(), RunErrorKind::kUserException);
+    EXPECT_EQ(r.attempts, 1u) << "deterministic faults must not retry";
+  }
+
+  // --- invariants --------------------------------------------------------
+  const JobManager::Stats s = mgr.stats();
+  EXPECT_EQ(s.submitted, s.admitted + s.rejected);
+  EXPECT_EQ(s.rejected, rejected);
+  EXPECT_EQ(s.admitted, s.completed + s.failed + s.shed)
+      << "an admitted job vanished without a terminal state";
+  EXPECT_LE(s.max_queue_depth_seen, kDepth)
+      << "the queue-depth bound was exceeded";
+  EXPECT_LE(s.peak_reserved_bytes, kBudget)
+      << "the memory-reservation budget was exceeded";
+  EXPECT_EQ(s.reserved_bytes, 0u) << "a reservation leaked";
+  EXPECT_EQ(s.failed, 2u) << "only the two designated failure jobs may fail";
+
+  if (expect_overload) {
+    EXPECT_GE(shed + rejected, 1u)
+        << "2x load must shed or reject something";
+    EXPECT_GE(mgr.degradation_log().size(), 1u)
+        << "overload left no degradation trail";
+  } else {
+    EXPECT_EQ(rejected, 0u) << "light load must not reject";
+    EXPECT_EQ(completed, work_jobs) << "light load must complete every job";
+    EXPECT_EQ(shed, 0u);
+  }
+
+  mgr.shutdown();
+}
+
+TEST(ServiceChaos, HalfLoadAllJobsCompleteBitIdentical) {
+  run_wave("half", kDepth / 2, /*expect_overload=*/false);
+}
+
+TEST(ServiceChaos, FullLoadAllJobsCompleteBitIdentical) {
+  run_wave("full", kDepth, /*expect_overload=*/false);
+}
+
+TEST(ServiceChaos, DoubleLoadShedsTypedAndDegradesOnRecord) {
+  run_wave("double", kDepth * 2, /*expect_overload=*/true);
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,590 @@
+// Unit tests for service::JobManager — admission control (typed ShedError
+// rejection, priority eviction), backpressure (deadlines, the memory
+// reservation ledger, per-job budgets), cooperative cancellation routed
+// through the engine's guard machinery, and the degradation ladder with
+// its DegradationLog audit trail. The combined chaos-under-load matrix
+// lives in test_service_chaos.cpp; this file pins each mechanism alone.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "service/job_manager.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using graph::CsrGraph;
+using ipregel::testing::make_graph;
+using service::DegradationStep;
+using service::JobManager;
+using service::JobReport;
+using service::JobSpec;
+using service::JobState;
+using service::ShedError;
+using service::ShedReason;
+
+constexpr VersionId kPush{CombinerKind::kSpinlockPush, false};
+
+/// Stays active (re-running supersteps with short naps) until its shared
+/// gate opens, then halts. Lets a test hold an executor busy for a
+/// controlled window — and, because the engine re-checks its guards at
+/// every superstep barrier, lets cancellation land promptly.
+struct Spinner {
+  using value_type = graph::vid_t;
+  using message_type = graph::vid_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+
+  std::atomic<bool>* open = nullptr;
+  /// Raised on the first compute call — the "this job is now running, not
+  /// queued" signal tests synchronise on.
+  std::atomic<bool>* started = nullptr;
+
+  [[nodiscard]] value_type initial_value(graph::vid_t id) const noexcept {
+    return id;
+  }
+
+  void compute(auto& ctx) const {
+    if (started != nullptr) {
+      started->store(true, std::memory_order_release);
+    }
+    if (open->load(std::memory_order_acquire)) {
+      ctx.vote_to_halt();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  static void combine(graph::vid_t& old,
+                      const graph::vid_t& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+/// Records the order jobs actually started in: the first compute call to
+/// win the CAS stamps the job's slot with a global sequence number.
+struct OrderProbe {
+  using value_type = graph::vid_t;
+  using message_type = graph::vid_t;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+
+  std::atomic<int>* sequence = nullptr;
+  std::atomic<int>* my_order = nullptr;
+
+  [[nodiscard]] value_type initial_value(graph::vid_t id) const noexcept {
+    return id;
+  }
+
+  void compute(auto& ctx) const {
+    int unstamped = -1;
+    if (my_order->load(std::memory_order_relaxed) == -1) {
+      my_order->compare_exchange_strong(
+          unstamped, sequence->fetch_add(1, std::memory_order_relaxed));
+    }
+    ctx.vote_to_halt();
+  }
+
+  static void combine(graph::vid_t& old,
+                      const graph::vid_t& incoming) noexcept {
+    old = std::min(old, incoming);
+  }
+};
+
+CsrGraph tiny_graph() { return make_graph(graph::grid_2d(2, 2)); }
+
+/// Bounded wait for a Spinner's `started` flag: the job has been popped
+/// from the queue and is executing (so later submissions really queue
+/// behind it instead of racing it for the executor).
+void wait_for_start(const std::atomic<bool>& started) {
+  for (int i = 0; i < 5000 && !started.load(std::memory_order_acquire);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(started.load(std::memory_order_acquire))
+      << "blocker job never started";
+}
+
+// --- happy path -----------------------------------------------------------
+
+TEST(JobManager, CompletedJobMatchesSoloRun) {
+  const CsrGraph g = make_graph(graph::grid_2d(12, 12));
+  std::vector<graph::vid_t> solo;
+  (void)run_version(g, apps::Hashmin{}, kPush, EngineOptions{.threads = 2},
+                    nullptr, &solo);
+
+  JobManager mgr({.executors = 2, .team_threads = 2});
+  auto ticket = mgr.submit(g, apps::Hashmin{}, kPush);
+  const JobReport& report = ticket.wait();
+
+  ASSERT_EQ(report.state, JobState::kCompleted)
+      << (report.error ? report.error->what() : "no error");
+  EXPECT_GT(report.result.supersteps, 0u);
+  EXPECT_EQ(report.threads_used, 2u);
+  EXPECT_GT(report.peak_tracked_bytes, 0u)
+      << "the job's memory scope never saw the engine's reservations";
+  EXPECT_EQ(ticket.values(), solo);
+
+  const JobManager::Stats s = mgr.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.reserved_bytes, 0u) << "reservation must be released";
+  EXPECT_GT(s.peak_reserved_bytes, 0u);
+}
+
+TEST(JobManager, ManyConcurrentJobsAllComplete) {
+  const CsrGraph g = make_graph(graph::grid_2d(8, 8));
+  std::vector<graph::vid_t> solo;
+  (void)run_version(g, apps::Hashmin{}, kPush, EngineOptions{}, nullptr,
+                    &solo);
+
+  JobManager mgr({.executors = 3, .team_threads = 2, .max_queue_depth = 32});
+  std::vector<service::JobTicket<apps::Hashmin>> tickets;
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(mgr.submit(g, apps::Hashmin{}, kPush));
+  }
+  for (auto& t : tickets) {
+    ASSERT_EQ(t.wait().state, JobState::kCompleted);
+    EXPECT_EQ(t.values(), solo);
+  }
+  EXPECT_EQ(mgr.stats().completed, 16u);
+  EXPECT_EQ(mgr.stats().reserved_bytes, 0u);
+}
+
+// --- admission control ----------------------------------------------------
+
+TEST(JobManager, QueueFullRejectsWithTypedShedError) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 1, .max_queue_depth = 2});
+
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+  auto q1 = mgr.submit(g, apps::Hashmin{}, kPush);
+  auto q2 = mgr.submit(g, apps::Hashmin{}, kPush);
+
+  bool thrown = false;
+  try {
+    (void)mgr.submit(g, apps::Hashmin{}, kPush);
+  } catch (const ShedError& e) {
+    thrown = true;
+    EXPECT_EQ(e.reason(), ShedReason::kQueueFull);
+    EXPECT_NE(std::string(e.what()).find("queue"), std::string::npos);
+  }
+  EXPECT_TRUE(thrown);
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted);
+  EXPECT_EQ(q1.wait().state, JobState::kCompleted);
+  EXPECT_EQ(q2.wait().state, JobState::kCompleted);
+
+  const JobManager::Stats s = mgr.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_LE(s.max_queue_depth_seen, 2u);
+}
+
+TEST(JobManager, HigherPriorityArrivalEvictsWeakestQueued) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 1, .max_queue_depth = 2});
+
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+  auto weak = mgr.submit(g, apps::Hashmin{}, kPush, {}, {.priority = 1});
+  auto mid = mgr.submit(g, apps::Hashmin{}, kPush, {}, {.priority = 2});
+  // Queue full; a strictly higher-priority arrival displaces `weak`.
+  auto strong = mgr.submit(g, apps::Hashmin{}, kPush, {}, {.priority = 5});
+
+  const JobReport& shed = weak.wait();
+  EXPECT_EQ(shed.state, JobState::kShed);
+  ASSERT_TRUE(shed.shed_reason.has_value());
+  EXPECT_EQ(*shed.shed_reason, ShedReason::kPriorityEvicted);
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted);
+  EXPECT_EQ(mid.wait().state, JobState::kCompleted);
+  EXPECT_EQ(strong.wait().state, JobState::kCompleted);
+
+  // The eviction is the ladder's last rung and must be on the record.
+  EXPECT_GE(mgr.degradation_log().count(DegradationStep::kShedQueued), 1u);
+  EXPECT_EQ(mgr.stats().shed, 1u);
+}
+
+TEST(JobManager, EqualPriorityCannotEvict) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 1, .max_queue_depth = 1});
+
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+  auto queued = mgr.submit(g, apps::Hashmin{}, kPush, {}, {.priority = 3});
+  EXPECT_THROW((void)mgr.submit(g, apps::Hashmin{}, kPush, {},
+                                {.priority = 3}),
+               ShedError);
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted);
+  EXPECT_EQ(queued.wait().state, JobState::kCompleted);
+}
+
+TEST(JobManager, OversizedReservationRejectedUpFront) {
+  const CsrGraph g = tiny_graph();
+  JobManager mgr({.executors = 1, .memory_budget_bytes = 1u << 20});
+  bool thrown = false;
+  try {
+    (void)mgr.submit(g, apps::Hashmin{}, kPush, {},
+                     {.memory_reservation_bytes = (1u << 20) + 1});
+  } catch (const ShedError& e) {
+    thrown = true;
+    EXPECT_EQ(e.reason(), ShedReason::kMemoryBudget);
+  }
+  EXPECT_TRUE(thrown);
+  EXPECT_EQ(mgr.stats().rejected, 1u);
+  EXPECT_EQ(mgr.stats().admitted, 0u);
+}
+
+TEST(JobManager, MemoryLedgerBoundsAdmissionAndEvictsWeaker) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  // Budget fits exactly two 1 MiB reservations.
+  JobManager mgr({.executors = 1,
+                  .team_threads = 1,
+                  .max_queue_depth = 8,
+                  .memory_budget_bytes = 2u << 20});
+  const std::size_t kRes = 1u << 20;
+
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush, {},
+                            {.priority = 9, .memory_reservation_bytes = kRes});
+  wait_for_start(started);
+  auto weak = mgr.submit(g, apps::Hashmin{}, kPush, {},
+                         {.priority = 0, .memory_reservation_bytes = kRes});
+
+  // Same priority cannot displace the queued holder: typed rejection.
+  bool thrown = false;
+  try {
+    (void)mgr.submit(g, apps::Hashmin{}, kPush, {},
+                     {.priority = 0, .memory_reservation_bytes = kRes});
+  } catch (const ShedError& e) {
+    thrown = true;
+    EXPECT_EQ(e.reason(), ShedReason::kMemoryBudget);
+  }
+  EXPECT_TRUE(thrown);
+
+  // A strictly higher priority evicts the queued holder instead.
+  auto strong = mgr.submit(g, apps::Hashmin{}, kPush, {},
+                           {.priority = 5, .memory_reservation_bytes = kRes});
+  const JobReport& shed = weak.wait();
+  EXPECT_EQ(shed.state, JobState::kShed);
+  EXPECT_EQ(*shed.shed_reason, ShedReason::kPriorityEvicted);
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted);
+  EXPECT_EQ(strong.wait().state, JobState::kCompleted);
+
+  const JobManager::Stats s = mgr.stats();
+  EXPECT_LE(s.peak_reserved_bytes, 2u << 20)
+      << "the reservation ledger exceeded the configured budget";
+  EXPECT_EQ(s.reserved_bytes, 0u);
+}
+
+// --- scheduling -----------------------------------------------------------
+
+TEST(JobManager, HigherPriorityRunsFirst) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  std::atomic<int> sequence{0};
+  std::atomic<int> low_order{-1};
+  std::atomic<int> high_order{-1};
+
+  JobManager mgr({.executors = 1, .team_threads = 1, .max_queue_depth = 4});
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+  auto low = mgr.submit(
+      g, OrderProbe{.sequence = &sequence, .my_order = &low_order}, kPush,
+      {}, {.priority = 0});
+  auto high = mgr.submit(
+      g, OrderProbe{.sequence = &sequence, .my_order = &high_order}, kPush,
+      {}, {.priority = 7});
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted);
+  EXPECT_EQ(low.wait().state, JobState::kCompleted);
+  EXPECT_EQ(high.wait().state, JobState::kCompleted);
+  EXPECT_LT(high_order.load(), low_order.load())
+      << "the higher-priority job must start first";
+}
+
+// --- deadlines and cancellation -------------------------------------------
+
+TEST(JobManager, DeadlineExpiredWhileQueuedIsShedTyped) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 1});
+
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+  auto doomed = mgr.submit(g, apps::Hashmin{}, kPush, {},
+                           {.deadline_seconds = 0.02});
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gate.store(true, std::memory_order_release);
+
+  const JobReport& report = doomed.wait();
+  EXPECT_EQ(report.state, JobState::kShed);
+  ASSERT_TRUE(report.shed_reason.has_value());
+  EXPECT_EQ(*report.shed_reason, ShedReason::kDeadlineExpired);
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted);
+}
+
+TEST(JobManager, RunningJobBlowingItsDeadlineFailsAsRunTimeout) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> never{false};
+  JobManager mgr({.executors = 1, .team_threads = 1});
+  // The spinner would run forever; its deadline becomes the run watchdog.
+  auto ticket = mgr.submit(g, Spinner{.open = &never}, kPush, {},
+                           {.deadline_seconds = 0.05});
+  const JobReport& report = ticket.wait();
+  ASSERT_EQ(report.state, JobState::kFailed);
+  ASSERT_TRUE(report.error.has_value());
+  EXPECT_EQ(report.error->kind(), RunErrorKind::kRunTimeout);
+}
+
+TEST(JobManager, CancelQueuedJobShedsIt) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 1});
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+  auto queued = mgr.submit(g, apps::Hashmin{}, kPush);
+
+  EXPECT_TRUE(mgr.cancel(queued.id()));
+  const JobReport& report = queued.wait();
+  EXPECT_EQ(report.state, JobState::kShed);
+  EXPECT_EQ(*report.shed_reason, ShedReason::kCancelled);
+  EXPECT_FALSE(mgr.cancel(queued.id())) << "already finished";
+  EXPECT_FALSE(mgr.cancel(999'999)) << "unknown id";
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted);
+}
+
+TEST(JobManager, CancelRunningJobFailsWithTypedCancelledError) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> never{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 2});
+  auto ticket =
+      mgr.submit(g, Spinner{.open = &never, .started = &started}, kPush);
+  wait_for_start(started);
+
+  EXPECT_TRUE(mgr.cancel(ticket.id()));
+  const JobReport& report = ticket.wait();
+  ASSERT_EQ(report.state, JobState::kFailed);
+  ASSERT_TRUE(report.error.has_value());
+  EXPECT_EQ(report.error->kind(), RunErrorKind::kCancelled)
+      << report.error->what();
+  EXPECT_EQ(report.attempts, 1u)
+      << "a cancelled run must not be retried by the supervisor";
+}
+
+// --- per-job budgets ------------------------------------------------------
+
+TEST(JobManager, EnforcedReservationTripsOnlyItsOwnJob) {
+  // A job that under-reserves and enforces its reservation fails typed;
+  // a well-reserved job sharing the manager is untouched.
+  const CsrGraph g = make_graph(graph::grid_2d(16, 16));
+  JobManager mgr({.executors = 2, .team_threads = 2});
+  auto starved =
+      mgr.submit(g, apps::Hashmin{}, kPush, {},
+                 {.memory_reservation_bytes = 1024,
+                  .enforce_reservation = true});
+  auto healthy = mgr.submit(g, apps::Hashmin{}, kPush);
+
+  const JobReport& bad = starved.wait();
+  ASSERT_EQ(bad.state, JobState::kFailed);
+  ASSERT_TRUE(bad.error.has_value());
+  EXPECT_EQ(bad.error->kind(), RunErrorKind::kMemoryBudget);
+  EXPECT_EQ(healthy.wait().state, JobState::kCompleted)
+      << "a neighbour's budget breach leaked across jobs";
+}
+
+// --- degradation ladder ---------------------------------------------------
+
+TEST(JobManager, MemoryPressureShrinksThreadTeamAndLogsIt) {
+  const CsrGraph g = tiny_graph();
+  JobManager mgr({.executors = 1,
+                  .team_threads = 4,
+                  .memory_budget_bytes = 1u << 20,
+                  .memory_pressure = 0.5});
+  // 0.75 MiB of 1 MiB reserved when the job starts: past the 0.5 rung.
+  auto ticket =
+      mgr.submit(g, apps::Hashmin{}, kPush, {},
+                 {.memory_reservation_bytes = (1u << 20) * 3 / 4});
+  const JobReport& report = ticket.wait();
+  ASSERT_EQ(report.state, JobState::kCompleted);
+  EXPECT_EQ(report.threads_used, 2u) << "team must be halved under pressure";
+  EXPECT_GE(mgr.degradation_log().count(DegradationStep::kShrinkThreads),
+            1u);
+}
+
+TEST(JobManager, NoPressureMeansFullTeamAndEmptyLog) {
+  const CsrGraph g = tiny_graph();
+  JobManager mgr({.executors = 1,
+                  .team_threads = 4,
+                  .memory_budget_bytes = 1u << 30});
+  auto ticket = mgr.submit(g, apps::Hashmin{}, kPush);
+  const JobReport& report = ticket.wait();
+  ASSERT_EQ(report.state, JobState::kCompleted);
+  EXPECT_EQ(report.threads_used, 4u);
+  EXPECT_EQ(mgr.degradation_log().size(), 0u);
+}
+
+TEST(JobManager, SeverePressureDowngradesCheckpointsAndLogsIt) {
+  const CsrGraph g = make_graph(graph::grid_2d(10, 10));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ipregel_svc_downgrade")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<graph::vid_t> solo;
+  (void)run_version(g, apps::Hashmin{}, kPush, EngineOptions{}, nullptr,
+                    &solo);
+
+  JobManager mgr({.executors = 1,
+                  .team_threads = 2,
+                  .memory_budget_bytes = 1u << 20,
+                  .memory_pressure = 0.3,
+                  .memory_pressure_severe = 0.6});
+  EngineOptions options;
+  options.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  options.checkpoint.every = 1;
+  options.checkpoint.mode = ft::CheckpointMode::kHeavyweight;
+  options.checkpoint.directory = dir;
+
+  auto ticket =
+      mgr.submit(g, apps::Hashmin{}, kPush, options,
+                 {.memory_reservation_bytes = (1u << 20) * 7 / 8});
+  const JobReport& report = ticket.wait();
+  ASSERT_EQ(report.state, JobState::kCompleted)
+      << (report.error ? report.error->what() : "");
+  EXPECT_TRUE(report.checkpoint_downgraded);
+  EXPECT_GE(
+      mgr.degradation_log().count(DegradationStep::kLightweightCheckpoint),
+      1u);
+  // Lightweight snapshots must not perturb the result.
+  EXPECT_EQ(ticket.values(), solo);
+  std::filesystem::remove_all(dir);
+}
+
+// --- fault tolerance integration ------------------------------------------
+
+TEST(JobManager, AdmittedJobSurvivesInjectedFaultsViaSupervisor) {
+  const CsrGraph g = make_graph(graph::grid_2d(12, 12));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ipregel_svc_faults")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<graph::vid_t> solo;
+  (void)run_version(g, apps::Hashmin{}, kPush, EngineOptions{}, nullptr,
+                    &solo);
+
+  JobManager mgr({.executors = 1, .team_threads = 2});
+  EngineOptions options;
+  options.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  options.checkpoint.every = 1;
+  options.checkpoint.directory = dir;
+
+  ft::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.fault_schedule = {
+      ft::FaultPlan{.superstep = 1, .after_compute_calls = 0},
+      ft::FaultPlan{.superstep = 2, .after_compute_calls = 0}};
+
+  auto ticket = mgr.submit(g, apps::Hashmin{}, kPush, options, {}, retry);
+  const JobReport& report = ticket.wait();
+  ASSERT_EQ(report.state, JobState::kCompleted)
+      << (report.error ? report.error->what() : "");
+  EXPECT_EQ(report.attempts, 3u) << "both scheduled faults must trip";
+  EXPECT_EQ(report.resumed_from_snapshot, 2u);
+  EXPECT_EQ(ticket.values(), solo);
+  std::filesystem::remove_all(dir);
+}
+
+// --- shutdown -------------------------------------------------------------
+
+TEST(JobManager, ShutdownShedsQueuedAndRejectsNewSubmissions) {
+  const CsrGraph g = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 1});
+  auto blocker = mgr.submit(g, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+  auto queued = mgr.submit(g, apps::Hashmin{}, kPush);
+
+  // shutdown() blocks on the gated blocker; run it aside and watch the
+  // queued job get shed immediately (before the blocker finishes).
+  std::thread stopper([&] { mgr.shutdown(); });
+  const JobReport& report = queued.wait();
+  EXPECT_EQ(report.state, JobState::kShed);
+  EXPECT_EQ(*report.shed_reason, ShedReason::kShutdown);
+
+  gate.store(true, std::memory_order_release);
+  stopper.join();
+  EXPECT_EQ(blocker.wait().state, JobState::kCompleted)
+      << "graceful shutdown must let the running job finish";
+
+  bool thrown = false;
+  try {
+    (void)mgr.submit(g, apps::Hashmin{}, kPush);
+  } catch (const ShedError& e) {
+    thrown = true;
+    EXPECT_EQ(e.reason(), ShedReason::kShutdown);
+  }
+  EXPECT_TRUE(thrown);
+}
+
+TEST(JobManager, StatsAlwaysBalance) {
+  const CsrGraph g = make_graph(graph::grid_2d(6, 6));
+  JobManager mgr({.executors = 2, .team_threads = 1, .max_queue_depth = 2});
+  std::size_t rejected = 0;
+  for (int i = 0; i < 24; ++i) {
+    try {
+      (void)mgr.submit(g, apps::Hashmin{}, kPush);
+    } catch (const ShedError&) {
+      ++rejected;
+    }
+  }
+  mgr.shutdown();
+  const JobManager::Stats s = mgr.stats();
+  EXPECT_EQ(s.submitted, 24u);
+  EXPECT_EQ(s.rejected, rejected);
+  EXPECT_EQ(s.submitted, s.admitted + s.rejected);
+  EXPECT_EQ(s.admitted, s.completed + s.failed + s.shed)
+      << "every admitted job must end in exactly one terminal state";
+  EXPECT_LE(s.max_queue_depth_seen, 2u);
+  EXPECT_EQ(s.reserved_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ipregel

@@ -1,0 +1,164 @@
+// Integrity-detector ablation: what does each silent-data-corruption
+// detector tier cost per run, relative to a detector-free baseline?
+//
+//  - invariants: one O(V) reduction per barrier plus the program's
+//    audit_check — cheap, and the only tier that understands the
+//    *semantics* of the values.
+//  - checksums: sectioned digests over values/halted/mailboxes/frontier.
+//    The <= 10% acceptance bar is gated at the recommended production
+//    cadence (checksum_every = 8); the every-barrier column is reported
+//    but not gated, because its floor is structural: the two digest
+//    passes per superstep (store after compute, verify before the next)
+//    re-read the whole resident state, and on a memory-bandwidth-bound
+//    core that re-read is a fixed fraction of compute's own traffic —
+//    ~25-30% for pull PageRank, whose supersteps stream comparatively
+//    few bytes per vertex, no matter how fast the hash is. The cadence
+//    knob is the designed answer: it trades at-rest *coverage* (only
+//    every k-th barrier's window is guarded) for throughput, and the
+//    matrix's cadence test pins exactly that trade.
+//  - shadow: recomputes a small vertex sample per superstep and compares
+//    bit-for-bit — cost scales with samples, not |V|, so it should be
+//    noise at the default 16.
+//  - all: the three stacked, what a paranoid production run pays.
+//
+// Overhead columns are (t_tier - t_off) / t_off of whole-run wall time.
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "benchlib/reporting.hpp"
+#include "benchlib/workloads.hpp"
+#include "core/runner.hpp"
+#include "integrity/options.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace ipregel;         // NOLINT(google-build-using-namespace)
+using namespace ipregel::bench;  // NOLINT(google-build-using-namespace)
+
+template <typename Program>
+double timed_run(const Workload& w, Program program, VersionId version,
+                 runtime::ThreadPool& pool,
+                 const integrity::IntegrityOptions& tiers) {
+  // Best-of-3: single runs on a contended machine produce negative
+  // "overheads"; the minimum is the least-noisy estimator of the true
+  // cost of each configuration.
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    EngineOptions options;
+    options.integrity = tiers;
+    const RunResult r =
+        run_version(w.graph, program, version, options, &pool);
+    best = std::min(best, r.seconds);
+  }
+  return best;
+}
+
+std::string fmt_overhead(double tier_seconds, double off_seconds) {
+  if (off_seconds <= 0.0) {
+    return "-";
+  }
+  const double pct = (tier_seconds - off_seconds) / off_seconds * 100.0;
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << (pct >= 0.0 ? "+" : "") << pct << "%";
+  return os.str();
+}
+
+template <typename Program>
+void rows(Table& table, const std::string& app, const Workload& w,
+          Program program, VersionId version, runtime::ThreadPool& pool,
+          double* worst_every1, double* worst_every8) {
+  integrity::IntegrityOptions off;
+  integrity::IntegrityOptions inv;
+  inv.invariants = true;
+  integrity::IntegrityOptions cksum;
+  cksum.checksums = true;
+  integrity::IntegrityOptions cksum8;
+  cksum8.checksums = true;
+  cksum8.checksum_every = 8;
+  integrity::IntegrityOptions shadow;
+  shadow.shadow = true;
+  integrity::IntegrityOptions all;
+  all.invariants = true;
+  all.checksums = true;
+  all.shadow = true;
+
+  // A throwaway warm-up run so the first measured configuration does not
+  // also pay the page-cache / allocator cold start.
+  (void)timed_run(w, program, version, pool, off);
+
+  const double t_off = timed_run(w, program, version, pool, off);
+  const double t_inv = timed_run(w, program, version, pool, inv);
+  const double t_ck = timed_run(w, program, version, pool, cksum);
+  const double t_ck8 = timed_run(w, program, version, pool, cksum8);
+  const double t_sh = timed_run(w, program, version, pool, shadow);
+  const double t_all = timed_run(w, program, version, pool, all);
+  if (worst_every1 != nullptr && t_off > 0.0) {
+    *worst_every1 = std::max(*worst_every1, (t_ck - t_off) / t_off);
+  }
+  if (worst_every8 != nullptr && t_off > 0.0) {
+    *worst_every8 = std::max(*worst_every8, (t_ck8 - t_off) / t_off);
+  }
+  table.add_row({app, std::string(version_name(version)), w.name,
+                 fmt_seconds(t_off), fmt_overhead(t_inv, t_off),
+                 fmt_overhead(t_ck, t_off), fmt_overhead(t_ck8, t_off),
+                 fmt_overhead(t_sh, t_off), fmt_overhead(t_all, t_off)});
+}
+
+}  // namespace
+
+int main() {
+  runtime::ThreadPool pool;
+  std::cout << "iPregel integrity-detector ablation (threads = "
+            << pool.size() << ", shadow samples = "
+            << integrity::IntegrityOptions{}.shadow_samples << ")\n";
+  Table table("Per-tier overhead vs detector-free baseline",
+              {"application", "version", "graph", "off (s)", "invariants",
+               "checksums", "cksum/8", "shadow", "all"});
+
+  // The <= 10% acceptance bar applies to the dense workloads, where a
+  // superstep does Omega(V) compute the digest passes can amortise
+  // against. Road-graph SSSP is the anti-workload ON PURPOSE: its
+  // sub-millisecond wavefront supersteps touch a few hundred vertices
+  // while the checksum tier still digests all |V| of them — no cadence
+  // makes that fit 10%, which is exactly why checksum_every exists and
+  // why its row stays in the table (and CSV) un-gated: it quantifies the
+  // pathology instead of hiding it.
+  double worst_every1 = 0.0;
+  double worst_every8 = 0.0;
+  const Workload wiki = make_wiki_like();
+  const Workload road = make_road_like();
+  rows(table, "PageRank", wiki, apps::PageRank{.rounds = kPageRankRounds},
+       {CombinerKind::kSpinlockPush, false}, pool, &worst_every1,
+       &worst_every8);
+  rows(table, "PageRank", wiki, apps::PageRank{.rounds = kPageRankRounds},
+       {CombinerKind::kPull, false}, pool, &worst_every1, &worst_every8);
+  rows(table, "Hashmin", wiki, apps::Hashmin{},
+       {CombinerKind::kSpinlockPush, true}, pool, &worst_every1,
+       &worst_every8);
+  rows(table, "SSSP", road, apps::Sssp{.source = kSsspSource},
+       {CombinerKind::kSpinlockPush, true}, pool, nullptr, nullptr);
+  table.print();
+  table.write_csv("results/bench_integrity.csv");
+
+  std::cout << "\nworst checksum-tier overhead on the dense (wiki-like) "
+               "workloads: "
+            << fmt_overhead(1.0 + worst_every8, 1.0)
+            << " at the recommended production cadence (checksum_every = 8; "
+               "acceptance bar: +10.0%), "
+            << fmt_overhead(1.0 + worst_every1, 1.0)
+            << " at every-barrier coverage (reported, not gated)\n"
+            << "expected: invariants and shadow are noise; checksums are "
+               "the priciest tier and every-8 buys most of it back; the "
+               "road-SSSP row shows the short-superstep pathology the "
+               "cadence knob exists for (un-gated by design).\n";
+  return worst_every8 > 0.10 ? 1 : 0;
+}

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "graph/types.hpp"
 
@@ -19,11 +22,41 @@ struct BfsParent {
   using message_type = graph::vid_t;
   static constexpr bool broadcast_only = true;
   static constexpr bool always_halts = true;
+  static constexpr std::string_view kProgramName = "ipregel.BfsParent";
 
   static constexpr value_type kUnreached =
       std::numeric_limits<value_type>::max();
 
   graph::vid_t source = 0;
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Per-partition reached-count audit: a vertex adopts a parent exactly
+  /// once and never reverts to kUnreached, so each partition's reached
+  /// count is non-decreasing — a flip that turns a parent back into
+  /// kUnreached (or vice versa across a shrinking wave) trips it.
+  using audit_type = std::uint64_t;
+  static constexpr bool audit_per_partition = true;
+  [[nodiscard]] std::uint64_t audit_identity() const noexcept { return 0; }
+  void audit_accumulate(std::uint64_t& acc,
+                        const value_type& v) const noexcept {
+    if (v != kUnreached) {
+      ++acc;
+    }
+  }
+  static void audit_merge(std::uint64_t& acc,
+                          const std::uint64_t& other) noexcept {
+    acc += other;
+  }
+  [[nodiscard]] const char* audit_check(const std::uint64_t* prev,
+                                        const std::uint64_t& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    if (prev != nullptr && cur < *prev) {
+      return "reached-vertex count decreased (a parent assignment "
+             "reverted)";
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
     return kUnreached;

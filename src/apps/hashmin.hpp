@@ -1,6 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
 
 #include "graph/types.hpp"
 
@@ -20,6 +23,43 @@ struct Hashmin {
   using message_type = graph::vid_t;
   static constexpr bool broadcast_only = true;
   static constexpr bool always_halts = true;
+  static constexpr std::string_view kProgramName = "ipregel.Hashmin";
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Per-partition label-sum audit: every label starts as the vertex's own
+  /// id and only ever decreases (min-propagation), so each partition's sum
+  /// of labels is non-increasing across barriers — an upward-flipped label
+  /// bit breaks the law in its own partition.
+  using audit_type = std::uint64_t;
+  static constexpr bool audit_per_partition = true;
+  [[nodiscard]] std::uint64_t audit_identity() const noexcept { return 0; }
+  void audit_accumulate(std::uint64_t& acc,
+                        const value_type& v) const noexcept {
+    acc += v;
+  }
+  static void audit_merge(std::uint64_t& acc,
+                          const std::uint64_t& other) noexcept {
+    acc += other;
+  }
+  [[nodiscard]] const char* audit_check(const std::uint64_t* prev,
+                                        const std::uint64_t& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    if (prev != nullptr && cur > *prev) {
+      return "component-label sum increased (min-propagation only lowers "
+             "labels)";
+    }
+    return nullptr;
+  }
+  /// Per-vertex audit: a vertex's label is the minimum id seen so far and
+  /// starts at its own id, so it can never exceed the id.
+  [[nodiscard]] const char* audit_value(graph::vid_t id, const value_type& v,
+                                        std::size_t /*n*/) const noexcept {
+    if (v > id) {
+      return "component label above the vertex's own id";
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] graph::vid_t initial_value(graph::vid_t id) const noexcept {
     return id;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "graph/types.hpp"
 
@@ -27,8 +29,47 @@ struct KCore {
   using message_type = std::uint32_t;  ///< count of newly removed neighbours
   static constexpr bool broadcast_only = true;
   static constexpr bool always_halts = true;
+  static constexpr std::string_view kProgramName = "ipregel.KCore";
 
   std::uint32_t k = 2;
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Per-partition peeling audit: removal is one-way and remaining degrees
+  /// only ever shrink, so across barriers the removed count is
+  /// non-decreasing and the degree sum non-increasing. The first barrier
+  /// (after superstep 0) already sees real degrees — superstep 0 installs
+  /// them before the audit runs — so every prev/cur pair is comparable.
+  struct Audit {
+    std::uint64_t degree_sum = 0;
+    std::uint64_t removed = 0;
+  };
+  using audit_type = Audit;
+  static constexpr bool audit_per_partition = true;
+  [[nodiscard]] Audit audit_identity() const noexcept { return {}; }
+  void audit_accumulate(Audit& acc, const State& v) const noexcept {
+    acc.degree_sum += v.remaining_degree;
+    if (v.removed) {
+      ++acc.removed;
+    }
+  }
+  static void audit_merge(Audit& acc, const Audit& other) noexcept {
+    acc.degree_sum += other.degree_sum;
+    acc.removed += other.removed;
+  }
+  [[nodiscard]] const char* audit_check(const Audit* prev, const Audit& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    if (prev != nullptr) {
+      if (cur.removed < prev->removed) {
+        return "removed-vertex count decreased (peeling is one-way)";
+      }
+      if (cur.degree_sum > prev->degree_sum) {
+        return "remaining-degree sum increased (peeling only removes "
+               "edges)";
+      }
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] State initial_value(graph::vid_t) const noexcept {
     return {};

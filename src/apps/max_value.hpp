@@ -1,7 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "graph/types.hpp"
 #include "runtime/rng.hpp"
@@ -21,9 +23,48 @@ struct MaxValue {
   using message_type = std::uint64_t;
   static constexpr bool broadcast_only = true;
   static constexpr bool always_halts = true;
+  static constexpr std::string_view kProgramName = "ipregel.MaxValue";
 
   /// Seed for the per-vertex initial values.
   std::uint64_t seed = 42;
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Per-partition value-sum audit, the mirror of Hashmin: values only ever
+  /// grow towards the per-component maximum, so each partition's sum is
+  /// non-decreasing. 128-bit accumulation: 64-bit values over many slots
+  /// would wrap a 64-bit sum and fake a decrease.
+  using audit_type = unsigned __int128;
+  static constexpr bool audit_per_partition = true;
+  [[nodiscard]] unsigned __int128 audit_identity() const noexcept {
+    return 0;
+  }
+  void audit_accumulate(unsigned __int128& acc,
+                        const value_type& v) const noexcept {
+    acc += v;
+  }
+  static void audit_merge(unsigned __int128& acc,
+                          const unsigned __int128& other) noexcept {
+    acc += other;
+  }
+  [[nodiscard]] const char* audit_check(const unsigned __int128* prev,
+                                        const unsigned __int128& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    if (prev != nullptr && cur < *prev) {
+      return "value sum decreased (max-propagation only raises values)";
+    }
+    return nullptr;
+  }
+  /// Per-vertex audit: a value never drops below the vertex's seeded
+  /// initial value (recomputable from the seed, so no recorded baseline
+  /// is needed).
+  [[nodiscard]] const char* audit_value(graph::vid_t id, const value_type& v,
+                                        std::size_t /*n*/) const noexcept {
+    if (v < initial_value(id)) {
+      return "value below the vertex's seeded initial value";
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] value_type initial_value(graph::vid_t id) const noexcept {
     return runtime::mix64(runtime::mix64(seed) ^ id);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 
 #include "graph/types.hpp"
 
@@ -21,11 +22,53 @@ struct PageRank {
   using message_type = double;
   static constexpr bool broadcast_only = true;
   static constexpr bool always_halts = false;
+  static constexpr std::string_view kProgramName = "ipregel.PageRank";
 
   /// Number of rank-propagation rounds (the paper runs 30).
   std::size_t rounds = 30;
   /// Damping factor (the paper's Fig. 6 hard-codes 0.85).
   double damping = 0.85;
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Reduction audit: total rank mass. Superstep 0 distributes exactly 1;
+  /// afterwards every vertex holds (1-d)/n + d * (received mass), so the
+  /// global sum stays within [1 - damping, 1] — dangling vertices leak
+  /// their damped share, nothing can create mass — up to float noise.
+  /// Global-only (audit_per_partition = false): mass moves freely between
+  /// partitions, only the total is conserved.
+  using audit_type = double;
+  static constexpr bool audit_per_partition = false;
+  [[nodiscard]] double audit_identity() const noexcept { return 0.0; }
+  void audit_accumulate(double& acc, const double& v) const noexcept {
+    acc += v;
+  }
+  static void audit_merge(double& acc, const double& other) noexcept {
+    acc += other;
+  }
+  [[nodiscard]] const char* audit_check(const double* /*prev*/,
+                                        const double& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    constexpr double kTol = 1e-6;
+    if (!(cur >= 1.0 - damping - kTol)) {  // also catches NaN
+      return "total rank mass fell below 1 - damping";
+    }
+    if (!(cur <= 1.0 + kTol)) {
+      return "total rank mass exceeds 1 (rank created from nothing)";
+    }
+    return nullptr;
+  }
+  /// Per-vertex audit: a rank is a share of unit probability mass.
+  [[nodiscard]] const char* audit_value(graph::vid_t /*id*/, const double& v,
+                                        std::size_t /*n*/) const noexcept {
+    if (!(v >= 0.0)) {  // also catches NaN
+      return "negative or NaN rank";
+    }
+    if (!(v <= 1.0 + 1e-6)) {
+      return "rank above the total mass of 1";
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] double initial_value(graph::vid_t) const noexcept {
     return 0.0;
@@ -83,6 +126,8 @@ struct PageRankConverging {
   using message_type = double;
   static constexpr bool broadcast_only = true;
   static constexpr bool always_halts = false;
+  static constexpr std::string_view kProgramName =
+      "ipregel.PageRankConverging";
 
   using aggregate_type = double;
   static aggregate_type aggregate_identity() noexcept { return 0.0; }
@@ -96,6 +141,41 @@ struct PageRankConverging {
   double damping = 0.85;
   /// Convergence threshold on the max per-vertex delta.
   double epsilon = 1e-9;
+
+  // Same mass-conservation and rank-range auditors as PageRank (the
+  // aggregator changes termination, not the rank arithmetic).
+  using audit_type = double;
+  static constexpr bool audit_per_partition = false;
+  [[nodiscard]] double audit_identity() const noexcept { return 0.0; }
+  void audit_accumulate(double& acc, const double& v) const noexcept {
+    acc += v;
+  }
+  static void audit_merge(double& acc, const double& other) noexcept {
+    acc += other;
+  }
+  [[nodiscard]] const char* audit_check(const double* /*prev*/,
+                                        const double& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    constexpr double kTol = 1e-6;
+    if (!(cur >= 1.0 - damping - kTol)) {
+      return "total rank mass fell below 1 - damping";
+    }
+    if (!(cur <= 1.0 + kTol)) {
+      return "total rank mass exceeds 1 (rank created from nothing)";
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const char* audit_value(graph::vid_t /*id*/, const double& v,
+                                        std::size_t /*n*/) const noexcept {
+    if (!(v >= 0.0)) {
+      return "negative or NaN rank";
+    }
+    if (!(v <= 1.0 + 1e-6)) {
+      return "rank above the total mass of 1";
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] double initial_value(graph::vid_t) const noexcept {
     return 0.0;

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "graph/types.hpp"
 
@@ -20,6 +22,7 @@ struct Sssp {
   using message_type = std::uint32_t;
   static constexpr bool broadcast_only = true;
   static constexpr bool always_halts = true;
+  static constexpr std::string_view kProgramName = "ipregel.Sssp";
 
   static constexpr value_type kInfinity =
       std::numeric_limits<value_type>::max();
@@ -27,6 +30,61 @@ struct Sssp {
   /// The paper's experiments "use the vertex identified by '2' as the
   /// source".
   graph::vid_t source = 2;
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Per-partition reduction audit over {reached count, distance sum, max
+  /// finite distance}. Relaxation only ever lowers distances and never
+  /// un-reaches a vertex, and a unit-weight wavefront advances one hop per
+  /// superstep — three monotone laws a flipped distance bit breaks.
+  struct Audit {
+    std::uint64_t reached = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max_dist = 0;
+  };
+  using audit_type = Audit;
+  static constexpr bool audit_per_partition = true;
+  [[nodiscard]] Audit audit_identity() const noexcept { return {}; }
+  void audit_accumulate(Audit& acc, const value_type& v) const noexcept {
+    if (v != kInfinity) {
+      ++acc.reached;
+      acc.sum += v;
+      acc.max_dist = std::max<std::uint64_t>(acc.max_dist, v);
+    }
+  }
+  static void audit_merge(Audit& acc, const Audit& other) noexcept {
+    acc.reached += other.reached;
+    acc.sum += other.sum;
+    acc.max_dist = std::max(acc.max_dist, other.max_dist);
+  }
+  [[nodiscard]] const char* audit_check(const Audit* prev, const Audit& cur,
+                                        std::size_t superstep)
+      const noexcept {
+    if (cur.max_dist > superstep) {
+      return "finite distance exceeds the superstep number (a unit-weight "
+             "wavefront cannot outrun the barrier count)";
+    }
+    if (prev != nullptr) {
+      if (cur.reached < prev->reached) {
+        return "reached-vertex count decreased (a distance reverted to "
+               "infinity)";
+      }
+      if (cur.sum > prev->sum + (cur.reached - prev->reached) * superstep) {
+        return "distance sum grew faster than relaxation allows";
+      }
+    }
+    return nullptr;
+  }
+  /// Per-vertex audit: with unit weights every shortest path has at most
+  /// |V| - 1 hops.
+  [[nodiscard]] const char* audit_value(graph::vid_t /*id*/,
+                                        const value_type& v,
+                                        std::size_t num_vertices)
+      const noexcept {
+    if (v != kInfinity && v >= num_vertices) {
+      return "finite distance not below |V|";
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
     return kInfinity;
@@ -75,11 +133,49 @@ struct WeightedSssp {
   using message_type = std::uint64_t;
   static constexpr bool broadcast_only = false;
   static constexpr bool always_halts = true;
+  static constexpr std::string_view kProgramName = "ipregel.WeightedSssp";
 
   static constexpr value_type kInfinity =
       std::numeric_limits<value_type>::max();
 
   graph::vid_t source = 2;
+
+  /// Weighted relaxation still never un-reaches a vertex, and with an
+  /// unchanged reached set the distance sum can only fall. (No hop bound:
+  /// weights are arbitrary.) Sums accumulate in 128 bits so large weights
+  /// cannot wrap the comparison.
+  struct Audit {
+    std::uint64_t reached = 0;
+    unsigned __int128 sum = 0;
+  };
+  using audit_type = Audit;
+  static constexpr bool audit_per_partition = true;
+  [[nodiscard]] Audit audit_identity() const noexcept { return {}; }
+  void audit_accumulate(Audit& acc, const value_type& v) const noexcept {
+    if (v != kInfinity) {
+      ++acc.reached;
+      acc.sum += v;
+    }
+  }
+  static void audit_merge(Audit& acc, const Audit& other) noexcept {
+    acc.reached += other.reached;
+    acc.sum += other.sum;
+  }
+  [[nodiscard]] const char* audit_check(const Audit* prev, const Audit& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    if (prev != nullptr) {
+      if (cur.reached < prev->reached) {
+        return "reached-vertex count decreased (a distance reverted to "
+               "infinity)";
+      }
+      if (cur.reached == prev->reached && cur.sum > prev->sum) {
+        return "distance sum increased without newly reached vertices "
+               "(relaxation only lowers distances)";
+      }
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
     return kInfinity;

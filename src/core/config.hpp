@@ -8,6 +8,8 @@
 #include "core/run_error.hpp"
 #include "ft/checkpoint.hpp"
 #include "ft/fault.hpp"
+#include "integrity/fault.hpp"
+#include "integrity/options.hpp"
 
 namespace ipregel {
 
@@ -103,6 +105,13 @@ struct EngineOptions {
   /// Deterministic crash injection for fault-tolerance tests and benches
   /// (disarmed by default).
   ft::FaultPlan fault{};
+  /// Silent-data-corruption detectors evaluated at superstep barriers
+  /// (all off by default — see integrity/options.hpp for the tiers).
+  integrity::IntegrityOptions integrity{};
+  /// Deterministic single-bit corruption injection, the SDC counterpart of
+  /// `fault` (disarmed by default). Applied by the engine at the planned
+  /// superstep's barrier points, where state is quiescent.
+  integrity::FlipPlan flip{};
   /// Failure-domain guards: superstep/run watchdog timeouts and the
   /// tracked-memory budget (all disabled by default).
   RunGuards guards{};

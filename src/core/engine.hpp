@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <concepts>
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +24,9 @@
 #include "ft/fingerprint.hpp"
 #include "ft/snapshot.hpp"
 #include "graph/csr.hpp"
+#include "integrity/audit.hpp"
+#include "integrity/checksum.hpp"
+#include "integrity/fault.hpp"
 #include "io/vfs.hpp"
 #include "runtime/memory_tracker.hpp"
 #include "runtime/spin_lock.hpp"
@@ -305,6 +310,16 @@ class Engine {
     if (graph_.num_slots() == 0) {
       return result;
     }
+    if (options_.integrity.checksums && !kTriviallyCheckpointable) {
+      throw std::invalid_argument(
+          "integrity checksums digest vertex values and messages as raw "
+          "bytes; this program's types are not trivially copyable");
+    }
+    if (options_.integrity.shadow && !kShadowComparable) {
+      throw std::invalid_argument(
+          "shadow recompute needs to compare replayed values: the value "
+          "type must be equality-comparable or trivially copyable");
+    }
     runtime::ThreadPool& workers = pool();
     runtime::Timer total;
     guard_trip_.store(0, std::memory_order_relaxed);
@@ -327,6 +342,15 @@ class Engine {
       const unsigned nxt = cur ^ 1u;
       cur_gen_ = cur;
       nxt_gen_ = nxt;
+      // Integrity hooks at the top of the superstep, in dependency order:
+      // an at-rest flip lands first (simulating corruption during the
+      // barrier gap), the checksum verification runs against it (the
+      // detector must see what a real flip would leave behind), and the
+      // shadow tier then records the pristine-or-detected inputs this
+      // superstep is about to consume.
+      apply_flip(integrity::FlipPhase::kAtRest);
+      verify_checksums();
+      shadow_capture();
       for (auto& c : counters_) {
         c = ThreadCounters{};
       }
@@ -375,6 +399,14 @@ class Engine {
       check_deadlines(workers);
       check_cancel_token(workers);
       throw_if_guard_tripped();
+      // Post-compute integrity hooks: the flip lands on freshly produced
+      // state, then the shadow tier replays its sampled vertices against
+      // the recorded inputs. Both run before the aggregator folds (the
+      // replay must observe the same previous-superstep aggregate the live
+      // run did) and — crucially — before maybe_checkpoint, so corrupted
+      // state is detected before it can be persisted.
+      apply_flip(integrity::FlipPhase::kPostCompute);
+      shadow_verify();
       std::size_t sent = 0;
       std::size_t active = 0;
       std::size_t executed = 0;
@@ -404,6 +436,10 @@ class Engine {
         }
         frontier_->flip();
       }
+      // Application-invariant audit (integrity tier 1): a parallel
+      // reduction over the final barrier values, checked against the
+      // program's declared conservation/monotonicity laws.
+      audit_invariants();
 
       result.total_messages += sent;
       result.total_executed_vertices += executed;
@@ -420,6 +456,10 @@ class Engine {
         result.reached_superstep_cap = true;
         break;
       }
+      // Checksum the barrier state the next superstep will consume
+      // (integrity tier 2) BEFORE the checkpoint hook, so the digests
+      // cover exactly the state a snapshot taken here would persist.
+      store_checksums();
       // The barrier is the only point where engine state is quiescent and
       // consistent, so snapshots are taken here (a terminated run writes
       // none — there is nothing left to lose).
@@ -487,6 +527,7 @@ class Engine {
     m.num_vertices = graph_.num_vertices();
     m.num_edges = graph_.num_edges();
     m.graph_fingerprint = fingerprint();
+    m.program_fingerprint = program_fingerprint<Program>();
     m.value_size = sizeof(Value);
     m.message_size = sizeof(Msg);
     snap.values.resize(slots * sizeof(Value));
@@ -552,6 +593,17 @@ class Engine {
     if (m.graph_fingerprint != fingerprint()) {
       reject("graph fingerprint differs — this snapshot was taken on a "
              "different graph");
+    }
+    // Program-identity binding: a snapshot of application A must never be
+    // reinterpreted as application B's state, even when the raw value
+    // bytes happen to have the same width (Hashmin labels and SSSP
+    // distances are both 4 bytes — and mean entirely different things).
+    // Format-v1 snapshots carry no fingerprint (0) and skip this check.
+    if (m.program_fingerprint != 0 &&
+        m.program_fingerprint != program_fingerprint<Program>()) {
+      reject("program fingerprint differs — this snapshot belongs to a "
+             "different application (or an incompatible value/message "
+             "layout of the same one)");
     }
     if (m.value_size != sizeof(Value)) {
       reject("vertex value size differs (snapshot " +
@@ -619,6 +671,10 @@ class Engine {
         regenerate_messages();
       }
     }
+    // Re-baseline the integrity detectors against the restored (and, for
+    // lightweight snapshots, regenerated) state, so the resumed superstep
+    // is audited exactly as it would have been in an uninterrupted run.
+    integrity_after_restore();
     }
   }
 
@@ -645,6 +701,11 @@ class Engine {
   static constexpr bool kTriviallyCheckpointable =
       std::is_trivially_copyable_v<Value> &&
       std::is_trivially_copyable_v<Msg>;
+  /// The shadow-recompute tier compares a replayed value against the
+  /// stored one: via operator== when the type provides it (padded structs
+  /// must not be memcmp'd), via memcmp otherwise.
+  static constexpr bool kShadowComparable =
+      std::equality_comparable<Value> || std::is_trivially_copyable_v<Value>;
 
   [[nodiscard]] runtime::ThreadPool& pool() noexcept {
     return external_pool_ != nullptr ? *external_pool_ : *owned_pool_;
@@ -875,6 +936,577 @@ class Engine {
     }
   }
 
+  // --- integrity: silent-data-corruption detectors ---------------------
+  //
+  // Three independent tiers (options_.integrity), all evaluated at the
+  // superstep barrier where state is quiescent:
+  //   1. audit_invariants  — application-declared conservation laws
+  //   2. store/verify_checksums — sectioned digests of the barrier state
+  //   3. shadow_capture/verify  — sampled replay of compute()
+  // plus apply_flip (options_.flip), the deterministic single-bit
+  // corruption injector the detectors are tested against.
+
+  /// Sandboxed replay context for the shadow-recompute tier: value writes
+  /// land in a local copy, sends/broadcasts/aggregate contributions are
+  /// swallowed, and reads (superstep, topology, previous aggregate) come
+  /// from the live engine — so compute() replays against exactly the
+  /// inputs the real execution consumed, with zero engine side effects.
+  class ShadowContext {
+   public:
+    bool get_next_message(Msg& out) noexcept {
+      if (msg_ == nullptr) {
+        return false;
+      }
+      out = *msg_;
+      msg_ = nullptr;
+      return true;
+    }
+    void broadcast(const Msg&) noexcept {}
+    void send_message(graph::vid_t, const Msg&) noexcept {}
+    void vote_to_halt() noexcept { voted_ = true; }
+    template <typename P = Program>
+      requires HasAggregator<P>
+    void aggregate(const typename P::aggregate_type&) noexcept {}
+    template <typename P = Program>
+      requires HasAggregator<P>
+    [[nodiscard]] const typename P::aggregate_type& aggregated()
+        const noexcept {
+      return engine_.aggregator_.previous;
+    }
+    [[nodiscard]] std::size_t superstep() const noexcept {
+      return engine_.superstep_;
+    }
+    [[nodiscard]] bool is_first_superstep() const noexcept {
+      return engine_.superstep_ == 0;
+    }
+    [[nodiscard]] std::size_t num_vertices() const noexcept {
+      return engine_.graph_.num_vertices();
+    }
+    [[nodiscard]] graph::vid_t id() const noexcept {
+      return engine_.graph_.id_of(slot_);
+    }
+    [[nodiscard]] Value& value() noexcept { return value_; }
+    [[nodiscard]] const Value& value() const noexcept { return value_; }
+    [[nodiscard]] std::size_t out_degree() const noexcept {
+      return engine_.graph_.out_degree(slot_);
+    }
+    [[nodiscard]] std::span<const graph::vid_t> out_neighbours()
+        const noexcept {
+      return engine_.graph_.out_neighbours(slot_);
+    }
+    [[nodiscard]] std::span<const graph::weight_t> out_weights()
+        const noexcept {
+      return engine_.graph_.out_weights(slot_);
+    }
+
+   private:
+    friend class Engine;
+    ShadowContext(Engine& engine, std::size_t slot, Value& value,
+                  const Msg* msg) noexcept
+        : engine_(engine), slot_(slot), value_(value), msg_(msg) {}
+
+    Engine& engine_;
+    std::size_t slot_;
+    Value& value_;
+    const Msg* msg_;
+    bool voted_ = false;
+  };
+
+  struct ShadowSample {
+    std::size_t slot = 0;
+    Value before{};
+    Msg msg{};
+    bool has_msg = false;
+    bool was_halted = false;
+  };
+
+  [[nodiscard]] static bool value_equal(const Value& a, const Value& b) {
+    if constexpr (std::equality_comparable<Value>) {
+      return a == b;
+    } else {
+      return std::memcmp(&a, &b, sizeof(Value)) == 0;
+    }
+  }
+
+  /// Applies the armed FlipPlan when its (superstep, phase) matches —
+  /// deterministic single-bit corruption at a barrier point, the SDC
+  /// analogue of ft::FaultPlan's crash injection. kAtRest flips hit the
+  /// generation this superstep consumes; kPostCompute flips hit freshly
+  /// produced state (the generation the NEXT superstep consumes).
+  /// Frontier flips are only meaningful at kAtRest (the epilogue's
+  /// current list is already consumed).
+  void apply_flip(integrity::FlipPhase phase) {
+    const integrity::FlipPlan& plan = options_.flip;
+    if (!plan.armed() || plan.superstep != superstep_ ||
+        plan.phase != phase) {
+      return;
+    }
+    const std::size_t first = graph_.first_slot();
+    const std::size_t n = graph_.num_slots() - first;
+    if (n == 0) {
+      return;
+    }
+    const auto flip_byte = [&](std::uint8_t* base, std::size_t object_bytes,
+                               std::size_t object_index, std::uint32_t bit) {
+      const std::uint32_t b =
+          bit % static_cast<std::uint32_t>(object_bytes * 8);
+      std::uint8_t* byte = base + object_index * object_bytes + b / 8;
+      const std::uint8_t mask = static_cast<std::uint8_t>(1u << (b % 8));
+      switch (plan.op) {
+        case integrity::FlipOp::kXor:
+          *byte ^= mask;
+          break;
+        case integrity::FlipOp::kSet:
+          *byte |= mask;
+          break;
+        case integrity::FlipOp::kClear:
+          *byte &= static_cast<std::uint8_t>(~mask);
+          break;
+      }
+    };
+    const std::size_t slot = first + plan.index % n;
+    const unsigned gen = static_cast<unsigned>(
+        (phase == integrity::FlipPhase::kAtRest ? superstep_
+                                                : superstep_ + 1) &
+        1);
+    switch (plan.target) {
+      case integrity::FlipTarget::kValues:
+        if constexpr (std::is_trivially_copyable_v<Value>) {
+          flip_byte(reinterpret_cast<std::uint8_t*>(values_.data()),
+                    sizeof(Value), slot, plan.bit);
+        }
+        break;
+      case integrity::FlipTarget::kHalted:
+        flip_byte(halted_.data(), 1, slot, plan.bit);
+        break;
+      case integrity::FlipTarget::kMessages:
+        if constexpr (std::is_trivially_copyable_v<Msg>) {
+          flip_byte(reinterpret_cast<std::uint8_t*>(
+                        mail_->corrupt_messages(gen).data()),
+                    sizeof(Msg), slot, plan.bit);
+        }
+        break;
+      case integrity::FlipTarget::kMessageFlags:
+        flip_byte(mail_->corrupt_flags(gen).data(), 1, slot, plan.bit);
+        break;
+      case integrity::FlipTarget::kFrontier:
+        if constexpr (Bypass) {
+          std::vector<std::size_t>& work = frontier_->corrupt_current();
+          if (!work.empty()) {
+            flip_byte(reinterpret_cast<std::uint8_t*>(work.data()),
+                      sizeof(std::size_t), plan.index % work.size(),
+                      plan.bit);
+          }
+        }
+        break;
+    }
+  }
+
+  /// Digests the barrier state into `out`: values, halted flags, the
+  /// message generation superstep_ consumes, and the bypass frontier —
+  /// one digest per kSectionSlots-slot partition, computed in parallel.
+  /// Message digests fold the flag byte always but the message bytes only
+  /// when the flag is set: a flip in a dead mailbox slot is masked by
+  /// construction (the engine never reads those bytes).
+  void collect_checksums(integrity::SectionChecksums& out) {
+    if constexpr (kTriviallyCheckpointable) {
+      const std::size_t first = graph_.first_slot();
+      const std::size_t n = graph_.num_slots() - first;
+      const std::size_t parts = integrity::section_count(n);
+      out.values.assign(parts, 0);
+      out.halted.assign(parts, 0);
+      out.messages.assign(parts, 0);
+      const unsigned gen = static_cast<unsigned>(superstep_ & 1);
+      const auto msgs =
+          static_cast<const Mailboxes&>(*mail_).messages(gen);
+      const auto flags = static_cast<const Mailboxes&>(*mail_).flags(gen);
+      pool().parallel_for(parts, [&](std::size_t, runtime::Range r) {
+        for (std::size_t p = r.begin; p < r.end; ++p) {
+          const std::size_t begin = first + p * integrity::kSectionSlots;
+          const std::size_t end =
+              std::min(begin + integrity::kSectionSlots, first + n);
+          out.values[p] = integrity::hash_bytes(
+              values_.data() + begin, (end - begin) * sizeof(Value));
+          out.halted[p] =
+              integrity::hash_bytes(halted_.data() + begin, end - begin);
+          // Flag bytes in bulk, then live payloads over four rotating
+          // lanes: the flag digest pins WHICH slots were live, the lanes
+          // pin the live payload bytes, and neither is a serial per-slot
+          // mix chain (which made this section the tier's bottleneck).
+          // Dead-slot payload bytes are still never read, preserving the
+          // masked-by-construction contract the detector tests pin.
+          std::uint64_t h =
+              integrity::hash_bytes(flags.data() + begin, end - begin);
+          if (std::memchr(flags.data() + begin, 0, end - begin) == nullptr) {
+            // Every slot live (PageRank-style full generations): one bulk
+            // pass over the contiguous payload range — no masking to
+            // honour, so no per-slot gating needed.
+            h = integrity::hash_bytes(&msgs[begin],
+                                      (end - begin) * sizeof(Msg), h);
+          } else {
+            std::uint64_t lane[4] = {
+                runtime::mix64(h ^ 0x243f6a8885a308d3ULL),
+                runtime::mix64(h ^ 0x13198a2e03707344ULL),
+                runtime::mix64(h ^ 0xa4093822299f31d0ULL),
+                runtime::mix64(h ^ 0x082efa98ec4e6c89ULL)};
+            for (std::size_t s = begin; s < end; ++s) {
+              if (flags[s] != 0) {
+                lane[s & 3] = integrity::hash_bytes(&msgs[s], sizeof(Msg),
+                                                    lane[s & 3]);
+              }
+            }
+            h = runtime::mix64(h ^ lane[0]);
+            h = runtime::mix64(h ^ lane[1]);
+            h = runtime::mix64(h ^ lane[2]);
+            h = runtime::mix64(h ^ lane[3]);
+          }
+          out.messages[p] = h;
+        }
+      });
+      out.frontier.clear();
+      out.frontier_size = 0;
+      if constexpr (Bypass) {
+        const std::vector<std::size_t>& work = frontier_->current();
+        out.frontier_size = work.size();
+        const std::size_t fparts = integrity::section_count(work.size());
+        out.frontier.assign(fparts, 0);
+        pool().parallel_for(fparts, [&](std::size_t, runtime::Range r) {
+          for (std::size_t p = r.begin; p < r.end; ++p) {
+            const std::size_t b = p * integrity::kSectionSlots;
+            const std::size_t e =
+                std::min(b + integrity::kSectionSlots, work.size());
+            out.frontier[p] = integrity::hash_bytes(
+                work.data() + b, (e - b) * sizeof(std::size_t));
+          }
+        });
+      }
+    } else {
+      (void)out;  // unreachable: gated at run start
+    }
+  }
+
+  /// Arms the tier-2 digests for the superstep about to run (called after
+  /// ++superstep_, respecting the checksum_every cadence).
+  void store_checksums() {
+    const integrity::IntegrityOptions& iopt = options_.integrity;
+    if (!iopt.checksums) {
+      return;
+    }
+    const std::size_t every = iopt.checksum_every == 0 ? 1 : iopt.checksum_every;
+    if (superstep_ % every != 0) {
+      return;
+    }
+    collect_checksums(checks_);
+    checks_.superstep = superstep_;
+    checks_.armed = true;
+  }
+
+  /// Verifies the armed tier-2 digests at the top of their superstep:
+  /// recompute and compare section by section, localising any mismatch to
+  /// a state section and a slot range. One-shot — re-armed at the next
+  /// store cadence.
+  void verify_checksums() {
+    if (!options_.integrity.checksums || !checks_.armed ||
+        checks_.superstep != superstep_) {
+      return;
+    }
+    checks_.armed = false;
+    integrity::SectionChecksums now;
+    collect_checksums(now);
+    const std::size_t first = graph_.first_slot();
+    const auto fail = [&](integrity::Section sec, std::size_t part,
+                          std::size_t base) {
+      const std::size_t lo = base + part * integrity::kSectionSlots;
+      const std::size_t hi = lo + integrity::kSectionSlots;
+      throw RunError(
+          RunErrorKind::kIntegrityViolation, superstep_, 0,
+          RunError::kNoVertex,
+          "sectioned checksum mismatch: section '" +
+              std::string(integrity::to_string(sec)) + "', slots [" +
+              std::to_string(lo) + ", " + std::to_string(hi) +
+              ") changed at rest since the barrier before superstep " +
+              std::to_string(superstep_) +
+              " — memory corrupted outside the engine's write paths");
+    };
+    for (std::size_t p = 0; p < checks_.values.size(); ++p) {
+      if (now.values[p] != checks_.values[p]) {
+        fail(integrity::Section::kValues, p, first);
+      }
+    }
+    for (std::size_t p = 0; p < checks_.halted.size(); ++p) {
+      if (now.halted[p] != checks_.halted[p]) {
+        fail(integrity::Section::kHalted, p, first);
+      }
+    }
+    for (std::size_t p = 0; p < checks_.messages.size(); ++p) {
+      if (now.messages[p] != checks_.messages[p]) {
+        fail(integrity::Section::kMessages, p, first);
+      }
+    }
+    if constexpr (Bypass) {
+      if (now.frontier_size != checks_.frontier_size) {
+        throw RunError(RunErrorKind::kIntegrityViolation, superstep_, 0,
+                       RunError::kNoVertex,
+                       "sectioned checksum mismatch: frontier size changed "
+                       "at rest (" +
+                           std::to_string(checks_.frontier_size) + " -> " +
+                           std::to_string(now.frontier_size) +
+                           ") before superstep " +
+                           std::to_string(superstep_));
+      }
+      for (std::size_t p = 0; p < checks_.frontier.size(); ++p) {
+        if (now.frontier[p] != checks_.frontier[p]) {
+          fail(integrity::Section::kFrontier, p, 0);
+        }
+      }
+    }
+  }
+
+  /// Records the tier-3 sample at the top of the superstep: which slots a
+  /// seeded draw selected, their pre-compute values/halted state, and the
+  /// combined message each is about to consume.
+  void shadow_capture() {
+    shadow_captured_ = false;
+    if (!options_.integrity.shadow) {
+      return;
+    }
+    if constexpr (kShadowComparable) {
+      const std::size_t first = graph_.first_slot();
+      const std::size_t n = graph_.num_slots() - first;
+      const std::vector<std::size_t> slots = integrity::shadow_sample(
+          options_.integrity.shadow_seed, superstep_, first, n,
+          options_.integrity.shadow_samples);
+      shadow_.clear();
+      shadow_.reserve(slots.size());
+      for (const std::size_t slot : slots) {
+        ShadowSample s;
+        s.slot = slot;
+        s.before = values_[slot];
+        s.was_halted = halted_[slot] != 0;
+        if constexpr (Combiner == CombinerKind::kPull) {
+          if (superstep_ > 0) {
+            for (const graph::vid_t u : graph_.in_neighbours(slot)) {
+              Msg m{};
+              if (mail_->fetch(cur_gen_, graph_.slot_of(u), m)) {
+                if (s.has_msg) {
+                  Program::combine(s.msg, m);
+                } else {
+                  s.msg = m;
+                  s.has_msg = true;
+                }
+              }
+            }
+          }
+        } else {
+          if (mail_->has_message(cur_gen_, slot)) {
+            s.has_msg = true;
+            s.msg = mail_->messages(cur_gen_)[slot];
+          }
+        }
+        shadow_.push_back(s);
+      }
+      shadow_captured_ = true;
+    }
+  }
+
+  /// Replays compute() for every sampled slot in the epilogue and compares
+  /// the replayed (value, voted) against what the live superstep stored —
+  /// catching corruption of the compute path itself, not just state at
+  /// rest. Mirrors the live selection exactly: a sampled slot that was
+  /// skipped (halted, no message) must be byte-for-byte untouched.
+  void shadow_verify() {
+    if (!shadow_captured_) {
+      return;
+    }
+    if constexpr (kShadowComparable) {
+      for (const ShadowSample& s : shadow_) {
+        bool executed = true;
+        if (superstep_ > 0) {
+          if constexpr (Bypass) {
+            executed = s.has_msg;
+          } else {
+            executed = s.has_msg || !s.was_halted;
+          }
+        }
+        Value expect = s.before;
+        bool voted = s.was_halted;
+        if (executed) {
+          Msg m = s.msg;
+          ShadowContext ctx(*this, s.slot, expect,
+                            s.has_msg ? &m : nullptr);
+          try {
+            program_.compute(ctx);
+          } catch (...) {
+            throw RunError(
+                RunErrorKind::kIntegrityViolation, superstep_, 0,
+                graph_.id_of(s.slot),
+                "shadow recompute: compute() threw on replay with "
+                "identical inputs (nondeterministic program or corrupted "
+                "inputs)");
+          }
+          voted = ctx.voted_;
+        }
+        const bool halted_now = halted_[s.slot] != 0;
+        if (!value_equal(expect, values_[s.slot]) || voted != halted_now) {
+          throw RunError(
+              RunErrorKind::kIntegrityViolation, superstep_, 0,
+              graph_.id_of(s.slot),
+              "shadow recompute mismatch at slot " + std::to_string(s.slot) +
+                  ": the stored result of compute() does not match a "
+                  "replay against the same inbox — state corrupted during "
+                  "superstep " + std::to_string(superstep_));
+        }
+      }
+    }
+  }
+
+  /// Tier-1 barrier audit: accumulate the program's audit reduction over
+  /// all vertex values (per kSectionSlots partition, in parallel), check
+  /// each value against the program's per-vertex validity predicate, then
+  /// check the reduced accumulators against the previous barrier's.
+  void audit_invariants() {
+    if (!options_.integrity.invariants) {
+      return;
+    }
+    if constexpr (!HasInvariantAudit<Program> && !HasValueAudit<Program>) {
+      return;  // the program declares no auditors; the tier is a no-op
+    } else {
+      const std::size_t first = graph_.first_slot();
+      const std::size_t n = graph_.num_slots() - first;
+      const std::size_t parts = integrity::section_count(n);
+      struct Failure {
+        std::size_t slot = 0;
+        const char* why = nullptr;
+      };
+      std::vector<Failure> failures(parts);
+      if constexpr (HasInvariantAudit<Program>) {
+        audit_.cur.assign(parts, program_.audit_identity());
+      }
+      pool().parallel_for(parts, [&](std::size_t, runtime::Range r) {
+        for (std::size_t p = r.begin; p < r.end; ++p) {
+          const std::size_t begin = first + p * integrity::kSectionSlots;
+          const std::size_t end =
+              std::min(begin + integrity::kSectionSlots, first + n);
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            if constexpr (HasInvariantAudit<Program>) {
+              program_.audit_accumulate(audit_.cur[p], values_[slot]);
+            }
+            if constexpr (HasValueAudit<Program>) {
+              if (failures[p].why == nullptr) {
+                const char* why = program_.audit_value(
+                    graph_.id_of(slot), values_[slot],
+                    graph_.num_vertices());
+                if (why != nullptr) {
+                  failures[p] = Failure{slot, why};
+                }
+              }
+            }
+          }
+        }
+      });
+      if constexpr (HasValueAudit<Program>) {
+        for (const Failure& f : failures) {
+          if (f.why != nullptr) {
+            throw RunError(
+                RunErrorKind::kIntegrityViolation, superstep_, 0,
+                graph_.id_of(f.slot),
+                std::string("invariant audit: ") + f.why +
+                    " (per-vertex value audit, slot " +
+                    std::to_string(f.slot) + ", superstep " +
+                    std::to_string(superstep_) + ")");
+          }
+        }
+      }
+      if constexpr (HasInvariantAudit<Program>) {
+        using Acc = typename Program::audit_type;
+        const auto check = [&](const Acc* prev, const Acc& cur,
+                               std::size_t part, bool global) {
+          const char* why = program_.audit_check(prev, cur, superstep_);
+          if (why != nullptr) {
+            const std::string where =
+                global ? std::string("all slots")
+                       : "slots [" +
+                             std::to_string(first +
+                                            part * integrity::kSectionSlots) +
+                             ", " +
+                             std::to_string(first +
+                                            (part + 1) *
+                                                integrity::kSectionSlots) +
+                             ")";
+            throw RunError(RunErrorKind::kIntegrityViolation, superstep_, 0,
+                           RunError::kNoVertex,
+                           std::string("invariant audit: ") + why +
+                               " (reduction audit, " + where +
+                               ", superstep " + std::to_string(superstep_) +
+                               ")");
+          }
+        };
+        if constexpr (Program::audit_per_partition) {
+          for (std::size_t p = 0; p < parts; ++p) {
+            check(audit_.has_prev ? &audit_.prev[p] : nullptr,
+                  audit_.cur[p], p, false);
+          }
+        } else {
+          Acc merged = program_.audit_identity();
+          for (const Acc& a : audit_.cur) {
+            Program::audit_merge(merged, a);
+          }
+          Acc prev_merged = program_.audit_identity();
+          if (audit_.has_prev) {
+            for (const Acc& a : audit_.prev) {
+              Program::audit_merge(prev_merged, a);
+            }
+          }
+          check(audit_.has_prev ? &prev_merged : nullptr, merged, 0, true);
+        }
+        audit_.prev.swap(audit_.cur);
+        audit_.has_prev = true;
+      }
+    }
+  }
+
+  /// Clears all detector state (fresh run).
+  void integrity_reset() {
+    checks_.disarm();
+    audit_.reset();
+    shadow_.clear();
+    shadow_captured_ = false;
+  }
+
+  /// Re-baselines the detectors after a snapshot restore: the reduction
+  /// audit's previous-barrier accumulators are rebuilt from the restored
+  /// values (so the first audited barrier compares against exactly what an
+  /// uninterrupted run would have), and the tier-2 digests are re-armed
+  /// over the restored state (so at-rest corruption between restore and
+  /// the resumed superstep is still caught).
+  void integrity_after_restore() {
+    integrity_reset();
+    if constexpr (HasInvariantAudit<Program>) {
+      if (options_.integrity.invariants) {
+        const std::size_t first = graph_.first_slot();
+        const std::size_t n = graph_.num_slots() - first;
+        const std::size_t parts = integrity::section_count(n);
+        audit_.prev.assign(parts, program_.audit_identity());
+        pool().parallel_for(parts, [&](std::size_t, runtime::Range r) {
+          for (std::size_t p = r.begin; p < r.end; ++p) {
+            const std::size_t begin = first + p * integrity::kSectionSlots;
+            const std::size_t end =
+                std::min(begin + integrity::kSectionSlots, first + n);
+            for (std::size_t slot = begin; slot < end; ++slot) {
+              program_.audit_accumulate(audit_.prev[p], values_[slot]);
+            }
+          }
+        });
+        audit_.has_prev = superstep_ > 0;
+      }
+    }
+    if (options_.integrity.checksums && kTriviallyCheckpointable) {
+      collect_checksums(checks_);
+      checks_.superstep = superstep_;
+      checks_.armed = true;
+    }
+  }
+
   /// Shared body of the *_checked entry points: typed failures become
   /// outcome data, configuration errors keep throwing.
   template <typename F>
@@ -930,6 +1562,7 @@ class Engine {
     }
     aggregator_.init(pool().size());
     reset_checkpoint_pacing();
+    integrity_reset();
   }
 
   /// Selection check + message consumption + compute for one vertex.
@@ -1068,6 +1701,14 @@ class Engine {
   bool fault_active_ = false;
   std::atomic<std::size_t> fault_calls_{0};
   std::atomic<bool> fault_tripped_{false};
+
+  // Integrity-detector state (options_.integrity): tier-2 digests, tier-1
+  // audit accumulators (empty struct for programs without auditors), and
+  // the tier-3 sample of the superstep in flight.
+  integrity::SectionChecksums checks_;
+  integrity::AuditState<Program> audit_;
+  std::vector<ShadowSample> shadow_;
+  bool shadow_captured_ = false;
 
   // Watchdog state (options_.guards): deadlines armed per run/superstep by
   // thread 0, compared by every team member at guard ticks; the first trip

@@ -94,6 +94,13 @@ class Frontier {
     return current_;
   }
 
+  /// Mutable view of the current work list — integrity::FlipPlan fault
+  /// injection ONLY (the engine corrupts an entry at a superstep barrier,
+  /// before any thread partitions the list).
+  [[nodiscard]] std::vector<std::size_t>& corrupt_current() noexcept {
+    return current_;
+  }
+
   [[nodiscard]] bool empty() const noexcept { return current_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return current_.size(); }
 

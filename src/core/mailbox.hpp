@@ -108,6 +108,15 @@ class PushMailboxes {
     std::copy(flags.begin(), flags.end(), has_[gen].begin());
   }
 
+  /// Mutable raw views — integrity::FlipPlan fault injection ONLY (the
+  /// engine corrupts a quiescent generation at a superstep barrier).
+  [[nodiscard]] std::span<Msg> corrupt_messages(unsigned gen) noexcept {
+    return inbox_[gen];
+  }
+  [[nodiscard]] std::span<std::uint8_t> corrupt_flags(unsigned gen) noexcept {
+    return has_[gen];
+  }
+
  private:
   std::vector<Msg> inbox_[2];
   std::vector<std::uint8_t> has_[2];
@@ -182,6 +191,14 @@ class PullOutboxes {
     reset();
     std::copy(messages.begin(), messages.end(), outbox_[gen].begin());
     std::copy(flags.begin(), flags.end(), has_[gen].begin());
+  }
+
+  /// Mutable raw views — integrity::FlipPlan fault injection ONLY.
+  [[nodiscard]] std::span<Msg> corrupt_messages(unsigned gen) noexcept {
+    return outbox_[gen];
+  }
+  [[nodiscard]] std::span<std::uint8_t> corrupt_flags(unsigned gen) noexcept {
+    return has_[gen];
   }
 
  private:

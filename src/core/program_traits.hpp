@@ -1,9 +1,13 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
+#include <string_view>
 #include <type_traits>
+#include <typeinfo>
 
 #include "graph/types.hpp"
+#include "runtime/rng.hpp"
 
 namespace ipregel {
 
@@ -43,5 +47,100 @@ concept VertexProgram = requires(const P p, typename P::message_type& old,
   { p.initial_value(id) } -> std::convertible_to<typename P::value_type>;
   { P::combine(old, incoming) } -> std::same_as<void>;
 };
+
+// --- integrity-audit hooks (all optional; see src/integrity/) -----------
+//
+// A program may additionally declare application-level invariants the
+// engine's integrity layer (EngineOptions::integrity.invariants) evaluates
+// with a parallel reduction at every superstep barrier. Two independent
+// hooks, detected by concept:
+//
+//  * A reduction audit — a small trivially-copyable `audit_type`
+//    accumulator folded over all vertex values and checked against the
+//    previous barrier's accumulator (mass conservation, monotone sums,
+//    reached-count growth bounds, ...):
+//
+//      using audit_type = ...;
+//      static constexpr bool audit_per_partition = ...;
+//      audit_type audit_identity() const;
+//      void audit_accumulate(audit_type& acc, const value_type& v) const;
+//      static void audit_merge(audit_type& acc, const audit_type& other);
+//      const char* audit_check(const audit_type* prev,
+//                              const audit_type& cur,
+//                              std::size_t superstep) const;
+//
+//    `audit_check` returns nullptr when the invariant holds and a static
+//    description string when it does not; `prev` is null at the first
+//    audited barrier. `audit_per_partition` chooses whether the check runs
+//    on each fixed slot partition separately (monotone invariants — tighter
+//    localisation AND strictly stronger detection, since a raise in one
+//    partition cannot hide behind a drop in another) or on the globally
+//    merged accumulator only (conservation laws like PageRank's rank mass,
+//    which only hold in aggregate).
+//
+//  * A per-vertex value audit — a pure range/sanity predicate on a single
+//    value (rank within [0, 1], finite distance < |V|, label <= own id):
+//
+//      const char* audit_value(graph::vid_t id, const value_type& v,
+//                              std::size_t num_vertices) const;
+//
+//    Also returns nullptr-or-reason. Used by the barrier audit pass and by
+//    ft::supervise to re-validate snapshot *content* (not just CRC) before
+//    resuming from it.
+
+template <typename P>
+concept HasInvariantAudit =
+    requires(const P p, typename P::audit_type& acc,
+             const typename P::audit_type& cur,
+             const typename P::value_type& v, std::size_t superstep) {
+      requires std::is_trivially_copyable_v<typename P::audit_type>;
+      { P::audit_per_partition } -> std::convertible_to<bool>;
+      { p.audit_identity() } -> std::convertible_to<typename P::audit_type>;
+      { p.audit_accumulate(acc, v) } -> std::same_as<void>;
+      { P::audit_merge(acc, cur) } -> std::same_as<void>;
+      { p.audit_check(&cur, cur, superstep) } ->
+          std::convertible_to<const char*>;
+    };
+
+template <typename P>
+concept HasValueAudit =
+    requires(const P p, const typename P::value_type& v, graph::vid_t id,
+             std::size_t num_vertices) {
+      { p.audit_value(id, v, num_vertices) } ->
+          std::convertible_to<const char*>;
+    };
+
+/// A program may carry a stable identity name for snapshot binding:
+/// `static constexpr std::string_view kProgramName`. Without one the
+/// mangled type name is used — stable within a binary, good enough to stop
+/// a snapshot from one application resuming into another.
+template <typename P>
+concept HasProgramName = requires {
+  { P::kProgramName } -> std::convertible_to<std::string_view>;
+};
+
+/// 64-bit identity of a vertex program for snapshot/program binding: a
+/// hash of the program's name mixed with its value and message sizes.
+/// Written into every snapshot (format v2) and checked at resume, so a
+/// snapshot captured by one application can never be silently
+/// reinterpreted as another's vertex values — even when the byte sizes
+/// happen to line up. Never zero (zero is the "unknown" sentinel of v1
+/// snapshots, which predate the field).
+template <typename P>
+[[nodiscard]] inline std::uint64_t program_fingerprint() {
+  std::string_view name;
+  if constexpr (HasProgramName<P>) {
+    name = P::kProgramName;
+  } else {
+    name = typeid(P).name();
+  }
+  std::uint64_t h = 0x243F6A8885A308D3ULL;  // pi, for want of a better nothing
+  for (const char c : name) {
+    h = runtime::mix64(h ^ static_cast<std::uint8_t>(c));
+  }
+  h = runtime::mix64(h ^ (std::uint64_t{sizeof(typename P::value_type)} << 32 |
+                          sizeof(typename P::message_type)));
+  return h == 0 ? 1 : h;
+}
 
 }  // namespace ipregel

@@ -38,6 +38,20 @@ enum class RunErrorKind : std::uint8_t {
   /// shutdown through it). Observed at vertex-boundary guard ticks and at
   /// the superstep barrier, like the watchdogs.
   kCancelled,
+  /// An integrity detector (EngineOptions::integrity — invariant audit,
+  /// sectioned checksum, or shadow recompute) caught silently corrupted
+  /// state at a superstep barrier. The message localises the violation to
+  /// a superstep, a state section, and a vertex/slot range. Memory
+  /// corruption is transient by nature, so this is retryable: the
+  /// supervisor restores the newest snapshot that passes re-validation.
+  kIntegrityViolation,
+  /// A resume was asked to restore a snapshot that does not belong to this
+  /// (graph, program, version) binding — wrong application fingerprint,
+  /// wrong value/message layout, wrong graph, or an incompatible mailbox
+  /// shape. The bytes were never reinterpreted; nothing was restored.
+  /// Deterministic (the same snapshot will mismatch again), so never
+  /// retryable.
+  kSnapshotMismatch,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(RunErrorKind k) noexcept {
@@ -54,6 +68,10 @@ enum class RunErrorKind : std::uint8_t {
       return "memory-budget";
     case RunErrorKind::kCancelled:
       return "cancelled";
+    case RunErrorKind::kIntegrityViolation:
+      return "integrity-violation";
+    case RunErrorKind::kSnapshotMismatch:
+      return "snapshot-mismatch";
   }
   return "invalid";
 }
@@ -95,11 +113,14 @@ class RunError : public std::runtime_error {
   [[nodiscard]] std::uint64_t vertex() const noexcept { return vertex_; }
 
   /// Whether retrying the run (from the latest checkpoint) can plausibly
-  /// succeed without any change of configuration: true only for simulated
-  /// crashes. Deterministic failures (user exceptions, budget breaches)
-  /// would recur; ft::RetryPolicy can widen this per-kind.
+  /// succeed without any change of configuration: true for simulated
+  /// crashes and for detected memory corruption (both transient by
+  /// nature). Deterministic failures (user exceptions, budget breaches,
+  /// snapshot mismatches) would recur; ft::RetryPolicy can widen this
+  /// per-kind.
   [[nodiscard]] bool retryable() const noexcept {
-    return kind_ == RunErrorKind::kInjectedFault;
+    return kind_ == RunErrorKind::kInjectedFault ||
+           kind_ == RunErrorKind::kIntegrityViolation;
   }
 
  private:

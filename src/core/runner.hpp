@@ -50,6 +50,17 @@ RunResult run_version(
           ": snapshot rejected: graph fingerprint differs — it was taken "
           "on a different graph");
     }
+    // Program-identity binding (v2 snapshots; v1 files decode 0 = skip):
+    // rejecting here, before any engine exists, means a PageRank snapshot
+    // handed to an SSSP resume never gets its bytes reinterpreted.
+    if (m.program_fingerprint != 0 &&
+        m.program_fingerprint != program_fingerprint<Program>()) {
+      throw ft::SnapshotMismatch(
+          resume_from.string() +
+          ": snapshot rejected: program fingerprint differs — it belongs "
+          "to a different application (or an incompatible value/message "
+          "layout of the same one)");
+    }
     if (m.mode == ft::CheckpointMode::kHeavyweight) {
       const bool snap_pull =
           static_cast<CombinerKind>(m.combiner) == CombinerKind::kPull;
@@ -128,11 +139,14 @@ RunResult run_version(
 }
 
 /// run_version with failures surfaced as data: a compute() exception,
-/// watchdog trip, memory-budget breach, or injected fault returns a
-/// RunOutcome whose error carries the failure's kind and superstep/thread/
-/// vertex context, instead of throwing. Configuration errors (inapplicable
-/// version, snapshot mismatch, corrupted snapshot file) still throw — they
-/// are caller bugs, not run failures, and retrying them cannot help.
+/// watchdog trip, memory-budget breach, injected fault, or snapshot/
+/// program mismatch returns a RunOutcome whose error carries the
+/// failure's kind and superstep/thread/vertex context, instead of
+/// throwing. A mismatched snapshot maps to the non-retryable
+/// kSnapshotMismatch: the serving layer must report it as a permanent
+/// failure, not shed-and-retry it. Other configuration errors
+/// (inapplicable version, corrupted snapshot file) still throw — they are
+/// caller bugs, not run failures, and retrying them cannot help.
 ///
 /// Because each call constructs a fresh engine, a failed run leaves no
 /// torn state behind for the caller: the next call starts clean (or from a
@@ -152,6 +166,9 @@ RunOutcome run_version_checked(
     out.error = e;
   } catch (const ft::InjectedFault& e) {
     out.error = RunError(RunErrorKind::kInjectedFault, e.superstep(), 0,
+                         RunError::kNoVertex, e.what());
+  } catch (const ft::SnapshotMismatch& e) {
+    out.error = RunError(RunErrorKind::kSnapshotMismatch, 0, 0,
                          RunError::kNoVertex, e.what());
   }
   return out;

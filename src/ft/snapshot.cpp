@@ -34,6 +34,7 @@ std::vector<std::uint8_t> encode_meta(const SnapshotMeta& m) {
   w.u32(m.value_size);
   w.u32(m.message_size);
   w.u32(m.aggregate_size);
+  w.u64(m.program_fingerprint);  // v2: appended so v1 layouts are a prefix
   return w.bytes();
 }
 
@@ -55,6 +56,9 @@ SnapshotMeta decode_meta(const std::vector<std::uint8_t>& bytes,
   m.value_size = r.u32();
   m.message_size = r.u32();
   m.aggregate_size = r.u32();
+  if (version >= 2) {
+    m.program_fingerprint = r.u64();
+  }
   r.done();
   if (m.mode != CheckpointMode::kHeavyweight &&
       m.mode != CheckpointMode::kLightweight) {
@@ -130,7 +134,7 @@ void write_snapshot(const std::string& path, const EngineSnapshot& snap,
 EngineSnapshot read_snapshot(const std::string& path, io::Vfs* vfs) {
   io::VfsIStream in(io::vfs_or_real(vfs), path);
   try {
-    BinaryReader r(in.stream(), path, kSnapshotMagic, kSnapshotFormatVersion,
+    BinaryReader r(in.stream(), path, kSnapshotMagic, kSnapshotMinFormatVersion,
                    kSnapshotFormatVersion);
     EngineSnapshot snap;
     snap.meta =
@@ -185,7 +189,7 @@ EngineSnapshot read_snapshot(const std::string& path, io::Vfs* vfs) {
 SnapshotMeta read_snapshot_meta(const std::string& path, io::Vfs* vfs) {
   io::VfsIStream in(io::vfs_or_real(vfs), path);
   try {
-    BinaryReader r(in.stream(), path, kSnapshotMagic, kSnapshotFormatVersion,
+    BinaryReader r(in.stream(), path, kSnapshotMagic, kSnapshotMinFormatVersion,
                    kSnapshotFormatVersion);
     return decode_meta(r.expect_section(kMetaTag), path, r.version());
   } catch (const FormatError&) {

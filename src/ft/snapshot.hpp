@@ -19,7 +19,16 @@ namespace ipregel::ft {
 /// Current snapshot format version. Bump on any layout change; readers
 /// reject files whose version they do not understand instead of
 /// misinterpreting them.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+///
+/// History:
+///   v1 — initial layout.
+///   v2 — metadata gained `program_fingerprint` (snapshot/program identity
+///        binding). v1 files are still readable; their fingerprint decodes
+///        as 0, which engines treat as "unknown — skip the identity check".
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+
+/// Oldest format version readers still accept.
+inline constexpr std::uint32_t kSnapshotMinFormatVersion = 1;
 
 /// Snapshot file magic ("IPSNAPv1" as little-endian bytes).
 inline constexpr std::uint64_t kSnapshotMagic = 0x31764150414E5350ULL;
@@ -58,6 +67,12 @@ struct SnapshotMeta {
   /// restored onto a different graph is garbage; this is checked before
   /// any byte of state is applied.
   std::uint64_t graph_fingerprint = 0;
+  /// core program_fingerprint<P>() of the application the run executed
+  /// (name + value/message layout). Never 0 when written by a v2+ engine;
+  /// 0 means "written before the field existed" and disables the check.
+  /// Restoring a PageRank snapshot into an SSSP engine must fail with a
+  /// typed mismatch, not silently reinterpret bytes.
+  std::uint64_t program_fingerprint = 0;
   std::uint32_t value_size = 0;
   std::uint32_t message_size = 0;
   std::uint32_t aggregate_size = 0;

@@ -23,38 +23,85 @@ std::vector<SnapshotDirectory::Entry> SnapshotDirectory::list() const {
   return entries;
 }
 
-std::optional<SnapshotDirectory::Entry> SnapshotDirectory::newest_valid() {
+bool SnapshotDirectory::validate_or_quarantine(const Entry& entry,
+                                               const Validator& validate) {
+  const char* semantic_reason = nullptr;
+  try {
+    const EngineSnapshot snap = read_snapshot(entry.path, vfs_);
+    if (validate == nullptr ||
+        (semantic_reason = validate(snap)) == nullptr) {
+      return true;
+    }
+  } catch (const io::PowerLoss&) {
+    throw;  // the simulated machine died mid-recovery; no fallback
+  } catch (const std::exception& e) {
+    // Torn, corrupt, or unreadable: take it out of the candidate set so
+    // it stops shadowing older good snapshots, but keep the bytes for
+    // post-mortem.
+    std::fprintf(stderr, "ipregel: quarantining snapshot %s: %s\n",
+                 entry.path.c_str(), e.what());
+    quarantine(entry.path);
+    return false;
+  }
+  // Structurally sound but semantically rejected: the corruption happened
+  // before the CRC was computed (e.g. a bit flip in memory that was then
+  // faithfully checkpointed), and only the caller's validator can see it.
+  std::fprintf(stderr, "ipregel: quarantining snapshot %s: %s\n",
+               entry.path.c_str(), semantic_reason);
+  quarantine(entry.path);
+  return false;
+}
+
+void SnapshotDirectory::quarantine(const std::string& path) {
+  try {
+    io::vfs_or_real(vfs_).rename(path, path + ".quarantined");
+    ++quarantined_;
+  } catch (const io::PowerLoss&) {
+    throw;
+  } catch (const io::IoError&) {
+    // Cannot even rename it — leave it in place and keep walking; the
+    // next recovery will stumble over it again, which is annoying but
+    // safe.
+  }
+}
+
+std::optional<SnapshotDirectory::Entry> SnapshotDirectory::newest_valid(
+    const Validator& validate) {
   const std::vector<Entry> entries = list();
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-    try {
-      (void)read_snapshot(it->path, vfs_);  // full validation, result unused
+    if (validate_or_quarantine(*it, validate)) {
       return *it;
-    } catch (const io::PowerLoss&) {
-      throw;  // the simulated machine died mid-recovery; no fallback
-    } catch (const std::exception& e) {
-      // Torn, corrupt, or unreadable: take it out of the candidate set so
-      // it stops shadowing older good snapshots, but keep the bytes for
-      // post-mortem.
-      std::fprintf(stderr,
-                   "ipregel: quarantining snapshot %s: %s\n",
-                   it->path.c_str(), e.what());
-      try {
-        io::vfs_or_real(vfs_).rename(it->path, it->path + ".quarantined");
-        ++quarantined_;
-      } catch (const io::PowerLoss&) {
-        throw;
-      } catch (const io::IoError&) {
-        // Cannot even rename it — leave it in place and keep walking; the
-        // next recovery will stumble over it again, which is annoying but
-        // safe.
-      }
     }
   }
   return std::nullopt;
 }
 
-void SnapshotDirectory::prune() {
-  prune_snapshots(dir_, basename_, keep_, vfs_);
+void SnapshotDirectory::prune(const Validator& validate) {
+  if (keep_ == 0) {
+    return;
+  }
+  // Retention counts *validated* snapshots, newest first. A corrupt newest
+  // snapshot is quarantined here rather than counted — otherwise keep == 1
+  // would delete every older good snapshot and then recovery would
+  // quarantine the survivor, leaving nothing to resume from.
+  const std::vector<Entry> entries = list();
+  io::Vfs& fs = io::vfs_or_real(vfs_);
+  std::size_t kept = 0;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (kept < keep_) {
+      if (validate_or_quarantine(*it, validate)) {
+        ++kept;
+      }
+      continue;
+    }
+    try {
+      fs.unlink(it->path);
+    } catch (const io::PowerLoss&) {
+      throw;
+    } catch (const io::IoError&) {
+      // Best-effort GC: an undeletable stale snapshot is not an error.
+    }
+  }
 }
 
 }  // namespace ipregel::ft

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +12,8 @@ class Vfs;
 }  // namespace ipregel::io
 
 namespace ipregel::ft {
+
+struct EngineSnapshot;
 
 /// Recovery-side manager of a checkpoint directory.
 ///
@@ -45,14 +48,33 @@ class SnapshotDirectory {
   /// A missing directory yields an empty list.
   [[nodiscard]] std::vector<Entry> list() const;
 
+  /// Semantic validator a caller can layer on top of structural
+  /// validation: given a fully parsed snapshot, return nullptr when it is
+  /// acceptable or a static reason string when it is not (e.g. a value-
+  /// range audit that catches a flipped bit the CRC was computed over —
+  /// corruption that happened BEFORE the snapshot was written). Must not
+  /// throw.
+  using Validator =
+      std::function<const char*(const EngineSnapshot&)>;
+
   /// The newest snapshot whose content fully validates, or nullopt when
   /// none does. Corrupt or unreadable candidates encountered on the way
   /// are quarantined (best-effort; a file that cannot even be renamed is
   /// left in place and skipped). A simulated power cut propagates.
-  [[nodiscard]] std::optional<Entry> newest_valid();
+  /// When `validate` is provided, a snapshot must pass it in addition to
+  /// the structural checks — a verified recovery, not just a parseable
+  /// one.
+  [[nodiscard]] std::optional<Entry> newest_valid(
+      const Validator& validate = nullptr);
 
-  /// Deletes all but the newest `keep` snapshots (no-op when keep == 0).
-  void prune();
+  /// Deletes all but the newest `keep` *validated* snapshots (no-op when
+  /// keep == 0). Retention counts only snapshots that fully validate —
+  /// and quarantines invalid ones it examines on the way — so pruning can
+  /// never delete the newest valid snapshot just because a newer, corrupt
+  /// one is squatting on the retention window. (With keep == 1 and a torn
+  /// newest snapshot, a name-based prune would delete every older good
+  /// snapshot and leave recovery with nothing.)
+  void prune(const Validator& validate = nullptr);
 
   /// Snapshots this instance quarantined so far.
   [[nodiscard]] std::size_t quarantined() const noexcept {
@@ -60,6 +82,12 @@ class SnapshotDirectory {
   }
 
  private:
+  /// Fully validates one entry (structural + optional semantic validator);
+  /// quarantines and returns false when it fails. PowerLoss propagates.
+  bool validate_or_quarantine(const Entry& entry, const Validator& validate);
+  /// Best-effort rename to "<path>.quarantined".
+  void quarantine(const std::string& path);
+
   std::string dir_;
   std::string basename_;
   io::Vfs* vfs_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <optional>
 #include <thread>
@@ -13,8 +14,50 @@
 #include "ft/fault.hpp"
 #include "ft/snapshot.hpp"
 #include "ft/snapshot_dir.hpp"
+#include "integrity/fault.hpp"
 
 namespace ipregel::ft {
+
+/// Semantic snapshot validation for verified recovery: replays the
+/// program's per-vertex value audit (program_traits' HasValueAudit hook)
+/// over a structurally-valid snapshot's value section. This catches
+/// corruption that predates the checkpoint — a bit flipped in memory and
+/// then faithfully CRC'd onto disk — which no amount of file-level
+/// checking can see. Returns nullptr when the snapshot passes (or the
+/// program declares no value audit); a static reason string otherwise.
+/// Shape mismatches are NOT judged here: the engine's restore_state turns
+/// those into typed SnapshotMismatch rejections.
+template <VertexProgram Program>
+[[nodiscard]] const char* audit_snapshot_values(
+    const Program& program, const graph::CsrGraph& graph,
+    const EngineSnapshot& snap) {
+  using Value = typename Program::value_type;
+  if constexpr (!HasValueAudit<Program> ||
+                !std::is_trivially_copyable_v<Value>) {
+    (void)program;
+    (void)graph;
+    (void)snap;
+    return nullptr;
+  } else {
+    if (snap.meta.value_size != sizeof(Value) ||
+        snap.meta.num_slots != graph.num_slots() ||
+        snap.values.size() != graph.num_slots() * sizeof(Value)) {
+      return nullptr;  // leave shape rejection to the engine's typed path
+    }
+    for (std::size_t slot = graph.first_slot(); slot < graph.num_slots();
+         ++slot) {
+      Value v;
+      std::memcpy(&v, snap.values.data() + slot * sizeof(Value),
+                  sizeof(Value));
+      const char* why =
+          program.audit_value(graph.id_of(slot), v, graph.num_vertices());
+      if (why != nullptr) {
+        return why;
+      }
+    }
+    return nullptr;
+  }
+}
 
 /// When and how often ft::supervise retries a failed run.
 struct RetryPolicy {
@@ -44,6 +87,13 @@ struct RetryPolicy {
   /// otherwise re-trip on every retry and the supervisor could never win.
   std::vector<FaultPlan> fault_schedule;
 
+  /// Per-attempt bit-flip plans, the SDC mirror of fault_schedule: attempt
+  /// k runs under flip_schedule[k] (disarmed once exhausted). When empty,
+  /// the caller's options.flip is honoured on the FIRST attempt only —
+  /// same livelock argument as above, since a detected flip would re-trip
+  /// the detectors on every retry.
+  std::vector<integrity::FlipPlan> flip_schedule;
+
   [[nodiscard]] bool should_retry(const RunError& e) const noexcept {
     switch (e.kind()) {
       case RunErrorKind::kInjectedFault:
@@ -57,6 +107,10 @@ struct RetryPolicy {
         return false;  // the budget does not grow back by itself
       case RunErrorKind::kCancelled:
         return false;  // the caller asked the run to stop; honour it
+      case RunErrorKind::kIntegrityViolation:
+        return true;  // memory corruption is transient; restore and retry
+      case RunErrorKind::kSnapshotMismatch:
+        return false;  // the same snapshot will mismatch again
     }
     return false;
   }
@@ -79,6 +133,9 @@ struct SupervisedOutcome {
   /// Snapshots that failed content validation during recovery and were
   /// quarantined (recovery then fell back to the next older candidate).
   std::size_t snapshots_quarantined = 0;
+  /// Attempts that failed with a detected integrity violation (an SDC
+  /// caught by a detector tier) before recovery or final failure.
+  std::size_t integrity_violations = 0;
   double backoff_seconds = 0.0;
 
   [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
@@ -116,17 +173,38 @@ SupervisedOutcome supervise(
     } else if (attempt > 0) {
       attempt_options.fault = FaultPlan{};  // never re-trip a fixed plan
     }
+    if (!policy.flip_schedule.empty()) {
+      attempt_options.flip = attempt < policy.flip_schedule.size()
+                                 ? policy.flip_schedule[attempt]
+                                 : integrity::FlipPlan{};
+    } else if (attempt > 0) {
+      // Same livelock argument as faults: a fixed armed flip would be
+      // re-injected (and re-detected) on every retry.
+      attempt_options.flip = integrity::FlipPlan{};
+    }
 
     std::filesystem::path resume;
     if (options.checkpoint.enabled()) {
       // Content-validating pick: a torn or corrupt newest snapshot is
       // quarantined and recovery degrades to the previous good one instead
-      // of dying on a FormatError at resume time.
+      // of dying on a FormatError at resume time. When the integrity
+      // invariant tier is on and the program declares a per-vertex value
+      // audit, recovery additionally demands the snapshot's values pass it
+      // — a *verified* recovery that refuses to resume from checkpointed
+      // corruption.
       SnapshotDirectory snapshots(options.checkpoint.directory,
                                   options.checkpoint.basename,
                                   options.checkpoint.vfs,
                                   options.checkpoint.keep);
-      if (const auto newest = snapshots.newest_valid()) {
+      SnapshotDirectory::Validator validator;
+      if constexpr (HasValueAudit<Program>) {
+        if (options.integrity.invariants) {
+          validator = [&program, &graph](const EngineSnapshot& snap) {
+            return audit_snapshot_values(program, graph, snap);
+          };
+        }
+      }
+      if (const auto newest = snapshots.newest_valid(validator)) {
         resume = newest->path;
       }
       out.snapshots_quarantined += snapshots.quarantined();
@@ -144,6 +222,9 @@ SupervisedOutcome supervise(
       return out;
     }
     out.error = std::move(attempt_outcome.error);
+    if (out.error->kind() == RunErrorKind::kIntegrityViolation) {
+      ++out.integrity_violations;
+    }
     if (attempt + 1 >= attempts || !policy.should_retry(*out.error)) {
       return out;
     }

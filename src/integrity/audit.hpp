@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/program_traits.hpp"
+#include "integrity/checksum.hpp"
+
+namespace ipregel::integrity {
+
+/// Engine-side storage for the invariant-audit tier: the previous
+/// barrier's per-partition accumulators (the baseline cross-superstep
+/// checks compare against) and scratch for the current barrier's. Sized to
+/// the fixed kSectionSlots partitioning so localisation matches the
+/// checksum tier's.
+template <typename A>
+struct AuditAccumulators {
+  std::vector<A> prev;
+  std::vector<A> cur;
+  bool has_prev = false;
+
+  void reset() noexcept {
+    has_prev = false;
+    prev.clear();
+    cur.clear();
+  }
+};
+
+/// Empty stand-in for programs without a reduction audit — no storage, and
+/// every use is behind `if constexpr (HasInvariantAudit<...>)`.
+struct NoAuditAccumulators {
+  void reset() noexcept {}
+};
+
+namespace detail {
+template <typename Program, bool = HasInvariantAudit<Program>>
+struct AuditStateSelector {
+  using type = AuditAccumulators<typename Program::audit_type>;
+};
+template <typename Program>
+struct AuditStateSelector<Program, false> {
+  using type = NoAuditAccumulators;
+};
+}  // namespace detail
+
+/// The audit storage an engine embeds for `Program`: real accumulators
+/// when the program declares a reduction audit, an empty struct otherwise.
+template <typename Program>
+using AuditState = typename detail::AuditStateSelector<Program>::type;
+
+}  // namespace ipregel::integrity

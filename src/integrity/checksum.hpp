@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace ipregel::integrity {
+
+/// Slots per checksum section. Fixed (not derived from the thread count)
+/// so the localisation a mismatch reports is stable across runs and the
+/// per-partition work divides evenly under any team size. 4096 slots keeps
+/// the section table negligible (16 bytes per 4096 vertices) while still
+/// pinning a flip to a few pages of state.
+inline constexpr std::size_t kSectionSlots = 4096;
+
+/// Number of sections covering `n` slots (at least 1 when n > 0).
+[[nodiscard]] constexpr std::size_t section_count(std::size_t n) noexcept {
+  return n == 0 ? 0 : (n + kSectionSlots - 1) / kSectionSlots;
+}
+
+/// Chained mix64 over a byte range. Not cryptographic — the adversary is a
+/// cosmic ray, not an attacker — but any single-bit change anywhere in the
+/// range changes the digest with overwhelming probability, which is the
+/// whole contract.
+[[nodiscard]] inline std::uint64_t hash_bytes(
+    const void* data, std::size_t n,
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  // A single mix64 chain is latency-bound (~3 dependent multiplies per 8
+  // bytes). Large ranges instead run four multiply-accumulate lanes —
+  // lane = (lane + word) * M with odd M — one multiply per word and four
+  // independent dependency chains, then fold through mix64. Single-bit
+  // sensitivity holds: the add injects the flip, and multiplication by an
+  // odd constant is a bijection, so a changed lane value can never
+  // collapse back; position sensitivity holds because each word belongs
+  // to exactly one lane at one chain depth.
+  if (n >= 64) {
+    constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ULL;  // odd
+    std::uint64_t l0 = h ^ 0x243f6a8885a308d3ULL;
+    std::uint64_t l1 = h ^ 0x13198a2e03707344ULL;
+    std::uint64_t l2 = h ^ 0xa4093822299f31d0ULL;
+    std::uint64_t l3 = h ^ 0x082efa98ec4e6c89ULL;
+    while (n >= 32) {
+      std::uint64_t w0 = 0;
+      std::uint64_t w1 = 0;
+      std::uint64_t w2 = 0;
+      std::uint64_t w3 = 0;
+      std::memcpy(&w0, p, 8);
+      std::memcpy(&w1, p + 8, 8);
+      std::memcpy(&w2, p + 16, 8);
+      std::memcpy(&w3, p + 24, 8);
+      l0 = (l0 + w0) * kMul;
+      l1 = (l1 + w1) * kMul;
+      l2 = (l2 + w2) * kMul;
+      l3 = (l3 + w3) * kMul;
+      p += 32;
+      n -= 32;
+    }
+    h = runtime::mix64(h ^ l0);
+    h = runtime::mix64(h ^ l1);
+    h = runtime::mix64(h ^ l2);
+    h = runtime::mix64(h ^ l3);
+  }
+  while (n >= 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, 8);
+    h = runtime::mix64(h ^ w);
+    p += 8;
+    n -= 8;
+  }
+  if (n != 0) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, n);
+    h = runtime::mix64(h ^ w ^ (std::uint64_t{n} << 56));
+  }
+  return h;
+}
+
+/// Which checksummed state family a mismatch was localised to.
+enum class Section : std::uint8_t { kValues, kHalted, kMessages, kFrontier };
+
+[[nodiscard]] constexpr std::string_view to_string(Section s) noexcept {
+  switch (s) {
+    case Section::kValues:
+      return "values";
+    case Section::kHalted:
+      return "halted";
+    case Section::kMessages:
+      return "messages";
+    case Section::kFrontier:
+      return "frontier";
+  }
+  return "invalid";
+}
+
+/// The per-section digests stored at a barrier and verified at the top of
+/// the next superstep. `superstep` records which superstep the digests
+/// guard (the one about to consume this state), so a mismatch names the
+/// exact at-rest window the corruption happened in.
+struct SectionChecksums {
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> halted;
+  std::vector<std::uint64_t> messages;
+  std::vector<std::uint64_t> frontier;
+  std::size_t frontier_size = 0;
+  std::size_t superstep = 0;
+  bool armed = false;
+
+  void disarm() noexcept {
+    armed = false;
+    values.clear();
+    halted.clear();
+    messages.clear();
+    frontier.clear();
+    frontier_size = 0;
+  }
+};
+
+}  // namespace ipregel::integrity

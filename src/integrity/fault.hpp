@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace ipregel::integrity {
+
+/// Which engine array a planned bit flip lands in.
+enum class FlipTarget : std::uint8_t {
+  kValues,        ///< a vertex value word
+  kHalted,        ///< a halted flag byte
+  kMessages,      ///< a mailbox (push inbox / pull outbox) message word
+  kMessageFlags,  ///< a mailbox has-message flag byte
+  kFrontier,      ///< a bypass work-list entry (bypass versions only)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FlipTarget t) noexcept {
+  switch (t) {
+    case FlipTarget::kValues:
+      return "values";
+    case FlipTarget::kHalted:
+      return "halted";
+    case FlipTarget::kMessages:
+      return "messages";
+    case FlipTarget::kMessageFlags:
+      return "message-flags";
+    case FlipTarget::kFrontier:
+      return "frontier";
+  }
+  return "invalid";
+}
+
+/// When within the target superstep the flip is applied. Both are barrier
+/// points — the only moments engine state is quiescent, so the injector
+/// never races the compute phase it is trying to corrupt.
+enum class FlipPhase : std::uint8_t {
+  /// At the top of the superstep, before the checksum verify pass: models
+  /// corruption of *at-rest* state in the window since the previous
+  /// barrier. This is the window the checksum tier covers.
+  kAtRest,
+  /// In the barrier epilogue, after compute finished but before the
+  /// detectors run: models corruption *during* the superstep (a flipped
+  /// store). Invariant audits and shadow recompute cover this window.
+  kPostCompute,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FlipPhase p) noexcept {
+  switch (p) {
+    case FlipPhase::kAtRest:
+      return "at-rest";
+    case FlipPhase::kPostCompute:
+      return "post-compute";
+  }
+  return "invalid";
+}
+
+/// How the targeted bit is altered. XOR is the classic SDC model; SET and
+/// CLEAR give tests a deterministic direction (e.g. force a double's
+/// exponent bit high so the corruption is guaranteed either detectable or
+/// a provable no-op, never a sub-tolerance nudge).
+enum class FlipOp : std::uint8_t { kXor, kSet, kClear };
+
+/// Deterministic single-bit corruption of engine state — the SDC
+/// counterpart of ft::FaultPlan's crash injection, and the fault side of
+/// the integrity subsystem (the "BitFlipInjector"). The engine applies the
+/// flip itself at the configured barrier of the configured superstep:
+/// exact, reproducible, and race-free, where poking another thread's
+/// memory mid-superstep would be neither.
+///
+/// `index` addresses a slot (or, for kFrontier, a work-list position) and
+/// is reduced modulo the live array size at apply time, so seeded plans
+/// need no knowledge of the graph. `bit` is reduced modulo the addressed
+/// object's width the same way. A plan whose superstep never executes
+/// (run terminated earlier) simply never fires — a masked flip by
+/// definition of "nothing left to corrupt".
+struct FlipPlan {
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+  /// Superstep in which to corrupt; kNever disables the plan.
+  std::size_t superstep = kNever;
+  FlipTarget target = FlipTarget::kValues;
+  FlipPhase phase = FlipPhase::kAtRest;
+  FlipOp op = FlipOp::kXor;
+  /// Slot offset (relative to the graph's first slot) or frontier
+  /// position; wrapped modulo the array size at apply time.
+  std::size_t index = 0;
+  /// Bit within the addressed object; wrapped modulo its width in bits.
+  std::uint32_t bit = 0;
+
+  [[nodiscard]] bool armed() const noexcept { return superstep != kNever; }
+
+  /// Derives a reproducible at-rest XOR flip from an rng seed: superstep
+  /// in [min_superstep, max_superstep], a random target (kFrontier only
+  /// when `allow_frontier` — non-bypass versions have no frontier), and a
+  /// random index/bit. Same seed, same flip — the matrix tests sweep seeds
+  /// instead of hand-picking corruption sites, and any failure reproduces
+  /// from the seed in the log.
+  [[nodiscard]] static FlipPlan from_seed(std::uint64_t seed,
+                                          std::size_t min_superstep,
+                                          std::size_t max_superstep,
+                                          bool allow_frontier = false) {
+    runtime::SplitMix64 rng(seed);
+    const std::size_t span = max_superstep - min_superstep + 1;
+    FlipPlan plan;
+    plan.superstep = min_superstep + rng.next() % span;
+    const std::size_t num_targets = allow_frontier ? 5 : 4;
+    plan.target = static_cast<FlipTarget>(rng.next() % num_targets);
+    plan.phase = FlipPhase::kAtRest;
+    plan.op = FlipOp::kXor;
+    plan.index = rng.next();
+    plan.bit = static_cast<std::uint32_t>(rng.next());
+    return plan;
+  }
+};
+
+/// The deterministic vertex sample the shadow-recompute tier audits in a
+/// given superstep: `count` slot indices in [first_slot, first_slot +
+/// num_slots), drawn without replacement from a stream keyed on (seed,
+/// superstep). Exposed so tests can aim a FlipPlan at a slot that is
+/// guaranteed to be sampled.
+[[nodiscard]] inline std::vector<std::size_t> shadow_sample(
+    std::uint64_t seed, std::size_t superstep, std::size_t first_slot,
+    std::size_t num_slots, std::size_t count) {
+  std::vector<std::size_t> slots;
+  if (num_slots == 0 || count == 0) {
+    return slots;
+  }
+  count = count < num_slots ? count : num_slots;
+  slots.reserve(count);
+  runtime::SplitMix64 rng(runtime::mix64(seed) ^
+                          runtime::mix64(superstep + 1));
+  // Rejection on duplicates: count is tiny relative to num_slots in every
+  // sane configuration, and the loop is bounded even when it is not.
+  std::size_t attempts = 0;
+  while (slots.size() < count && attempts < count * 16 + 64) {
+    ++attempts;
+    const std::size_t slot = first_slot + rng.next() % num_slots;
+    bool seen = false;
+    for (const std::size_t s : slots) {
+      if (s == slot) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      slots.push_back(slot);
+    }
+  }
+  return slots;
+}
+
+}  // namespace ipregel::integrity

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ipregel::integrity {
+
+/// Which silent-data-corruption detectors the engine runs at its superstep
+/// barriers, and how hard. All off by default — the integrity layer costs
+/// nothing unless asked for. The three tiers are independent and
+/// composable; they trade coverage against overhead:
+///
+///  - `invariants` (tier 1): application-level invariant auditors the
+///    program declares through program_traits (rank-mass conservation,
+///    distance monotonicity, label bounds, ...). One parallel reduction
+///    over the vertex values per barrier — the cheapest tier, and the only
+///    one that understands *semantics* (it catches corruption that is
+///    structurally plausible but algorithmically impossible).
+///  - `checksums` (tier 2): sectioned checksums over vertex values, halted
+///    flags, the pending mailbox generation, and the bypass frontier,
+///    stored at each barrier and verified at the top of the next superstep.
+///    Covers the at-rest window between barriers and localises a flip to a
+///    (superstep, section, slot-range) triple. Application-agnostic.
+///  - `shadow` (tier 3): sampled shadow recompute — re-run compute() for a
+///    deterministic pseudo-random sample of vertices against the inputs
+///    the superstep actually consumed and compare outputs. Catches
+///    corruption *during* the superstep (a flipped result, a torn store)
+///    that the at-rest checksums cannot see. Cost scales with
+///    `shadow_samples`, not |V|.
+struct IntegrityOptions {
+  bool invariants = false;
+  bool checksums = false;
+  bool shadow = false;
+
+  /// Verify/store cadence for the checksum tier: checksums are stored at
+  /// barriers whose *next* superstep index is a multiple of this, and
+  /// verified at the top of that superstep. 1 = every superstep (full
+  /// at-rest coverage); k > 1 covers only every k-th barrier's at-rest
+  /// window — flips between covered barriers are NOT caught later, so
+  /// this trades coverage (not latency) for overhead on workloads with
+  /// very short supersteps (road-graph SSSP wavefronts). The default is
+  /// full coverage; production runs that care about throughput should use
+  /// 8 — the two digest passes re-read the whole resident state, which on
+  /// a memory-bound core is a fixed double-digit fraction of a lean
+  /// superstep's own traffic, and every-8 amortises it to a few percent
+  /// (see bench/ablation_integrity).
+  std::size_t checksum_every = 1;
+
+  /// Vertices shadow-recomputed per superstep (tier 3).
+  std::size_t shadow_samples = 16;
+  /// Seed of the deterministic per-superstep sample (tier 3). Tests derive
+  /// it from their top-level seed so a failure reproduces from the log.
+  std::uint64_t shadow_seed = 1;
+
+  [[nodiscard]] bool any() const noexcept {
+    return invariants || checksums || shadow;
+  }
+};
+
+}  // namespace ipregel::integrity

@@ -83,6 +83,13 @@ struct JobReport {
   /// Supervisor statistics (kCompleted/kFailed).
   std::size_t attempts = 0;
   std::size_t resumed_from_snapshot = 0;
+  /// Attempts that failed with a detected silent-data-corruption
+  /// violation before the supervisor recovered (or gave up). A completed
+  /// job with integrity_violations > 0 hit corruption, detected it, and
+  /// was healed by checkpoint recovery — retried, not shed.
+  std::size_t integrity_violations = 0;
+  /// Snapshots quarantined during this job's recovery walks.
+  std::size_t snapshots_quarantined = 0;
 
   /// Seconds spent waiting in the queue / executing.
   double queue_seconds = 0.0;

@@ -148,6 +148,8 @@ class JobManager {
           graph, program, version, opts, retry, nullptr, &typed.values);
       report.attempts = out.attempts;
       report.resumed_from_snapshot = out.resumed_from_snapshot;
+      report.integrity_violations = out.integrity_violations;
+      report.snapshots_quarantined = out.snapshots_quarantined;
       if (out.ok()) {
         report.state = JobState::kCompleted;
         report.result = out.result;

@@ -232,5 +232,90 @@ TEST(SnapshotDirectoryTest, SuperviseFallsBackPastCorruptLatest) {
   }
 }
 
+// --- retention racing quarantine -----------------------------------------
+//
+// prune() counts only snapshots that VALIDATE toward the retention window.
+// The scenario that motivates this: the newest snapshot is corrupt (torn
+// write, rotted at rest) and keep is small — a name-based prune would let
+// the corrupt file squat on a retention slot and delete the newest GOOD
+// snapshot, leaving recovery with nothing.
+
+TEST(SnapshotDirectoryTest, PruneQuarantinesCorruptAndKeepsValidated) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 5);
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 5));
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 4));
+
+  ft::SnapshotDirectory snapshots(dir.str(), "snapshot", nullptr,
+                                  /*keep=*/2);
+  snapshots.prune();
+  EXPECT_EQ(snapshots.quarantined(), 2u);
+  const auto entries = snapshots.list();
+  // 5 and 4 quarantined, 3 and 2 retained (the newest two that VALIDATE),
+  // 1 pruned.
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].superstep, 2u);
+  EXPECT_EQ(entries[1].superstep, 3u);
+}
+
+TEST(SnapshotDirectoryTest, PruneKeepOneNeverDeletesNewestValid) {
+  // The keep == 1 worst case: with the newest snapshot corrupt, retention
+  // must land on the newest VALID snapshot, not on the corpse.
+  TempDir dir;
+  write_snaps(dir.str(), 1, 3);
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 3));
+
+  ft::SnapshotDirectory snapshots(dir.str(), "snapshot", nullptr,
+                                  /*keep=*/1);
+  snapshots.prune();
+  EXPECT_EQ(snapshots.quarantined(), 1u);
+  const auto entries = snapshots.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].superstep, 2u);
+  const auto newest = snapshots.newest_valid();
+  ASSERT_TRUE(newest.has_value())
+      << "prune deleted the only good snapshot";
+  EXPECT_EQ(newest->superstep, 2u);
+}
+
+TEST(SnapshotDirectoryTest, PruneHonoursSemanticValidator) {
+  // A snapshot can be structurally immaculate yet semantically rotten
+  // (corruption that predates the write). A semantic validator passed to
+  // prune() must disqualify it from retention exactly like CRC damage.
+  TempDir dir;
+  write_snaps(dir.str(), 1, 4);
+  const ft::SnapshotDirectory::Validator reject_newest =
+      [](const ft::EngineSnapshot& snap) -> const char* {
+    // make_snap fills values with the superstep number: "content says 4"
+    // plays the part of a value-audit failure.
+    return (!snap.values.empty() && snap.values[0] == 4)
+               ? "content failed the value audit"
+               : nullptr;
+  };
+
+  ft::SnapshotDirectory snapshots(dir.str(), "snapshot", nullptr,
+                                  /*keep=*/1);
+  snapshots.prune(reject_newest);
+  EXPECT_EQ(snapshots.quarantined(), 1u);
+  const auto entries = snapshots.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].superstep, 3u);
+  EXPECT_TRUE(std::filesystem::exists(
+      ft::snapshot_path(dir.str(), "snapshot", 4) + ".quarantined"));
+}
+
+TEST(SnapshotDirectoryTest, PruneKeepZeroTouchesNothing) {
+  TempDir dir;
+  write_snaps(dir.str(), 1, 3);
+  corrupt(ft::snapshot_path(dir.str(), "snapshot", 3));
+  ft::SnapshotDirectory snapshots(dir.str(), "snapshot", nullptr,
+                                  /*keep=*/0);
+  snapshots.prune();
+  // keep == 0 disables retention GC entirely: nothing deleted, nothing
+  // examined, nothing quarantined.
+  EXPECT_EQ(snapshots.quarantined(), 0u);
+  EXPECT_EQ(snapshots.list().size(), 3u);
+}
+
 }  // namespace
 }  // namespace ipregel

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -133,7 +134,8 @@ WaveResult run_wave(const Workload& w, bool admission_on,
   return out;
 }
 
-void row(Table& table, const Workload& w, bool admission_on, double load) {
+void row(Table& table, JsonReport& report, const Workload& w,
+         bool admission_on, double load) {
   const auto offered = static_cast<std::size_t>(
       std::lround(load * static_cast<double>(kCapacity)));
   const WaveResult r = run_wave(w, admission_on, offered);
@@ -141,6 +143,8 @@ void row(Table& table, const Workload& w, bool admission_on, double load) {
       r.wall_seconds > 0.0
           ? static_cast<double>(r.completed) / r.wall_seconds
           : 0.0;
+  const double p50 = percentile(r.latencies, 0.50);
+  const double p99 = percentile(r.latencies, 0.99);
   table.add_row({admission_on ? "on" : "off",
                  fmt_factor(load),
                  std::to_string(r.offered),
@@ -148,8 +152,18 @@ void row(Table& table, const Workload& w, bool admission_on, double load) {
                  std::to_string(r.rejected),
                  fmt_seconds(r.wall_seconds),
                  fmt_factor(throughput),
-                 fmt_seconds(percentile(r.latencies, 0.50)),
-                 fmt_seconds(percentile(r.latencies, 0.99))});
+                 fmt_seconds(p50),
+                 fmt_seconds(p99)});
+  char key[64];
+  std::snprintf(key, sizeof key, "admission_%s.load_%.1fx",
+                admission_on ? "on" : "off", load);
+  const std::string k = key;
+  report.count(k + ".offered", r.offered);
+  report.count(k + ".completed", r.completed);
+  report.count(k + ".rejected", r.rejected);
+  report.num(k + ".throughput_qps", throughput);
+  report.num(k + ".p50_ms", p50 * 1e3);
+  report.num(k + ".p99_ms", p99 * 1e3);
 }
 
 }  // namespace
@@ -163,13 +177,16 @@ int main() {
   Table table("Offered load vs admission control",
               {"admission", "load", "offered", "completed", "rejected",
                "wall (s)", "jobs/s", "p50 (s)", "p99 (s)"});
+  JsonReport report("ablation_service");
+  report.text("graph", wiki.name);
   for (const bool admission_on : {true, false}) {
     for (const double load : {0.5, 1.0, 2.0}) {
-      row(table, wiki, admission_on, load);
+      row(table, report, wiki, admission_on, load);
     }
   }
   table.print();
   table.write_csv("results/bench_service.csv");
+  report.write("results/bench_service.json");
 
   std::cout << "\nexpected: both configurations match below capacity "
                "(the instantaneous 1x burst may clip a job or two before "

@@ -1,0 +1,519 @@
+// Traffic simulation for the resident query service: Poisson-arrival
+// point-query streams at several offered loads against a pinned R-MAT
+// epoch, reporting the SLO surface (p50/p99 latency, throughput), batch
+// occupancy, cache hit rate, and shed counts per load.
+//
+// Two phases:
+//
+//  1. Batching ablation (cache off): the same hot-source distance-query
+//     stream — sources Zipf-drawn from a small popular set, targets all
+//     different, the shape of per-user queries about trending content —
+//     through max_batch = 1 (every query a solo engine run) and
+//     max_batch = 8 (queries coalesced into MultiBfs lanes, same-source
+//     members deduplicated onto shared lanes). The throughput ratio is
+//     the service's headline number — lanes share one graph scan per
+//     superstep and a popular source costs one lane per batch instead
+//     of one run per query — and is gated as an absolute floor in the
+//     JSON report.
+//
+//  2. Mixed traffic: a Zipf-popular pool of repeat queries (distance /
+//     reachability / PPR) plus a small unique long tail, arriving as a
+//     Poisson process at 0.5x / 1x / 2x of the measured closed-loop
+//     capacity. Repeats hit the result cache at submit; tail misses
+//     accumulate behind running batches and fill lanes, so occupancy
+//     climbs with load while admission control (queue bound, deadlines)
+//     sheds typed rather than letting latency grow without bound.
+//
+// Results go to results/bench_traffic{,_smoke}.csv and .json; the JSON
+// is the input to scripts/check_bench_regression.py. --smoke shrinks the
+// graph and the stream for the CI smoke test; the full run answers
+// >= 10^5 queries (3 loads x 40,000) on the wiki-like R-MAT s18 epoch.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/reporting.hpp"
+#include "benchlib/workloads.hpp"
+#include "graph/csr.hpp"
+#include "query/service.hpp"
+#include "runtime/timer.hpp"
+#include "service/shed.hpp"
+
+namespace {
+
+using namespace ipregel;         // NOLINT(google-build-using-namespace)
+using namespace ipregel::bench;  // NOLINT(google-build-using-namespace)
+using query::PointQuery;
+using query::QueryKind;
+using query::QueryResult;
+using query::QueryService;
+using query::QueryTicket;
+
+struct SimParams {
+  bool smoke = false;
+  std::size_t pool_size = 512;        ///< distinct repeat queries
+  std::size_t queries_per_load = 40000;
+  std::size_t calibration = 4000;
+  double tail_fraction = 0.005;       ///< unique (always-miss) share
+  double deadline_fraction = 0.10;
+  double deadline_seconds = 1.0;
+  double speedup_floor = 3.0;
+  std::size_t ablation_queries = 64;
+  /// Distinct Zipf-popular sources in the ablation stream. Small on
+  /// purpose: batching pays off when concurrent queries ask about the
+  /// same trending vertices.
+  std::size_t ablation_hot_sources = 3;
+  std::vector<double> loads{0.5, 1.0, 2.0};
+};
+
+SimParams make_params(bool smoke) {
+  SimParams p;
+  p.smoke = smoke;
+  if (smoke) {
+    p.pool_size = 48;
+    p.queries_per_load = 400;
+    p.calibration = 200;
+    p.tail_fraction = 0.05;
+    p.deadline_seconds = 2.0;
+    // The smoke graph is small enough that fixed per-run overhead eats
+    // into the lane win (measured ~5x vs ~4.7x full); the smoke floor
+    // asserts the structural claim — coalescing wins well beyond noise —
+    // with margin for slow CI boxes.
+    p.speedup_floor = 2.0;
+    p.ablation_queries = 16;
+  }
+  return p;
+}
+
+QueryService::Config service_config(std::size_t max_batch, double linger,
+                                    bool enable_cache) {
+  QueryService::Config cfg;
+  cfg.jobs.executors = 1;  // single-core box: one engine run at a time
+  cfg.jobs.team_threads = 1;
+  cfg.broker.dispatchers = 1;
+  cfg.broker.max_batch = max_batch;
+  cfg.broker.max_linger_seconds = linger;
+  cfg.broker.max_pending = 4096;
+  cfg.broker.ppr_rounds = 10;
+  cfg.broker.enable_cache = enable_cache;
+  return cfg;
+}
+
+[[nodiscard]] double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  return xs[std::min(rank == 0 ? 0 : rank - 1, xs.size() - 1)];
+}
+
+[[nodiscard]] graph::vid_t random_id(const graph::CsrGraph& g,
+                                     std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> slot(g.first_slot(),
+                                                  g.num_slots() - 1);
+  return g.id_of(slot(rng));
+}
+
+/// `bfs_only` restricts the draw to the BFS family. The always-miss tail
+/// uses it: an uncached PPR is a full power iteration costing seconds,
+/// so a fresh-PPR tail would measure the engine, not the service — PPR
+/// traffic instead lives in the repeat pool, where it is computed once
+/// per epoch and cache-served (and re-computed after an epoch swap).
+PointQuery random_query(const graph::CsrGraph& g, std::mt19937_64& rng,
+                        const SimParams& p, bool bfs_only = false) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const double kind_draw = coin(rng) * (bfs_only ? 0.85 : 1.0);
+  PointQuery q;
+  if (kind_draw < 0.70) {
+    q.kind = QueryKind::kDistance;
+    q.source = random_id(g, rng);
+    const std::size_t targets = 1 + static_cast<std::size_t>(rng() % 3);
+    for (std::size_t t = 0; t < targets; ++t) {
+      q.targets.push_back(random_id(g, rng));
+    }
+  } else if (kind_draw < 0.85) {
+    q.kind = QueryKind::kReachability;
+    q.source = random_id(g, rng);
+    q.targets = {random_id(g, rng)};
+  } else {
+    q.kind = QueryKind::kPpr;
+    const std::size_t seeds = 1 + static_cast<std::size_t>(rng() % 3);
+    for (std::size_t s = 0; s < seeds; ++s) {
+      q.seeds.push_back(random_id(g, rng));
+    }
+  }
+  // Deadlines go on the interactive (BFS-family) queries only: a full
+  // PPR power iteration costs orders of magnitude more than any
+  // interactive SLO, so a deadlined PPR would never complete, never be
+  // cached, and burn a watchdog-killed engine run on every repeat —
+  // best-effort is the only sane contract for it.
+  if (q.kind != QueryKind::kPpr && coin(rng) < p.deadline_fraction) {
+    q.deadline_seconds = p.deadline_seconds;
+  }
+  return q;
+}
+
+/// Zipf-popular repeat pool: query i is drawn with weight 1/(i+1)^0.9.
+struct TrafficPool {
+  std::vector<PointQuery> queries;
+  std::vector<double> cdf;
+
+  TrafficPool(const graph::CsrGraph& g, std::mt19937_64& rng,
+              const SimParams& p) {
+    queries.reserve(p.pool_size);
+    cdf.reserve(p.pool_size);
+    double mass = 0.0;
+    for (std::size_t i = 0; i < p.pool_size; ++i) {
+      queries.push_back(random_query(g, rng, p));
+      mass += 1.0 / std::pow(static_cast<double>(i + 1), 0.9);
+      cdf.push_back(mass);
+    }
+    for (double& c : cdf) {
+      c /= mass;
+    }
+  }
+
+  [[nodiscard]] const PointQuery& sample(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u(rng));
+    const auto idx = static_cast<std::size_t>(it - cdf.begin());
+    return queries[std::min(idx, queries.size() - 1)];
+  }
+};
+
+struct LoadResult {
+  double offered_qps = 0.0;
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t shed = 0;      ///< typed: submit rejections + shed results
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double occupancy = 0.0;    ///< mean lanes per engine run this load
+};
+
+/// Drives `count` queries through `svc` and accounts the outcomes. When
+/// `arrival_qps` > 0 arrivals follow a Poisson process at that rate
+/// (open loop: the schedule does not wait for answers); 0 = closed-loop
+/// back-to-back submission.
+LoadResult run_stream(QueryService& svc, const TrafficPool& pool,
+                      const graph::CsrGraph& g, const SimParams& p,
+                      std::mt19937_64& rng, std::size_t count,
+                      double arrival_qps) {
+  const query::QueryBroker::Stats before = svc.broker_stats();
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::exponential_distribution<double> interarrival(
+      arrival_qps > 0.0 ? arrival_qps : 1.0);
+
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(count);
+  LoadResult out;
+  out.offered = count;
+  out.offered_qps = arrival_qps;
+
+  runtime::Timer timer;
+  auto next_arrival = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (arrival_qps > 0.0) {
+      next_arrival += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(interarrival(rng)));
+      std::this_thread::sleep_until(next_arrival);
+    }
+    const bool tail = u(rng) < p.tail_fraction;
+    PointQuery q = tail ? random_query(g, rng, p, /*bfs_only=*/true)
+                        : pool.sample(rng);
+    try {
+      tickets.push_back(svc.query(std::move(q)));
+    } catch (const service::ShedError&) {
+      ++out.shed;  // typed admission rejection (queue full / shutdown)
+    }
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(tickets.size());
+  for (QueryTicket& t : tickets) {
+    const QueryResult& r = t.wait();
+    switch (r.status) {
+      case QueryResult::Status::kOk:
+        ++out.completed;
+        out.cache_hits += r.from_cache ? 1 : 0;
+        latencies.push_back(r.latency_seconds);
+        break;
+      case QueryResult::Status::kShed:
+        ++out.shed;
+        break;
+      case QueryResult::Status::kFailed:
+        ++out.failed;
+        break;
+    }
+  }
+  out.wall_seconds = timer.seconds();
+  out.p50_ms = percentile(latencies, 0.50) * 1e3;
+  out.p99_ms = percentile(latencies, 0.99) * 1e3;
+
+  const query::QueryBroker::Stats after = svc.broker_stats();
+  const std::size_t batches = after.batches - before.batches;
+  const std::size_t lanes = after.lanes - before.lanes;
+  out.occupancy = batches > 0
+                      ? static_cast<double>(lanes) /
+                            static_cast<double>(batches)
+                      : 0.0;
+  return out;
+}
+
+struct AblationResult {
+  double qps = 0.0;
+  std::size_t lanes = 0;         ///< queries served by engine runs
+  std::size_t engine_lanes = 0;  ///< lanes actually computed (post-dedup)
+};
+
+/// Phase 1: identical hot-source distance-query stream, batch-of-1 vs
+/// batch-of-8, cache disabled so every query reaches the engine. Sources
+/// are Zipf-drawn from `ablation_hot_sources` popular vertices (targets
+/// all different, so the result cache could not have answered these
+/// either). CsrGraph is move-only (it owns its memory reservation), so
+/// each arm regenerates the deterministic workload instead of copying.
+AblationResult run_ablation_arm(BenchSize size, const SimParams& p,
+                                std::size_t max_batch) {
+  QueryService svc(service_config(max_batch, /*linger=*/0.005,
+                                  /*enable_cache=*/false));
+  Workload w = make_wiki_like(size);
+  svc.publish(std::move(w.graph));
+  const graph::CsrGraph& graph = svc.current_epoch()->graph();
+  std::mt19937_64 rng(7);  // same stream for both arms
+
+  // The hot set is the graph's top-out-degree vertices — on a wiki-like
+  // graph the trending hubs are exactly what concurrent users ask about,
+  // and hub BFS is the expensive case worth coalescing (a random vertex
+  // of a directed R-MAT often reaches almost nothing). Zipf(1.1)
+  // popularity across the set, same shape as the phase-2 repeat pool.
+  std::vector<std::size_t> by_degree(graph.num_slots() -
+                                     graph.first_slot());
+  for (std::size_t i = 0; i < by_degree.size(); ++i) {
+    by_degree[i] = graph.first_slot() + i;
+  }
+  const std::size_t hot_n =
+      std::min(p.ablation_hot_sources, by_degree.size());
+  std::partial_sort(by_degree.begin(),
+                    by_degree.begin() + static_cast<std::ptrdiff_t>(hot_n),
+                    by_degree.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return graph.out_degree(a) > graph.out_degree(b);
+                    });
+  std::vector<graph::vid_t> hot;
+  std::vector<double> cdf;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < hot_n; ++i) {
+    hot.push_back(graph.id_of(by_degree[i]));
+    mass += 1.0 / std::pow(static_cast<double>(i + 1), 1.1);
+    cdf.push_back(mass);
+  }
+  for (double& c : cdf) {
+    c /= mass;
+  }
+  const auto hot_source = [&](std::mt19937_64& r) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u(r));
+    const auto idx = static_cast<std::size_t>(it - cdf.begin());
+    return hot[std::min(idx, hot.size() - 1)];
+  };
+
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(p.ablation_queries);
+  runtime::Timer timer;
+  for (std::size_t i = 0; i < p.ablation_queries; ++i) {
+    PointQuery q;
+    q.kind = QueryKind::kDistance;
+    q.source = hot_source(rng);
+    q.targets = {random_id(graph, rng)};
+    tickets.push_back(svc.query(std::move(q)));
+  }
+  for (QueryTicket& t : tickets) {
+    const QueryResult& r = t.wait();
+    if (r.status != QueryResult::Status::kOk) {
+      std::cerr << "ablation query did not complete\n";
+      std::exit(1);
+    }
+  }
+  AblationResult out;
+  const double wall = timer.seconds();
+  out.qps = wall > 0.0
+                ? static_cast<double>(p.ablation_queries) / wall
+                : 0.0;
+  const auto stats = svc.broker_stats();
+  out.lanes = stats.lanes;
+  out.engine_lanes = stats.engine_lanes;
+  return out;
+}
+
+std::string fmt_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+std::string fmt_load(double load) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1fx", load);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: traffic_sim [--smoke]\n";
+      return 2;
+    }
+  }
+  const SimParams p = make_params(smoke);
+  const BenchSize size = smoke ? BenchSize::kSmall : BenchSize::kDefault;
+  Workload w = make_wiki_like(size);
+  const std::string graph_name = w.name;
+  std::cout << "iPregel query-service traffic simulation (" << graph_name
+            << (smoke ? ", smoke" : "") << ")\n";
+
+  // ---- Phase 1: batching ablation --------------------------------------
+  const AblationResult solo = run_ablation_arm(size, p, 1);
+  const AblationResult batched =
+      run_ablation_arm(size, p, query::QueryBroker::kMaxLanes);
+  const double solo_qps = solo.qps;
+  const double batched_qps = batched.qps;
+  const double speedup = solo_qps > 0.0 ? batched_qps / solo_qps : 0.0;
+  std::cout << "batching ablation: solo " << fmt_rate(solo_qps)
+            << " q/s, batched " << fmt_rate(batched_qps) << " q/s ("
+            << fmt_factor(speedup) << "), " << batched.engine_lanes
+            << " computed lanes served " << batched.lanes << " queries\n";
+
+  // ---- Phase 2: Poisson mixed traffic ----------------------------------
+  QueryService svc(
+      service_config(query::QueryBroker::kMaxLanes, 0.002, true));
+  svc.publish(std::move(w.graph));
+  const graph::CsrGraph& g = svc.current_epoch()->graph();
+  std::mt19937_64 rng(20180813);
+  const TrafficPool pool(g, rng, p);
+
+  // Warm the cache with one pass over the pool so the measured loads see
+  // steady-state traffic (hits dominate; the tail keeps the engine busy).
+  // Deadlines are stripped for the warm pass: they are execution hints,
+  // not part of the cache key, and a deadlined query expiring behind a
+  // slow PPR batch here would leave a permanently-cold pool entry that
+  // no steady-state service would have.
+  {
+    std::vector<QueryTicket> warm;
+    warm.reserve(pool.queries.size());
+    for (const PointQuery& q : pool.queries) {
+      PointQuery relaxed = q;
+      relaxed.deadline_seconds = 0.0;
+      warm.push_back(svc.query(std::move(relaxed)));
+    }
+    for (QueryTicket& t : warm) {
+      (void)t.wait();
+    }
+  }
+
+  {
+    const auto ws = svc.broker_stats();
+    std::cout << "after warmup: submitted " << ws.submitted << ", hits "
+              << ws.cache_hits << ", completed " << ws.completed
+              << ", shed " << ws.shed << ", failed " << ws.failed
+              << ", batches " << ws.batches << ", engine lanes "
+              << ws.engine_lanes << "\n";
+  }
+  const auto cal_before = svc.broker_stats();
+  const LoadResult base =
+      run_stream(svc, pool, g, p, rng, p.calibration, 0.0);
+  const double base_qps =
+      base.wall_seconds > 0.0
+          ? static_cast<double>(base.completed) / base.wall_seconds
+          : 0.0;
+  const auto cal_after = svc.broker_stats();
+  std::cout << "closed-loop capacity: " << fmt_rate(base_qps)
+            << " q/s (wall " << fmt_seconds(base.wall_seconds)
+            << " s, hits " << base.cache_hits << "/" << base.completed
+            << ", shed " << base.shed << ", failed " << base.failed
+            << ", batches " << (cal_after.batches - cal_before.batches)
+            << ", engine lanes "
+            << (cal_after.engine_lanes - cal_before.engine_lanes)
+            << ")\n";
+
+  Table table("Poisson traffic vs offered load",
+              {"load", "offered q/s", "queries", "completed", "hits",
+               "shed", "occupancy", "q/s", "p50 (ms)", "p99 (ms)"});
+  JsonReport report(smoke ? "traffic_sim_smoke" : "traffic_sim");
+  report.text("graph", graph_name);
+  report.text("mode", smoke ? "smoke" : "full");
+  report.count("pool_size", p.pool_size);
+  report.count("queries_per_load", p.queries_per_load);
+  report.num("tail_fraction", p.tail_fraction);
+  report.num("batching.solo_qps", solo_qps);
+  report.num("batching.batched_qps", batched_qps);
+  report.count("batching.queries_served", batched.lanes);
+  report.count("batching.lanes_computed", batched.engine_lanes);
+  report.num("batching_speedup", speedup);
+  report.floor("batching_speedup", p.speedup_floor);
+
+  std::size_t total_queries = 0;
+  for (const double load : p.loads) {
+    const LoadResult r = run_stream(svc, pool, g, p, rng,
+                                    p.queries_per_load, load * base_qps);
+    total_queries += r.offered;
+    const double qps =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.completed) / r.wall_seconds
+            : 0.0;
+    const double hit_rate =
+        r.completed > 0 ? static_cast<double>(r.cache_hits) /
+                              static_cast<double>(r.completed)
+                        : 0.0;
+    table.add_row({fmt_load(load), fmt_rate(r.offered_qps),
+                   fmt_count(r.offered), fmt_count(r.completed),
+                   fmt_count(r.cache_hits), fmt_count(r.shed),
+                   fmt_rate(r.occupancy), fmt_rate(qps),
+                   fmt_seconds(r.p50_ms), fmt_seconds(r.p99_ms)});
+    const std::string key = "load_" + fmt_load(load);
+    report.num(key + ".offered_qps", r.offered_qps);
+    report.count(key + ".completed", r.completed);
+    report.count(key + ".shed", r.shed);
+    report.count(key + ".failed", r.failed);
+    report.num(key + ".throughput_qps", qps);
+    report.num(key + ".hit_rate", hit_rate);
+    report.num(key + ".occupancy", r.occupancy);
+    report.num(key + ".p50_ms", r.p50_ms);
+    report.num(key + ".p99_ms", r.p99_ms);
+  }
+  report.count("total_queries", total_queries);
+
+  table.print();
+  const std::string stem =
+      smoke ? "results/bench_traffic_smoke" : "results/bench_traffic";
+  table.write_csv(stem + ".csv");
+  report.write(stem + ".json");
+  std::cout << "\nwrote " << stem << ".json\n";
+
+  if (speedup < p.speedup_floor) {
+    std::cerr << "FAIL: batching speedup " << fmt_factor(speedup)
+              << " below the " << fmt_factor(p.speedup_floor)
+              << " floor\n";
+    return 1;
+  }
+  return 0;
+}

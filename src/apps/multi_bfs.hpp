@@ -1,0 +1,161 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "graph/types.hpp"
+
+namespace ipregel::apps {
+
+/// Multi-source BFS levels: K independent unit-weight BFS computations in
+/// one engine pass. Lane k computes, for every vertex, its hop distance
+/// from `sources[k]` (kInfinity when unreachable) — per lane exactly the
+/// value of serial::sssp_unit(g, sources[k]).
+///
+/// The batching workhorse of the resident query service (src/query): one
+/// graph scan serves up to K point queries, so the per-query cost of a
+/// wavefront superstep is divided by the batch occupancy. A vertex
+/// broadcasts whenever ANY lane improved, and the message carries all
+/// lanes; the extra lanes re-offer already-absorbed distances, which the
+/// lane-wise min combine makes harmless (the same superset argument as
+/// Sssp::resend). Supersteps run to the max eccentricity over the batch —
+/// the amortisation is per-superstep work, not superstep count.
+///
+/// Broadcast-only and always-halting, so all six framework versions apply;
+/// the selection bypass keeps the per-superstep cost proportional to the
+/// union of the K wavefronts.
+template <std::size_t K>
+struct MultiBfs {
+  static_assert(K >= 1, "a lane program carries at least one lane");
+
+  using value_type = std::array<std::uint32_t, K>;
+  using message_type = std::array<std::uint32_t, K>;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = true;
+  static constexpr std::size_t kLanes = K;
+  // program_fingerprint mixes sizeof(value_type), so MultiBfs<4> and
+  // MultiBfs<8> snapshots can never be cross-restored despite one name.
+  static constexpr std::string_view kProgramName = "ipregel.MultiBfs";
+
+  static constexpr std::uint32_t kInfinity =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// One BFS source per lane. Short batches pad the tail lanes with a
+  /// repeat of a served source; the duplicate lane costs almost nothing
+  /// (its wavefront rides the same supersteps).
+  std::array<graph::vid_t, K> sources{};
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Per-partition audit over all lanes: a (vertex, lane) pair adopts a
+  /// finite distance at most once and never reverts, so the reached count
+  /// is non-decreasing; and a unit-weight wavefront cannot outrun the
+  /// barrier count in any lane.
+  struct Audit {
+    std::uint64_t reached = 0;
+    std::uint64_t max_dist = 0;
+  };
+  using audit_type = Audit;
+  static constexpr bool audit_per_partition = true;
+  [[nodiscard]] Audit audit_identity() const noexcept { return {}; }
+  void audit_accumulate(Audit& acc, const value_type& v) const noexcept {
+    for (std::size_t k = 0; k < K; ++k) {
+      if (v[k] != kInfinity) {
+        ++acc.reached;
+        acc.max_dist = std::max<std::uint64_t>(acc.max_dist, v[k]);
+      }
+    }
+  }
+  static void audit_merge(Audit& acc, const Audit& other) noexcept {
+    acc.reached += other.reached;
+    acc.max_dist = std::max(acc.max_dist, other.max_dist);
+  }
+  [[nodiscard]] const char* audit_check(const Audit* prev, const Audit& cur,
+                                        std::size_t superstep)
+      const noexcept {
+    if (cur.max_dist > superstep) {
+      return "finite distance exceeds the superstep number in some lane";
+    }
+    if (prev != nullptr && cur.reached < prev->reached) {
+      return "reached (vertex, lane) count decreased (a distance reverted "
+             "to infinity)";
+    }
+    return nullptr;
+  }
+  /// Per-vertex audit: every finite hop count is below |V|.
+  [[nodiscard]] const char* audit_value(graph::vid_t /*id*/,
+                                        const value_type& v,
+                                        std::size_t num_vertices)
+      const noexcept {
+    for (std::size_t k = 0; k < K; ++k) {
+      if (v[k] != kInfinity && v[k] >= num_vertices) {
+        return "finite distance not below |V|";
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
+    value_type v;
+    v.fill(kInfinity);
+    return v;
+  }
+
+  void compute(auto& ctx) const {
+    value_type ref;
+    for (std::size_t k = 0; k < K; ++k) {
+      ref[k] = (ctx.id() == sources[k]) ? 0 : kInfinity;
+    }
+    message_type m{};
+    while (ctx.get_next_message(m)) {
+      for (std::size_t k = 0; k < K; ++k) {
+        ref[k] = std::min(ref[k], m[k]);
+      }
+    }
+    value_type& v = ctx.value();
+    bool improved = false;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (ref[k] < v[k]) {
+        v[k] = ref[k];
+        improved = true;
+      }
+    }
+    if (improved) {
+      message_type out;
+      for (std::size_t k = 0; k < K; ++k) {
+        out[k] = v[k] == kInfinity ? kInfinity : v[k] + 1;
+      }
+      ctx.broadcast(out);
+    }
+    ctx.vote_to_halt();
+  }
+
+  /// Lightweight-recovery hook: every vertex with any reached lane
+  /// re-offers its current distances — a superset of the in-flight
+  /// messages, absorbed or ignored under the lane-wise min (the Sssp
+  /// resend contract, lane by lane).
+  void resend(auto& ctx) const {
+    const value_type& v = ctx.value();
+    bool any = false;
+    message_type out;
+    for (std::size_t k = 0; k < K; ++k) {
+      out[k] = v[k] == kInfinity ? kInfinity : v[k] + 1;
+      any = any || v[k] != kInfinity;
+    }
+    if (any) {
+      ctx.broadcast(out);
+    }
+  }
+
+  static void combine(message_type& old,
+                      const message_type& incoming) noexcept {
+    for (std::size_t k = 0; k < K; ++k) {
+      old[k] = std::min(old[k], incoming[k]);
+    }
+  }
+};
+
+}  // namespace ipregel::apps

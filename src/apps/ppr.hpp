@@ -1,0 +1,146 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace ipregel::apps {
+
+/// Personalized PageRank from a seed set, K lanes per engine pass.
+///
+/// Lane k runs power iteration with restart mass concentrated on its seed
+/// set S_k instead of spread uniformly (classic PageRank is the special
+/// case S = V): rank = (1-d) * restart(v) + d * sum(incoming rank /
+/// out-degree), restart(v) = 1/|S_k| for seeds and 0 elsewhere. After
+/// `rounds` propagation rounds the lane's ranks order vertices by their
+/// relevance to the seed set — the per-user "what matters near me" point
+/// query of the resident query service (src/query), where each user's
+/// seed set occupies one lane of a shared run.
+///
+/// Same round structure as the paper's Fig. 6 PageRank: every vertex stays
+/// active until the last round (always_halts = false, so no selection
+/// bypass), communication is pure broadcast, dangling vertices drop their
+/// damped mass. A lane with an EMPTY seed set has restart 0 everywhere and
+/// converges to all-zero ranks — what the broker's padding lanes rely on.
+template <std::size_t K>
+struct MultiPpr {
+  static_assert(K >= 1, "a lane program carries at least one lane");
+
+  using value_type = std::array<double, K>;
+  using message_type = std::array<double, K>;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+  static constexpr std::size_t kLanes = K;
+  static constexpr std::string_view kProgramName = "ipregel.MultiPpr";
+
+  /// Propagation rounds (PageRank's fixed-round scheme; the service picks
+  /// a service-wide value so queries stay batch-compatible).
+  std::size_t rounds = 20;
+  double damping = 0.85;
+
+  /// Per-lane seed sets, each sorted ascending (set_seeds enforces it);
+  /// compute binary-searches them, so ordering is a correctness contract,
+  /// not a hint. Seeds are external vertex ids.
+  std::array<std::vector<graph::vid_t>, K> seeds{};
+
+  void set_seeds(std::size_t lane, std::vector<graph::vid_t> s) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    seeds[lane] = std::move(s);
+  }
+
+  [[nodiscard]] double restart(std::size_t lane,
+                               graph::vid_t id) const noexcept {
+    const std::vector<graph::vid_t>& s = seeds[lane];
+    if (s.empty() ||
+        !std::binary_search(s.begin(), s.end(), id)) {
+      return 0.0;
+    }
+    return 1.0 / static_cast<double>(s.size());
+  }
+
+  // --- integrity auditor (per-vertex; EngineOptions::integrity) ----------
+  /// A personalized rank is a share of one unit of restart mass per lane.
+  [[nodiscard]] const char* audit_value(graph::vid_t /*id*/,
+                                        const value_type& v,
+                                        std::size_t /*n*/) const noexcept {
+    for (std::size_t k = 0; k < K; ++k) {
+      if (!(v[k] >= 0.0)) {  // also catches NaN
+        return "negative or NaN personalized rank";
+      }
+      if (!(v[k] <= 1.0 + 1e-6)) {
+        return "personalized rank above the lane's total mass of 1";
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] value_type initial_value(graph::vid_t) const noexcept {
+    return value_type{};  // zeros; superstep 0 plants the restart mass
+  }
+
+  void compute(auto& ctx) const {
+    value_type& v = ctx.value();
+    if (ctx.is_first_superstep()) {
+      for (std::size_t k = 0; k < K; ++k) {
+        v[k] = restart(k, ctx.id());
+      }
+    } else {
+      value_type sum{};
+      message_type m{};
+      while (ctx.get_next_message(m)) {
+        for (std::size_t k = 0; k < K; ++k) {
+          sum[k] += m[k];
+        }
+      }
+      for (std::size_t k = 0; k < K; ++k) {
+        v[k] = (1.0 - damping) * restart(k, ctx.id()) + damping * sum[k];
+      }
+    }
+    if (ctx.superstep() < rounds) {
+      if (ctx.out_degree() > 0) {
+        message_type out;
+        const double inv_deg =
+            1.0 / static_cast<double>(ctx.out_degree());
+        for (std::size_t k = 0; k < K; ++k) {
+          out[k] = v[k] * inv_deg;
+        }
+        ctx.broadcast(out);
+      }
+    } else {
+      ctx.vote_to_halt();
+    }
+  }
+
+  /// Lightweight-recovery hook, same argument as PageRank::resend: the
+  /// broadcast is a pure function of the barrier value, so regenerated
+  /// messages are bit-identical to the lost originals.
+  void resend(auto& ctx) const {
+    if (ctx.superstep() < rounds && ctx.out_degree() > 0) {
+      const value_type& v = ctx.value();
+      message_type out;
+      const double inv_deg = 1.0 / static_cast<double>(ctx.out_degree());
+      for (std::size_t k = 0; k < K; ++k) {
+        out[k] = v[k] * inv_deg;
+      }
+      ctx.broadcast(out);
+    }
+  }
+
+  static void combine(message_type& old,
+                      const message_type& incoming) noexcept {
+    for (std::size_t k = 0; k < K; ++k) {
+      old[k] += incoming[k];
+    }
+  }
+};
+
+/// Single-query personalized PageRank — one seed set, one lane. What the
+/// serial reference validates directly and examples use standalone.
+using PersonalizedPageRank = MultiPpr<1>;
+
+}  // namespace ipregel::apps

@@ -37,6 +37,45 @@ std::vector<double> pagerank(const graph::CsrGraph& g, std::size_t rounds,
   return rank;
 }
 
+std::vector<double> ppr(const graph::CsrGraph& g,
+                        const std::vector<graph::vid_t>& seeds,
+                        std::size_t rounds, double damping) {
+  const std::size_t slots = g.num_slots();
+  std::vector<double> restart(slots, 0.0);
+  if (!seeds.empty()) {
+    // Deduplicate so the restart mass sums to exactly 1, matching
+    // MultiPpr::set_seeds.
+    std::vector<graph::vid_t> unique_seeds = seeds;
+    std::sort(unique_seeds.begin(), unique_seeds.end());
+    unique_seeds.erase(
+        std::unique(unique_seeds.begin(), unique_seeds.end()),
+        unique_seeds.end());
+    const double share = 1.0 / static_cast<double>(unique_seeds.size());
+    for (const graph::vid_t v : unique_seeds) {
+      restart[g.slot_of(v)] = share;
+    }
+  }
+  std::vector<double> rank = restart;
+  std::vector<double> next(slots, 0.0);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      const std::size_t d = g.out_degree(s);
+      if (d == 0) {
+        continue;
+      }
+      const double share = rank[s] / static_cast<double>(d);
+      for (const graph::vid_t v : g.out_neighbours(s)) {
+        next[g.slot_of(v)] += share;
+      }
+    }
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      rank[s] = (1.0 - damping) * restart[s] + damping * next[s];
+    }
+  }
+  return rank;
+}
+
 std::vector<graph::vid_t> hashmin(const graph::CsrGraph& g) {
   const std::size_t slots = g.num_slots();
   std::vector<graph::vid_t> label(slots, 0);

@@ -23,6 +23,16 @@ namespace ipregel::apps::serial {
                                            std::size_t rounds,
                                            double damping = 0.85);
 
+/// Personalized PageRank power iteration: restart mass 1/|seeds| on each
+/// seed (0 elsewhere), rank = (1-d) * restart + d * sum(incoming
+/// rank/out_degree), `rounds` propagation rounds, dangling mass dropped —
+/// the exact update rule of apps::MultiPpr, one lane. An empty seed set
+/// yields all-zero ranks.
+[[nodiscard]] std::vector<double> ppr(const graph::CsrGraph& g,
+                                      const std::vector<graph::vid_t>& seeds,
+                                      std::size_t rounds,
+                                      double damping = 0.85);
+
 /// Fixpoint of label[v] = min(label[v], min over in-edges (u,v) of
 /// label[u]), seeded with label[v] = id(v) — the Hashmin fixpoint.
 [[nodiscard]] std::vector<graph::vid_t> hashmin(const graph::CsrGraph& g);

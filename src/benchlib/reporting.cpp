@@ -87,6 +87,95 @@ void Table::write_csv(const std::string& path, io::Vfs* vfs) const {
   }
 }
 
+JsonReport::JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+void JsonReport::text(const std::string& key, const std::string& value) {
+  fields_.push_back({key, Field::Kind::kText, value, 0.0, 0});
+}
+
+void JsonReport::num(const std::string& key, double value) {
+  fields_.push_back({key, Field::Kind::kNum, {}, value, 0});
+}
+
+void JsonReport::count(const std::string& key, std::uint64_t value) {
+  fields_.push_back({key, Field::Kind::kCount, {}, 0.0, value});
+}
+
+void JsonReport::floor(const std::string& key, double min_value) {
+  fields_.push_back({key, Field::Kind::kFloor, {}, min_value, 0});
+}
+
+std::string JsonReport::dump() const {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (ch == '\n') {
+        out += "\\n";
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  };
+  const auto fmt_num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    // JSON has no inf/nan; clamp to null so parsers stay happy.
+    std::string s = buf;
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos) {
+      return std::string("null");
+    }
+    return s;
+  };
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << escape(bench_) << "\",\n";
+  const auto section = [&](Field::Kind a, Field::Kind b,
+                           const char* name, bool trailing_comma) {
+    out << "  \"" << name << "\": {";
+    bool first = true;
+    for (const Field& f : fields_) {
+      if (f.kind != a && f.kind != b) {
+        continue;
+      }
+      out << (first ? "\n" : ",\n") << "    \"" << escape(f.key) << "\": ";
+      if (f.kind == Field::Kind::kText) {
+        out << '"' << escape(f.text) << '"';
+      } else if (f.kind == Field::Kind::kCount) {
+        out << f.count;
+      } else {
+        out << fmt_num(f.num);
+      }
+      first = false;
+    }
+    out << (first ? "}" : "\n  }") << (trailing_comma ? ",\n" : "\n");
+  };
+  section(Field::Kind::kText, Field::Kind::kText, "meta", true);
+  section(Field::Kind::kNum, Field::Kind::kCount, "metrics", true);
+  section(Field::Kind::kFloor, Field::Kind::kFloor, "gates", false);
+  out << "}\n";
+  return out.str();
+}
+
+void JsonReport::write(const std::string& path, io::Vfs* vfs) const {
+  try {
+    io::Vfs& fs = io::vfs_or_real(vfs);
+    const std::string parent = io::parent_dir(path);
+    if (parent != "." && parent != "/") {
+      fs.mkdir(parent);
+    }
+    const std::string body = dump();
+    const auto file = fs.open(path, io::Vfs::OpenMode::kTruncate);
+    file->write(body.data(), body.size());
+    file->close();
+  } catch (const io::IoError&) {
+  }
+}
+
 std::string fmt_seconds(double s) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", s);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,46 @@ class Table {
   std::string title_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Machine-readable companion to Table: a flat metrics document the
+/// regression gate (scripts/check_bench_regression.py) diffs across
+/// runs. Two sections keep the contract simple — `meta` (strings:
+/// provenance, graph names, mode) and `metrics` (numbers: the gated
+/// values). Optional `gates` entries carry absolute floors the bench
+/// itself asserts (e.g. minimum batching speed-up), so the thresholds
+/// travel with the run that produced them instead of living in CI YAML.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench);
+
+  /// Adds a provenance string under `meta`.
+  void text(const std::string& key, const std::string& value);
+  /// Adds a gated numeric metric under `metrics`.
+  void num(const std::string& key, double value);
+  /// Adds an integral metric under `metrics` (rendered without a dot).
+  void count(const std::string& key, std::uint64_t value);
+  /// Adds an absolute floor under `gates`: the gate script fails the run
+  /// when `metrics[key] < floor`, independent of any baseline.
+  void floor(const std::string& key, double min_value);
+
+  /// The serialized document (insertion order preserved).
+  [[nodiscard]] std::string dump() const;
+
+  /// Writes (truncating) the document to `path`, creating the parent
+  /// directory if needed. Best-effort like Table::write_csv.
+  void write(const std::string& path, io::Vfs* vfs = nullptr) const;
+
+ private:
+  struct Field {
+    std::string key;
+    enum class Kind : std::uint8_t { kText, kNum, kCount, kFloor } kind;
+    std::string text;
+    double num = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::string bench_;
+  std::vector<Field> fields_;
 };
 
 /// Formats seconds with 3 significant decimals ("12.345 s" -> "12.345").

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <tuple>
 #include <type_traits>
 #include <typeinfo>
 
@@ -109,6 +111,37 @@ concept HasValueAudit =
       { p.audit_value(id, v, num_vertices) } ->
           std::convertible_to<const char*>;
     };
+
+// --- multi-source lane programs (src/query batching) --------------------
+//
+// A *lane program* runs K independent instances of a vertex computation in
+// one engine pass: its value and message types are std::array<T, K>, its
+// combine folds lane-wise, and `kLanes` declares K. One graph scan then
+// amortises across K point queries — the batching economics the resident
+// query service (src/query) is built on. Lane programs are ordinary
+// VertexPrograms to the engine; the concept exists so the query broker can
+// verify, at compile time, that the program it coalesces queries into
+// really carries one lane per query.
+
+template <typename P>
+concept LaneProgram =
+    VertexProgram<P> &&
+    requires {
+      { P::kLanes } -> std::convertible_to<std::size_t>;
+      requires std::tuple_size_v<typename P::value_type> ==
+                   static_cast<std::size_t>(P::kLanes);
+      requires std::tuple_size_v<typename P::message_type> ==
+                   static_cast<std::size_t>(P::kLanes);
+    };
+
+/// Lanes carried by a program: K for lane programs, 1 for plain ones —
+/// lets generic serving code charge per-lane work uniformly.
+template <typename P>
+inline constexpr std::size_t lane_count = 1;
+
+template <LaneProgram P>
+inline constexpr std::size_t lane_count<P> =
+    static_cast<std::size_t>(P::kLanes);
 
 /// A program may carry a stable identity name for snapshot binding:
 /// `static constexpr std::string_view kProgramName`. Without one the

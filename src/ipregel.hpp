@@ -38,6 +38,11 @@
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
 #include "graph/types.hpp"
+#include "query/broker.hpp"
+#include "query/epoch.hpp"
+#include "query/point_query.hpp"
+#include "query/result_cache.hpp"
+#include "query/service.hpp"
 #include "runtime/memory_tracker.hpp"
 #include "service/degradation.hpp"
 #include "service/job.hpp"

@@ -1,0 +1,49 @@
+#include "query/epoch.hpp"
+
+#include "ft/fingerprint.hpp"
+
+namespace ipregel::query {
+
+GraphEpoch::GraphEpoch(graph::CsrGraph g, std::uint64_t id)
+    : graph_(std::move(g)),
+      stats_(graph::compute_stats(graph_)),
+      fingerprint_(ft::graph_fingerprint(graph_)),
+      id_(id) {}
+
+EpochPtr GraphRegistry::publish(graph::CsrGraph g, EpochPtr* replaced) {
+  // Build (stats + fingerprint, O(E)) outside the lock; only the pointer
+  // swap is serialised.
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
+  auto epoch = std::make_shared<const GraphEpoch>(std::move(g), id);
+  EpochPtr old;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    old = std::exchange(current_, epoch);
+    ++published_;
+  }
+  if (replaced != nullptr) {
+    *replaced = std::move(old);
+  }
+  return epoch;
+}
+
+EpochPtr GraphRegistry::current() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::uint64_t GraphRegistry::current_fingerprint() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->fingerprint();
+}
+
+std::size_t GraphRegistry::published() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+}  // namespace ipregel::query

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runtime/rng.hpp"
+#include "service/shed.hpp"
+
+namespace ipregel::query {
+
+/// The point-query repertoire of the resident service. The first two are
+/// one engine family (a unit-BFS wavefront from `source`, batched into
+/// apps::MultiBfs lanes); kPpr is the other (apps::MultiPpr lanes). Only
+/// queries of the same family batch together.
+enum class QueryKind : std::uint8_t {
+  /// Hop distances from `source` at each id in `targets` (kUnreachable
+  /// when not reachable), plus the total reached-vertex count.
+  kDistance,
+  /// Is `targets[0]` reachable from `source`?
+  kReachability,
+  /// Personalized PageRank from `seeds`: the `top_n` highest-ranked
+  /// vertices, rank-descending.
+  kPpr,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(QueryKind k) noexcept {
+  switch (k) {
+    case QueryKind::kDistance:
+      return "distance";
+    case QueryKind::kReachability:
+      return "reachability";
+    case QueryKind::kPpr:
+      return "ppr";
+  }
+  return "invalid";
+}
+
+/// True when the query runs as a MultiBfs lane (kPpr is the MultiPpr
+/// family) — the batching-compatibility predicate.
+[[nodiscard]] constexpr bool is_bfs_family(QueryKind k) noexcept {
+  return k != QueryKind::kPpr;
+}
+
+/// One point query against the current epoch.
+struct PointQuery {
+  QueryKind kind = QueryKind::kDistance;
+
+  /// BFS-family source vertex.
+  graph::vid_t source = 0;
+  /// kDistance: report distances at these ids (may be empty — the reached
+  /// count alone is still computed). kReachability: exactly one target.
+  std::vector<graph::vid_t> targets{};
+
+  /// kPpr seed set (deduplicated by the engine program).
+  std::vector<graph::vid_t> seeds{};
+  /// kPpr: how many top-ranked vertices to return.
+  std::size_t top_n = 10;
+
+  /// Wall-clock budget from submit, queue wait included; 0 = none. Rides
+  /// the JobManager deadline machinery, so an expired query is shed typed
+  /// (kDeadlineExpired), never silently late.
+  double deadline_seconds = 0.0;
+  /// JobManager priority of the engine run serving this query; a batch
+  /// runs at the max priority of its members.
+  int priority = 0;
+};
+
+/// Content key of a query: two queries with the same key against the same
+/// epoch have byte-identical results, which is exactly what the result
+/// cache needs. Seeds are hashed order-insensitively (MultiPpr sorts and
+/// dedups them); target order matters for kDistance (distances come back
+/// parallel to `targets`).
+[[nodiscard]] inline std::uint64_t query_key(const PointQuery& q) {
+  std::uint64_t h = 0x5154u;  // arbitrary non-zero basis
+  const auto fold = [&h](std::uint64_t v) { h = runtime::mix64(h ^ v); };
+  fold(static_cast<std::uint64_t>(q.kind));
+  if (is_bfs_family(q.kind)) {
+    fold(q.source);
+    fold(q.targets.size());
+    for (const graph::vid_t t : q.targets) {
+      fold(t);
+    }
+  } else {
+    std::vector<graph::vid_t> seeds = q.seeds;
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    fold(seeds.size());
+    for (const graph::vid_t s : seeds) {
+      fold(s);
+    }
+    fold(q.top_n);
+  }
+  return h;
+}
+
+/// One vertex of a PPR top-N answer.
+struct RankedVertex {
+  graph::vid_t id = 0;
+  double rank = 0.0;
+
+  friend bool operator==(const RankedVertex&,
+                         const RankedVertex&) = default;
+};
+
+/// What a query resolves to — compact by design: a service answering 10^5
+/// point queries cannot hand each caller an O(|V|) vector, so the payload
+/// is the requested slice (distances at targets, a bool, a top-N list),
+/// never the full value array.
+struct QueryResult {
+  enum class Status : std::uint8_t {
+    kOk,
+    kShed,    ///< never ran; `shed_reason` says why
+    kFailed,  ///< the engine run failed after retries; `error` has details
+  };
+  Status status = Status::kOk;
+  std::optional<service::ShedReason> shed_reason;
+  std::string error{};
+
+  /// Marker for "not reachable" in `distances`.
+  static constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+  // --- payload (kOk only; which fields are meaningful depends on kind) ---
+  /// kDistance: parallel to PointQuery::targets.
+  std::vector<std::uint32_t> distances{};
+  /// kDistance: vertices reachable from the source (source included).
+  std::uint64_t reached = 0;
+  /// kReachability.
+  bool reachable = false;
+  /// kPpr: rank-descending; ties broken by ascending id.
+  std::vector<RankedVertex> top{};
+
+  // --- provenance ---------------------------------------------------------
+  /// Epoch the answer was computed against.
+  std::uint64_t epoch_fingerprint = 0;
+  std::uint64_t epoch_id = 0;
+  /// Served from the result cache (no engine run).
+  bool from_cache = false;
+  /// Lanes served by the engine run that produced this answer (1 =
+  /// unbatched; 0 for cache hits and sheds).
+  std::size_t batch_occupancy = 0;
+  /// Submit-to-fulfil wall time as measured by the broker.
+  double latency_seconds = 0.0;
+};
+
+}  // namespace ipregel::query

@@ -1,0 +1,103 @@
+#include "query/result_cache.hpp"
+
+#include <utility>
+
+#include "runtime/rng.hpp"
+
+namespace ipregel::query {
+
+ResultCache::ResultCache() : ResultCache(Config{}) {}
+
+ResultCache::ResultCache(Config config) : config_(config) {}
+
+std::size_t ResultCache::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(
+      runtime::mix64(k.epoch_fp ^ runtime::mix64(k.key)));
+}
+
+std::size_t ResultCache::entry_bytes(const QueryResult& r) noexcept {
+  // Estimated, not measured: struct + heap payloads + index/list overhead.
+  // The ledger charge and the cap both use this estimate, so they agree.
+  return sizeof(Entry) + 96 /* index node + list node overhead */ +
+         r.distances.capacity() * sizeof(std::uint32_t) +
+         r.top.capacity() * sizeof(RankedVertex) + r.error.capacity();
+}
+
+std::optional<QueryResult> ResultCache::lookup(std::uint64_t epoch_fp,
+                                               std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(Key{epoch_fp, key});
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
+  return it->second->result;
+}
+
+void ResultCache::insert(std::uint64_t epoch_fp, std::uint64_t key,
+                         const QueryResult& result) {
+  const std::size_t bytes = entry_bytes(result);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > config_.max_bytes || config_.max_entries == 0) {
+    return;  // would evict everything and still not fit
+  }
+  const Key k{epoch_fp, key};
+  if (const auto it = index_.find(k); it != index_.end()) {
+    erase_locked(it->second);  // refresh: replace in place as MRU
+  }
+  lru_.push_front(Entry{k, result, bytes});
+  index_.emplace(k, lru_.begin());
+  bytes_ += bytes;
+  ++stats_.insertions;
+  enforce_caps_locked();
+  reservation_.rebind(runtime::MemCategory::kQueryCache, bytes_);
+}
+
+void ResultCache::invalidate_epoch(std::uint64_t epoch_fp) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.epoch_fp == epoch_fp) {
+      ++stats_.invalidated;
+      const auto doomed = it++;
+      erase_locked(doomed);
+    } else {
+      ++it;
+    }
+  }
+  reservation_.rebind(runtime::MemCategory::kQueryCache, bytes_);
+}
+
+void ResultCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidated += lru_.size();
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  reservation_.rebind(runtime::MemCategory::kQueryCache, 0);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void ResultCache::erase_locked(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void ResultCache::enforce_caps_locked() {
+  while (!lru_.empty() &&
+         (bytes_ > config_.max_bytes || lru_.size() > config_.max_entries)) {
+    ++stats_.evictions;
+    erase_locked(std::prev(lru_.end()));
+  }
+}
+
+}  // namespace ipregel::query

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "query/point_query.hpp"
+#include "runtime/memory_tracker.hpp"
+
+namespace ipregel::query {
+
+/// LRU result cache keyed by (epoch fingerprint, query key).
+///
+/// The epoch fingerprint in the key is what makes staleness structurally
+/// impossible instead of a TTL guess: a lookup always carries the
+/// CURRENT epoch's fingerprint, so entries computed against a replaced
+/// epoch simply never match again. `invalidate_epoch` then reclaims their
+/// bytes eagerly on swap rather than waiting for LRU pressure — and a
+/// reload that republishes identical graph content (same fingerprint)
+/// keeps the cache warm for free.
+///
+/// Every resident byte is charged to the global memory ledger under
+/// MemCategory::kQueryCache, so cache footprint shows up in the same
+/// accounting as mailboxes and locks, and the byte cap is enforced
+/// against the same estimate the ledger sees.
+class ResultCache {
+ public:
+  struct Config {
+    /// Byte budget over the estimated footprint of resident entries.
+    std::size_t max_bytes = 64u << 20;
+    /// Entry-count cap, applied in addition to the byte cap.
+    std::size_t max_entries = 4096;
+  };
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;    ///< LRU pressure (bytes or entries)
+    std::size_t invalidated = 0;  ///< entries dropped by epoch swaps
+    std::size_t entries = 0;      ///< currently resident
+    std::size_t bytes = 0;        ///< currently charged to the ledger
+  };
+
+  ResultCache();
+  explicit ResultCache(Config config);
+
+  /// Returns a copy of the cached result, refreshed to most-recently-used.
+  [[nodiscard]] std::optional<QueryResult> lookup(std::uint64_t epoch_fp,
+                                                  std::uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used
+  /// entries until both caps hold. An entry larger than the whole byte
+  /// budget is not cached.
+  void insert(std::uint64_t epoch_fp, std::uint64_t key,
+              const QueryResult& result);
+
+  /// Drops every entry computed against `epoch_fp`.
+  void invalidate_epoch(std::uint64_t epoch_fp);
+
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Key {
+    std::uint64_t epoch_fp = 0;
+    std::uint64_t key = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    Key key;
+    QueryResult result;
+    std::size_t bytes = 0;
+  };
+
+  /// Estimated resident footprint of one entry (struct + heap payloads).
+  [[nodiscard]] static std::size_t entry_bytes(
+      const QueryResult& r) noexcept;
+
+  /// Drops the entry at `it`, adjusting bytes. Caller holds mu_.
+  void erase_locked(std::list<Entry>::iterator it);
+  /// Evicts from the LRU tail until both caps hold. Caller holds mu_.
+  void enforce_caps_locked();
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t bytes_ = 0;
+  runtime::MemReservation reservation_;
+  Stats stats_;
+};
+
+}  // namespace ipregel::query

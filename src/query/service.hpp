@@ -1,0 +1,98 @@
+#pragma once
+
+#include <utility>
+
+#include "query/broker.hpp"
+#include "query/epoch.hpp"
+#include "query/point_query.hpp"
+#include "query/result_cache.hpp"
+#include "service/job_manager.hpp"
+
+namespace ipregel::query {
+
+/// The resident graph query service, assembled: a GraphRegistry hosting
+/// the current epoch, a JobManager providing admission control and
+/// degradation, a ResultCache, and the QueryBroker batching point queries
+/// into shared engine runs.
+///
+/// Lifecycle contract: publish() swaps epochs atomically — queries
+/// submitted before the swap finish against their pinned epoch
+/// (bit-identical to a solo run against it), queries submitted after see
+/// the new one, and the replaced epoch's memory is returned when its last
+/// in-flight query drains. The cache is invalidated for the REPLACED
+/// epoch's fingerprint on every swap, so a later republish of identical
+/// content starts cold only if the content actually changed.
+class QueryService {
+ public:
+  struct Config {
+    service::JobManager::Config jobs{};
+    QueryBroker::Config broker{};
+    ResultCache::Config cache{};
+  };
+
+  QueryService() : QueryService(Config{}) {}
+  explicit QueryService(Config config)
+      : cache_(config.cache),
+        jobs_(config.jobs),
+        broker_(registry_, jobs_,
+                config.broker.enable_cache ? &cache_ : nullptr,
+                config.broker) {}
+
+  /// Stops the broker first (its dispatchers hold job tickets), then the
+  /// job manager — the reverse of construction, via member order.
+  ~QueryService() = default;
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Publishes a new epoch (atomic swap) and invalidates the replaced
+  /// epoch's cache entries. Returns the new epoch.
+  EpochPtr publish(graph::CsrGraph g) {
+    EpochPtr replaced;
+    EpochPtr fresh = registry_.publish(std::move(g), &replaced);
+    if (replaced != nullptr &&
+        replaced->fingerprint() != fresh->fingerprint()) {
+      cache_.invalidate_epoch(replaced->fingerprint());
+    }
+    return fresh;
+  }
+
+  [[nodiscard]] EpochPtr current_epoch() const {
+    return registry_.current();
+  }
+
+  /// Submits a point query against the current epoch (see
+  /// QueryBroker::submit for the throwing admission contract).
+  QueryTicket query(PointQuery q) { return broker_.submit(std::move(q)); }
+
+  /// Convenience: submit and wait.
+  QueryResult query_sync(PointQuery q) {
+    QueryTicket ticket = broker_.submit(std::move(q));
+    return ticket.wait();
+  }
+
+  /// Graceful stop: broker intake + dispatchers first, then the manager.
+  void shutdown() {
+    broker_.shutdown();
+    jobs_.shutdown();
+  }
+
+  [[nodiscard]] GraphRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] service::JobManager& jobs() noexcept { return jobs_; }
+  [[nodiscard]] QueryBroker::Stats broker_stats() const {
+    return broker_.stats();
+  }
+  [[nodiscard]] ResultCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  // Destruction runs bottom-up: broker_ (joins dispatchers) before jobs_
+  // (joins executors) before cache_/registry_ they both reference.
+  GraphRegistry registry_;
+  ResultCache cache_;
+  service::JobManager jobs_;
+  QueryBroker broker_;
+};
+
+}  // namespace ipregel::query

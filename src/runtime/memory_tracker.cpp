@@ -31,6 +31,8 @@ std::string_view to_string(MemCategory c) noexcept {
       return "comm-buffers";
     case MemCategory::kCheckpoint:
       return "checkpoint-staging";
+    case MemCategory::kQueryCache:
+      return "query-cache";
     case MemCategory::kOther:
       return "other";
     case MemCategory::kCount:

@@ -30,6 +30,7 @@ enum class MemCategory : std::size_t {
   kHashIndex,       ///< id -> location hashmaps (baseline addressing)
   kCommBuffers,     ///< serialised message buffers (distributed baseline)
   kCheckpoint,      ///< fault-tolerance snapshot staging buffers
+  kQueryCache,      ///< query service result-cache entries
   kOther,           ///< anything else the framework allocates
   kCount
 };

@@ -109,19 +109,29 @@ class JobManager {
   /// guards (deadline watchdog, cancel token, per-job memory budget) on
   /// top. `retry` drives ft::supervise, so a job with a checkpoint
   /// directory survives injected faults without the caller noticing.
+  ///
+  /// The job takes SHARED OWNERSHIP of the graph: the submit() caller may
+  /// drop its own reference the moment this returns, and the graph stays
+  /// alive until the job leaves the system (completed, failed, or shed).
+  /// query::GraphEpoch rides this directly — graph_of(epoch) is an
+  /// aliasing pointer whose control block pins the whole epoch, so an
+  /// epoch swapped out of the registry mid-run is freed only after its
+  /// last in-flight job drains.
   template <VertexProgram Program>
-  JobTicket<Program> submit(const graph::CsrGraph& graph, Program program,
-                            VersionId version, EngineOptions options = {},
-                            JobSpec spec = {}, ft::RetryPolicy retry = {}) {
+  JobTicket<Program> submit(std::shared_ptr<const graph::CsrGraph> graph,
+                            Program program, VersionId version,
+                            EngineOptions options = {}, JobSpec spec = {},
+                            ft::RetryPolicy retry = {}) {
     auto state = std::make_shared<detail::TypedJobState<Program>>();
     if (spec.memory_reservation_bytes == 0) {
-      spec.memory_reservation_bytes = estimate_reservation<Program>(graph);
+      spec.memory_reservation_bytes = estimate_reservation<Program>(*graph);
     }
     PendingJob job;
     job.spec = spec;
     job.reserved_bytes = spec.memory_reservation_bytes;
     job.state = state;
-    job.execute = [&graph, program = std::move(program), version, options,
+    job.execute = [graph = std::move(graph), program = std::move(program),
+                   version, options,
                    retry](detail::JobStateBase& base, const ExecPlan& plan,
                           JobReport& report) {
       auto& typed = static_cast<detail::TypedJobState<Program>&>(base);
@@ -145,7 +155,7 @@ class JobManager {
         }
       }
       const ft::SupervisedOutcome out = ft::supervise(
-          graph, program, version, opts, retry, nullptr, &typed.values);
+          *graph, program, version, opts, retry, nullptr, &typed.values);
       report.attempts = out.attempts;
       report.resumed_from_snapshot = out.resumed_from_snapshot;
       report.integrity_violations = out.integrity_violations;
@@ -160,6 +170,26 @@ class JobManager {
     };
     admit(std::move(job));  // throws ShedError on rejection
     return JobTicket<Program>(std::move(state));
+  }
+
+  /// Borrowed-graph convenience overload: the CALLER guarantees `graph`
+  /// outlives the job (ticket waited or manager shut down first). This
+  /// used to be the only entry point — a job held a bare reference, so a
+  /// caller that released the graph while the job was still queued left a
+  /// dangling reference the executor would chase. Internally this wraps
+  /// the reference in a non-owning aliasing shared_ptr and delegates, so
+  /// there is exactly one execution path; callers who cannot prove the
+  /// lifetime should pass a shared_ptr (or publish through
+  /// query::GraphRegistry) instead.
+  template <VertexProgram Program>
+  JobTicket<Program> submit(const graph::CsrGraph& graph, Program program,
+                            VersionId version, EngineOptions options = {},
+                            JobSpec spec = {}, ft::RetryPolicy retry = {}) {
+    return submit(
+        std::shared_ptr<const graph::CsrGraph>(std::shared_ptr<void>{},
+                                               &graph),
+        std::move(program), version, std::move(options), std::move(spec),
+        std::move(retry));
   }
 
   /// Cancels a job: a queued job is shed (kCancelled) immediately; a

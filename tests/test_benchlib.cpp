@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <string>
 
 #include "benchlib/extrapolate.hpp"
 #include "benchlib/reporting.hpp"
@@ -128,6 +130,43 @@ TEST(Workloads, TwitterScalingIsProportional) {
   EXPECT_EQ(half.size(), full.num_edges / 2);
   const auto [min_id, max_id] = half.id_range();
   EXPECT_LT(max_id, full.num_vertices / 2);
+}
+
+TEST(JsonReport, DumpHasTheSectionsTheGateScriptParses) {
+  JsonReport report("traffic_sim");
+  report.text("graph", "wiki-like");
+  report.num("load_1.0x.p99_ms", 12.5);
+  report.count("load_1.0x.completed", 40000);
+  report.num("batching_speedup", 4.25);
+  report.floor("batching_speedup", 3.0);
+  const std::string json = report.dump();
+
+  EXPECT_NE(json.find("\"bench\": \"traffic_sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"meta\""), std::string::npos);
+  EXPECT_NE(json.find("\"graph\": \"wiki-like\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"load_1.0x.p99_ms\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"load_1.0x.completed\": 40000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gates\""), std::string::npos);
+  EXPECT_NE(json.find("\"batching_speedup\": 3"), std::string::npos);
+}
+
+TEST(JsonReport, EscapesAndClampsAwkwardValues) {
+  JsonReport report("r");
+  report.text("quote", "a\"b");
+  report.num("inf", std::numeric_limits<double>::infinity());
+  const std::string json = report.dump();
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos)
+      << "quotes must be escaped";
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos)
+      << "JSON has no infinity";
+}
+
+TEST(JsonReport, EmptySectionsStayValidJson) {
+  const std::string json = JsonReport("empty").dump();
+  EXPECT_NE(json.find("\"metrics\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"gates\": {}"), std::string::npos);
 }
 
 TEST(Workloads, WikiLikeIsSkewedRoadLikeIsRegular) {

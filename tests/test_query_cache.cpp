@@ -1,0 +1,137 @@
+// ResultCache: LRU eviction under byte and entry caps, whole-epoch
+// invalidation, and the memory-ledger charge under
+// MemCategory::kQueryCache.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/result_cache.hpp"
+#include "runtime/memory_tracker.hpp"
+
+namespace ipregel {
+namespace {
+
+using query::QueryResult;
+using query::ResultCache;
+
+QueryResult result_with_payload(std::size_t distances) {
+  QueryResult r;
+  r.distances.assign(distances, 7);
+  r.reached = distances;
+  return r;
+}
+
+TEST(ResultCache, HitRefreshesAndMissCounts) {
+  ResultCache cache({.max_bytes = 1u << 20, .max_entries = 16});
+  EXPECT_FALSE(cache.lookup(1, 100).has_value());
+  cache.insert(1, 100, result_with_payload(4));
+  const std::optional<QueryResult> hit = cache.lookup(1, 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reached, 4u);
+  EXPECT_FALSE(cache.lookup(2, 100).has_value())
+      << "same key, different epoch: must miss";
+  EXPECT_FALSE(cache.lookup(1, 101).has_value());
+
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(ResultCache, EntryCapEvictsLeastRecentlyUsed) {
+  ResultCache cache({.max_bytes = 1u << 20, .max_entries = 3});
+  cache.insert(1, 1, result_with_payload(1));
+  cache.insert(1, 2, result_with_payload(1));
+  cache.insert(1, 3, result_with_payload(1));
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_TRUE(cache.lookup(1, 1).has_value());
+  cache.insert(1, 4, result_with_payload(1));
+
+  EXPECT_TRUE(cache.lookup(1, 1).has_value());
+  EXPECT_FALSE(cache.lookup(1, 2).has_value()) << "LRU entry must go";
+  EXPECT_TRUE(cache.lookup(1, 3).has_value());
+  EXPECT_TRUE(cache.lookup(1, 4).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ResultCache, ByteCapEvictsUntilItFits) {
+  // Each 1000-distance payload is ~4 KB; a 10 KB budget holds two.
+  ResultCache cache({.max_bytes = 10u << 10, .max_entries = 100});
+  cache.insert(1, 1, result_with_payload(1000));
+  cache.insert(1, 2, result_with_payload(1000));
+  cache.insert(1, 3, result_with_payload(1000));
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_LE(s.bytes, 10u << 10);
+  EXPECT_LT(s.entries, 3u);
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_FALSE(cache.lookup(1, 1).has_value())
+      << "oldest entry is the byte-pressure victim";
+}
+
+TEST(ResultCache, OversizedEntryIsNotCached) {
+  ResultCache cache({.max_bytes = 512, .max_entries = 100});
+  cache.insert(1, 1, result_with_payload(100000));
+  EXPECT_EQ(cache.stats().entries, 0u)
+      << "an entry above the whole budget must be rejected, not thrash";
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ResultCache, InvalidateEpochDropsExactlyThatEpoch) {
+  ResultCache cache({.max_bytes = 1u << 20, .max_entries = 100});
+  cache.insert(1, 1, result_with_payload(4));
+  cache.insert(1, 2, result_with_payload(4));
+  cache.insert(2, 1, result_with_payload(4));
+  cache.invalidate_epoch(1);
+
+  EXPECT_FALSE(cache.lookup(1, 1).has_value());
+  EXPECT_FALSE(cache.lookup(1, 2).has_value());
+  EXPECT_TRUE(cache.lookup(2, 1).has_value())
+      << "other epochs' entries must survive";
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, ReinsertRefreshesInPlace) {
+  ResultCache cache({.max_bytes = 1u << 20, .max_entries = 4});
+  cache.insert(1, 1, result_with_payload(4));
+  cache.insert(1, 1, result_with_payload(8));  // refresh, not duplicate
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const std::optional<QueryResult> hit = cache.lookup(1, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reached, 8u);
+}
+
+TEST(ResultCache, ChargesTheMemoryLedgerAndReleasesOnClear) {
+  auto& tracker = runtime::MemoryTracker::instance();
+  const std::size_t before =
+      tracker.bytes(runtime::MemCategory::kQueryCache);
+  {
+    ResultCache cache({.max_bytes = 1u << 20, .max_entries = 100});
+    cache.insert(1, 1, result_with_payload(1000));
+    cache.insert(1, 2, result_with_payload(1000));
+    const std::size_t charged =
+        tracker.bytes(runtime::MemCategory::kQueryCache);
+    EXPECT_EQ(charged - before, cache.stats().bytes)
+        << "resident bytes must be charged under query-cache";
+    EXPECT_GT(cache.stats().bytes, 2000u * sizeof(std::uint32_t));
+
+    cache.invalidate_epoch(1);
+    EXPECT_EQ(tracker.bytes(runtime::MemCategory::kQueryCache), before)
+        << "invalidation must return the bytes to the ledger";
+
+    cache.insert(2, 1, result_with_payload(10));
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+  }
+  // Destruction releases any remaining reservation.
+  EXPECT_EQ(tracker.bytes(runtime::MemCategory::kQueryCache), before);
+}
+
+}  // namespace
+}  // namespace ipregel

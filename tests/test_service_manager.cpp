@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -141,6 +142,48 @@ TEST(JobManager, CompletedJobMatchesSoloRun) {
   EXPECT_EQ(s.completed, 1u);
   EXPECT_EQ(s.reserved_bytes, 0u) << "reservation must be released";
   EXPECT_GT(s.peak_reserved_bytes, 0u);
+}
+
+TEST(JobManager, SharedGraphSurvivesCallerReleaseWhileQueued) {
+  // Regression for the original lifetime footgun: submit() used to capture
+  // `const CsrGraph&`, so a caller that dropped its graph while the job was
+  // still queued left the executor a dangling reference. The
+  // shared-ownership overload makes the job co-own the graph: released by
+  // the caller at the worst possible moment (queued behind a busy
+  // executor), it must stay alive until the job completes — and be freed
+  // once the job has drained.
+  auto shared = std::make_shared<const CsrGraph>(
+      make_graph(graph::grid_2d(8, 8)));
+  std::vector<graph::vid_t> solo;
+  (void)run_version(*shared, apps::Hashmin{}, kPush, EngineOptions{},
+                    nullptr, &solo);
+  std::weak_ptr<const CsrGraph> alive = shared;
+
+  const CsrGraph blocker_graph = tiny_graph();
+  std::atomic<bool> gate{false};
+  std::atomic<bool> started{false};
+  JobManager mgr({.executors = 1, .team_threads = 1});
+  auto blocker = mgr.submit(
+      blocker_graph, Spinner{.open = &gate, .started = &started}, kPush);
+  wait_for_start(started);
+
+  auto ticket = mgr.submit(shared, apps::Hashmin{}, kPush);
+  shared.reset();  // caller walks away while the job is still queued
+  ASSERT_FALSE(alive.expired())
+      << "the queued job must co-own the graph it will run on";
+
+  gate.store(true, std::memory_order_release);
+  const JobReport& report = ticket.wait();
+  ASSERT_EQ(report.state, JobState::kCompleted)
+      << (report.error ? report.error->what() : "no error");
+  EXPECT_EQ(ticket.values(), solo);
+  (void)blocker.wait();
+
+  // Joining the executors destroys the job closures; with the caller's
+  // reference long gone, the job's was the last one.
+  mgr.shutdown();
+  EXPECT_TRUE(alive.expired())
+      << "a drained job must not pin its graph forever";
 }
 
 TEST(JobManager, ManyConcurrentJobsAllComplete) {

@@ -25,7 +25,12 @@
 //     sheds typed rather than letting latency grow without bound.
 //
 // Results go to results/bench_traffic{,_smoke}.csv and .json; the JSON
-// is the input to scripts/check_bench_regression.py. --smoke shrinks the
+// is the input to scripts/check_bench_regression.py. Besides the
+// batching-speedup floor, the JSON embeds absolute SLO gates (hit rate,
+// completion fraction, throughput, p99 ceilings) that the binary
+// enforces on itself before exiting — an invalid run (cold cache, debug
+// build, contended box) fails loudly instead of producing a report that
+// could be committed as a self-blessing baseline. --smoke shrinks the
 // graph and the stream for the CI smoke test; the full run answers
 // >= 10^5 queries (3 loads x 40,000) on the wiki-like R-MAT s18 epoch.
 
@@ -66,6 +71,17 @@ struct SimParams {
   double deadline_fraction = 0.10;
   double deadline_seconds = 1.0;
   double speedup_floor = 3.0;
+  // Absolute SLO gates, embedded in the JSON so they travel with the
+  // run: a collapsed run (cold cache, engine-bound traffic, unbounded
+  // queueing) fails at generation time and can never be committed as a
+  // baseline that would re-derive the regression limits from itself.
+  // Wide margins — healthy runs sit 10-1000x inside them — because they
+  // exist to catch order-of-magnitude collapse, not machine variance.
+  double hit_rate_floor = 0.90;        ///< warm Zipf pool, 0.5% tail
+  double completed_floor = 0.97;       ///< completed/offered at <= 1x load
+  double throughput_floor_qps = 200;   ///< cache-hit-dominated service
+  double p99_ceiling_ms = 250;         ///< at <= 1x offered load
+  double overload_p99_ceiling_ms = 5000;  ///< at > 1x: shed, don't queue
   std::size_t ablation_queries = 64;
   /// Distinct Zipf-popular sources in the ablation stream. Small on
   /// purpose: batching pays off when concurrent queries ask about the
@@ -89,6 +105,12 @@ SimParams make_params(bool smoke) {
     // with margin for slow CI boxes.
     p.speedup_floor = 2.0;
     p.ablation_queries = 16;
+    // Smoke runs on arbitrary CI boxes: relax the absolute SLO gates
+    // further (the smoke tail is 5%, so engine-run misses sit inside the
+    // p99; a slow box pushes them to tens of ms, not seconds).
+    p.hit_rate_floor = 0.85;
+    p.throughput_floor_qps = 100;
+    p.p99_ceiling_ms = 1000;
   }
   return p;
 }
@@ -457,7 +479,8 @@ int main(int argc, char** argv) {
 
   Table table("Poisson traffic vs offered load",
               {"load", "offered q/s", "queries", "completed", "hits",
-               "shed", "occupancy", "q/s", "p50 (ms)", "p99 (ms)"});
+               "shed", "failed", "occupancy", "q/s", "p50 (ms)",
+               "p99 (ms)"});
   JsonReport report(smoke ? "traffic_sim_smoke" : "traffic_sim");
   report.text("graph", graph_name);
   report.text("mode", smoke ? "smoke" : "full");
@@ -484,21 +507,41 @@ int main(int argc, char** argv) {
         r.completed > 0 ? static_cast<double>(r.cache_hits) /
                               static_cast<double>(r.completed)
                         : 0.0;
+    const double completed_fraction =
+        r.offered > 0 ? static_cast<double>(r.completed) /
+                            static_cast<double>(r.offered)
+                      : 0.0;
     table.add_row({fmt_load(load), fmt_rate(r.offered_qps),
                    fmt_count(r.offered), fmt_count(r.completed),
                    fmt_count(r.cache_hits), fmt_count(r.shed),
-                   fmt_rate(r.occupancy), fmt_rate(qps),
-                   fmt_seconds(r.p50_ms), fmt_seconds(r.p99_ms)});
+                   fmt_count(r.failed), fmt_rate(r.occupancy),
+                   fmt_rate(qps), fmt_seconds(r.p50_ms),
+                   fmt_seconds(r.p99_ms)});
     const std::string key = "load_" + fmt_load(load);
     report.num(key + ".offered_qps", r.offered_qps);
     report.count(key + ".completed", r.completed);
     report.count(key + ".shed", r.shed);
     report.count(key + ".failed", r.failed);
+    report.num(key + ".completed_fraction", completed_fraction);
     report.num(key + ".throughput_qps", qps);
     report.num(key + ".hit_rate", hit_rate);
     report.num(key + ".occupancy", r.occupancy);
     report.num(key + ".p50_ms", r.p50_ms);
     report.num(key + ".p99_ms", r.p99_ms);
+    // Absolute SLO gates per load. At <= 1x (sustainable) load the
+    // service must keep up: near-total completion, warm-cache hit rate,
+    // hit-path tail latency. At deliberate overload (> 1x) admission
+    // control sheds typed instead of queueing without bound, so
+    // completion is not gated there but the tail still must stay
+    // deadline-bounded rather than growing to minutes.
+    report.floor(key + ".hit_rate", p.hit_rate_floor);
+    report.floor(key + ".throughput_qps", p.throughput_floor_qps);
+    if (load <= 1.0) {
+      report.floor(key + ".completed_fraction", p.completed_floor);
+      report.ceiling(key + ".p99_ms", p.p99_ceiling_ms);
+    } else {
+      report.ceiling(key + ".p99_ms", p.overload_p99_ceiling_ms);
+    }
   }
   report.count("total_queries", total_queries);
 
@@ -509,10 +552,17 @@ int main(int argc, char** argv) {
   report.write(stem + ".json");
   std::cout << "\nwrote " << stem << ".json\n";
 
-  if (speedup < p.speedup_floor) {
-    std::cerr << "FAIL: batching speedup " << fmt_factor(speedup)
-              << " below the " << fmt_factor(p.speedup_floor)
-              << " floor\n";
+  // Self-enforce every embedded floor/ceiling: a run that violates its
+  // own SLO gates exits nonzero, so its report cannot quietly become the
+  // committed baseline (which would re-derive the relative regression
+  // limits from the collapsed numbers and bless them forever).
+  const std::vector<std::string> violations = report.violations();
+  if (!violations.empty()) {
+    std::cerr << "FAIL: " << violations.size()
+              << " SLO gate violation(s):\n";
+    for (const std::string& v : violations) {
+      std::cerr << "  " << v << "\n";
+    }
     return 1;
   }
   return 0;

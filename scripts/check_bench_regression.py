@@ -14,9 +14,12 @@ gated metric regressed beyond the tolerance:
 
 Independent of any baseline, the candidate's own "gates" section (see
 bench::JsonReport::floor) is enforced as absolute floors — e.g. the
-traffic bench requires batching_speedup >= 3 on the full run. Floors
-travel with the run that produced them, so a smoke run carries a smoke
-floor.
+traffic bench requires batching_speedup >= 3 on the full run — and its
+"ceilings" section (bench::JsonReport::ceiling) as absolute maxima —
+e.g. p99 latency bounds. Thresholds travel with the run that produced
+them, so a smoke run carries smoke thresholds, and a collapsed run
+cannot re-baseline itself: even if its report replaced the committed
+baseline, its own embedded gates would still fail it.
 
 The default tolerance (10%) is meant for like-for-like comparisons on
 the machine that produced the baseline. CI compares against a baseline
@@ -75,6 +78,16 @@ def check_floors(candidate, failures):
             )
         else:
             print(f"  ok    {key} = {value:.4g} (floor {floor:.4g})")
+    for key, ceiling in candidate.get("ceilings", {}).items():
+        value = metrics.get(key)
+        if value is None:
+            failures.append(f"ceiling '{key}': metric missing from candidate")
+        elif value > ceiling:
+            failures.append(
+                f"ceiling '{key}': {value:.4g} above the {ceiling:.4g} max"
+            )
+        else:
+            print(f"  ok    {key} = {value:.4g} (ceiling {ceiling:.4g})")
 
 
 def check_against_baseline(baseline, candidate, tol, gate_p50, failures):
@@ -123,7 +136,8 @@ def main():
         "--floors-only",
         action="store_true",
         help="skip the baseline diff; enforce only the candidate's own "
-        "'gates' floors (positional: CANDIDATE only)",
+        "'gates' floors and 'ceilings' maxima (positional: CANDIDATE "
+        "only)",
     )
     parser.add_argument(
         "--tolerance",

@@ -80,7 +80,7 @@ void Table::write_csv(const std::string& path, io::Vfs* vfs) const {
       fs.mkdir(parent);
     }
     const std::string body = out.str();
-    const auto file = fs.open(path, io::Vfs::OpenMode::kAppend);
+    const auto file = fs.open(path, io::Vfs::OpenMode::kTruncate);
     file->write(body.data(), body.size());
     file->close();
   } catch (const io::IoError&) {
@@ -103,6 +103,47 @@ void JsonReport::count(const std::string& key, std::uint64_t value) {
 
 void JsonReport::floor(const std::string& key, double min_value) {
   fields_.push_back({key, Field::Kind::kFloor, {}, min_value, 0});
+}
+
+void JsonReport::ceiling(const std::string& key, double max_value) {
+  fields_.push_back({key, Field::Kind::kCeiling, {}, max_value, 0});
+}
+
+std::vector<std::string> JsonReport::violations() const {
+  const auto metric = [&](const std::string& key) -> const Field* {
+    for (const Field& f : fields_) {
+      if ((f.kind == Field::Kind::kNum || f.kind == Field::Kind::kCount) &&
+          f.key == key) {
+        return &f;
+      }
+    }
+    return nullptr;
+  };
+  std::vector<std::string> out;
+  char buf[160];
+  for (const Field& f : fields_) {
+    if (f.kind != Field::Kind::kFloor && f.kind != Field::Kind::kCeiling) {
+      continue;
+    }
+    const Field* m = metric(f.key);
+    if (m == nullptr) {
+      out.push_back("gate '" + f.key + "': metric was never recorded");
+      continue;
+    }
+    const double value = m->kind == Field::Kind::kCount
+                             ? static_cast<double>(m->count)
+                             : m->num;
+    if (f.kind == Field::Kind::kFloor && value < f.num) {
+      std::snprintf(buf, sizeof buf, "'%s': %.4g below the %.4g floor",
+                    f.key.c_str(), value, f.num);
+      out.emplace_back(buf);
+    } else if (f.kind == Field::Kind::kCeiling && value > f.num) {
+      std::snprintf(buf, sizeof buf, "'%s': %.4g above the %.4g ceiling",
+                    f.key.c_str(), value, f.num);
+      out.emplace_back(buf);
+    }
+  }
+  return out;
 }
 
 std::string JsonReport::dump() const {
@@ -156,7 +197,8 @@ std::string JsonReport::dump() const {
   };
   section(Field::Kind::kText, Field::Kind::kText, "meta", true);
   section(Field::Kind::kNum, Field::Kind::kCount, "metrics", true);
-  section(Field::Kind::kFloor, Field::Kind::kFloor, "gates", false);
+  section(Field::Kind::kFloor, Field::Kind::kFloor, "gates", true);
+  section(Field::Kind::kCeiling, Field::Kind::kCeiling, "ceilings", false);
   out << "}\n";
   return out.str();
 }

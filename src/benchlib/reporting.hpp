@@ -24,10 +24,12 @@ class Table {
   /// Renders the table (title, rule, headers, rows) to stdout.
   void print() const;
 
-  /// Appends the table as CSV to `path` (creates the file — and its
-  /// parent directory, one level — if needed) through `vfs` (nullptr =
-  /// the real filesystem). Best-effort: the console table is
-  /// authoritative, so I/O failures are swallowed.
+  /// Writes the table as CSV to `path`, truncating any previous file
+  /// (every bench writes exactly one table per file; re-runs replace it,
+  /// so a committed CSV never accumulates stale tables). Creates the
+  /// file — and its parent directory, one level — if needed, through
+  /// `vfs` (nullptr = the real filesystem). Best-effort: the console
+  /// table is authoritative, so I/O failures are swallowed.
   void write_csv(const std::string& path, io::Vfs* vfs = nullptr) const;
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
@@ -42,9 +44,13 @@ class Table {
 /// regression gate (scripts/check_bench_regression.py) diffs across
 /// runs. Two sections keep the contract simple — `meta` (strings:
 /// provenance, graph names, mode) and `metrics` (numbers: the gated
-/// values). Optional `gates` entries carry absolute floors the bench
-/// itself asserts (e.g. minimum batching speed-up), so the thresholds
-/// travel with the run that produced them instead of living in CI YAML.
+/// values). Optional `gates` (absolute floors) and `ceilings` (absolute
+/// maxima) entries carry thresholds the bench itself asserts (e.g.
+/// minimum batching speed-up, maximum p99), so they travel with the run
+/// that produced them instead of living in CI YAML — and a run that
+/// violates its own thresholds fails at generation time (see
+/// `violations`), so a collapsed run cannot be committed as a baseline
+/// that would then bless the collapse.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench);
@@ -58,6 +64,14 @@ class JsonReport {
   /// Adds an absolute floor under `gates`: the gate script fails the run
   /// when `metrics[key] < floor`, independent of any baseline.
   void floor(const std::string& key, double min_value);
+  /// Adds an absolute ceiling under `ceilings`: the gate script fails
+  /// the run when `metrics[key] > ceiling`, independent of any baseline.
+  void ceiling(const std::string& key, double max_value);
+
+  /// Checks every floor/ceiling against the recorded metrics. Returns
+  /// one human-readable line per violated threshold (empty = all hold);
+  /// a threshold whose metric was never recorded is itself a violation.
+  [[nodiscard]] std::vector<std::string> violations() const;
 
   /// The serialized document (insertion order preserved).
   [[nodiscard]] std::string dump() const;
@@ -69,7 +83,13 @@ class JsonReport {
  private:
   struct Field {
     std::string key;
-    enum class Kind : std::uint8_t { kText, kNum, kCount, kFloor } kind;
+    enum class Kind : std::uint8_t {
+      kText,
+      kNum,
+      kCount,
+      kFloor,
+      kCeiling
+    } kind;
     std::string text;
     double num = 0.0;
     std::uint64_t count = 0;

@@ -123,6 +123,29 @@ TEST(Reporting, CsvEscapesCommasAndQuotes) {
   EXPECT_NE(contents.find("\"he said \"\"hi\"\"\""), std::string::npos);
 }
 
+TEST(Reporting, CsvRewriteReplacesThePreviousTable) {
+  // A committed results CSV must hold exactly the last run's table: a
+  // re-baseline that appended would carry stale rows contradicting the
+  // JSON next to it.
+  const std::string path = ::testing::TempDir() + "ipregel_rewrite.csv";
+  std::remove(path.c_str());
+  Table first("T", {"col"});
+  first.add_row({"stale"});
+  first.write_csv(path);
+  Table second("T", {"col"});
+  second.add_row({"fresh"});
+  second.write_csv(path);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  EXPECT_EQ(contents.find("stale"), std::string::npos)
+      << "rewrite must truncate, not append";
+  EXPECT_NE(contents.find("fresh"), std::string::npos);
+  EXPECT_EQ(contents.find("# T"), contents.rfind("# T"))
+      << "exactly one table header";
+}
+
 TEST(Workloads, TwitterScalingIsProportional) {
   // The paper's 7.4.2 contract: p% of the graph has p% of vertices/edges.
   const auto full = twitter_target();
@@ -152,6 +175,36 @@ TEST(JsonReport, DumpHasTheSectionsTheGateScriptParses) {
   EXPECT_NE(json.find("\"batching_speedup\": 3"), std::string::npos);
 }
 
+TEST(JsonReport, CeilingsSectionAndSelfCheck) {
+  JsonReport report("traffic_sim");
+  report.num("load_1.0x.p99_ms", 12.5);
+  report.num("load_1.0x.hit_rate", 0.99);
+  report.floor("load_1.0x.hit_rate", 0.9);
+  report.ceiling("load_1.0x.p99_ms", 250.0);
+  const std::string json = report.dump();
+  EXPECT_NE(json.find("\"ceilings\""), std::string::npos);
+  EXPECT_NE(json.find("\"load_1.0x.p99_ms\": 250"), std::string::npos);
+  EXPECT_TRUE(report.violations().empty());
+}
+
+TEST(JsonReport, ViolationsFlagEveryBrokenThreshold) {
+  // The self-check is what keeps a collapsed run from exiting 0 and
+  // being committed as the next baseline.
+  JsonReport report("traffic_sim");
+  report.num("hit_rate", 0.65);         // below its floor
+  report.num("p99_ms", 92839.0);        // above its ceiling
+  report.count("completed", 40000);     // satisfies its floor
+  report.floor("hit_rate", 0.9);
+  report.ceiling("p99_ms", 250.0);
+  report.floor("completed", 38000.0);
+  report.ceiling("never_recorded", 1.0);
+  const std::vector<std::string> v = report.violations();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NE(v[0].find("hit_rate"), std::string::npos);
+  EXPECT_NE(v[1].find("p99_ms"), std::string::npos);
+  EXPECT_NE(v[2].find("never_recorded"), std::string::npos);
+}
+
 TEST(JsonReport, EscapesAndClampsAwkwardValues) {
   JsonReport report("r");
   report.text("quote", "a\"b");
@@ -167,6 +220,7 @@ TEST(JsonReport, EmptySectionsStayValidJson) {
   const std::string json = JsonReport("empty").dump();
   EXPECT_NE(json.find("\"metrics\": {}"), std::string::npos);
   EXPECT_NE(json.find("\"gates\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"ceilings\": {}"), std::string::npos);
 }
 
 TEST(Workloads, WikiLikeIsSkewedRoadLikeIsRegular) {

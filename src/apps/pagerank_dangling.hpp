@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "graph/types.hpp"
+
+namespace ipregel::apps {
+
+/// PageRank with dangling-mass redistribution, ported from FTPregel's
+/// HW_CP_Log PageRank (SNIPPETS.md snippet 1) onto this framework's
+/// aggregator mechanism (core/aggregator_traits.hpp).
+///
+/// Plain apps::PageRank drops the rank mass of dangling vertices (no
+/// out-edges → nothing broadcast), so total mass decays toward 1-d on
+/// graphs with sinks. FTPregel instead collects the dangling ranks into a
+/// sum aggregator every superstep and has every vertex of the NEXT
+/// superstep fold the redistributed residual back in:
+///
+///   residual = aggregated() / n                        // BSP: superstep S-1's sum
+///   rank     = (1-d)/n + d * (sum(messages) + residual)
+///
+/// The aggregator is the first-class cross-shard reduction of the sharded
+/// runtime: each worker process folds its local dangling mass into a
+/// partial, ships the partial to the coordinator with its barrier entry,
+/// and the coordinator's deterministic shard-order fold comes back with
+/// the barrier release (see HasSerializableAggregator). The same program
+/// runs unmodified single-process, where the engine's per-thread partials
+/// play the role of the shards.
+///
+/// Heavyweight checkpoints only: the folded aggregate is part of the
+/// consistent cut and cannot be regenerated from vertex values, so — like
+/// every aggregator program — lightweight recovery is rejected.
+struct PageRankDangling {
+  using value_type = double;
+  using message_type = double;
+  static constexpr bool broadcast_only = true;
+  static constexpr bool always_halts = false;
+  static constexpr std::string_view kProgramName = "ipregel.PageRankDangling";
+
+  /// Sum of the ranks held by dangling vertices this superstep.
+  using aggregate_type = double;
+  static aggregate_type aggregate_identity() noexcept { return 0.0; }
+  static void aggregate(aggregate_type& acc,
+                        const aggregate_type& x) noexcept {
+    acc += x;
+  }
+
+  std::size_t rounds = 30;
+  double damping = 0.85;
+
+  // --- integrity auditors (EngineOptions::integrity.invariants) ----------
+  /// Mass conservation, tighter than plain PageRank's: redistribution
+  /// recycles the dangling share, so total mass stays in [1 - d, 1 + tol]
+  /// (one superstep of dangling mass is always in flight through the
+  /// aggregator, hence the same lower bound as the dropping variant).
+  using audit_type = double;
+  static constexpr bool audit_per_partition = false;
+  [[nodiscard]] double audit_identity() const noexcept { return 0.0; }
+  void audit_accumulate(double& acc, const double& v) const noexcept {
+    acc += v;
+  }
+  static void audit_merge(double& acc, const double& other) noexcept {
+    acc += other;
+  }
+  [[nodiscard]] const char* audit_check(const double* /*prev*/,
+                                        const double& cur,
+                                        std::size_t /*superstep*/)
+      const noexcept {
+    constexpr double kTol = 1e-6;
+    if (!(cur >= 1.0 - damping - kTol)) {  // also catches NaN
+      return "total rank mass fell below 1 - damping";
+    }
+    if (!(cur <= 1.0 + kTol)) {
+      return "total rank mass exceeds 1 (rank created from nothing)";
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const char* audit_value(graph::vid_t /*id*/, const double& v,
+                                        std::size_t /*n*/) const noexcept {
+    if (!(v >= 0.0)) {  // also catches NaN
+      return "negative or NaN rank";
+    }
+    if (!(v <= 1.0 + 1e-6)) {
+      return "rank above the total mass of 1";
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] double initial_value(graph::vid_t) const noexcept {
+    return 0.0;
+  }
+
+  void compute(auto& ctx) const {
+    const auto n = static_cast<double>(ctx.num_vertices());
+    if (ctx.is_first_superstep()) {
+      ctx.value() = 1.0 / n;
+    } else {
+      double sum = 0.0;
+      double m = 0.0;
+      while (ctx.get_next_message(m)) {
+        sum += m;
+      }
+      const double residual = ctx.aggregated() / n;
+      ctx.value() = (1.0 - damping) / n + damping * (sum + residual);
+    }
+    if (ctx.superstep() < rounds) {
+      if (ctx.out_degree() > 0) {
+        ctx.broadcast(ctx.value() / static_cast<double>(ctx.out_degree()));
+      } else {
+        // FTPregel's stepPartial: dangling mass goes to the aggregator
+        // instead of being dropped.
+        ctx.aggregate(ctx.value());
+      }
+    } else {
+      ctx.vote_to_halt();
+    }
+  }
+
+  static void combine(double& old, const double& incoming) noexcept {
+    old += incoming;
+  }
+};
+
+}  // namespace ipregel::apps

@@ -241,4 +241,67 @@ std::vector<bool> k_core(const graph::CsrGraph& g, std::uint32_t k) {
   return alive;
 }
 
+std::vector<double> pagerank_dangling(const graph::CsrGraph& g,
+                                      std::size_t rounds, double damping) {
+  const std::size_t slots = g.num_slots();
+  const auto n = static_cast<double>(g.num_vertices());
+  std::vector<double> rank(slots, 0.0);
+  std::vector<double> next(slots, 0.0);
+  double residual = 0.0;  // previous round's total dangling rank
+  for (std::size_t s = g.first_slot(); s < slots; ++s) {
+    rank[s] = 1.0 / n;
+    if (g.out_degree(s) == 0) {
+      residual += rank[s];
+    }
+  }
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      const std::size_t d = g.out_degree(s);
+      if (d == 0) {
+        continue;
+      }
+      const double share = rank[s] / static_cast<double>(d);
+      for (const graph::vid_t v : g.out_neighbours(s)) {
+        next[g.slot_of(v)] += share;
+      }
+    }
+    double dangling = 0.0;
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      rank[s] =
+          (1.0 - damping) / n + damping * (next[s] + residual / n);
+      if (g.out_degree(s) == 0) {
+        dangling += rank[s];
+      }
+    }
+    residual = dangling;
+  }
+  return rank;
+}
+
+std::vector<std::uint64_t> label_propagation(const graph::CsrGraph& g) {
+  const std::size_t slots = g.num_slots();
+  std::vector<std::uint64_t> key(slots, ~0ULL);
+  for (std::size_t s = g.first_slot(); s < slots; ++s) {
+    const auto degree = static_cast<std::uint32_t>(
+        std::min<std::size_t>(g.out_degree(s), 0xFFFFFFFFULL));
+    key[s] = (static_cast<std::uint64_t>(~degree) << 32) |
+             static_cast<std::uint64_t>(g.id_of(s));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = g.first_slot(); s < slots; ++s) {
+      for (const graph::vid_t v : g.out_neighbours(s)) {
+        const std::size_t t = g.slot_of(v);
+        if (key[s] < key[t]) {
+          key[t] = key[s];
+          changed = true;
+        }
+      }
+    }
+  }
+  return key;
+}
+
 }  // namespace ipregel::apps::serial

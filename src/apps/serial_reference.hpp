@@ -66,4 +66,20 @@ namespace ipregel::apps::serial {
 [[nodiscard]] std::vector<bool> k_core(const graph::CsrGraph& g,
                                        std::uint32_t k);
 
+/// Power iteration with FTPregel's dangling-mass redistribution: rank =
+/// (1-d)/n + d * (sum(incoming rank/out_degree) + residual/n) where
+/// residual is the previous round's total dangling rank. Matches
+/// apps::PageRankDangling superstep for superstep (the residual lags one
+/// round, the aggregator's BSP visibility rule).
+[[nodiscard]] std::vector<double> pagerank_dangling(const graph::CsrGraph& g,
+                                                    std::size_t rounds,
+                                                    double damping = 0.85);
+
+/// Fixpoint of key[v] = min(key[v], min over in-edges (u,v) of key[u]),
+/// seeded with key[v] = LabelPropagation::pack(out_degree(v), id(v)) —
+/// the degree-anchored label-propagation fixpoint. Returns packed keys;
+/// unpack labels with LabelPropagation::label_of.
+[[nodiscard]] std::vector<std::uint64_t> label_propagation(
+    const graph::CsrGraph& g);
+
 }  // namespace ipregel::apps::serial

@@ -1,6 +1,11 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
 
 namespace ipregel {
 
@@ -21,9 +26,13 @@ namespace ipregel {
 /// the BSP visibility rule, same as for messages. `aggregate` must be
 /// commutative and associative for thread-count-independent results.
 ///
-/// The canonical use is global convergence detection (e.g. stop PageRank
-/// when the largest per-vertex delta drops below a threshold) — see
-/// apps::PageRankConverging.
+/// Two canonical uses ship as apps:
+///  - global convergence detection (stop PageRank when the largest
+///    per-vertex delta drops below a threshold) — apps::PageRankConverging;
+///  - FTPregel's dangling-mass PageRank: dangling vertices contribute
+///    their rank to a sum aggregator each superstep and every vertex of
+///    the next superstep folds the redistributed residual back in —
+///    apps::PageRankDangling.
 template <typename P>
 concept HasAggregator = requires(typename P::aggregate_type& acc,
                                  const typename P::aggregate_type& x) {
@@ -31,5 +40,44 @@ concept HasAggregator = requires(typename P::aggregate_type& acc,
   { P::aggregate_identity() } -> std::same_as<typename P::aggregate_type>;
   { P::aggregate(acc, x) } -> std::same_as<void>;
 };
+
+/// An aggregator whose accumulator can cross a process boundary as raw
+/// bytes — the contract of the sharded runtime's cross-shard reduction
+/// (src/shard). Each worker process folds its local contributions into a
+/// partial, ships the partial's bytes to the coordinator inside its
+/// barrier-entry message, and the coordinator folds the per-shard
+/// partials *in shard order* (a deterministic reduce, mirroring the
+/// engine's in-thread-order fold) before broadcasting the result with the
+/// barrier release. Trivial copyability is exactly what makes the
+/// byte-level ship/fold round trip an identity.
+template <typename P>
+concept HasSerializableAggregator =
+    HasAggregator<P> &&
+    std::is_trivially_copyable_v<typename P::aggregate_type>;
+
+/// Serializes an aggregate accumulator for the wire (shard barrier
+/// messages, heavyweight snapshots).
+template <typename P>
+  requires HasSerializableAggregator<P>
+[[nodiscard]] inline std::vector<std::uint8_t> aggregate_to_bytes(
+    const typename P::aggregate_type& value) {
+  std::vector<std::uint8_t> bytes(sizeof(value));
+  std::memcpy(bytes.data(), &value, sizeof(value));
+  return bytes;
+}
+
+/// Inverse of aggregate_to_bytes. Returns the identity when `bytes` is
+/// empty (a shard that aggregated nothing ships an empty blob) — callers
+/// must reject any other size mismatch before trusting the bytes.
+template <typename P>
+  requires HasSerializableAggregator<P>
+[[nodiscard]] inline typename P::aggregate_type aggregate_from_bytes(
+    std::span<const std::uint8_t> bytes) {
+  typename P::aggregate_type value = P::aggregate_identity();
+  if (bytes.size() == sizeof(value)) {
+    std::memcpy(&value, bytes.data(), sizeof(value));
+  }
+  return value;
+}
 
 }  // namespace ipregel

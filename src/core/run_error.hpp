@@ -52,6 +52,13 @@ enum class RunErrorKind : std::uint8_t {
   /// Deterministic (the same snapshot will mismatch again), so never
   /// retryable.
   kSnapshotMismatch,
+  /// A sharded multi-process run (src/shard) lost a worker beyond what the
+  /// shard::Supervisor could repair: the respawn budget ran out, or a
+  /// respawned shard resumed too far behind the barrier for the survivors'
+  /// retained message logs to replay it forward. The coordinator killed
+  /// the remaining workers and aborted the job. Not retryable at this
+  /// level — per-shard retries already happened inside the run.
+  kShardFailure,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(RunErrorKind k) noexcept {
@@ -72,6 +79,8 @@ enum class RunErrorKind : std::uint8_t {
       return "integrity-violation";
     case RunErrorKind::kSnapshotMismatch:
       return "snapshot-mismatch";
+    case RunErrorKind::kShardFailure:
+      return "shard-failure";
   }
   return "invalid";
 }

@@ -111,6 +111,11 @@ struct RetryPolicy {
         return true;  // memory corruption is transient; restore and retry
       case RunErrorKind::kSnapshotMismatch:
         return false;  // the same snapshot will mismatch again
+      case RunErrorKind::kShardFailure:
+        // The shard coordinator already ran its own respawn ladder
+        // (shard::ShardSupervisor); a failure that reaches here exhausted
+        // it, and this in-process supervisor cannot do better.
+        return false;
     }
     return false;
   }

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "io/vfs.hpp"
+
+namespace ipregel::io {
+
+/// A pass-through Vfs that injects EIO into the first `fail_reads` read()
+/// calls on files whose path contains `path_filter` (empty = every file),
+/// then behaves like the wrapped filesystem.
+///
+/// FaultyVfs is an in-memory disk, which makes it the right tool for
+/// single-process crash matrices but useless across a process boundary:
+/// its platter dies with the process that owns it. The sharded runtime's
+/// restore-chaos tests need the opposite shape — snapshots that live on
+/// the REAL filesystem (so a respawned worker process can find them) with
+/// deterministic read faults layered on top. This wrapper provides that:
+/// a respawned shard reading its newest snapshot through it sees EIO,
+/// SnapshotDirectory quarantines the "unreadable" file, and recovery
+/// falls back to the previous generation — the exact fallback ladder the
+/// in-memory matrix proves, now exercised end-to-end across fork().
+///
+/// Only read() faults are injected; writes, renames, and directory ops
+/// pass straight through (quarantine must be able to rename the file it
+/// just failed to read).
+class ReadFaultVfs final : public Vfs {
+ public:
+  /// `base` must outlive this wrapper. Not owned.
+  ReadFaultVfs(Vfs& base, std::size_t fail_reads,
+               std::string path_filter = {})
+      : base_(base),
+        remaining_(fail_reads),
+        path_filter_(std::move(path_filter)) {}
+
+  /// Read faults not yet injected.
+  [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
+
+  std::unique_ptr<File> open(const std::string& path,
+                             OpenMode mode) override {
+    auto file = base_.open(path, mode);
+    const bool eligible =
+        mode == OpenMode::kRead &&
+        (path_filter_.empty() || path.find(path_filter_) != std::string::npos);
+    return std::make_unique<WrappedFile>(std::move(file), path,
+                                         eligible ? this : nullptr);
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    base_.rename(from, to);
+  }
+  void unlink(const std::string& path) override { base_.unlink(path); }
+  bool exists(const std::string& path) override { return base_.exists(path); }
+  std::vector<std::string> list(const std::string& dir) override {
+    return base_.list(dir);
+  }
+  void fsync_dir(const std::string& dir) override { base_.fsync_dir(dir); }
+  void mkdir(const std::string& dir) override { base_.mkdir(dir); }
+
+ private:
+  class WrappedFile final : public File {
+   public:
+    WrappedFile(std::unique_ptr<File> inner, std::string path,
+                ReadFaultVfs* injector)
+        : inner_(std::move(inner)),
+          path_(std::move(path)),
+          injector_(injector) {}
+
+    std::size_t read(void* buf, std::size_t n) override {
+      if (injector_ != nullptr && injector_->remaining_ > 0) {
+        --injector_->remaining_;
+        throw IoError(IoOp::kRead, path_, EIO, "injected read fault");
+      }
+      return inner_->read(buf, n);
+    }
+    void write(const void* buf, std::size_t n) override {
+      inner_->write(buf, n);
+    }
+    void seek(std::uint64_t pos) override { inner_->seek(pos); }
+    void fsync() override { inner_->fsync(); }
+    void close() override { inner_->close(); }
+
+   private:
+    std::unique_ptr<File> inner_;
+    std::string path_;
+    ReadFaultVfs* injector_;
+  };
+
+  Vfs& base_;
+  std::size_t remaining_;
+  std::string path_filter_;
+};
+
+}  // namespace ipregel::io

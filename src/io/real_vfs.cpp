@@ -20,6 +20,44 @@
 namespace ipregel::io {
 namespace {
 
+// Every blocking syscall below retries EINTR. The sharded runtime
+// (src/shard) supervises child processes, so SIGCHLD (and the test
+// suite's deliberate signal storms) can interrupt any wrapper installed
+// without SA_RESTART; an unretried EINTR would surface as a spurious
+// IoError mid-checkpoint. close() is the one exception: on Linux the
+// descriptor is released even when close() reports EINTR, so retrying
+// could close an unrelated descriptor that reused the slot — EINTR on
+// close is treated as success instead.
+
+int open_retry(const char* path, int flags, mode_t mode) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) {
+      return fd;
+    }
+  }
+}
+
+int fsync_retry(int fd) {
+  for (;;) {
+    if (::fsync(fd) == 0) {
+      return 0;
+    }
+    if (errno != EINTR) {
+      return -1;
+    }
+  }
+}
+
+// EINTR from close() means the descriptor is gone on Linux; only report
+// real failures (EIO from a deferred writeback, EBADF from a logic bug).
+int close_eintr_ok(int fd) {
+  if (::close(fd) == 0 || errno == EINTR) {
+    return 0;
+  }
+  return -1;
+}
+
 class RealFile final : public Vfs::File {
  public:
   RealFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
@@ -64,7 +102,7 @@ class RealFile final : public Vfs::File {
   }
 
   void fsync() override {
-    if (::fsync(fd_) != 0) {
+    if (fsync_retry(fd_) != 0) {
       throw IoError(IoOp::kFsync, path_, errno);
     }
   }
@@ -75,7 +113,7 @@ class RealFile final : public Vfs::File {
     }
     const int fd = fd_;
     fd_ = -1;
-    if (::close(fd) != 0) {
+    if (close_eintr_ok(fd) != 0) {
       throw IoError(IoOp::kClose, path_, errno);
     }
   }
@@ -100,7 +138,7 @@ class RealVfs final : public Vfs {
         flags = O_WRONLY | O_CREAT | O_APPEND;
         break;
     }
-    const int fd = ::open(path.c_str(), flags, 0644);
+    const int fd = open_retry(path.c_str(), flags, 0644);
     if (fd < 0) {
       throw IoError(IoOp::kOpen, path, errno);
     }
@@ -124,7 +162,13 @@ class RealVfs final : public Vfs {
   }
 
   std::vector<std::string> list(const std::string& dir) override {
-    DIR* d = ::opendir(dir.c_str());
+    DIR* d = nullptr;
+    for (;;) {
+      d = ::opendir(dir.c_str());
+      if (d != nullptr || errno != EINTR) {
+        break;
+      }
+    }
     if (d == nullptr) {
       throw IoError(IoOp::kList, dir, errno);
     }
@@ -148,16 +192,16 @@ class RealVfs final : public Vfs {
   }
 
   void fsync_dir(const std::string& dir) override {
-    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    const int fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
     if (fd < 0) {
       throw IoError(IoOp::kFsync, dir, errno, "cannot open directory");
     }
-    if (::fsync(fd) != 0) {
+    if (fsync_retry(fd) != 0) {
       const int err = errno;
-      ::close(fd);
+      close_eintr_ok(fd);
       throw IoError(IoOp::kFsync, dir, err);
     }
-    if (::close(fd) != 0) {
+    if (close_eintr_ok(fd) != 0) {
       throw IoError(IoOp::kClose, dir, errno);
     }
   }

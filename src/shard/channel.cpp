@@ -1,0 +1,92 @@
+#include "shard/channel.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace ipregel::shard {
+
+Channel::~Channel() { close(); }
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Channel::close() noexcept {
+  if (fd_ >= 0) {
+    // EINTR after close(2) on Linux still releases the fd; never retry.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Channel, Channel> Channel::make_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_SEQPACKET, 0, fds) != 0) {
+    throw std::runtime_error(std::string("socketpair failed: ") +
+                             std::strerror(errno));
+  }
+  return {Channel(fds[0]), Channel(fds[1])};
+}
+
+bool Channel::send(const CtrlMsg& msg) {
+  for (;;) {
+    const ssize_t n = ::send(fd_, &msg, sizeof(msg), MSG_NOSIGNAL);
+    if (n == static_cast<ssize_t>(sizeof(msg))) {
+      return true;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return false;  // peer died; the caller's liveness machinery handles it
+    }
+    throw std::runtime_error(std::string("shard channel send failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+std::optional<CtrlMsg> Channel::recv(int timeout_ms) {
+  for (;;) {
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;  // conservative: may extend the wait, never corrupts it
+      }
+      throw std::runtime_error(std::string("shard channel poll failed: ") +
+                               std::strerror(errno));
+    }
+    if (ready == 0) {
+      return std::nullopt;  // timeout
+    }
+    CtrlMsg msg;
+    const ssize_t n = ::recv(fd_, &msg, sizeof(msg), 0);
+    if (n == static_cast<ssize_t>(sizeof(msg))) {
+      return msg;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n == 0 || (n < 0 && (errno == ECONNRESET || errno == EPIPE))) {
+      return std::nullopt;  // peer closed
+    }
+    if (n > 0) {
+      // Truncated/oversized datagram: a protocol bug, not an I/O state.
+      throw std::runtime_error("shard channel received a malformed datagram");
+    }
+    throw std::runtime_error(std::string("shard channel recv failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace ipregel::shard

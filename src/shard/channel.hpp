@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace ipregel::shard {
+
+/// Control-plane datagram between the coordinator and a worker. Fixed-
+/// size trivially-copyable POD: one SOCK_SEQPACKET datagram per message,
+/// no framing, no partial reads. The aggregate partial rides inline
+/// (bounded by kMaxAggregate — aggregate_type is trivially copyable and
+/// small by the HasSerializableAggregator contract).
+struct CtrlMsg {
+  enum class Kind : std::uint32_t {
+    /// worker → coordinator, once per incarnation after (re)initialising:
+    /// "I am shard `shard`, generation `generation`, resuming at
+    /// `superstep`". For generation > 0 the coordinator answers by
+    /// broadcasting kRecover to the survivors.
+    kHello = 1,
+    /// worker → coordinator: liveness tick, sent from inside the
+    /// compute/drain/wait loops.
+    kHeartbeat,
+    /// worker → coordinator: "superstep `superstep` computed and posted;
+    /// sent/active/executed are my local counters, payload is my
+    /// aggregate partial". The worker then blocks for kProceed.
+    kBarrier,
+    /// coordinator → worker: barrier release for `superstep`. `flag` is a
+    /// Command; payload is the globally folded aggregate of `superstep`.
+    kProceed,
+    /// coordinator → surviving workers: "shard `shard` is back at
+    /// superstep `superstep`; republish your retained frames to it".
+    kRecover,
+    /// coordinator → workers: tear down now (job failed or cancelled).
+    kAbort,
+  };
+
+  /// kProceed sub-command.
+  enum class Command : std::uint64_t {
+    kContinue = 0,  ///< advance to the next superstep
+    kHalt = 1,      ///< computation converged — write nothing more, exit 0
+  };
+
+  static constexpr std::size_t kMaxAggregate = 64;
+
+  Kind kind = Kind::kHeartbeat;
+  std::uint32_t shard = 0;
+  std::uint64_t superstep = 0;
+  std::uint64_t flag = 0;      ///< kProceed: Command; kHello: generation
+  std::uint64_t sent = 0;      ///< kBarrier: messages sent
+  std::uint64_t active = 0;    ///< kBarrier: vertices not halted
+  std::uint64_t executed = 0;  ///< kBarrier: vertices executed
+  std::uint32_t payload_len = 0;
+  std::uint8_t payload[kMaxAggregate] = {};
+};
+static_assert(std::is_trivially_copyable_v<CtrlMsg>);
+
+/// One end of a coordinator↔worker SEQPACKET socketpair. Datagram
+/// semantics give atomic whole-message delivery both ways; EOF/EPIPE on a
+/// dead peer is reported as a status, not an exception — peer death is a
+/// normal event the control plane is built to observe.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(int fd) noexcept : fd_(fd) {}
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  Channel(Channel&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Channel& operator=(Channel&& other) noexcept;
+
+  /// socketpair(AF_UNIX, SOCK_SEQPACKET): (coordinator end, worker end).
+  /// Throws std::runtime_error on failure.
+  [[nodiscard]] static std::pair<Channel, Channel> make_pair();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Sends one message. Retries EINTR (SIGCHLD storms from sibling-worker
+  /// deaths land mid-call); returns false when the peer is gone (EPIPE /
+  /// ECONNRESET — never raises SIGPIPE). Any other errno throws.
+  bool send(const CtrlMsg& msg);
+
+  /// Receives one message, waiting up to timeout_ms (0 = just poll, <0 =
+  /// block). nullopt on timeout or dead peer; EINTR retried.
+  [[nodiscard]] std::optional<CtrlMsg> recv(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ipregel::shard

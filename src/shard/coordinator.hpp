@@ -1,0 +1,601 @@
+#pragma once
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/aggregator_traits.hpp"
+#include "core/program_traits.hpp"
+#include "core/run_error.hpp"
+#include "ft/fingerprint.hpp"
+#include "io/vfs.hpp"
+#include "shard/channel.hpp"
+#include "shard/layout.hpp"
+#include "shard/options.hpp"
+#include "shard/partition.hpp"
+#include "shard/supervisor.hpp"
+#include "shard/worker.hpp"
+
+namespace ipregel::shard {
+
+/// The coordinator half of the sharded runtime: forks one worker process
+/// per shard over a pre-mapped shared arena, runs the BSP barrier
+/// protocol over per-worker SEQPACKET channels, watches liveness
+/// (waitpid + heartbeat deadlines), and — through ShardSupervisor —
+/// respawns failed shards from their newest valid snapshot while the
+/// survivors replay retained frames to them. Single-threaded: one poll
+/// loop owns every fd and every child, so there is nothing to lock and
+/// fork() has no threading caveats.
+template <VertexProgram Program>
+class Coordinator {
+ public:
+  using Value = typename Program::value_type;
+  using Msg = typename Program::message_type;
+
+  Coordinator(const graph::CsrGraph& graph, Program program,
+              const ShardOptions& options)
+      : graph_(graph),
+        program_(std::move(program)),
+        options_(options),
+        part_(graph, options.num_shards),
+        supervisor_(options.supervisor, part_.shards()) {
+    validate_options();
+    graph_fp_ = ft::graph_fingerprint(graph_);
+    build_arena();
+  }
+
+  [[nodiscard]] ShardOutcome run(std::vector<Value>* out_values) {
+    const double t0 = now();
+    start_ = t0;
+    if (options_.checkpoint.enabled()) {
+      io::Vfs& vfs = io::vfs_or_real(options_.checkpoint.vfs);
+      if (!vfs.exists(options_.checkpoint.directory)) {
+        vfs.mkdir(options_.checkpoint.directory);
+      }
+    }
+    workers_.resize(part_.shards());
+    entries_.assign(part_.shards(), std::nullopt);
+    for (std::size_t shard = 0; shard < part_.shards(); ++shard) {
+      spawn(shard, 0);
+    }
+
+    while (!done_) {
+      if (outcome_.error.has_value()) {
+        break;
+      }
+      step();
+    }
+    reap_everything();
+    outcome_.result.seconds = now() - t0;
+    if (outcome_.ok() && out_values != nullptr) {
+      out_values->resize(graph_.num_slots());
+      std::memcpy(out_values->data(),
+                  arena_->at(spec_.board_offset),
+                  graph_.num_slots() * sizeof(Value));
+    }
+    return std::move(outcome_);
+  }
+
+ private:
+  struct WorkerSlot {
+    pid_t pid = -1;
+    Channel chan;
+    double last_seen = 0.0;
+    std::size_t generation = 0;
+    bool alive = false;
+    /// Death detected, replacement not yet back at a barrier.
+    bool recovering = false;
+    double recovering_since = 0.0;
+  };
+
+  struct BarrierEntry {
+    std::uint64_t sent = 0;
+    std::uint64_t active = 0;
+    std::uint64_t executed = 0;
+    std::uint32_t payload_len = 0;
+    std::uint8_t payload[CtrlMsg::kMaxAggregate] = {};
+  };
+
+  struct Release {
+    CtrlMsg::Command cmd = CtrlMsg::Command::kContinue;
+    std::uint32_t payload_len = 0;
+    std::uint8_t payload[CtrlMsg::kMaxAggregate] = {};
+  };
+
+  [[nodiscard]] static double now() noexcept {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void validate_options() const {
+    if (part_.shards() == 0) {
+      throw std::invalid_argument("run_sharded: num_shards must be >= 1");
+    }
+    if (options_.checkpoint.enabled() &&
+        options_.checkpoint.vfs != nullptr) {
+      throw std::invalid_argument(
+          "run_sharded: shard snapshots must live on the real filesystem — "
+          "an in-memory Vfs dies with the worker process it was meant to "
+          "revive");
+    }
+    if constexpr (HasAggregator<Program>) {
+      static_assert(HasSerializableAggregator<Program>,
+                    "sharded aggregator programs need a trivially copyable "
+                    "aggregate_type (it crosses a process boundary)");
+      static_assert(sizeof(typename Program::aggregate_type) <=
+                        CtrlMsg::kMaxAggregate,
+                    "aggregate_type exceeds the control-plane payload");
+      if (options_.checkpoint.enabled() &&
+          options_.checkpoint.mode == ft::CheckpointMode::kLightweight) {
+        throw std::invalid_argument(
+            "run_sharded: lightweight checkpoints cannot carry aggregator "
+            "state (same rule as the single-process engine)");
+      }
+    }
+    if (options_.checkpoint.enabled() &&
+        options_.checkpoint.mode == ft::CheckpointMode::kLightweight &&
+        !ShardEngine<Program>::resend_capable()) {
+      throw std::invalid_argument(
+          "run_sharded: lightweight checkpoints need Program::resend(ctx)");
+    }
+  }
+
+  void build_arena() {
+    const std::size_t n = part_.shards();
+    spec_.shards = n;
+    spec_.ring_capacity.assign(n * n, 0);
+    constexpr std::size_t kEntryBytes = sizeof(std::uint32_t) + sizeof(Msg);
+    for (std::size_t src = 0; src < n; ++src) {
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (src == dst) {
+          continue;
+        }
+        const std::size_t frame =
+            sizeof(FrameHeader) + sizeof(std::uint64_t) +
+            part_.slots(dst).size() * kEntryBytes;
+        // Sized for the steady state (two supersteps in flight) plus a
+        // full recovery republish burst, so producers practically never
+        // block.
+        spec_.ring_capacity[src * n + dst] =
+            (options_.retain_supersteps + 2) * frame +
+            options_.ring_slack_bytes;
+      }
+    }
+    spec_.board_bytes = graph_.num_slots() * sizeof(Value);
+    spec_.finalize();
+    arena_ = std::make_unique<ShmArena>(spec_.total_bytes);
+    for (std::size_t src = 0; src < n; ++src) {
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (src != dst) {
+          (void)spec_.attach(*arena_, src, dst, /*initialize=*/true);
+        }
+      }
+    }
+  }
+
+  void spawn(std::size_t shard, std::size_t generation) {
+    auto [coord_end, worker_end] = Channel::make_pair();
+    WorkerConfig<Program> cfg;
+    cfg.graph = &graph_;
+    cfg.program = &program_;
+    cfg.options = &options_;
+    cfg.spec = &spec_;
+    cfg.arena = arena_.get();
+    cfg.me = shard;
+    cfg.generation = generation;
+    cfg.graph_fp = graph_fp_;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error("run_sharded: fork failed");
+    }
+    if (pid == 0) {
+      // Child: drop every inherited coordinator-side fd (ours included —
+      // the worker talks through its own end only) and become the worker.
+      coord_end.close();
+      for (WorkerSlot& w : workers_) {
+        w.chan.close();
+      }
+      worker_main<Program>(cfg, std::move(worker_end));  // never returns
+    }
+    worker_end.close();
+    WorkerSlot& slot = workers_[shard];
+    const bool was_recovering = slot.recovering;
+    const double since = slot.recovering_since;
+    slot = WorkerSlot{};
+    slot.pid = pid;
+    slot.chan = std::move(coord_end);
+    slot.last_seen = now();
+    slot.generation = generation;
+    slot.alive = true;
+    slot.recovering = was_recovering;
+    slot.recovering_since = since;
+  }
+
+  /// One poll-loop iteration: guards, messages, deaths, watchdogs,
+  /// due respawns.
+  void step() {
+    if (options_.guards.cancel_token != nullptr &&
+        options_.guards.cancel_token->load(std::memory_order_relaxed)) {
+      abort_run(RunErrorKind::kCancelled, "cancel token raised");
+      return;
+    }
+    if (options_.guards.run_seconds > 0.0 &&
+        now() - start_ > options_.guards.run_seconds) {
+      abort_run(RunErrorKind::kRunTimeout,
+                "sharded run exceeded guards.run_seconds");
+      return;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_shard;
+    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+      if (workers_[shard].alive && workers_[shard].chan.valid()) {
+        fds.push_back(pollfd{workers_[shard].chan.fd(), POLLIN, 0});
+        fd_shard.push_back(shard);
+      }
+    }
+    if (!fds.empty()) {
+      const int ready = ::poll(fds.data(), fds.size(), 10);
+      if (ready > 0) {
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+          if ((fds[i].revents & (POLLIN | POLLHUP)) != 0) {
+            drain_worker(fd_shard[i]);
+          }
+        }
+      }
+    }
+
+    reap_dead();
+    check_heartbeats();
+    start_due_respawns();
+  }
+
+  void drain_worker(std::size_t shard) {
+    WorkerSlot& w = workers_[shard];
+    while (w.alive) {
+      const auto msg = w.chan.recv(0);
+      if (!msg.has_value()) {
+        return;
+      }
+      w.last_seen = now();
+      switch (msg->kind) {
+        case CtrlMsg::Kind::kHello:
+          handle_hello(shard, *msg);
+          break;
+        case CtrlMsg::Kind::kHeartbeat:
+          break;
+        case CtrlMsg::Kind::kBarrier:
+          handle_barrier(shard, *msg);
+          break;
+        default:
+          break;  // workers do not send coordinator->worker kinds
+      }
+      if (outcome_.error.has_value()) {
+        return;
+      }
+    }
+  }
+
+  void handle_hello(std::size_t shard, const CtrlMsg& msg) {
+    if (msg.flag == 0) {
+      return;  // initial incarnation, nothing to reconcile
+    }
+    const std::uint64_t resume = msg.superstep;
+    if (resume > 0) {
+      ++outcome_.shard.snapshot_recoveries;
+    }
+    if (resume > barrier_superstep_) {
+      abort_run(RunErrorKind::kShardFailure,
+                "shard " + std::to_string(shard) +
+                    " resumed AHEAD of the barrier (superstep " +
+                    std::to_string(resume) + " > " +
+                    std::to_string(barrier_superstep_) +
+                    ") — stale snapshots from a different run?");
+      return;
+    }
+    // The deepest frames the rebuild needs: resume - 1 for a lightweight
+    // inbox reconstruction, resume itself otherwise.
+    const bool lw = options_.checkpoint.mode ==
+                    ft::CheckpointMode::kLightweight;
+    const std::uint64_t oldest =
+        (lw && resume > 0) ? resume - 1 : resume;
+    if (oldest + options_.retain_supersteps <= barrier_superstep_) {
+      abort_run(
+          RunErrorKind::kShardFailure,
+          "shard " + std::to_string(shard) + " resumed at superstep " +
+              std::to_string(resume) +
+              ", beyond the survivors' retained frame window (barrier at " +
+              std::to_string(barrier_superstep_) + ", retain " +
+              std::to_string(options_.retain_supersteps) + ")");
+      return;
+    }
+    CtrlMsg recover;
+    recover.kind = CtrlMsg::Kind::kRecover;
+    recover.shard = static_cast<std::uint32_t>(shard);
+    recover.superstep = resume;
+    for (std::size_t peer = 0; peer < workers_.size(); ++peer) {
+      if (peer != shard && workers_[peer].alive) {
+        (void)workers_[peer].chan.send(recover);
+      }
+    }
+  }
+
+  void handle_barrier(std::size_t shard, const CtrlMsg& msg) {
+    WorkerSlot& w = workers_[shard];
+    if (w.recovering) {
+      w.recovering = false;
+      outcome_.shard.recovery_seconds += now() - w.recovering_since;
+    }
+    if (msg.superstep < barrier_superstep_) {
+      // A redo of an already-released superstep: replay the recorded
+      // decision to this worker alone. The counts were folded the first
+      // time; deterministic redo reproduces them exactly.
+      const auto it = history_.find(msg.superstep);
+      if (it != history_.end()) {
+        send_proceed(shard, msg.superstep, it->second);
+      }
+      return;
+    }
+    if (msg.superstep > barrier_superstep_) {
+      return;  // impossible by protocol; drop rather than corrupt state
+    }
+    BarrierEntry entry;
+    entry.sent = msg.sent;
+    entry.active = msg.active;
+    entry.executed = msg.executed;
+    entry.payload_len = msg.payload_len;
+    std::memcpy(entry.payload, msg.payload, sizeof(entry.payload));
+    entries_[shard] = entry;
+    for (const auto& e : entries_) {
+      if (!e.has_value()) {
+        return;
+      }
+    }
+    release_barrier();
+  }
+
+  void release_barrier() {
+    std::uint64_t sent = 0;
+    std::uint64_t active = 0;
+    std::uint64_t executed = 0;
+    Release rel;
+    if constexpr (HasSerializableAggregator<Program>) {
+      auto agg = Program::aggregate_identity();
+      // Deterministic shard-order fold — the cross-process analogue of
+      // the engine's in-thread-order aggregate reduce.
+      for (const auto& e : entries_) {
+        Program::aggregate(
+            agg, aggregate_from_bytes<Program>(
+                     std::span<const std::uint8_t>(e->payload,
+                                                   e->payload_len)));
+      }
+      const auto bytes = aggregate_to_bytes<Program>(agg);
+      rel.payload_len = static_cast<std::uint32_t>(bytes.size());
+      std::memcpy(rel.payload, bytes.data(), bytes.size());
+    }
+    for (const auto& e : entries_) {
+      sent += e->sent;
+      active += e->active;
+      executed += e->executed;
+    }
+    outcome_.result.total_messages += sent;
+    outcome_.result.total_executed_vertices += executed;
+    outcome_.result.supersteps =
+        static_cast<std::size_t>(barrier_superstep_) + 1;
+
+    const bool cap =
+        barrier_superstep_ + 1 >= options_.max_supersteps;
+    const bool converged = sent == 0 && active == 0;
+    rel.cmd = (converged || cap) ? CtrlMsg::Command::kHalt
+                                 : CtrlMsg::Command::kContinue;
+    outcome_.result.reached_superstep_cap = cap && !converged;
+
+    history_[barrier_superstep_] = rel;
+    while (history_.size() > options_.retain_supersteps + 8) {
+      history_.erase(history_.begin());
+    }
+    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+      if (workers_[shard].alive) {
+        send_proceed(shard, barrier_superstep_, rel);
+      }
+    }
+    if (rel.cmd == CtrlMsg::Command::kHalt) {
+      halting_ = true;
+    }
+    ++barrier_superstep_;
+    entries_.assign(workers_.size(), std::nullopt);
+  }
+
+  void send_proceed(std::size_t shard, std::uint64_t superstep,
+                    const Release& rel) {
+    CtrlMsg msg;
+    msg.kind = CtrlMsg::Kind::kProceed;
+    msg.superstep = superstep;
+    msg.flag = static_cast<std::uint64_t>(rel.cmd);
+    msg.payload_len = rel.payload_len;
+    std::memcpy(msg.payload, rel.payload, sizeof(msg.payload));
+    (void)workers_[shard].chan.send(msg);
+  }
+
+  void reap_dead() {
+    for (;;) {
+      int status = 0;
+      const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+      if (pid <= 0) {
+        return;
+      }
+      for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+        WorkerSlot& w = workers_[shard];
+        if (w.alive && w.pid == pid) {
+          w.alive = false;
+          w.chan.close();
+          const bool clean = WIFEXITED(status) &&
+                             WEXITSTATUS(status) == kWorkerExitHalt;
+          if (halting_) {
+            if (++exited_ == workers_.size()) {
+              done_ = true;
+            }
+          } else {
+            // Retract any barrier entry the dead incarnation posted: the
+            // barrier — and in particular a halt decision — must wait for
+            // the respawn's fresh re-entry, so survivors are still alive
+            // (and replaying frames) for the whole redo. A clean exit
+            // outside the halt drain is equally a failure: the worker saw
+            // a halt this coordinator never issued.
+            entries_[shard].reset();
+            plan_respawn(shard,
+                         clean ? "worker exited unexpectedly"
+                               : "worker died");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void plan_respawn(std::size_t shard, const std::string& why) {
+    WorkerSlot& w = workers_[shard];
+    if (!w.recovering) {
+      w.recovering = true;
+      w.recovering_since = now();
+    }
+    const auto backoff = supervisor_.plan_respawn(shard);
+    if (!backoff.has_value()) {
+      abort_run(RunErrorKind::kShardFailure,
+                why + ": shard " + std::to_string(shard) +
+                    " exhausted its respawn budget (" +
+                    std::to_string(supervisor_.generation(shard)) +
+                    " respawns, " +
+                    std::to_string(supervisor_.total_respawns()) + " total)");
+      return;
+    }
+    ++outcome_.shard.respawns;
+    respawn_at_[shard] = now() + *backoff;
+  }
+
+  void start_due_respawns() {
+    const double t = now();
+    for (auto it = respawn_at_.begin(); it != respawn_at_.end();) {
+      if (it->second <= t) {
+        const std::size_t shard = it->first;
+        it = respawn_at_.erase(it);
+        spawn(shard, supervisor_.generation(shard));
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void check_heartbeats() {
+    const double timeout =
+        options_.hang_timeout_seconds > 0.0
+            ? options_.hang_timeout_seconds
+            : (options_.guards.superstep_seconds > 0.0
+                   ? options_.guards.superstep_seconds
+                   : 30.0);
+    const double t = now();
+    for (WorkerSlot& w : workers_) {
+      if (w.alive && t - w.last_seen > timeout) {
+        // A worker that stopped heartbeating stopped progressing —
+        // heartbeats are sent from inside the compute/drain loops. Kill
+        // it and let the reaper route it into the respawn path.
+        ++outcome_.shard.heartbeat_kills;
+        ::kill(w.pid, SIGKILL);
+        w.last_seen = t;  // one kill per missed deadline
+      }
+    }
+  }
+
+  void abort_run(RunErrorKind kind, const std::string& detail) {
+    CtrlMsg abort_msg;
+    abort_msg.kind = CtrlMsg::Kind::kAbort;
+    for (WorkerSlot& w : workers_) {
+      if (w.alive) {
+        (void)w.chan.send(abort_msg);
+      }
+    }
+    outcome_.error.emplace(kind,
+                           static_cast<std::size_t>(barrier_superstep_), 0,
+                           RunError::kNoVertex, detail);
+  }
+
+  /// Terminal cleanup: whatever state the run ended in, no child
+  /// processes survive this coordinator.
+  void reap_everything() {
+    const double deadline = now() + 1.0;
+    for (;;) {
+      bool any_alive = false;
+      for (WorkerSlot& w : workers_) {
+        if (!w.alive) {
+          continue;
+        }
+        int status = 0;
+        const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+        if (r == w.pid || r < 0) {
+          w.alive = false;
+          w.chan.close();
+        } else {
+          any_alive = true;
+          if (now() > deadline) {
+            ::kill(w.pid, SIGKILL);
+          }
+        }
+      }
+      if (!any_alive) {
+        return;
+      }
+      ::usleep(2000);
+    }
+  }
+
+  const graph::CsrGraph& graph_;
+  Program program_;
+  ShardOptions options_;
+  ShardPartition part_;
+  ShardSupervisor supervisor_;
+  std::uint64_t graph_fp_ = 0;
+
+  ArenaSpec spec_;
+  std::unique_ptr<ShmArena> arena_;
+  std::vector<WorkerSlot> workers_;
+
+  std::uint64_t barrier_superstep_ = 0;
+  std::vector<std::optional<BarrierEntry>> entries_;
+  std::map<std::uint64_t, Release> history_;
+  std::map<std::size_t, double> respawn_at_;
+
+  bool halting_ = false;
+  std::size_t exited_ = 0;
+  bool done_ = false;
+  double start_ = now();
+  ShardOutcome outcome_;
+};
+
+/// Entry point of the sharded execution mode: runs `program` over `graph`
+/// across options.num_shards worker processes and returns the fused
+/// outcome. On success `out_values` (when non-null) receives the final
+/// per-slot vertex values, byte-identical to what Engine::values() holds
+/// for the populated range under the same deterministic schedule.
+template <VertexProgram Program>
+[[nodiscard]] ShardOutcome run_sharded(
+    const graph::CsrGraph& graph, Program program, const ShardOptions& options,
+    std::vector<typename Program::value_type>* out_values = nullptr) {
+  Coordinator<Program> coordinator(graph, std::move(program), options);
+  return coordinator.run(out_values);
+}
+
+}  // namespace ipregel::shard

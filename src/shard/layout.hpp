@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "shard/ring.hpp"
+
+namespace ipregel::shard {
+
+/// Byte layout of the shared-memory arena: N*(N-1) directed rings plus
+/// the result board the coordinator reads final vertex values from.
+/// Computed once by the coordinator pre-fork; workers inherit the mapping
+/// and attach by offset.
+struct ArenaSpec {
+  std::size_t shards = 0;
+  /// Data-byte capacity of ring src→dst at [src * shards + dst]; 0 on the
+  /// diagonal (self-delivery never leaves the process).
+  std::vector<std::size_t> ring_capacity;
+  std::size_t board_bytes = 0;
+
+  // Derived by finalize():
+  std::vector<std::size_t> ring_offset;
+  std::size_t board_offset = 0;
+  std::size_t total_bytes = 0;
+
+  /// Lays rings and board out back to back, cache-line aligned.
+  void finalize() {
+    constexpr std::size_t kAlign = 64;
+    ring_offset.assign(shards * shards, 0);
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < shards * shards; ++i) {
+      if (ring_capacity[i] == 0) {
+        continue;
+      }
+      ring_offset[i] = at;
+      at += SpscRing::bytes_required(ring_capacity[i]);
+      at = (at + kAlign - 1) / kAlign * kAlign;
+    }
+    board_offset = at;
+    total_bytes = at + board_bytes;
+  }
+
+  /// Attaches a ring view for src→dst over `arena`.
+  [[nodiscard]] SpscRing attach(const ShmArena& arena, std::size_t src,
+                                std::size_t dst, bool initialize) const {
+    const std::size_t i = src * shards + dst;
+    SpscRing ring;
+    ring.attach(arena.at(ring_offset[i]), ring_capacity[i], initialize);
+    return ring;
+  }
+};
+
+}  // namespace ipregel::shard

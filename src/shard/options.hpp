@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/run_error.hpp"
+#include "ft/checkpoint.hpp"
+#include "shard/supervisor.hpp"
+
+namespace ipregel::shard {
+
+/// A scripted worker-process fault, the multi-process analogue of
+/// ft::FaultPlan: "shard S, in its G-th incarnation, dies (or hangs) at
+/// superstep T, at this point of the superstep protocol". Deterministic
+/// and per-incarnation, so a chaos test can kill a shard, let the
+/// supervisor respawn it, and know the respawn will not re-trip the same
+/// fault.
+struct ShardFault {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// The worker raise(SIGKILL)s itself — an instant, uncatchable death,
+    /// indistinguishable from an OOM kill or an operator's kill -9.
+    kSigkill,
+    /// The worker stops making progress AND stops heartbeating (sleeps
+    /// forever); only the coordinator's missed-heartbeat watchdog can
+    /// detect it. Exercises the SIGKILL-by-coordinator path.
+    kHang,
+  };
+  /// Where in the superstep protocol the fault trips.
+  enum class Phase : std::uint8_t {
+    /// Mid-compute, before any of this superstep's frames are posted.
+    kCompute,
+    /// After posting outgoing frames, before entering the barrier — the
+    /// survivors may already be consuming this superstep's messages.
+    kAfterPost,
+    /// After receiving the barrier release, before the checkpoint for the
+    /// next superstep is written — redo resumes from the PREVIOUS
+    /// snapshot.
+    kBeforeCheckpoint,
+    /// After the checkpoint for the next superstep is on disk — redo
+    /// resumes exactly at the superstep the survivors are entering.
+    kAfterCheckpoint,
+  };
+
+  Kind kind = Kind::kNone;
+  std::size_t shard = 0;
+  std::uint64_t superstep = 0;
+  Phase phase = Phase::kCompute;
+  /// Incarnation the fault arms in: 0 = the original process, 1 = the
+  /// first respawn, ... Lets tests fault a RECOVERY, not just a run.
+  std::size_t generation = 0;
+};
+
+/// A scripted snapshot-read fault during recovery: shard S's G-th
+/// incarnation sees EIO on its first `fail_reads` snapshot read()s (the
+/// restore path wraps its filesystem in io::ReadFaultVfs). The newest
+/// snapshot gets quarantined and recovery falls back one generation — the
+/// fallback ladder, exercised across a real fork() boundary.
+struct RestoreFault {
+  std::size_t shard = 0;
+  /// Incarnation the fault arms in; respawns are generation 1, 2, ...
+  std::size_t generation = 1;
+  std::size_t fail_reads = 1;
+};
+
+/// Per-run observability counters of the shard control plane, reported
+/// next to the RunResult.
+struct ShardRunStats {
+  /// Worker processes forked beyond the initial N (one per recovery).
+  std::size_t respawns = 0;
+  /// Respawns that restored from a snapshot (vs. restarting superstep 0).
+  std::size_t snapshot_recoveries = 0;
+  /// Workers SIGKILLed by the coordinator for missed heartbeats.
+  std::size_t heartbeat_kills = 0;
+  /// Wall-clock seconds spent with at least one shard dead or recovering
+  /// (death detection to the respawned worker's barrier re-entry).
+  double recovery_seconds = 0.0;
+};
+
+/// The typed result of a sharded run: RunOutcome's shape plus the shard
+/// control-plane counters.
+struct ShardOutcome {
+  RunResult result{};
+  std::optional<RunError> error;
+  ShardRunStats shard{};
+
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Configuration of a sharded multi-process run (shard::run_sharded).
+struct ShardOptions {
+  /// Worker processes; each owns one contiguous vertex range.
+  std::size_t num_shards = 2;
+
+  /// Hard superstep ceiling, mirroring EngineOptions::max_supersteps.
+  std::size_t max_supersteps = 10'000;
+
+  /// Per-shard checkpointing. Each worker writes its slice through
+  /// AtomicFile into `directory`/shard<K>/ and prunes/quarantines its own
+  /// subdirectory via SnapshotDirectory. kOff disables recovery-by-
+  /// snapshot: a died shard restarts from superstep 0 (only acceptable
+  /// when faults are not expected).
+  ft::CheckpointPolicy checkpoint{};
+
+  /// Watchdogs. guards.run_seconds bounds the whole job (kRunTimeout);
+  /// guards.superstep_seconds, when set, overrides hang_timeout_seconds
+  /// as the missed-heartbeat ceiling — the PR-2 watchdog knobs routed
+  /// into the multi-process control plane. memory_budget/cancel_token are
+  /// coordinator-side: the cancel token aborts the job at the next poll.
+  RunGuards guards{};
+
+  /// How often a live worker heartbeats the coordinator. Heartbeats are
+  /// sent from inside the compute/drain/barrier loops (progress-coupled:
+  /// a stuck worker stops heartbeating; there is no helper thread to
+  /// keep a corpse looking alive).
+  double heartbeat_interval_seconds = 0.05;
+
+  /// Coordinator kills a worker whose last heartbeat is older than this.
+  /// 0 = derive: guards.superstep_seconds when set, else 30s.
+  double hang_timeout_seconds = 0.0;
+
+  /// Outgoing frame generations each worker retains for replay to a
+  /// recovering peer. Must cover the deepest possible resume gap: barrier
+  /// skew is at most 1 superstep and an EIO fallback costs one more
+  /// snapshot generation, so 3 covers single-failure chaos with
+  /// checkpoint.every == 1 and heavyweight snapshots. A lightweight
+  /// resume reads one generation deeper still (resume is the snapshot's
+  /// superstep + 1, and resend rebuilds from the frames BELOW it), so
+  /// runs stacking lightweight mode with snapshot-read faults should set
+  /// 4 — what the kill-matrix chaos cells do.
+  std::size_t retain_supersteps = 3;
+
+  /// Respawn budget and backoff.
+  SupervisorPolicy supervisor{};
+
+  /// Scripted process faults (chaos tests; empty in production).
+  std::vector<ShardFault> faults;
+
+  /// Scripted snapshot-read faults during recovery.
+  std::vector<RestoreFault> restore_faults;
+
+  /// Extra bytes per ring beyond the computed 2-full-batch minimum.
+  std::size_t ring_slack_bytes = 4096;
+};
+
+}  // namespace ipregel::shard

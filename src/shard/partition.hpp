@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "runtime/partition.hpp"
+#include "runtime/rng.hpp"
+
+namespace ipregel::shard {
+
+/// Static slot ownership of a sharded run: the populated slot range
+/// [first_slot, num_slots) split into `shards` contiguous blocks with
+/// runtime::block_partition — the SAME split the single-process engine
+/// hands its threads, which is what makes a sharded run's per-destination
+/// combine order reproduce the engine's and keeps integer-combiner apps
+/// bit-identical across the two execution modes.
+class ShardPartition {
+ public:
+  ShardPartition(const graph::CsrGraph& g, std::size_t shards) noexcept
+      : first_(g.first_slot()),
+        populated_(g.num_slots() - g.first_slot()),
+        shards_(shards == 0 ? 1 : shards) {}
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+  /// Slot range owned by `shard` (absolute slot indices).
+  [[nodiscard]] runtime::Range slots(std::size_t shard) const noexcept {
+    const runtime::Range r =
+        runtime::block_partition(populated_, shards_, shard);
+    return {r.begin + first_, r.end + first_};
+  }
+
+  /// Inverse of slots(): which shard owns an absolute slot index. O(1) —
+  /// the sender's routing decision, taken once per delivered message.
+  [[nodiscard]] std::size_t shard_of_slot(std::size_t slot) const noexcept {
+    const std::size_t idx = slot - first_;
+    const std::size_t base = populated_ / shards_;
+    const std::size_t extra = populated_ % shards_;
+    const std::size_t fat = extra * (base + 1);  // slots in the +1 blocks
+    if (idx < fat) {
+      return idx / (base + 1);
+    }
+    return base == 0 ? shards_ - 1 : extra + (idx - fat) / base;
+  }
+
+ private:
+  std::size_t first_;
+  std::size_t populated_;
+  std::size_t shards_;
+};
+
+/// Program fingerprint bound to a shard topology. Per-shard snapshots are
+/// slices of a larger run; a slice written by a 4-shard run must never be
+/// resurrected into an 8-shard run even when its slot range happens to
+/// line up (shard 0 of 4 and shard 0 of 8 share first_slot on aligned
+/// sizes). Mixing (num_shards, shard_index) into the v2
+/// program_fingerprint makes topology part of the snapshot's identity, so
+/// the existing fingerprint check rejects cross-topology restores with a
+/// typed SnapshotMismatch — no new metadata field, no format bump.
+[[nodiscard]] inline std::uint64_t shard_fingerprint(
+    std::uint64_t program_fp, std::size_t num_shards,
+    std::size_t shard) noexcept {
+  const std::uint64_t h = runtime::mix64(
+      program_fp ^ (static_cast<std::uint64_t>(num_shards) << 32) ^
+      static_cast<std::uint64_t>(shard));
+  return h == 0 ? 1 : h;  // 0 means "unknown" in v1 snapshots
+}
+
+}  // namespace ipregel::shard

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ipregel::shard {
+
+/// Respawn budget and backoff schedule for failed worker processes — the
+/// multi-process generalisation of ft::RetryPolicy (which restarts a
+/// single in-process engine run). The same three dials: how many times,
+/// how long to wait, how fast the wait grows.
+struct SupervisorPolicy {
+  /// Respawns allowed for any single shard before the run aborts with
+  /// kShardFailure. A shard that keeps dying is not transient bad luck.
+  std::size_t max_respawns_per_shard = 3;
+  /// Total respawns across all shards — a run-wide fuse against rolling
+  /// failures that never repeat on one shard.
+  std::size_t max_total_respawns = 8;
+  /// Exponential backoff before each respawn of the same shard: the k-th
+  /// respawn waits initial * multiplier^(k-1), capped at max. Graceful
+  /// degradation: repeated failures slow the run down before the budget
+  /// finally aborts it.
+  double backoff_initial_seconds = 0.02;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 1.0;
+};
+
+/// Bookkeeping half of the supervisor: decides whether a dead shard may
+/// be respawned and how long to wait first. The coordinator owns the
+/// process-level half (fork, waitpid, SIGKILL) — splitting the policy out
+/// keeps it unit-testable without forking anything.
+class ShardSupervisor {
+ public:
+  ShardSupervisor(SupervisorPolicy policy, std::size_t shards)
+      : policy_(policy), respawns_(shards, 0) {}
+
+  /// Charges one respawn of `shard` against the budget. Returns the
+  /// backoff to wait before forking the replacement, or nullopt when the
+  /// budget is exhausted (the caller must abort the run).
+  [[nodiscard]] std::optional<double> plan_respawn(std::size_t shard) {
+    if (respawns_[shard] >= policy_.max_respawns_per_shard ||
+        total_ >= policy_.max_total_respawns) {
+      return std::nullopt;
+    }
+    const std::size_t attempt = ++respawns_[shard];
+    ++total_;
+    double backoff = policy_.backoff_initial_seconds;
+    for (std::size_t i = 1; i < attempt; ++i) {
+      backoff *= policy_.backoff_multiplier;
+    }
+    return std::min(backoff, policy_.backoff_max_seconds);
+  }
+
+  /// Respawns charged to `shard` so far — also the generation number of
+  /// its current incarnation (0 = original process).
+  [[nodiscard]] std::size_t generation(std::size_t shard) const noexcept {
+    return respawns_[shard];
+  }
+  [[nodiscard]] std::size_t total_respawns() const noexcept { return total_; }
+
+ private:
+  SupervisorPolicy policy_;
+  std::vector<std::size_t> respawns_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ipregel::shard

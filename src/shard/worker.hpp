@@ -1,0 +1,522 @@
+#pragma once
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/aggregator_traits.hpp"
+#include "core/program_traits.hpp"
+#include "ft/snapshot.hpp"
+#include "ft/snapshot_dir.hpp"
+#include "io/fault_wrap_vfs.hpp"
+#include "io/vfs.hpp"
+#include "shard/channel.hpp"
+#include "shard/layout.hpp"
+#include "shard/options.hpp"
+#include "shard/partition.hpp"
+#include "shard/ring.hpp"
+#include "shard/shard_engine.hpp"
+
+namespace ipregel::shard {
+
+/// Worker exit codes the coordinator distinguishes from fault-injected
+/// deaths (anything else is "crashed").
+inline constexpr int kWorkerExitHalt = 0;      ///< computation converged
+inline constexpr int kWorkerExitAbort = 3;     ///< coordinator said kAbort
+inline constexpr int kWorkerExitOrphan = 4;    ///< coordinator vanished
+inline constexpr int kWorkerExitStuck = 5;     ///< peer ring never drained
+
+/// Everything one worker process needs, assembled by the coordinator
+/// pre-fork. References point into the parent's address space; fork's
+/// copy-on-write snapshot keeps them valid in the child.
+template <VertexProgram Program>
+struct WorkerConfig {
+  const graph::CsrGraph* graph = nullptr;
+  const Program* program = nullptr;
+  const ShardOptions* options = nullptr;
+  const ArenaSpec* spec = nullptr;
+  const ShmArena* arena = nullptr;
+  std::size_t me = 0;
+  std::size_t generation = 0;
+  std::uint64_t graph_fp = 0;
+};
+
+/// The worker process body: restore-or-initialise, then the BSP loop —
+/// compute, post combined frames, drain peers in source order, publish
+/// values, enter the barrier, wait for the release. Runs single-threaded;
+/// heartbeats are sent from inside these loops, so liveness certifies
+/// progress. Never returns normally — the caller `_exit`s with the
+/// returned code. Must not touch the parent's stdio/test state.
+template <VertexProgram Program>
+class Worker {
+ public:
+  using Value = typename Program::value_type;
+  using Msg = typename Program::message_type;
+
+  Worker(const WorkerConfig<Program>& cfg, Channel channel)
+      : cfg_(cfg),
+        chan_(std::move(channel)),
+        part_(*cfg.graph, cfg.options->num_shards),
+        engine_(*cfg.graph, *cfg.program, part_, cfg.me),
+        bound_fp_(shard_fingerprint(program_fingerprint<Program>(),
+                                    cfg.options->num_shards, cfg.me)) {
+    const std::size_t n = cfg_.options->num_shards;
+    in_ring_.resize(n);
+    out_ring_.resize(n);
+    for (std::size_t peer = 0; peer < n; ++peer) {
+      if (peer == cfg_.me) {
+        continue;
+      }
+      in_ring_[peer] = cfg_.spec->attach(*cfg_.arena, peer, cfg_.me, false);
+      out_ring_[peer] = cfg_.spec->attach(*cfg_.arena, cfg_.me, peer, false);
+    }
+    board_ = cfg_.arena->at(cfg_.spec->board_offset);
+    pending_.resize(n);
+    floor_.assign(n, 0);
+    for (const ShardFault& f : cfg_.options->faults) {
+      if (f.shard == cfg_.me && f.generation == cfg_.generation &&
+          f.kind != ShardFault::Kind::kNone) {
+        armed_.push_back(f);
+      }
+    }
+  }
+
+  [[nodiscard]] int run() {
+    std::uint64_t resume = 0;
+    ft::CheckpointMode restored_mode = ft::CheckpointMode::kHeavyweight;
+    bool restored = false;
+    if (cfg_.generation > 0 && cfg_.options->checkpoint.enabled()) {
+      restored = try_restore(resume, restored_mode);
+    }
+    if (!restored) {
+      resume = 0;
+      engine_.initialize();
+    }
+
+    CtrlMsg hello;
+    hello.kind = CtrlMsg::Kind::kHello;
+    hello.shard = static_cast<std::uint32_t>(cfg_.me);
+    hello.superstep = resume;
+    hello.flag = cfg_.generation;
+    if (!chan_.send(hello)) {
+      return kWorkerExitOrphan;
+    }
+
+    if (restored && restored_mode == ft::CheckpointMode::kLightweight &&
+        resume > 0) {
+      // Rebuild inbox_resume from the survivors' republished frames with
+      // our own resend slice interleaved at source position `me` — the
+      // original source-order fold, bit for bit.
+      for (std::size_t src = 0; src < part_.shards(); ++src) {
+        floor_[src] = resume - 1;
+      }
+      exchange(resume - 1, /*into_current=*/true, /*self_resend=*/true,
+               nullptr);
+    } else {
+      for (std::size_t src = 0; src < part_.shards(); ++src) {
+        floor_[src] = resume;
+      }
+    }
+
+    std::uint64_t s = resume;
+    for (;;) {
+      auto tick = [&](std::uint64_t /*executed*/) {
+        maybe_fault(ShardFault::Phase::kCompute, s);
+        heartbeat();
+        pump(0);
+        drain_rings();
+      };
+      const auto counts = engine_.compute_superstep(s, tick);
+
+      // Post this superstep's combined frames and retain them for
+      // recovering peers.
+      RetainedGen gen;
+      gen.superstep = s;
+      gen.frames.resize(part_.shards());
+      for (std::size_t dst = 0; dst < part_.shards(); ++dst) {
+        gen.frames[dst] = engine_.take_outbox(dst);
+        if (dst != cfg_.me) {
+          push_frame(dst, s, gen.frames[dst]);
+        }
+      }
+      std::vector<std::uint8_t> self_frame = std::move(gen.frames[cfg_.me]);
+      gen.frames[cfg_.me].clear();
+      retained_.push_back(std::move(gen));
+      while (retained_.size() > cfg_.options->retain_supersteps) {
+        retained_.pop_front();
+      }
+      maybe_fault(ShardFault::Phase::kAfterPost, s);
+
+      // Collect every peer's frame for this superstep into the NEXT
+      // inbox, self at its source position.
+      exchange(s, /*into_current=*/false, /*self_resend=*/false,
+               &self_frame);
+
+      // Publish values BEFORE the barrier: if the run halts at this
+      // superstep the board is already complete, and a death after this
+      // point loses nothing a redo will not rewrite.
+      const auto bytes = engine_.value_bytes();
+      std::memcpy(board_ + engine_.local_range().begin * sizeof(Value),
+                  bytes.data(), bytes.size());
+
+      CtrlMsg barrier;
+      barrier.kind = CtrlMsg::Kind::kBarrier;
+      barrier.shard = static_cast<std::uint32_t>(cfg_.me);
+      barrier.superstep = s;
+      barrier.sent = counts.sent;
+      barrier.active = counts.active;
+      barrier.executed = counts.executed;
+      if constexpr (HasSerializableAggregator<Program>) {
+        const auto agg = engine_.take_aggregate_partial();
+        static_assert(sizeof(typename Program::aggregate_type) <=
+                          CtrlMsg::kMaxAggregate,
+                      "aggregate_type too large for the control plane");
+        barrier.payload_len = static_cast<std::uint32_t>(agg.size());
+        std::memcpy(barrier.payload, agg.data(), agg.size());
+      }
+      if (!chan_.send(barrier)) {
+        return kWorkerExitOrphan;
+      }
+
+      const CtrlMsg proceed = await_proceed(s);
+      if (static_cast<CtrlMsg::Command>(proceed.flag) ==
+          CtrlMsg::Command::kHalt) {
+        return kWorkerExitHalt;
+      }
+      if constexpr (HasSerializableAggregator<Program>) {
+        engine_.set_aggregated(
+            std::span<const std::uint8_t>(proceed.payload,
+                                          proceed.payload_len));
+      }
+
+      engine_.advance();
+      maybe_fault(ShardFault::Phase::kBeforeCheckpoint, s);
+      const std::uint64_t next = s + 1;
+      if (checkpoint_due(next)) {
+        write_checkpoint(next);
+      }
+      maybe_fault(ShardFault::Phase::kAfterCheckpoint, s);
+      s = next;
+    }
+  }
+
+ private:
+  struct RetainedGen {
+    std::uint64_t superstep = 0;
+    std::vector<std::vector<std::uint8_t>> frames;  ///< per dst; self empty
+  };
+
+  [[nodiscard]] static double now() noexcept {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  [[nodiscard]] std::string shard_dir() const {
+    return cfg_.options->checkpoint.directory + "/shard" +
+           std::to_string(cfg_.me);
+  }
+
+  /// Restores from the newest per-shard snapshot that passes structural
+  /// AND binding validation (graph, program, shard topology, slot range).
+  /// A scripted RestoreFault wraps the directory's filesystem in
+  /// io::ReadFaultVfs, so the newest snapshot reads as EIO, gets
+  /// quarantined, and the walk falls back a generation — all through the
+  /// production code path.
+  bool try_restore(std::uint64_t& resume, ft::CheckpointMode& mode) {
+    io::Vfs* base = cfg_.options->checkpoint.vfs;
+    std::optional<io::ReadFaultVfs> faulty;
+    for (const RestoreFault& rf : cfg_.options->restore_faults) {
+      if (rf.shard == cfg_.me && rf.generation == cfg_.generation) {
+        faulty.emplace(io::vfs_or_real(base), rf.fail_reads);
+      }
+    }
+    io::Vfs* vfs = faulty.has_value() ? &*faulty : base;
+    ft::SnapshotDirectory dir(shard_dir(), cfg_.options->checkpoint.basename,
+                              vfs, cfg_.options->checkpoint.keep);
+    const auto validator = [this](const ft::EngineSnapshot& snap) {
+      return engine_.validate(snap, cfg_.graph_fp, bound_fp_);
+    };
+    std::optional<ft::SnapshotDirectory::Entry> entry;
+    try {
+      entry = dir.newest_valid(validator);
+    } catch (const std::exception&) {
+      return false;  // unreadable directory — restart from scratch
+    }
+    if (!entry.has_value()) {
+      return false;
+    }
+    try {
+      const ft::EngineSnapshot snap = ft::read_snapshot(entry->path, vfs);
+      engine_.initialize();
+      engine_.restore(snap);
+      resume = snap.meta.superstep;
+      mode = snap.meta.mode;
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool checkpoint_due(std::uint64_t resume) const noexcept {
+    const ft::CheckpointPolicy& p = cfg_.options->checkpoint;
+    if (!p.enabled() || resume == 0) {
+      return false;
+    }
+    // kAdaptive degenerates to every-superstep here: per-shard cost
+    // modelling is a coordinator concern the shard runtime does not
+    // duplicate.
+    const std::size_t every =
+        p.trigger == ft::CheckpointTrigger::kEveryK ? std::max<std::size_t>(
+                                                          p.every, 1)
+                                                    : 1;
+    return resume % every == 0;
+  }
+
+  void write_checkpoint(std::uint64_t resume) {
+    const ft::CheckpointPolicy& p = cfg_.options->checkpoint;
+    io::Vfs& vfs = io::vfs_or_real(p.vfs);
+    try {
+      if (!vfs.exists(shard_dir())) {
+        vfs.mkdir(shard_dir());
+      }
+      const auto snap =
+          engine_.capture(p.mode, resume, cfg_.graph_fp, bound_fp_);
+      ft::write_snapshot(ft::snapshot_path(shard_dir(), p.basename, resume),
+                         snap, p.vfs);
+      ft::SnapshotDirectory dir(shard_dir(), p.basename, p.vfs, p.keep);
+      dir.prune([this](const ft::EngineSnapshot& s) {
+        return engine_.validate(s, cfg_.graph_fp, bound_fp_);
+      });
+    } catch (const std::exception&) {
+      // Losing one checkpoint costs recomputation, not correctness; the
+      // next trigger retries.
+    }
+  }
+
+  void heartbeat() {
+    const double t = now();
+    if (t - last_heartbeat_ < cfg_.options->heartbeat_interval_seconds) {
+      return;
+    }
+    last_heartbeat_ = t;
+    CtrlMsg hb;
+    hb.kind = CtrlMsg::Kind::kHeartbeat;
+    hb.shard = static_cast<std::uint32_t>(cfg_.me);
+    if (!chan_.send(hb)) {
+      ::_exit(kWorkerExitOrphan);
+    }
+  }
+
+  void maybe_fault(ShardFault::Phase phase, std::uint64_t superstep) {
+    for (ShardFault& f : armed_) {
+      if (f.kind == ShardFault::Kind::kNone || f.phase != phase ||
+          f.superstep != superstep) {
+        continue;
+      }
+      const ShardFault::Kind kind = f.kind;
+      f.kind = ShardFault::Kind::kNone;  // fire once
+      if (kind == ShardFault::Kind::kSigkill) {
+        ::kill(::getpid(), SIGKILL);
+      }
+      // kHang: stop progressing AND stop heartbeating; only the
+      // coordinator's watchdog can end this incarnation.
+      for (;;) {
+        ::pause();
+      }
+    }
+  }
+
+  /// Moves every readable frame from the peer rings into the pending
+  /// stash, dropping stale generations (below the per-source floor) and
+  /// duplicates (republished frames are byte-identical to the originals).
+  void drain_rings() {
+    for (std::size_t src = 0; src < part_.shards(); ++src) {
+      if (src == cfg_.me) {
+        continue;
+      }
+      while (auto frame = in_ring_[src].try_pop()) {
+        if (frame->header.superstep < floor_[src]) {
+          continue;
+        }
+        pending_[src].emplace(frame->header.superstep,
+                              std::move(frame->payload));
+      }
+    }
+  }
+
+  /// Processes queued control messages. kProceed is returned to the
+  /// caller (only the barrier wait expects one); everything else is
+  /// handled inline. Republishing is deferred while a ring push is in
+  /// flight to keep pushes non-reentrant.
+  std::optional<CtrlMsg> pump(int timeout_ms) {
+    const auto msg = chan_.recv(timeout_ms);
+    if (!msg.has_value()) {
+      return std::nullopt;
+    }
+    switch (msg->kind) {
+      case CtrlMsg::Kind::kAbort:
+        ::_exit(kWorkerExitAbort);
+      case CtrlMsg::Kind::kRecover:
+        if (msg->shard != cfg_.me) {
+          deferred_recover_.push_back(*msg);
+          if (!in_push_) {
+            flush_recover();
+          }
+        }
+        return std::nullopt;
+      case CtrlMsg::Kind::kProceed:
+        return msg;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// Republishes retained frames to a recovering peer: every generation
+  /// from its rebuild horizon (resume - 1 covers a lightweight rebuild)
+  /// onward, oldest first so the receiver's cursor walks them in order.
+  void flush_recover() {
+    while (!deferred_recover_.empty()) {
+      const CtrlMsg req = deferred_recover_.front();
+      deferred_recover_.pop_front();
+      const std::size_t peer = req.shard;
+      const std::uint64_t oldest =
+          req.superstep == 0 ? 0 : req.superstep - 1;
+      for (const RetainedGen& gen : retained_) {
+        if (gen.superstep < oldest) {
+          continue;
+        }
+        push_frame(peer, gen.superstep, gen.frames[peer]);
+      }
+    }
+  }
+
+  /// Blocking ring push with liveness: spins draining our own inputs and
+  /// heartbeating until the frame fits. A ring that stays full past the
+  /// deadline means the peer is dead and the coordinator lost track of it
+  /// — exiting lets the supervisor treat US as the failure and untangle.
+  void push_frame(std::size_t dst, std::uint64_t superstep,
+                  std::span<const std::uint8_t> payload) {
+    in_push_ = true;
+    const double deadline = now() + push_deadline_seconds();
+    while (!out_ring_[dst].try_push(static_cast<std::uint32_t>(cfg_.me),
+                                    superstep, payload)) {
+      drain_rings();
+      pump(1);
+      heartbeat();
+      if (now() > deadline) {
+        ::_exit(kWorkerExitStuck);
+      }
+    }
+    in_push_ = false;
+    if (!deferred_recover_.empty()) {
+      flush_recover();
+    }
+  }
+
+  [[nodiscard]] double push_deadline_seconds() const noexcept {
+    const double hang = cfg_.options->hang_timeout_seconds > 0.0
+                            ? cfg_.options->hang_timeout_seconds
+                            : (cfg_.options->guards.superstep_seconds > 0.0
+                                   ? cfg_.options->guards.superstep_seconds
+                                   : 30.0);
+    return hang * 4.0;
+  }
+
+  /// Applies every source's frame for `superstep` in ascending source
+  /// order — the determinism backbone. `self_resend` replays
+  /// Program::resend at our own position (lightweight rebuild);
+  /// otherwise `self_frame` is applied there.
+  void exchange(std::uint64_t superstep, bool into_current, bool self_resend,
+                const std::vector<std::uint8_t>* self_frame) {
+    for (std::size_t src = 0; src < part_.shards(); ++src) {
+      if (src == cfg_.me) {
+        if (self_resend) {
+          engine_.resend_self(superstep + 1);
+        } else if (self_frame != nullptr) {
+          engine_.apply_frame(*self_frame, into_current);
+        }
+        continue;
+      }
+      for (;;) {
+        auto it = pending_[src].find(superstep);
+        if (it != pending_[src].end()) {
+          engine_.apply_frame(it->second, into_current);
+          pending_[src].erase(pending_[src].begin(), std::next(it));
+          floor_[src] = std::max(floor_[src], superstep + 1);
+          break;
+        }
+        drain_rings();
+        pump(1);
+        heartbeat();
+      }
+    }
+  }
+
+  /// Waits at the barrier for the release of `superstep`, draining rings
+  /// (peers may already be posting the next superstep) and serving
+  /// recovery requests meanwhile.
+  [[nodiscard]] CtrlMsg await_proceed(std::uint64_t superstep) {
+    for (;;) {
+      if (const auto msg = pump(2)) {
+        if (msg->superstep == superstep) {
+          return *msg;
+        }
+        // A stale release for a superstep we already passed — possible
+        // only for redone barriers; ignore.
+      }
+      drain_rings();
+      heartbeat();
+    }
+  }
+
+  WorkerConfig<Program> cfg_;
+  Channel chan_;
+  ShardPartition part_;
+  ShardEngine<Program> engine_;
+  std::uint64_t bound_fp_;
+
+  std::vector<SpscRing> in_ring_;
+  std::vector<SpscRing> out_ring_;
+  std::uint8_t* board_ = nullptr;
+
+  /// Received-but-unapplied frames per source, keyed by superstep.
+  std::vector<std::map<std::uint64_t, std::vector<std::uint8_t>>> pending_;
+  /// Frames below this per-source superstep are stale duplicates.
+  std::vector<std::uint64_t> floor_;
+  /// Our recent outgoing frames, kept for peers that respawn behind us.
+  std::deque<RetainedGen> retained_;
+  std::deque<CtrlMsg> deferred_recover_;
+  std::vector<ShardFault> armed_;
+
+  double last_heartbeat_ = 0.0;
+  bool in_push_ = false;
+};
+
+/// Child-process entry: builds the worker and runs it. Defined out of
+/// Worker so the coordinator's fork branch is one call.
+template <VertexProgram Program>
+[[noreturn]] inline void worker_main(const WorkerConfig<Program>& cfg,
+                                     Channel channel) {
+  int code = 1;
+  try {
+    Worker<Program> worker(cfg, std::move(channel));
+    code = worker.run();
+  } catch (...) {
+    code = 2;
+  }
+  ::_exit(code);
+}
+
+}  // namespace ipregel::shard

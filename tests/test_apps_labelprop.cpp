@@ -1,0 +1,92 @@
+// Degree-anchored label propagation vs the serial reference, across every
+// applicable framework version. The app packs (out-degree desc, id asc)
+// into one 64-bit min-combinable key, so all versions — and the sharded
+// runtime, tested elsewhere — must agree bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "apps/label_propagation.hpp"
+#include "apps/serial_reference.hpp"
+#include "test_util.hpp"
+
+namespace ipregel {
+namespace {
+
+using apps::LabelPropagation;
+
+TEST(LabelPropagationApp, PackOrdersByDegreeThenId) {
+  // Higher degree always wins; equal degree falls to the smaller id.
+  EXPECT_LT(LabelPropagation::pack(5, 9), LabelPropagation::pack(4, 0));
+  EXPECT_LT(LabelPropagation::pack(3, 2), LabelPropagation::pack(3, 7));
+  EXPECT_EQ(LabelPropagation::label_of(LabelPropagation::pack(17, 42)), 42u);
+  EXPECT_EQ(LabelPropagation::label_of(LabelPropagation::pack(0, 0)), 0u);
+}
+
+TEST(LabelPropagationApp, AdoptsTheHubOfEachComponent) {
+  // Two components: a star anchored at 0 (degree 3) plus an isolated edge
+  // pair. Symmetric edges so labels can flow both ways.
+  const graph::EdgeList edges(std::vector<graph::Edge>{
+      {0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0}, {4, 5}, {5, 4}});
+  const auto g = testing::make_graph(edges);
+  const auto expected = apps::serial::label_propagation(g);
+  testing::expect_all_versions_match(g, LabelPropagation{}, expected,
+                                     "star-plus-edge");
+  // And the unpacked labels are what the serial fixpoint means: everyone
+  // in the star carries the hub's id, the pair agrees on its own hub.
+  const std::set<graph::vid_t> star_label = {
+      LabelPropagation::label_of(expected[g.slot_of(0)])};
+  for (const graph::vid_t v : {1u, 2u, 3u}) {
+    EXPECT_EQ(LabelPropagation::label_of(expected[g.slot_of(v)]),
+              *star_label.begin());
+  }
+  EXPECT_EQ(LabelPropagation::label_of(expected[g.slot_of(4)]),
+            LabelPropagation::label_of(expected[g.slot_of(5)]));
+}
+
+TEST(LabelPropagationApp, MatchesSerialOnRmat) {
+  const auto g = testing::make_graph(
+      graph::rmat(8, 6, graph::RmatOptions{.seed = 9}));
+  testing::expect_all_versions_match(g, LabelPropagation{},
+                                     apps::serial::label_propagation(g),
+                                     "rmat-s8");
+}
+
+TEST(LabelPropagationApp, MatchesSerialOnAGrid) {
+  const auto g =
+      testing::make_graph(graph::grid_2d(9, 7, graph::GridOptions{}));
+  testing::expect_all_versions_match(g, LabelPropagation{},
+                                     apps::serial::label_propagation(g),
+                                     "grid-9x7");
+}
+
+TEST(LabelPropagationApp, SurvivesDesolateAddressing) {
+  // Sparse ids exercise the hash-addressed slot map; the serial reference
+  // and engine must still line up slot for slot.
+  auto edges = graph::rmat(6, 4, graph::RmatOptions{.seed = 31});
+  graph::shift_ids(edges, 100000);
+  const auto g =
+      testing::make_graph(edges, graph::AddressingMode::kDesolate);
+  testing::expect_all_versions_match(g, LabelPropagation{},
+                                     apps::serial::label_propagation(g),
+                                     "desolate");
+}
+
+TEST(LabelPropagationApp, CycleConvergesToItsSingleHub) {
+  // A cycle is degree-regular: the tie-break alone decides, so every
+  // vertex must end up labelled with the smallest id.
+  const auto g = testing::make_graph(graph::cycle_graph(24));
+  const auto expected = apps::serial::label_propagation(g);
+  testing::expect_all_versions_match(g, LabelPropagation{}, expected,
+                                     "cycle-24");
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    EXPECT_EQ(LabelPropagation::label_of(expected[s]), 0u)
+        << "slot " << s;
+  }
+}
+
+}  // namespace
+}  // namespace ipregel

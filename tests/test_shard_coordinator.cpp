@@ -1,0 +1,239 @@
+// Control-plane tests of the sharded runtime: the supervisor's budget and
+// backoff arithmetic (pure unit tests), hang detection through the
+// missed-heartbeat watchdog, recovery without checkpoints, respawn-budget
+// exhaustion, the retained-frame window guard, and the PR-2 run guards
+// (deadline, cancel token) routed through the coordinator.
+//
+// CI also runs this binary under TSan with --gtest_repeat as the
+// coordinator/heartbeat soak.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/sssp.hpp"
+#include "shard/coordinator.hpp"
+#include "test_util.hpp"
+
+namespace ipregel::shard {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("ipregel_") + info->test_suite_name() + "_" +
+             info->name());
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(ShardSupervisor, BackoffGrowsExponentiallyAndCaps) {
+  SupervisorPolicy policy;
+  policy.max_respawns_per_shard = 10;
+  policy.max_total_respawns = 100;
+  policy.backoff_initial_seconds = 0.02;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max_seconds = 0.1;
+  ShardSupervisor sup(policy, 2);
+  EXPECT_DOUBLE_EQ(sup.plan_respawn(0).value(), 0.02);
+  EXPECT_DOUBLE_EQ(sup.plan_respawn(0).value(), 0.04);
+  EXPECT_DOUBLE_EQ(sup.plan_respawn(0).value(), 0.08);
+  EXPECT_DOUBLE_EQ(sup.plan_respawn(0).value(), 0.1);  // capped
+  EXPECT_DOUBLE_EQ(sup.plan_respawn(0).value(), 0.1);
+  // Another shard starts its own schedule from the beginning.
+  EXPECT_DOUBLE_EQ(sup.plan_respawn(1).value(), 0.02);
+  EXPECT_EQ(sup.generation(0), 5u);
+  EXPECT_EQ(sup.generation(1), 1u);
+  EXPECT_EQ(sup.total_respawns(), 6u);
+}
+
+TEST(ShardSupervisor, PerShardBudgetExhausts) {
+  SupervisorPolicy policy;
+  policy.max_respawns_per_shard = 2;
+  policy.max_total_respawns = 100;
+  ShardSupervisor sup(policy, 2);
+  EXPECT_TRUE(sup.plan_respawn(0).has_value());
+  EXPECT_TRUE(sup.plan_respawn(0).has_value());
+  EXPECT_FALSE(sup.plan_respawn(0).has_value());
+  // Shard 1 is unaffected by shard 0's exhaustion.
+  EXPECT_TRUE(sup.plan_respawn(1).has_value());
+}
+
+TEST(ShardSupervisor, TotalBudgetIsARunWideFuse) {
+  SupervisorPolicy policy;
+  policy.max_respawns_per_shard = 100;
+  policy.max_total_respawns = 3;
+  ShardSupervisor sup(policy, 4);
+  EXPECT_TRUE(sup.plan_respawn(0).has_value());
+  EXPECT_TRUE(sup.plan_respawn(1).has_value());
+  EXPECT_TRUE(sup.plan_respawn(2).has_value());
+  EXPECT_FALSE(sup.plan_respawn(3).has_value());
+}
+
+[[nodiscard]] std::vector<std::uint32_t> sssp_reference(
+    const graph::CsrGraph& g) {
+  std::vector<std::uint32_t> values;
+  EngineOptions opt;
+  opt.threads = 1;
+  (void)run_version(g, apps::Sssp{},
+                    VersionId{CombinerKind::kMutexPush, false}, opt, nullptr,
+                    &values);
+  return values;
+}
+
+void expect_matches_reference(const graph::CsrGraph& g,
+                              const std::vector<std::uint32_t>& got,
+                              const std::string& tag) {
+  const auto want = sssp_reference(g);
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_EQ(got[s], want[s]) << tag << " at slot " << s;
+  }
+}
+
+TEST(ShardCoordinator, HangedWorkerIsKilledByTheWatchdogAndRecovered) {
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  TempDir dir;
+  shard::ShardOptions opt;
+  opt.num_shards = 2;
+  opt.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  opt.checkpoint.every = 1;
+  opt.checkpoint.directory = dir.str();
+  opt.heartbeat_interval_seconds = 0.01;
+  opt.hang_timeout_seconds = 0.25;
+  ShardFault hang;
+  hang.kind = ShardFault::Kind::kHang;
+  hang.shard = 1;
+  hang.superstep = 3;
+  hang.phase = ShardFault::Phase::kCompute;
+  opt.faults.push_back(hang);
+  std::vector<std::uint32_t> got;
+  const auto outcome = shard::run_sharded(g, apps::Sssp{}, opt, &got);
+  ASSERT_TRUE(outcome.ok()) << outcome.error->what();
+  EXPECT_GE(outcome.shard.heartbeat_kills, 1u);
+  EXPECT_GE(outcome.shard.respawns, 1u);
+  EXPECT_GE(outcome.shard.snapshot_recoveries, 1u);
+  EXPECT_GT(outcome.shard.recovery_seconds, 0.0);
+  expect_matches_reference(g, got, "hang-recovery");
+}
+
+TEST(ShardCoordinator, EarlyDeathWithoutCheckpointsRestartsFromZero) {
+  // No checkpoints: the respawn resumes at superstep 0. That is inside
+  // the survivors' retained-frame window only while the barrier is still
+  // close to the start — here it is, so the run must complete and match.
+  const auto g =
+      testing::make_graph(graph::grid_2d(6, 6, graph::GridOptions{}));
+  shard::ShardOptions opt;
+  opt.num_shards = 2;
+  opt.retain_supersteps = 4;
+  ShardFault kill;
+  kill.kind = ShardFault::Kind::kSigkill;
+  kill.shard = 0;
+  kill.superstep = 2;
+  kill.phase = ShardFault::Phase::kCompute;
+  opt.faults.push_back(kill);
+  std::vector<std::uint32_t> got;
+  const auto outcome = shard::run_sharded(g, apps::Sssp{}, opt, &got);
+  ASSERT_TRUE(outcome.ok()) << outcome.error->what();
+  EXPECT_EQ(outcome.shard.respawns, 1u);
+  EXPECT_EQ(outcome.shard.snapshot_recoveries, 0u);  // no snapshot to use
+  expect_matches_reference(g, got, "restart-from-zero");
+}
+
+TEST(ShardCoordinator, LateDeathBeyondTheRetainedWindowAborts) {
+  // Same setup, but the kill lands deep into the run: a superstep-0
+  // restart cannot be replayed forward from the survivors' retained
+  // frames, and the coordinator must say so rather than hang or corrupt.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  shard::ShardOptions opt;
+  opt.num_shards = 2;
+  opt.retain_supersteps = 3;
+  ShardFault kill;
+  kill.kind = ShardFault::Kind::kSigkill;
+  kill.shard = 0;
+  kill.superstep = 8;
+  kill.phase = ShardFault::Phase::kCompute;
+  opt.faults.push_back(kill);
+  const auto outcome = shard::run_sharded(g, apps::Sssp{}, opt, nullptr);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kShardFailure);
+  EXPECT_NE(std::string(outcome.error->what()).find("retained"),
+            std::string::npos);
+}
+
+TEST(ShardCoordinator, RespawnBudgetExhaustionIsATypedAbort) {
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  TempDir dir;
+  shard::ShardOptions opt;
+  opt.num_shards = 2;
+  opt.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  opt.checkpoint.every = 1;
+  opt.checkpoint.directory = dir.str();
+  opt.supervisor.max_respawns_per_shard = 2;
+  opt.supervisor.backoff_initial_seconds = 0.01;
+  // Shard 1 dies in every incarnation: original, first respawn, second
+  // respawn. The third death finds the budget empty.
+  for (const std::size_t gen : {0u, 1u, 2u}) {
+    ShardFault kill;
+    kill.kind = ShardFault::Kind::kSigkill;
+    kill.shard = 1;
+    kill.superstep = 2 + gen;
+    kill.phase = ShardFault::Phase::kCompute;
+    kill.generation = gen;
+    opt.faults.push_back(kill);
+  }
+  const auto outcome = shard::run_sharded(g, apps::Sssp{}, opt, nullptr);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kShardFailure);
+  EXPECT_NE(std::string(outcome.error->what()).find("budget"),
+            std::string::npos);
+}
+
+TEST(ShardCoordinator, RunDeadlineFiresAsRunTimeout) {
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  shard::ShardOptions opt;
+  opt.num_shards = 2;
+  opt.guards.run_seconds = 0.25;
+  // A worker hangs without any hang timeout tight enough to catch it —
+  // the whole-run deadline must still bound the job.
+  opt.hang_timeout_seconds = 60.0;
+  ShardFault hang;
+  hang.kind = ShardFault::Kind::kHang;
+  hang.shard = 0;
+  hang.superstep = 1;
+  opt.faults.push_back(hang);
+  const auto outcome = shard::run_sharded(g, apps::Sssp{}, opt, nullptr);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kRunTimeout);
+}
+
+TEST(ShardCoordinator, CancelTokenAbortsTheRun) {
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  std::atomic<bool> cancel{true};
+  shard::ShardOptions opt;
+  opt.num_shards = 2;
+  opt.guards.cancel_token = &cancel;
+  const auto outcome = shard::run_sharded(g, apps::Sssp{}, opt, nullptr);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kCancelled);
+}
+
+}  // namespace
+}  // namespace ipregel::shard

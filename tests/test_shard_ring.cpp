@@ -1,0 +1,210 @@
+// Unit tests of the sharded runtime's data-plane foundations: the shared
+// arena, the SPSC frame ring (including wraparound and cross-process
+// operation), the slot partition, and the topology-bound fingerprint.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "shard/layout.hpp"
+#include "shard/partition.hpp"
+#include "shard/ring.hpp"
+#include "test_util.hpp"
+
+namespace ipregel::shard {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> out;
+  for (const int x : xs) {
+    out.push_back(static_cast<std::uint8_t>(x));
+  }
+  return out;
+}
+
+TEST(ShardRing, PushPopRoundTrip) {
+  ShmArena arena(SpscRing::bytes_required(256));
+  SpscRing ring;
+  ring.attach(arena.base(), 256, /*initialize=*/true);
+
+  EXPECT_FALSE(ring.try_pop().has_value());
+  const auto payload = bytes_of({1, 2, 3, 4, 5});
+  ASSERT_TRUE(ring.try_push(7, 42, payload));
+  const auto frame = ring.try_pop();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.src, 7u);
+  EXPECT_EQ(frame->header.superstep, 42u);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(ShardRing, EmptyPayloadFramesAdvanceTheCursor) {
+  ShmArena arena(SpscRing::bytes_required(128));
+  SpscRing ring;
+  ring.attach(arena.base(), 128, /*initialize=*/true);
+  ASSERT_TRUE(ring.try_push(0, 1, {}));
+  ASSERT_TRUE(ring.try_push(0, 2, {}));
+  auto f1 = ring.try_pop();
+  auto f2 = ring.try_pop();
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f1->header.superstep, 1u);
+  EXPECT_EQ(f2->header.superstep, 2u);
+  EXPECT_TRUE(f1->payload.empty());
+}
+
+TEST(ShardRing, RejectsFramesThatDoNotFit) {
+  const std::size_t cap = sizeof(FrameHeader) + 8;
+  ShmArena arena(SpscRing::bytes_required(cap));
+  SpscRing ring;
+  ring.attach(arena.base(), cap, /*initialize=*/true);
+  std::vector<std::uint8_t> big(cap, 0xAB);  // header would not fit
+  EXPECT_FALSE(ring.try_push(0, 0, big));
+  std::vector<std::uint8_t> fits(8, 0xCD);
+  EXPECT_TRUE(ring.try_push(0, 0, fits));
+  EXPECT_FALSE(ring.try_push(0, 1, fits));  // full now
+  ASSERT_TRUE(ring.try_pop().has_value());
+  EXPECT_TRUE(ring.try_push(0, 1, fits));  // space reclaimed
+}
+
+TEST(ShardRing, WrapAroundPreservesBytes) {
+  // Capacity chosen so frames straddle the wrap point repeatedly.
+  const std::size_t cap = 3 * (sizeof(FrameHeader) + 10) + 5;
+  ShmArena arena(SpscRing::bytes_required(cap));
+  SpscRing ring;
+  ring.attach(arena.base(), cap, /*initialize=*/true);
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> payload(10);
+    std::iota(payload.begin(), payload.end(),
+              static_cast<std::uint8_t>(round));
+    ASSERT_TRUE(ring.try_push(3, round, payload)) << round;
+    const auto frame = ring.try_pop();
+    ASSERT_TRUE(frame.has_value()) << round;
+    EXPECT_EQ(frame->header.superstep, round);
+    EXPECT_EQ(frame->payload, payload) << round;
+  }
+}
+
+TEST(ShardRing, CrossesTheForkBoundary) {
+  // The production topology: the arena is mapped BEFORE fork, the child
+  // produces, the parent consumes.
+  constexpr std::size_t kFrames = 500;
+  ShmArena arena(SpscRing::bytes_required(1 << 12));
+  SpscRing ring;
+  ring.attach(arena.base(), 1 << 12, /*initialize=*/true);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    SpscRing producer;
+    producer.attach(arena.base(), 1 << 12, /*initialize=*/false);
+    for (std::uint64_t i = 0; i < kFrames; ++i) {
+      std::vector<std::uint8_t> payload(32,
+                                        static_cast<std::uint8_t>(i * 7));
+      while (!producer.try_push(1, i, payload)) {
+      }
+    }
+    ::_exit(0);
+  }
+  std::uint64_t next = 0;
+  while (next < kFrames) {
+    const auto frame = ring.try_pop();
+    if (!frame.has_value()) {
+      continue;
+    }
+    ASSERT_EQ(frame->header.superstep, next);
+    ASSERT_EQ(frame->payload.size(), 32u);
+    for (const std::uint8_t b : frame->payload) {
+      ASSERT_EQ(b, static_cast<std::uint8_t>(next * 7));
+    }
+    ++next;
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(status, 0);
+}
+
+TEST(ShardLayout, RingsAndBoardDoNotOverlap) {
+  ArenaSpec spec;
+  spec.shards = 3;
+  spec.ring_capacity.assign(9, 0);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      if (s != d) {
+        spec.ring_capacity[s * 3 + d] = 100 + 10 * s + d;
+      }
+    }
+  }
+  spec.board_bytes = 777;
+  spec.finalize();
+  // Every ring's [offset, offset+bytes) and the board must be disjoint.
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (spec.ring_capacity[i] != 0) {
+      spans.emplace_back(
+          spec.ring_offset[i],
+          spec.ring_offset[i] +
+              SpscRing::bytes_required(spec.ring_capacity[i]));
+    }
+  }
+  spans.emplace_back(spec.board_offset, spec.board_offset + 777);
+  for (std::size_t a = 0; a < spans.size(); ++a) {
+    for (std::size_t b = a + 1; b < spans.size(); ++b) {
+      EXPECT_TRUE(spans[a].second <= spans[b].first ||
+                  spans[b].second <= spans[a].first)
+          << "span " << a << " overlaps span " << b;
+    }
+  }
+  EXPECT_EQ(spec.total_bytes, spec.board_offset + 777);
+}
+
+TEST(ShardPartition, CoversAndInverts) {
+  const auto g = testing::make_graph(
+      graph::rmat(8, 4, graph::RmatOptions{.seed = 5}));
+  for (const std::size_t shards : {1u, 2u, 3u, 7u, 8u}) {
+    const ShardPartition part(g, shards);
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto range = part.slots(s);
+      covered += range.size();
+      for (std::size_t slot = range.begin; slot < range.end; ++slot) {
+        ASSERT_EQ(part.shard_of_slot(slot), s)
+            << "slot " << slot << " of " << shards;
+      }
+    }
+    EXPECT_EQ(covered, g.num_slots() - g.first_slot()) << shards;
+    EXPECT_EQ(part.slots(0).begin, g.first_slot()) << shards;
+    EXPECT_EQ(part.slots(shards - 1).end, g.num_slots()) << shards;
+  }
+}
+
+TEST(ShardPartition, MatchesTheEnginesThreadShares) {
+  // Same contiguous block split as runtime::block_partition over the
+  // populated range — the bit-identity precondition.
+  const auto g = testing::make_graph(
+      graph::rmat(7, 3, graph::RmatOptions{.seed = 11}));
+  const std::size_t populated = g.num_slots() - g.first_slot();
+  const ShardPartition part(g, 4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto expect = runtime::block_partition(populated, 4, s);
+    EXPECT_EQ(part.slots(s).begin, expect.begin + g.first_slot());
+    EXPECT_EQ(part.slots(s).end, expect.end + g.first_slot());
+  }
+}
+
+TEST(ShardFingerprint, BindsTopologyIntoTheProgramIdentity) {
+  const std::uint64_t base = 0xDEADBEEFCAFEF00DULL;
+  EXPECT_NE(shard_fingerprint(base, 4, 0), shard_fingerprint(base, 8, 0));
+  EXPECT_NE(shard_fingerprint(base, 4, 0), shard_fingerprint(base, 4, 1));
+  EXPECT_EQ(shard_fingerprint(base, 4, 2), shard_fingerprint(base, 4, 2));
+  EXPECT_NE(shard_fingerprint(base, 4, 2), base);
+  EXPECT_NE(shard_fingerprint(base, 1, 0), base);
+}
+
+}  // namespace
+}  // namespace ipregel::shard

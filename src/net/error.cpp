@@ -1,0 +1,37 @@
+#include "net/error.hpp"
+
+#include <cstring>
+
+namespace ipregel::net {
+
+namespace {
+std::string build_what(NetOp op, const std::string& endpoint, int errno_value,
+                       const std::string& detail) {
+  std::string what = "net ";
+  what += to_string(op);
+  what += " failed";
+  if (!endpoint.empty()) {
+    what += " on ";
+    what += endpoint;
+  }
+  if (errno_value != 0) {
+    what += ": ";
+    what += std::strerror(errno_value);
+  }
+  if (!detail.empty()) {
+    what += " (";
+    what += detail;
+    what += ")";
+  }
+  return what;
+}
+}  // namespace
+
+NetError::NetError(NetOp op, std::string endpoint, int errno_value,
+                   const std::string& detail)
+    : std::runtime_error(build_what(op, endpoint, errno_value, detail)),
+      op_(op),
+      endpoint_(std::move(endpoint)),
+      errno_(errno_value) {}
+
+}  // namespace ipregel::net

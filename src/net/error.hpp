@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ipregel::net {
+
+/// The socket operation a NetError happened in — the network analogue of
+/// io::IoOp. One enum value per syscall family the transport layer uses,
+/// so callers can branch on *what* failed instead of string-matching
+/// what().
+enum class NetOp : std::uint8_t {
+  kSocket,
+  kBind,
+  kListen,
+  kAccept,
+  kConnect,
+  kSend,
+  kRecv,
+  kPoll,
+  kSockopt,
+  kName,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(NetOp op) noexcept {
+  switch (op) {
+    case NetOp::kSocket:
+      return "socket";
+    case NetOp::kBind:
+      return "bind";
+    case NetOp::kListen:
+      return "listen";
+    case NetOp::kAccept:
+      return "accept";
+    case NetOp::kConnect:
+      return "connect";
+    case NetOp::kSend:
+      return "send";
+    case NetOp::kRecv:
+      return "recv";
+    case NetOp::kPoll:
+      return "poll";
+    case NetOp::kSockopt:
+      return "sockopt";
+    case NetOp::kName:
+      return "name";
+  }
+  return "invalid";
+}
+
+/// A network operation failed. Mirrors io::IoError's shape — operation,
+/// endpoint it was applied to, errno — so the transport layer's failures
+/// carry the same diagnosable context as the storage layer's. errno 0
+/// marks protocol-level failures (malformed datagram, handshake refused)
+/// that have no syscall errno.
+class NetError : public std::runtime_error {
+ public:
+  NetError(NetOp op, std::string endpoint, int errno_value,
+           const std::string& detail = {});
+
+  [[nodiscard]] NetOp op() const noexcept { return op_; }
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+  /// The errno value at failure (ECONNREFUSED, ETIMEDOUT, ...); 0 for
+  /// protocol-level failures.
+  [[nodiscard]] int errno_value() const noexcept { return errno_; }
+
+ private:
+  NetOp op_;
+  std::string endpoint_;
+  int errno_;
+};
+
+}  // namespace ipregel::net

@@ -1,0 +1,103 @@
+#include "net/faulty_socket.hpp"
+
+#include <algorithm>
+
+namespace ipregel::net {
+
+void FaultySocket::arm(const SocketFault& fault) {
+  switch (fault.kind) {
+    case SocketFault::Kind::kNone:
+      break;
+    case SocketFault::Kind::kShortWrite:
+      short_write_cap_ = fault.arg == 0 ? 1 : fault.arg;
+      break;
+    case SocketFault::Kind::kShortRead:
+      short_read_cap_ = fault.arg == 0 ? 1 : fault.arg;
+      break;
+    case SocketFault::Kind::kResetMidWrite:
+      reset_mid_write_ = true;
+      reset_after_bytes_ = fault.arg;
+      break;
+    case SocketFault::Kind::kCloseBeforeWrite:
+      sock_.close();
+      break;
+    case SocketFault::Kind::kMute:
+      muted_ = true;
+      break;
+  }
+}
+
+void FaultySocket::trip_at(std::uint64_t op) {
+  for (const SocketFault& fault : plan_.faults) {
+    if (fault.at_op == op) {
+      arm(fault);
+    }
+  }
+}
+
+void FaultySocket::begin_send_op() {
+  trip_at(send_ops_);
+  ++send_ops_;
+}
+
+void FaultySocket::begin_recv_op() {
+  trip_at(recv_ops_);
+  ++recv_ops_;
+}
+
+void FaultySocket::inject(SocketFault::Kind kind, std::uint64_t arg) {
+  SocketFault fault;
+  fault.kind = kind;
+  fault.arg = arg;
+  arm(fault);
+}
+
+IoStatus FaultySocket::send_some(const void* buf, std::size_t n,
+                                 std::size_t& done) {
+  done = 0;
+  if (muted_) {
+    return IoStatus::kWouldBlock;
+  }
+  if (reset_mid_write_) {
+    // Write a prefix of the frame so the peer parses a torn frame, then
+    // slam the connection with an RST.
+    const std::size_t prefix =
+        std::min<std::size_t>(n, reset_after_bytes_ == 0
+                                     ? (n > 1 ? n / 2 : 0)
+                                     : reset_after_bytes_);
+    if (prefix > 0) {
+      std::size_t wrote = 0;
+      (void)sock_.send_some(buf, prefix, wrote);
+    }
+    reset_mid_write_ = false;
+    sock_.hard_reset();
+    return IoStatus::kClosed;
+  }
+  std::size_t cap = n;
+  if (short_write_cap_ != 0) {
+    cap = std::min<std::size_t>(cap, short_write_cap_);
+  }
+  const IoStatus status = sock_.send_some(buf, cap, done);
+  if (status == IoStatus::kOk && short_write_cap_ != 0) {
+    short_write_cap_ = 0;
+  }
+  return status;
+}
+
+IoStatus FaultySocket::recv_some(void* buf, std::size_t n, std::size_t& done) {
+  done = 0;
+  if (muted_) {
+    return IoStatus::kWouldBlock;
+  }
+  std::size_t cap = n;
+  if (short_read_cap_ != 0) {
+    cap = std::min<std::size_t>(cap, short_read_cap_);
+  }
+  const IoStatus status = sock_.recv_some(buf, cap, done);
+  if (status == IoStatus::kOk && short_read_cap_ != 0) {
+    short_read_cap_ = 0;
+  }
+  return status;
+}
+
+}  // namespace ipregel::net

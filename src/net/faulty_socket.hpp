@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace ipregel::net {
+
+/// A scripted socket fault in the FaultyVfs mold: deterministic,
+/// triggered by a counted frame operation rather than a timer, so a
+/// seeded plan replays identically run after run. Ops are counted by the
+/// framing layer — begin_send_op() fires when a frame's first byte is
+/// about to be written, begin_recv_op() when a frame's header starts to
+/// be read — which makes "RST in the middle of the 3rd frame" a
+/// well-defined, repeatable event.
+struct SocketFault {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// The next send is capped to `arg` bytes (frame written in pieces —
+    /// exercises partial-write resume).
+    kShortWrite,
+    /// The next recv is capped to `arg` bytes (header/payload arrive in
+    /// pieces — exercises partial-read resume).
+    kShortRead,
+    /// `arg` bytes of the frame are written, then the socket is closed
+    /// with SO_LINGER{0}: the peer sees ECONNRESET mid-frame.
+    kResetMidWrite,
+    /// The connection is dropped (orderly close) before the frame is
+    /// written at all.
+    kCloseBeforeWrite,
+    /// All I/O reports kWouldBlock until lifted (a stall / mute window).
+    /// Armed by a counted op or imperatively; lifted by unmute().
+    kMute,
+  };
+
+  Kind kind = Kind::kNone;
+  /// Frame-op index the fault trips at (0 = the first frame after the
+  /// plan is armed). Send-side kinds count send ops, kShortRead counts
+  /// recv ops, kMute counts whichever op direction fires first at/after
+  /// at_op.
+  std::uint64_t at_op = 0;
+  /// Byte cap for short/reset kinds (0 = half the requested length).
+  std::uint64_t arg = 0;
+};
+
+/// Deterministic fault plan for one connection.
+struct SocketFaultPlan {
+  std::vector<SocketFault> faults;
+};
+
+/// A Socket wrapper that executes a SocketFaultPlan and imperative fault
+/// directives from the transport layer. Wraps every connection the TCP
+/// transport makes; with an empty plan it is a pass-through.
+class FaultySocket {
+ public:
+  FaultySocket() = default;
+  explicit FaultySocket(Socket sock, SocketFaultPlan plan = {})
+      : sock_(std::move(sock)), plan_(std::move(plan)) {}
+
+  FaultySocket(FaultySocket&&) = default;
+  FaultySocket& operator=(FaultySocket&&) = default;
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+  void close() noexcept { sock_.close(); }
+  void hard_reset() noexcept { sock_.hard_reset(); }
+
+  /// Frame-op boundaries, called by FrameStream. Trip matching planned
+  /// faults.
+  void begin_send_op();
+  void begin_recv_op();
+
+  [[nodiscard]] std::uint64_t send_ops() const noexcept { return send_ops_; }
+  [[nodiscard]] std::uint64_t recv_ops() const noexcept { return recv_ops_; }
+
+  /// Imperative injection (used by the transport when a shard-level
+  /// NetFault trips): arms the same states a planned fault would.
+  void inject(SocketFault::Kind kind, std::uint64_t arg = 0);
+  /// Lifts a kMute window.
+  void unmute() noexcept { muted_ = false; }
+  [[nodiscard]] bool muted() const noexcept { return muted_; }
+
+  IoStatus send_some(const void* buf, std::size_t n, std::size_t& done);
+  IoStatus recv_some(void* buf, std::size_t n, std::size_t& done);
+
+ private:
+  void arm(const SocketFault& fault);
+  void trip_at(std::uint64_t op);
+
+  Socket sock_;
+  SocketFaultPlan plan_;
+  std::uint64_t send_ops_ = 0;
+  std::uint64_t recv_ops_ = 0;
+
+  // Armed one-shot states.
+  std::uint64_t short_write_cap_ = 0;  // 0 = not armed
+  std::uint64_t short_read_cap_ = 0;
+  bool reset_mid_write_ = false;
+  std::uint64_t reset_after_bytes_ = 0;
+  bool muted_ = false;
+};
+
+}  // namespace ipregel::net

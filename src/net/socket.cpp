@@ -1,0 +1,240 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/error.hpp"
+
+namespace ipregel::net {
+
+namespace {
+
+[[nodiscard]] bool closed_errno(int err) noexcept {
+  return err == EPIPE || err == ECONNRESET || err == ECONNABORTED ||
+         err == ENOTCONN || err == ETIMEDOUT;
+}
+
+void enable_nodelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    throw NetError(NetOp::kSockopt, "tcp", errno, "TCP_NODELAY");
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::tcp() {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw NetError(NetOp::kSocket, "tcp", errno);
+  }
+  return Socket(fd);
+}
+
+int Socket::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoStatus Socket::send_some(const void* buf, std::size_t n, std::size_t& done) {
+  done = 0;
+  if (fd_ < 0) {
+    return IoStatus::kClosed;
+  }
+  for (;;) {
+    const ssize_t rc = ::send(fd_, buf, n, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      done = static_cast<std::size_t>(rc);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoStatus::kWouldBlock;
+    }
+    if (closed_errno(errno)) {
+      return IoStatus::kClosed;
+    }
+    throw NetError(NetOp::kSend, "tcp fd " + std::to_string(fd_), errno);
+  }
+}
+
+IoStatus Socket::recv_some(void* buf, std::size_t n, std::size_t& done) {
+  done = 0;
+  if (fd_ < 0) {
+    return IoStatus::kClosed;
+  }
+  for (;;) {
+    const ssize_t rc = ::recv(fd_, buf, n, 0);
+    if (rc > 0) {
+      done = static_cast<std::size_t>(rc);
+      return IoStatus::kOk;
+    }
+    if (rc == 0) {
+      return IoStatus::kClosed;  // orderly EOF
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoStatus::kWouldBlock;
+    }
+    if (closed_errno(errno)) {
+      return IoStatus::kClosed;
+    }
+    throw NetError(NetOp::kRecv, "tcp fd " + std::to_string(fd_), errno);
+  }
+}
+
+void Socket::set_nodelay() { enable_nodelay(fd_); }
+
+void Socket::hard_reset() noexcept {
+  if (fd_ < 0) {
+    return;
+  }
+  struct linger lg {};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  // Best-effort: if setsockopt fails we still close, degrading to FIN.
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Listener Listener::loopback() {
+  Socket sock = Socket::tcp();
+
+  int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    throw NetError(NetOp::kSockopt, "listener", errno, "SO_REUSEADDR");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw NetError(NetOp::kBind, "127.0.0.1:0", errno);
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) {
+    throw NetError(NetOp::kListen, "127.0.0.1", errno);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw NetError(NetOp::kName, "listener", errno);
+  }
+
+  Listener listener;
+  listener.sock_ = std::move(sock);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+std::optional<Socket> Listener::accept() {
+  if (!sock_.valid()) {
+    return std::nullopt;
+  }
+  for (;;) {
+    const int fd =
+        ::accept4(sock_.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      Socket conn(fd);
+      conn.set_nodelay();
+      return conn;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return std::nullopt;
+    }
+    // A connection that died while queued surfaces as ECONNABORTED —
+    // treat it like an empty backlog, the peer will retry.
+    if (errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    throw NetError(NetOp::kAccept, "127.0.0.1:" + std::to_string(port_),
+                   errno);
+  }
+}
+
+Socket connect_loopback(std::uint16_t port) {
+  Socket sock = Socket::tcp();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    const int rc = ::connect(
+        sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0 || errno == EINPROGRESS) {
+      return sock;
+    }
+    if (errno == EINTR) {
+      // POSIX: the connect continues asynchronously after EINTR.
+      return sock;
+    }
+    if (errno == ECONNREFUSED || errno == EAGAIN || errno == ENETUNREACH ||
+        errno == EADDRNOTAVAIL || errno == ETIMEDOUT) {
+      // Expected refusals (peer not up yet, partition window). Return an
+      // invalid socket; the caller's connect_probe path counts it as a
+      // failed attempt and backs off.
+      sock.close();
+      return sock;
+    }
+    throw NetError(NetOp::kConnect, "127.0.0.1:" + std::to_string(port),
+                   errno);
+  }
+}
+
+ConnectState connect_probe(Socket& sock) {
+  if (!sock.valid()) {
+    return ConnectState::kFailed;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    throw NetError(NetOp::kSockopt, "connect probe", errno, "SO_ERROR");
+  }
+  if (err == 0) {
+    sock.set_nodelay();
+    return ConnectState::kUp;
+  }
+  if (err == EINPROGRESS || err == EALREADY) {
+    return ConnectState::kPending;
+  }
+  sock.close();
+  return ConnectState::kFailed;
+}
+
+}  // namespace ipregel::net

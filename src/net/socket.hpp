@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ipregel::net {
+
+/// Outcome of one nonblocking I/O attempt. The transport layer never
+/// blocks inside a socket call — kWouldBlock sends it back to poll(),
+/// kClosed marks the connection dead (EOF, RST, EPIPE) and triggers
+/// reconnect, and only genuinely unexpected errnos become NetError.
+enum class IoStatus : std::uint8_t {
+  kOk,
+  kWouldBlock,
+  kClosed,
+};
+
+/// RAII wrapper over a nonblocking TCP socket fd. Move-only; closes on
+/// destruction. All I/O retries EINTR internally and reports EPIPE /
+/// ECONNRESET / EOF as kClosed instead of throwing — connection death is
+/// an expected event on a network path, not an exception.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// A fresh nonblocking close-on-exec TCP socket.
+  [[nodiscard]] static Socket tcp();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Releases ownership of the fd without closing it.
+  [[nodiscard]] int release() noexcept;
+  void close() noexcept;
+
+  /// Sends up to `n` bytes; `done` gets the count actually written.
+  IoStatus send_some(const void* buf, std::size_t n, std::size_t& done);
+  /// Receives up to `n` bytes; `done` gets the count actually read.
+  /// A clean EOF (done == 0 on kOk from recv) reports kClosed.
+  IoStatus recv_some(void* buf, std::size_t n, std::size_t& done);
+
+  /// Disables Nagle — frames are latency-sensitive barrier traffic.
+  void set_nodelay();
+
+  /// Closes with SO_LINGER{on, 0}: the kernel sends RST instead of FIN,
+  /// and the peer sees ECONNRESET possibly mid-frame. This is how the
+  /// fault injector simulates an abrupt peer death.
+  void hard_reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A loopback TCP listener on an ephemeral port, nonblocking + cloexec.
+/// The sharded runtime binds all listeners before fork() so every worker
+/// knows every peer's port with no discovery protocol; the parent keeps
+/// the fds open so a respawned worker inherits the SAME port and peers
+/// reconnect without re-rendezvous.
+class Listener {
+ public:
+  Listener() = default;
+
+  /// Binds 127.0.0.1:0 and listens.
+  [[nodiscard]] static Listener loopback();
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  void close() noexcept { sock_.close(); }
+
+  /// Accepts one pending connection, nonblocking; nullopt when the
+  /// backlog is empty. The returned socket is nonblocking + NODELAY.
+  [[nodiscard]] std::optional<Socket> accept();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Starts a nonblocking connect to 127.0.0.1:port. Returns the in-flight
+/// socket; completion is observed by polling it writable and calling
+/// connect_probe. An immediately-refused connect still returns a socket —
+/// the probe reports the failure — so callers have one code path.
+[[nodiscard]] Socket connect_loopback(std::uint16_t port);
+
+/// Where an in-flight connect stands after poll() said writable (or
+/// before, in which case kPending).
+enum class ConnectState : std::uint8_t {
+  kPending,
+  kUp,
+  kFailed,
+};
+
+/// Checks SO_ERROR on an in-flight connect. kUp: established (NODELAY is
+/// set). kFailed: refused/timed out; the socket is closed.
+[[nodiscard]] ConnectState connect_probe(Socket& sock);
+
+}  // namespace ipregel::net

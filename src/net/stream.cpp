@@ -1,0 +1,108 @@
+#include "net/stream.hpp"
+
+#include <cstring>
+
+namespace ipregel::net {
+
+void FrameStream::queue(std::vector<std::uint8_t> encoded_frame) {
+  queued_bytes_ += encoded_frame.size();
+  queue_.push_back(std::move(encoded_frame));
+}
+
+bool FrameStream::pump_writes() {
+  if (dead()) {
+    return false;
+  }
+  while (!queue_.empty()) {
+    const std::vector<std::uint8_t>& front = queue_.front();
+    if (front_offset_ == 0) {
+      sock_.begin_send_op();
+      if (!sock_.valid()) {  // kCloseBeforeWrite fault
+        dead_ = true;
+        return false;
+      }
+    }
+    std::size_t done = 0;
+    const IoStatus status = sock_.send_some(
+        front.data() + front_offset_, front.size() - front_offset_, done);
+    front_offset_ += done;
+    queued_bytes_ -= done;
+    if (front_offset_ == front.size()) {
+      queue_.pop_front();
+      front_offset_ = 0;
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) {
+      return true;
+    }
+    if (status == IoStatus::kClosed) {
+      dead_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Frame> FrameStream::poll_frame() {
+  if (dead()) {
+    return std::nullopt;
+  }
+  if (!header_done_) {
+    if (header_have_ == 0) {
+      sock_.begin_recv_op();
+    }
+    std::size_t done = 0;
+    const IoStatus status = sock_.recv_some(
+        header_buf_ + header_have_, sizeof(WireHeader) - header_have_, done);
+    header_have_ += done;
+    if (header_have_ < sizeof(WireHeader)) {
+      if (status == IoStatus::kClosed) {
+        dead_ = true;
+      }
+      return std::nullopt;
+    }
+    std::memcpy(&header_, header_buf_, sizeof(WireHeader));
+    // Validate before allocating the payload buffer: a corrupt
+    // payload_len must not drive an allocation.
+    try {
+      check_header(header_, max_payload_);
+    } catch (const WireError&) {
+      dead_ = true;
+      throw;
+    }
+    header_done_ = true;
+    payload_.assign(header_.payload_len, 0);
+    payload_have_ = 0;
+  }
+
+  if (payload_have_ < payload_.size()) {
+    std::size_t done = 0;
+    const IoStatus status = sock_.recv_some(
+        payload_.data() + payload_have_, payload_.size() - payload_have_, done);
+    payload_have_ += done;
+    if (payload_have_ < payload_.size()) {
+      if (status == IoStatus::kClosed) {
+        dead_ = true;
+      }
+      return std::nullopt;
+    }
+  }
+
+  try {
+    check_frame(header_, payload_, max_payload_);
+  } catch (const WireError&) {
+    dead_ = true;
+    throw;
+  }
+
+  Frame frame;
+  frame.header = header_;
+  frame.payload = std::move(payload_);
+  payload_.clear();
+  payload_have_ = 0;
+  header_have_ = 0;
+  header_done_ = false;
+  return frame;
+}
+
+}  // namespace ipregel::net

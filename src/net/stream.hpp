@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/faulty_socket.hpp"
+#include "net/wire.hpp"
+
+namespace ipregel::net {
+
+/// A nonblocking, length-prefixed frame stream over one TCP connection.
+/// Owns the write queue (whole encoded frames) and the incremental read
+/// state machine (header, then payload, then CRC check), so callers deal
+/// only in complete validated frames. Never blocks: pump_writes() and
+/// poll_frame() each do as much work as the socket allows and return.
+///
+/// Death is a state, not an exception: EOF/RST flips dead(); a frame
+/// that fails wire validation ALSO poisons the stream (dead() set before
+/// the WireError propagates) because a desynchronized byte stream cannot
+/// be re-synchronized — the connection must be rebuilt and resynced at
+/// the frame-protocol level.
+class FrameStream {
+ public:
+  FrameStream() = default;
+  FrameStream(FaultySocket sock, std::size_t max_payload)
+      : sock_(std::move(sock)), max_payload_(max_payload) {}
+
+  FrameStream(FrameStream&&) = default;
+  FrameStream& operator=(FrameStream&&) = default;
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] bool dead() const noexcept { return dead_ || !sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+  [[nodiscard]] FaultySocket& socket() noexcept { return sock_; }
+
+  /// Queues one fully-encoded frame (from encode_frame / encode_hello).
+  void queue(std::vector<std::uint8_t> encoded_frame);
+  [[nodiscard]] std::size_t queued_bytes() const noexcept {
+    return queued_bytes_;
+  }
+  [[nodiscard]] bool write_idle() const noexcept { return queue_.empty(); }
+
+  /// Writes as much queued data as the socket accepts. Returns false when
+  /// the connection died.
+  bool pump_writes();
+
+  /// Reads as much as available and returns the next complete frame, or
+  /// nullopt if none is complete yet (or the stream is dead). Throws
+  /// WireError on a corrupt frame (stream is marked dead first).
+  [[nodiscard]] std::optional<Frame> poll_frame();
+
+  /// Tears the connection down with an RST (fault injection / stale-
+  /// incarnation rejection).
+  void hard_reset() noexcept {
+    sock_.hard_reset();
+    dead_ = true;
+  }
+  void close() noexcept {
+    sock_.close();
+    dead_ = true;
+  }
+
+ private:
+  FaultySocket sock_;
+  std::size_t max_payload_ = 0;
+  bool dead_ = false;
+
+  // Write side: whole frames, front one possibly partially sent.
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::size_t front_offset_ = 0;
+  std::size_t queued_bytes_ = 0;
+
+  // Read side state machine.
+  std::uint8_t header_buf_[sizeof(WireHeader)] = {};
+  std::size_t header_have_ = 0;
+  bool header_done_ = false;
+  WireHeader header_{};
+  std::vector<std::uint8_t> payload_;
+  std::size_t payload_have_ = 0;
+};
+
+}  // namespace ipregel::net

@@ -1,0 +1,125 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "ft/binary_format.hpp"
+
+namespace ipregel::net {
+
+WireError::WireError(WireErrorKind kind, const std::string& detail)
+    : std::runtime_error("wire frame rejected: " + std::string(to_string(kind)) +
+                         (detail.empty() ? "" : " (" + detail + ")")),
+      kind_(kind) {}
+
+std::uint32_t frame_crc(const WireHeader& header,
+                        std::span<const std::uint8_t> payload) noexcept {
+  WireHeader scratch = header;
+  scratch.crc = 0;
+  std::uint32_t crc = ft::crc32(&scratch, sizeof(scratch));
+  return ft::crc32(payload.data(), payload.size(), crc);
+}
+
+void seal_header(WireHeader& header,
+                 std::span<const std::uint8_t> payload) noexcept {
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  header.crc = frame_crc(header, payload);
+}
+
+void check_header(const WireHeader& header, std::size_t max_payload) {
+  if (!frame_kind_valid(header.kind)) {
+    throw WireError(WireErrorKind::kBadKind,
+                    "kind " + std::to_string(header.kind));
+  }
+  if (header.payload_len > max_payload) {
+    throw WireError(WireErrorKind::kOversizedPayload,
+                    std::to_string(header.payload_len) + " > limit " +
+                        std::to_string(max_payload));
+  }
+}
+
+void check_frame(const WireHeader& header,
+                 std::span<const std::uint8_t> payload,
+                 std::size_t max_payload) {
+  check_header(header, max_payload);
+  if (payload.size() != header.payload_len) {
+    throw WireError(WireErrorKind::kTruncatedPayload,
+                    std::to_string(payload.size()) + " of " +
+                        std::to_string(header.payload_len) + " bytes");
+  }
+  if (frame_crc(header, payload) != header.crc) {
+    throw WireError(WireErrorKind::kBadCrc);
+  }
+}
+
+std::vector<std::uint8_t> encode_frame(FrameKind kind, std::uint16_t src,
+                                       std::uint64_t superstep,
+                                       std::span<const std::uint8_t> payload) {
+  WireHeader header{};
+  header.kind = static_cast<std::uint16_t>(kind);
+  header.src = src;
+  header.superstep = superstep;
+  seal_header(header, payload);
+
+  std::vector<std::uint8_t> bytes(sizeof(WireHeader) + payload.size());
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  if (!payload.empty()) {
+    std::memcpy(bytes.data() + sizeof(header), payload.data(), payload.size());
+  }
+  return bytes;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes,
+                   std::size_t max_payload) {
+  if (bytes.size() < sizeof(WireHeader)) {
+    throw WireError(WireErrorKind::kTruncatedHeader,
+                    std::to_string(bytes.size()) + " of " +
+                        std::to_string(sizeof(WireHeader)) + " bytes");
+  }
+  WireHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  check_header(header, max_payload);
+  const std::span<const std::uint8_t> payload =
+      bytes.subspan(sizeof(WireHeader));
+  if (payload.size() < header.payload_len) {
+    throw WireError(WireErrorKind::kTruncatedPayload,
+                    std::to_string(payload.size()) + " of " +
+                        std::to_string(header.payload_len) + " bytes");
+  }
+  Frame frame;
+  frame.header = header;
+  frame.payload.assign(payload.begin(), payload.begin() + header.payload_len);
+  check_frame(frame.header, frame.payload, max_payload);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_hello(HelloRole role, std::uint16_t shard,
+                                       std::uint64_t generation) {
+  WireHello hello{};
+  hello.role = static_cast<std::uint16_t>(role);
+  hello.shard = shard;
+  hello.generation = generation;
+  std::vector<std::uint8_t> payload(sizeof(hello));
+  std::memcpy(payload.data(), &hello, sizeof(hello));
+  return encode_frame(FrameKind::kHello, shard, generation, payload);
+}
+
+WireHello decode_hello(std::span<const std::uint8_t> payload) {
+  if (payload.size() < sizeof(WireHello)) {
+    throw WireError(WireErrorKind::kTruncatedPayload,
+                    "hello of " + std::to_string(payload.size()) + " bytes");
+  }
+  WireHello hello{};
+  std::memcpy(&hello, payload.data(), sizeof(hello));
+  if (hello.magic != kHelloMagic) {
+    throw WireError(WireErrorKind::kBadMagic);
+  }
+  if (hello.version != kWireVersion) {
+    throw WireError(WireErrorKind::kBadVersion,
+                    "peer speaks v" + std::to_string(hello.version) +
+                        ", this build speaks v" + std::to_string(kWireVersion));
+  }
+  return hello;
+}
+
+}  // namespace ipregel::net

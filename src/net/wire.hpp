@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace ipregel::net {
+
+/// Wire protocol version. Bumped on any layout change to WireHeader or
+/// WireHello; a peer speaking a different version is rejected at the
+/// handshake with a typed WireError, never silently misparsed.
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Magic prefix of a hello payload ("IPGH" little-endian). Connecting a
+/// non-ipregel client (or a stale build) trips kBadMagic instead of
+/// letting garbage reach the frame parser.
+inline constexpr std::uint32_t kHelloMagic = 0x48475049u;
+
+/// What a frame carries. Shared between the shm rings (kData only) and
+/// the TCP streams (all kinds).
+enum class FrameKind : std::uint16_t {
+  /// A superstep's combined message batch from one shard to another.
+  kData = 1,
+  /// An encoded shard::CtrlMsg (control plane over TCP).
+  kCtrl = 2,
+  /// Connection handshake; payload is a WireHello.
+  kHello = 3,
+  /// Final vertex values returned to the coordinator at halt (TCP only);
+  /// payload is a sequence of [u64 board_offset][u32 len][len bytes]
+  /// records.
+  kValues = 4,
+};
+
+[[nodiscard]] constexpr bool frame_kind_valid(std::uint16_t kind) noexcept {
+  return kind >= 1 && kind <= 4;
+}
+
+/// The frame header shared by the shm rings and the TCP streams: a
+/// length-prefixed envelope with the sender, the superstep the payload
+/// belongs to, and a CRC32 sealing header+payload. Like the ft binary
+/// formats this is a native-layout structure, not an interchange format —
+/// both ends of a link are the same build on the same host (shm) or an
+/// explicitly version-handshaked peer (TCP).
+struct WireHeader {
+  std::uint32_t payload_len = 0;
+  std::uint16_t kind = static_cast<std::uint16_t>(FrameKind::kData);
+  std::uint16_t src = 0;
+  std::uint64_t superstep = 0;
+  /// CRC32 over payload bytes, seeded with a CRC of the header fields
+  /// themselves (crc field zeroed). Sealed by seal(); checked on every
+  /// pop/decode.
+  std::uint32_t crc = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(WireHeader) == 24, "wire header layout is load-bearing");
+
+/// One received frame: validated header plus owned payload bytes.
+struct Frame {
+  WireHeader header{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Why a frame (or hello) was rejected. Every corruption mode the tests
+/// sweep maps to exactly one kind — typed rejection, never a crash or a
+/// silent accept.
+enum class WireErrorKind : std::uint8_t {
+  kTruncatedHeader,
+  kTruncatedPayload,
+  kBadCrc,
+  kOversizedPayload,
+  kBadKind,
+  kBadMagic,
+  kBadVersion,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(WireErrorKind k) noexcept {
+  switch (k) {
+    case WireErrorKind::kTruncatedHeader:
+      return "truncated-header";
+    case WireErrorKind::kTruncatedPayload:
+      return "truncated-payload";
+    case WireErrorKind::kBadCrc:
+      return "bad-crc";
+    case WireErrorKind::kOversizedPayload:
+      return "oversized-payload";
+    case WireErrorKind::kBadKind:
+      return "bad-kind";
+    case WireErrorKind::kBadMagic:
+      return "bad-magic";
+    case WireErrorKind::kBadVersion:
+      return "bad-version";
+  }
+  return "invalid";
+}
+
+/// A frame failed validation. The connection (or ring) that produced it
+/// is poisoned — callers tear it down and rely on reconnect/resync, they
+/// never retry the parse.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(WireErrorKind kind, const std::string& detail = {});
+  [[nodiscard]] WireErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  WireErrorKind kind_;
+};
+
+/// CRC32 of header fields (crc zeroed) chained over the payload.
+[[nodiscard]] std::uint32_t frame_crc(
+    const WireHeader& header, std::span<const std::uint8_t> payload) noexcept;
+
+/// Stamps payload_len and crc. The header is ready to hit the wire (or
+/// the ring) afterwards.
+void seal_header(WireHeader& header,
+                 std::span<const std::uint8_t> payload) noexcept;
+
+/// Validates the fixed fields of a just-parsed header BEFORE its payload
+/// is read: kind must be known, payload_len must fit max_payload. Throws
+/// WireError; the CRC is checked later, once the payload is in.
+void check_header(const WireHeader& header, std::size_t max_payload);
+
+/// Validates a complete frame: check_header + payload length + CRC.
+void check_frame(const WireHeader& header,
+                 std::span<const std::uint8_t> payload, std::size_t max_payload);
+
+/// Serializes header+payload into one contiguous buffer (header sealed).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameKind kind, std::uint16_t src, std::uint64_t superstep,
+    std::span<const std::uint8_t> payload);
+
+/// Parses and fully validates one frame from `bytes`. Throws WireError on
+/// any corruption (truncation, oversize vs max_payload, CRC, kind).
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> bytes,
+                                 std::size_t max_payload);
+
+/// The role a hello announces: which plane the connection carries.
+enum class HelloRole : std::uint16_t {
+  kData = 1,
+  kCtrl = 2,
+};
+
+/// Handshake payload of a kHello frame. First bytes on every new
+/// connection, both directions; carries the protocol magic/version and
+/// the sender's identity so a stale incarnation (or a foreign client) is
+/// rejected before any data frame is parsed.
+struct WireHello {
+  std::uint32_t magic = kHelloMagic;
+  std::uint32_t version = kWireVersion;
+  std::uint16_t role = static_cast<std::uint16_t>(HelloRole::kData);
+  std::uint16_t shard = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t generation = 0;
+};
+static_assert(sizeof(WireHello) == 24, "hello layout is load-bearing");
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(HelloRole role,
+                                                     std::uint16_t shard,
+                                                     std::uint64_t generation);
+
+/// Parses a hello payload; throws WireError kBadMagic/kBadVersion (or
+/// kTruncatedPayload on a short buffer).
+[[nodiscard]] WireHello decode_hello(std::span<const std::uint8_t> payload);
+
+}  // namespace ipregel::net

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
+
+#include "runtime/rng.hpp"
 
 namespace ipregel::runtime {
 
@@ -36,6 +39,25 @@ struct Range {
       index * base + (index < extra ? index : extra);
   const std::size_t len = base + (index < extra ? 1 : 0);
   return Range{begin, begin + len};
+}
+
+/// Deterministic hash owner of element `index` among `parts` — the
+/// alternative to block_partition for workloads whose hot vertices
+/// cluster (power-law graphs renumbered by degree put all the hubs in
+/// shard 0 under a block split). The mix64 finalizer decorrelates owner
+/// from index, spreading hubs uniformly; the salt keeps the assignment
+/// independent of other mix64-derived streams. Pure and seed-free: every
+/// process computes the same owner for the same index, which is what lets
+/// the sharded runtime route messages without an ownership table
+/// exchange.
+[[nodiscard]] constexpr std::size_t hash_partition(std::size_t index,
+                                                   std::size_t parts) noexcept {
+  if (parts <= 1) {
+    return 0;
+  }
+  constexpr std::uint64_t kSalt = 0xA24BAED4963EE407ULL;
+  return static_cast<std::size_t>(
+      mix64(static_cast<std::uint64_t>(index) ^ kSalt) % parts);
 }
 
 /// Number of chunks of size `chunk` needed to cover n elements.

@@ -5,11 +5,21 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
-#include <stdexcept>
-#include <string>
+#include <chrono>
+
+#include "net/error.hpp"
 
 namespace ipregel::shard {
+
+namespace {
+
+[[nodiscard]] double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Channel::~Channel() { close(); }
 
@@ -32,8 +42,7 @@ void Channel::close() noexcept {
 std::pair<Channel, Channel> Channel::make_pair() {
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_SEQPACKET, 0, fds) != 0) {
-    throw std::runtime_error(std::string("socketpair failed: ") +
-                             std::strerror(errno));
+    throw net::NetError(net::NetOp::kSocket, "seqpacket pair", errno);
   }
   return {Channel(fds[0]), Channel(fds[1])};
 }
@@ -50,21 +59,37 @@ bool Channel::send(const CtrlMsg& msg) {
     if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
       return false;  // peer died; the caller's liveness machinery handles it
     }
-    throw std::runtime_error(std::string("shard channel send failed: ") +
-                             std::strerror(errno));
+    throw net::NetError(net::NetOp::kSend,
+                        "shard channel fd " + std::to_string(fd_), errno);
   }
 }
 
 std::optional<CtrlMsg> Channel::recv(int timeout_ms) {
+  // EINTR discipline: recompute the REMAINING timeout from an absolute
+  // deadline on every retry. Restarting the full timeout after each
+  // interruption would let a SIGCHLD storm (every sibling-worker death
+  // raises one) extend a bounded wait indefinitely.
+  const bool bounded = timeout_ms > 0;
+  const double deadline =
+      bounded ? monotonic_seconds() + static_cast<double>(timeout_ms) / 1e3
+              : 0.0;
   for (;;) {
+    int wait_ms = timeout_ms;
+    if (bounded) {
+      const double remaining = deadline - monotonic_seconds();
+      if (remaining <= 0.0) {
+        return std::nullopt;  // timeout consumed by earlier retries
+      }
+      wait_ms = static_cast<int>(remaining * 1e3) + 1;
+    }
     struct pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) {
       if (errno == EINTR) {
-        continue;  // conservative: may extend the wait, never corrupts it
+        continue;
       }
-      throw std::runtime_error(std::string("shard channel poll failed: ") +
-                               std::strerror(errno));
+      throw net::NetError(net::NetOp::kPoll,
+                          "shard channel fd " + std::to_string(fd_), errno);
     }
     if (ready == 0) {
       return std::nullopt;  // timeout
@@ -82,10 +107,14 @@ std::optional<CtrlMsg> Channel::recv(int timeout_ms) {
     }
     if (n > 0) {
       // Truncated/oversized datagram: a protocol bug, not an I/O state.
-      throw std::runtime_error("shard channel received a malformed datagram");
+      throw net::NetError(net::NetOp::kRecv,
+                          "shard channel fd " + std::to_string(fd_), 0,
+                          "malformed datagram of " + std::to_string(n) +
+                              " bytes, expected " +
+                              std::to_string(sizeof(msg)));
     }
-    throw std::runtime_error(std::string("shard channel recv failed: ") +
-                             std::strerror(errno));
+    throw net::NetError(net::NetOp::kRecv,
+                        "shard channel fd " + std::to_string(fd_), errno);
   }
 }
 

@@ -73,7 +73,7 @@ class Channel {
   Channel& operator=(Channel&& other) noexcept;
 
   /// socketpair(AF_UNIX, SOCK_SEQPACKET): (coordinator end, worker end).
-  /// Throws std::runtime_error on failure.
+  /// Throws net::NetError on failure.
   [[nodiscard]] static std::pair<Channel, Channel> make_pair();
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
@@ -82,11 +82,15 @@ class Channel {
 
   /// Sends one message. Retries EINTR (SIGCHLD storms from sibling-worker
   /// deaths land mid-call); returns false when the peer is gone (EPIPE /
-  /// ECONNRESET — never raises SIGPIPE). Any other errno throws.
+  /// ECONNRESET — never raises SIGPIPE). Any other errno throws a typed
+  /// net::NetError carrying the op and errno.
   bool send(const CtrlMsg& msg);
 
   /// Receives one message, waiting up to timeout_ms (0 = just poll, <0 =
-  /// block). nullopt on timeout or dead peer; EINTR retried.
+  /// block). nullopt on timeout or dead peer. EINTR is retried against an
+  /// absolute deadline — the remaining timeout is recomputed on every
+  /// retry, so interrupt storms can never extend a bounded wait.
+  /// Unexpected errnos and malformed datagrams throw net::NetError.
   [[nodiscard]] std::optional<CtrlMsg> recv(int timeout_ms);
 
  private:

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -27,13 +26,15 @@
 #include "shard/options.hpp"
 #include "shard/partition.hpp"
 #include "shard/supervisor.hpp"
+#include "shard/tcp_transport.hpp"
+#include "shard/transport.hpp"
 #include "shard/worker.hpp"
 
 namespace ipregel::shard {
 
 /// The coordinator half of the sharded runtime: forks one worker process
-/// per shard over a pre-mapped shared arena, runs the BSP barrier
-/// protocol over per-worker SEQPACKET channels, watches liveness
+/// per shard, runs the BSP barrier protocol over a CtrlPlane (SEQPACKET
+/// channels for shm, accepted TCP streams for kTcp), watches liveness
 /// (waitpid + heartbeat deadlines), and — through ShardSupervisor —
 /// respawns failed shards from their newest valid snapshot while the
 /// survivors replay retained frames to them. Single-threaded: one poll
@@ -50,11 +51,26 @@ class Coordinator {
       : graph_(graph),
         program_(std::move(program)),
         options_(options),
-        part_(graph, options.num_shards),
+        part_(graph, options.num_shards, options.partition),
         supervisor_(options.supervisor, part_.shards()) {
     validate_options();
     graph_fp_ = ft::graph_fingerprint(graph_);
-    build_arena();
+    if (options_.transport == TransportKind::kTcp) {
+      // TCP needs no shared arena at all: data frames go shard-to-shard
+      // over sockets and the final values come back as kValues frames
+      // into net_board_. Listeners are bound BEFORE any fork so every
+      // worker (and every respawn) inherits every port.
+      rendezvous_ = std::make_unique<TcpRendezvous>(part_.shards());
+      net_board_.assign(graph_.num_slots() * sizeof(Value), 0);
+      auto tcp = std::make_unique<TcpCtrlPlane>(
+          rendezvous_->ctrl_listener(), part_.shards(), options_.net,
+          &net_board_);
+      tcp_ctrl_ = tcp.get();
+      ctrl_ = std::move(tcp);
+    } else {
+      build_arena();
+      ctrl_ = std::make_unique<ShmCtrlPlane>(part_.shards());
+    }
   }
 
   [[nodiscard]] ShardOutcome run(std::vector<Value>* out_values) {
@@ -80,10 +96,22 @@ class Coordinator {
     }
     reap_everything();
     outcome_.result.seconds = now() - t0;
+    if (outcome_.ok() && tcp_ctrl_ != nullptr &&
+        !tcp_ctrl_->values_complete()) {
+      // A worker halted without its values terminator landing: the board
+      // would be silently stale. Typed failure instead.
+      outcome_.error.emplace(RunErrorKind::kShardFailure,
+                             static_cast<std::size_t>(barrier_superstep_), 0,
+                             RunError::kNoVertex,
+                             "final values incomplete: a shard halted "
+                             "without delivering its kValues frames");
+    }
     if (outcome_.ok() && out_values != nullptr) {
       out_values->resize(graph_.num_slots());
-      std::memcpy(out_values->data(),
-                  arena_->at(spec_.board_offset),
+      const std::uint8_t* board = options_.transport == TransportKind::kTcp
+                                      ? net_board_.data()
+                                      : arena_->at(spec_.board_offset);
+      std::memcpy(out_values->data(), board,
                   graph_.num_slots() * sizeof(Value));
     }
     return std::move(outcome_);
@@ -92,7 +120,6 @@ class Coordinator {
  private:
   struct WorkerSlot {
     pid_t pid = -1;
-    Channel chan;
     double last_seen = 0.0;
     std::size_t generation = 0;
     bool alive = false;
@@ -166,7 +193,7 @@ class Coordinator {
         }
         const std::size_t frame =
             sizeof(FrameHeader) + sizeof(std::uint64_t) +
-            part_.slots(dst).size() * kEntryBytes;
+            part_.size(dst) * kEntryBytes;
         // Sized for the steady state (two supersteps in flight) plus a
         // full recovery republish burst, so producers practically never
         // block.
@@ -188,13 +215,15 @@ class Coordinator {
   }
 
   void spawn(std::size_t shard, std::size_t generation) {
-    auto [coord_end, worker_end] = Channel::make_pair();
+    Channel worker_end;
+    ctrl_->begin_incarnation(shard, generation, &worker_end);
     WorkerConfig<Program> cfg;
     cfg.graph = &graph_;
     cfg.program = &program_;
     cfg.options = &options_;
     cfg.spec = &spec_;
     cfg.arena = arena_.get();
+    cfg.rendezvous = rendezvous_.get();
     cfg.me = shard;
     cfg.generation = generation;
     cfg.graph_fp = graph_fp_;
@@ -203,12 +232,10 @@ class Coordinator {
       throw std::runtime_error("run_sharded: fork failed");
     }
     if (pid == 0) {
-      // Child: drop every inherited coordinator-side fd (ours included —
-      // the worker talks through its own end only) and become the worker.
-      coord_end.close();
-      for (WorkerSlot& w : workers_) {
-        w.chan.close();
-      }
+      // Child: drop every inherited coordinator-side fd (the worker talks
+      // through its own plane only) and become the worker. worker_main
+      // closes the inherited rendezvous listeners it does not own.
+      ctrl_->close_inherited_in_child();
       worker_main<Program>(cfg, std::move(worker_end));  // never returns
     }
     worker_end.close();
@@ -217,7 +244,6 @@ class Coordinator {
     const double since = slot.recovering_since;
     slot = WorkerSlot{};
     slot.pid = pid;
-    slot.chan = std::move(coord_end);
     slot.last_seen = now();
     slot.generation = generation;
     slot.alive = true;
@@ -240,46 +266,23 @@ class Coordinator {
       return;
     }
 
-    std::vector<pollfd> fds;
-    std::vector<std::size_t> fd_shard;
-    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
-      if (workers_[shard].alive && workers_[shard].chan.valid()) {
-        fds.push_back(pollfd{workers_[shard].chan.fd(), POLLIN, 0});
-        fd_shard.push_back(shard);
+    // Wait up to 10ms for the first event, then drain the rest dry.
+    int timeout_ms = 10;
+    while (const auto event = ctrl_->next(timeout_ms)) {
+      timeout_ms = 0;
+      const std::size_t shard = event->shard;
+      if (shard >= workers_.size() || !workers_[shard].alive) {
+        continue;  // stale message from a reaped incarnation
       }
-    }
-    if (!fds.empty()) {
-      const int ready = ::poll(fds.data(), fds.size(), 10);
-      if (ready > 0) {
-        for (std::size_t i = 0; i < fds.size(); ++i) {
-          if ((fds[i].revents & (POLLIN | POLLHUP)) != 0) {
-            drain_worker(fd_shard[i]);
-          }
-        }
-      }
-    }
-
-    reap_dead();
-    check_heartbeats();
-    start_due_respawns();
-  }
-
-  void drain_worker(std::size_t shard) {
-    WorkerSlot& w = workers_[shard];
-    while (w.alive) {
-      const auto msg = w.chan.recv(0);
-      if (!msg.has_value()) {
-        return;
-      }
-      w.last_seen = now();
-      switch (msg->kind) {
+      workers_[shard].last_seen = now();
+      switch (event->msg.kind) {
         case CtrlMsg::Kind::kHello:
-          handle_hello(shard, *msg);
+          handle_hello(shard, event->msg);
           break;
         case CtrlMsg::Kind::kHeartbeat:
           break;
         case CtrlMsg::Kind::kBarrier:
-          handle_barrier(shard, *msg);
+          handle_barrier(shard, event->msg);
           break;
         default:
           break;  // workers do not send coordinator->worker kinds
@@ -288,6 +291,10 @@ class Coordinator {
         return;
       }
     }
+
+    reap_dead();
+    check_heartbeats();
+    start_due_respawns();
   }
 
   void handle_hello(std::size_t shard, const CtrlMsg& msg) {
@@ -329,7 +336,7 @@ class Coordinator {
     recover.superstep = resume;
     for (std::size_t peer = 0; peer < workers_.size(); ++peer) {
       if (peer != shard && workers_[peer].alive) {
-        (void)workers_[peer].chan.send(recover);
+        (void)ctrl_->send(peer, recover);
       }
     }
   }
@@ -343,7 +350,9 @@ class Coordinator {
     if (msg.superstep < barrier_superstep_) {
       // A redo of an already-released superstep: replay the recorded
       // decision to this worker alone. The counts were folded the first
-      // time; deterministic redo reproduces them exactly.
+      // time; deterministic redo reproduces them exactly. (TCP reconnects
+      // also land here: the worker requeues its last barrier after a
+      // control-link loss, and the replayed release is idempotent.)
       const auto it = history_.find(msg.superstep);
       if (it != history_.end()) {
         send_proceed(shard, msg.superstep, it->second);
@@ -428,7 +437,7 @@ class Coordinator {
     msg.flag = static_cast<std::uint64_t>(rel.cmd);
     msg.payload_len = rel.payload_len;
     std::memcpy(msg.payload, rel.payload, sizeof(msg.payload));
-    (void)workers_[shard].chan.send(msg);
+    (void)ctrl_->send(shard, msg);
   }
 
   void reap_dead() {
@@ -442,9 +451,13 @@ class Coordinator {
         WorkerSlot& w = workers_[shard];
         if (w.alive && w.pid == pid) {
           w.alive = false;
-          w.chan.close();
+          // Halt path drains in-flight kValues frames before closing.
+          ctrl_->drop(shard, halting_);
           const bool clean = WIFEXITED(status) &&
                              WEXITSTATUS(status) == kWorkerExitHalt;
+          const bool unreachable =
+              WIFEXITED(status) &&
+              WEXITSTATUS(status) == kWorkerExitUnreachable;
           if (halting_) {
             if (++exited_ == workers_.size()) {
               done_ = true;
@@ -457,9 +470,11 @@ class Coordinator {
             // outside the halt drain is equally a failure: the worker saw
             // a halt this coordinator never issued.
             entries_[shard].reset();
-            plan_respawn(shard,
-                         clean ? "worker exited unexpectedly"
-                               : "worker died");
+            plan_respawn(shard, clean       ? "worker exited unexpectedly"
+                                : unreachable
+                                    ? "worker lost a peer link "
+                                      "(reconnect budget exhausted)"
+                                    : "worker died");
           }
           break;
         }
@@ -511,7 +526,8 @@ class Coordinator {
     for (WorkerSlot& w : workers_) {
       if (w.alive && t - w.last_seen > timeout) {
         // A worker that stopped heartbeating stopped progressing —
-        // heartbeats are sent from inside the compute/drain loops. Kill
+        // heartbeats are sent from inside the compute/drain loops (and a
+        // stalled TCP control link drops them, which is the point). Kill
         // it and let the reaper route it into the respawn path.
         ++outcome_.shard.heartbeat_kills;
         ::kill(w.pid, SIGKILL);
@@ -523,9 +539,9 @@ class Coordinator {
   void abort_run(RunErrorKind kind, const std::string& detail) {
     CtrlMsg abort_msg;
     abort_msg.kind = CtrlMsg::Kind::kAbort;
-    for (WorkerSlot& w : workers_) {
-      if (w.alive) {
-        (void)w.chan.send(abort_msg);
+    for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+      if (workers_[shard].alive) {
+        (void)ctrl_->send(shard, abort_msg);
       }
     }
     outcome_.error.emplace(kind,
@@ -539,7 +555,8 @@ class Coordinator {
     const double deadline = now() + 1.0;
     for (;;) {
       bool any_alive = false;
-      for (WorkerSlot& w : workers_) {
+      for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+        WorkerSlot& w = workers_[shard];
         if (!w.alive) {
           continue;
         }
@@ -547,7 +564,7 @@ class Coordinator {
         const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
         if (r == w.pid || r < 0) {
           w.alive = false;
-          w.chan.close();
+          ctrl_->drop(shard, halting_);
         } else {
           any_alive = true;
           if (now() > deadline) {
@@ -571,6 +588,10 @@ class Coordinator {
 
   ArenaSpec spec_;
   std::unique_ptr<ShmArena> arena_;
+  std::unique_ptr<TcpRendezvous> rendezvous_;
+  std::unique_ptr<CtrlPlane> ctrl_;
+  TcpCtrlPlane* tcp_ctrl_ = nullptr;  ///< non-owning view, kTcp only
+  std::vector<std::uint8_t> net_board_;
   std::vector<WorkerSlot> workers_;
 
   std::uint64_t barrier_superstep_ = 0;

@@ -7,9 +7,93 @@
 #include "core/config.hpp"
 #include "core/run_error.hpp"
 #include "ft/checkpoint.hpp"
+#include "shard/partition.hpp"
 #include "shard/supervisor.hpp"
 
 namespace ipregel::shard {
+
+/// Which data/control plane carries shard traffic.
+enum class TransportKind : std::uint8_t {
+  /// Shared-memory SPSC rings + SEQPACKET socketpairs (fork()ed workers
+  /// on one box; the PR-7 plane).
+  kShm,
+  /// Nonblocking TCP frame streams on loopback: the same wire frames,
+  /// plus handshakes, reconnect-with-resync, and heartbeats over the
+  /// network. Single-host today (workers are still fork()ed), but every
+  /// byte crosses a real socket — the multi-node data path, exercised
+  /// end to end.
+  kTcp,
+};
+
+/// Tuning of the TCP transport. Defaults are sized for loopback tests:
+/// real deployments would scale the timeouts with RTT.
+struct NetOptions {
+  /// Give up on one connect attempt after this long.
+  double connect_timeout_seconds = 2.0;
+  /// A blocking frame operation (publish with a full kernel buffer, the
+  /// final values flush) fails the link after this long without progress.
+  double io_timeout_seconds = 5.0;
+  /// Exponential reconnect backoff: initial delay, multiplier, ceiling.
+  double backoff_initial_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 0.25;
+  /// Seed of the deterministic backoff jitter (mixed with shard/peer/
+  /// attempt, so concurrent reconnectors do not stampede in lockstep).
+  std::uint64_t backoff_jitter_seed = 0x1BAD'C0DE'5EEDULL;
+  /// Consecutive failed (re)connect attempts on one link before the
+  /// worker declares the peer unreachable and exits for the supervisor
+  /// ladder (typed degradation, never a hang).
+  std::size_t max_reconnects_per_link = 8;
+};
+
+/// A scripted network fault, the transport-level sibling of ShardFault:
+/// "shard S's link to peer P, in incarnation G, misbehaves at counted
+/// frame operation `at_op`". Ops count protocol frames (data frames and
+/// handshakes on the data plane; hello/barrier/values on the control
+/// plane — NOT timer-driven heartbeats), so a seeded plan replays
+/// deterministically.
+struct NetFault {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// The next frame write is split into single-byte sends (partial-
+    /// write resume).
+    kShortWrite,
+    /// The next frame read arrives one byte at a time (partial-read
+    /// resume).
+    kShortRead,
+    /// The connection is closed with SO_LINGER{0} mid-frame: the peer
+    /// sees ECONNRESET with a torn frame on the wire.
+    kResetMidFrame,
+    /// The connection is dropped cleanly before the frame is sent.
+    kDropConn,
+    /// The link goes silent (all I/O blocked) for `seconds` — long stalls
+    /// exercise the peer's io_timeout teardown and the coordinator's
+    /// missed-heartbeat watchdog.
+    kStall,
+    /// The link is fully partitioned for `seconds`: the live connection
+    /// is reset AND new connects are rejected until the window ends.
+    /// Arm it on both endpoints of a pair for a symmetric partition.
+    kPartition,
+  };
+  enum class Plane : std::uint8_t { kData, kCtrl };
+
+  static constexpr std::size_t kAnyPeer = static_cast<std::size_t>(-1);
+
+  Kind kind = Kind::kNone;
+  /// The shard whose transport injects the fault.
+  std::size_t shard = 0;
+  Plane plane = Plane::kData;
+  /// Data-plane peer the fault applies to (kAnyPeer = every peer link).
+  /// Ignored for the ctrl plane (one link, to the coordinator).
+  std::size_t peer = kAnyPeer;
+  /// Counted frame-op index on that link the fault trips at.
+  std::uint64_t at_op = 0;
+  /// Incarnation the fault arms in (0 = original process, 1 = first
+  /// respawn, ...), mirroring ShardFault::generation.
+  std::size_t generation = 0;
+  /// Window length for kStall / kPartition.
+  double seconds = 0.25;
+};
 
 /// A scripted worker-process fault, the multi-process analogue of
 /// ft::FaultPlan: "shard S, in its G-th incarnation, dies (or hangs) at
@@ -91,8 +175,24 @@ struct ShardOutcome {
 
 /// Configuration of a sharded multi-process run (shard::run_sharded).
 struct ShardOptions {
-  /// Worker processes; each owns one contiguous vertex range.
+  /// Worker processes; each owns the slot set the partition scheme
+  /// assigns it.
   std::size_t num_shards = 2;
+
+  /// How slots are assigned to shards. kBlock reproduces the engine's
+  /// thread split (bit-identical combine order); kHash spreads hub
+  /// vertices of degree-renumbered graphs across shards.
+  PartitionScheme partition = PartitionScheme::kBlock;
+
+  /// Data/control plane: shared-memory rings or loopback TCP streams.
+  TransportKind transport = TransportKind::kShm;
+
+  /// TCP transport tuning (ignored under kShm).
+  NetOptions net{};
+
+  /// Scripted network faults (chaos tests; empty in production; ignored
+  /// under kShm).
+  std::vector<NetFault> net_faults;
 
   /// Hard superstep ceiling, mirroring EngineOptions::max_supersteps.
   std::size_t max_supersteps = 10'000;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "runtime/partition.hpp"
@@ -9,32 +10,74 @@
 
 namespace ipregel::shard {
 
+/// How the populated slot range is split across shards.
+enum class PartitionScheme : std::uint8_t {
+  /// Contiguous blocks via runtime::block_partition — the SAME split the
+  /// single-process engine hands its threads, which is what makes a
+  /// sharded run's per-destination combine order reproduce the engine's
+  /// and keeps integer-combiner apps bit-identical across the two
+  /// execution modes.
+  kBlock,
+  /// Hashed ownership via runtime::hash_partition — spreads hub vertices
+  /// of degree-renumbered power-law graphs across shards instead of
+  /// concentrating them in shard 0. Combine order per destination slot is
+  /// still ascending-source, so min-combine apps stay bit-identical; the
+  /// cost is an O(populated) owner/local-index table per process.
+  kHash,
+};
+
 /// Static slot ownership of a sharded run: the populated slot range
-/// [first_slot, num_slots) split into `shards` contiguous blocks with
-/// runtime::block_partition — the SAME split the single-process engine
-/// hands its threads, which is what makes a sharded run's per-destination
-/// combine order reproduce the engine's and keeps integer-combiner apps
-/// bit-identical across the two execution modes.
+/// [first_slot, num_slots) split across `shards` by a PartitionScheme.
+/// Deterministic and computed identically in every process — routing
+/// needs no ownership exchange.
 class ShardPartition {
  public:
-  ShardPartition(const graph::CsrGraph& g, std::size_t shards) noexcept
+  ShardPartition(const graph::CsrGraph& g, std::size_t shards,
+                 PartitionScheme scheme = PartitionScheme::kBlock)
       : first_(g.first_slot()),
         populated_(g.num_slots() - g.first_slot()),
-        shards_(shards == 0 ? 1 : shards) {}
+        shards_(shards == 0 ? 1 : shards),
+        scheme_(scheme) {
+    if (scheme_ == PartitionScheme::kHash) {
+      owner_.resize(populated_);
+      local_.resize(populated_);
+      owned_.resize(shards_);
+      for (std::size_t idx = 0; idx < populated_; ++idx) {
+        const std::size_t owner =
+            runtime::hash_partition(first_ + idx, shards_);
+        owner_[idx] = static_cast<std::uint32_t>(owner);
+        local_[idx] = static_cast<std::uint32_t>(owned_[owner].size());
+        owned_[owner].push_back(first_ + idx);  // ascending by construction
+      }
+    }
+  }
 
   [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] PartitionScheme scheme() const noexcept { return scheme_; }
 
-  /// Slot range owned by `shard` (absolute slot indices).
+  /// Number of slots `shard` owns.
+  [[nodiscard]] std::size_t size(std::size_t shard) const noexcept {
+    if (scheme_ == PartitionScheme::kHash) {
+      return owned_[shard].size();
+    }
+    return runtime::block_partition(populated_, shards_, shard).size();
+  }
+
+  /// Contiguous slot range owned by `shard` — kBlock only (a hash shard's
+  /// slots are not contiguous; use size()/slot_at()).
   [[nodiscard]] runtime::Range slots(std::size_t shard) const noexcept {
     const runtime::Range r =
         runtime::block_partition(populated_, shards_, shard);
     return {r.begin + first_, r.end + first_};
   }
 
-  /// Inverse of slots(): which shard owns an absolute slot index. O(1) —
-  /// the sender's routing decision, taken once per delivered message.
+  /// Inverse of ownership: which shard owns an absolute slot index. O(1)
+  /// — the sender's routing decision, taken once per delivered message.
   [[nodiscard]] std::size_t shard_of_slot(std::size_t slot) const noexcept {
     const std::size_t idx = slot - first_;
+    if (scheme_ == PartitionScheme::kHash) {
+      return owner_[idx];
+    }
     const std::size_t base = populated_ / shards_;
     const std::size_t extra = populated_ % shards_;
     const std::size_t fat = extra * (base + 1);  // slots in the +1 blocks
@@ -44,25 +87,68 @@ class ShardPartition {
     return base == 0 ? shards_ - 1 : extra + (idx - fat) / base;
   }
 
+  /// Position of an absolute slot within its owner's local arrays.
+  /// Local indices enumerate a shard's owned slots in ascending slot
+  /// order under BOTH schemes — that shared invariant is what keeps the
+  /// exchange's ascending-source, ascending-slot combine order (and with
+  /// it min-combiner bit-identity) independent of the scheme.
+  [[nodiscard]] std::size_t local_index(std::size_t slot) const noexcept {
+    if (scheme_ == PartitionScheme::kHash) {
+      return local_[slot - first_];
+    }
+    return slot - slots(shard_of_slot(slot)).begin;
+  }
+
+  /// The `local`-th slot (ascending) owned by `shard` — inverse of
+  /// local_index.
+  [[nodiscard]] std::size_t slot_at(std::size_t shard,
+                                    std::size_t local) const noexcept {
+    if (scheme_ == PartitionScheme::kHash) {
+      return owned_[shard][local];
+    }
+    return slots(shard).begin + local;
+  }
+
+  /// All slots owned by `shard`, ascending. Materialized (used once per
+  /// worker for the values board layout, not on hot paths).
+  [[nodiscard]] std::vector<std::size_t> owned_slots(std::size_t shard) const {
+    if (scheme_ == PartitionScheme::kHash) {
+      return owned_[shard];
+    }
+    const runtime::Range r = slots(shard);
+    std::vector<std::size_t> out;
+    out.reserve(r.size());
+    for (std::size_t s = r.begin; s < r.end; ++s) {
+      out.push_back(s);
+    }
+    return out;
+  }
+
  private:
   std::size_t first_;
   std::size_t populated_;
   std::size_t shards_;
+  PartitionScheme scheme_;
+  // kHash lookup tables (empty for kBlock).
+  std::vector<std::uint32_t> owner_;
+  std::vector<std::uint32_t> local_;
+  std::vector<std::vector<std::size_t>> owned_;
 };
 
 /// Program fingerprint bound to a shard topology. Per-shard snapshots are
 /// slices of a larger run; a slice written by a 4-shard run must never be
 /// resurrected into an 8-shard run even when its slot range happens to
 /// line up (shard 0 of 4 and shard 0 of 8 share first_slot on aligned
-/// sizes). Mixing (num_shards, shard_index) into the v2
+/// sizes). Mixing (num_shards, shard_index, partition scheme) into the v2
 /// program_fingerprint makes topology part of the snapshot's identity, so
 /// the existing fingerprint check rejects cross-topology restores with a
 /// typed SnapshotMismatch — no new metadata field, no format bump.
 [[nodiscard]] inline std::uint64_t shard_fingerprint(
-    std::uint64_t program_fp, std::size_t num_shards,
-    std::size_t shard) noexcept {
+    std::uint64_t program_fp, std::size_t num_shards, std::size_t shard,
+    PartitionScheme scheme = PartitionScheme::kBlock) noexcept {
   const std::uint64_t h = runtime::mix64(
       program_fp ^ (static_cast<std::uint64_t>(num_shards) << 32) ^
+      (static_cast<std::uint64_t>(scheme) << 24) ^
       static_cast<std::uint64_t>(shard));
   return h == 0 ? 1 : h;  // 0 means "unknown" in v1 snapshots
 }

@@ -81,9 +81,10 @@ bool SpscRing::try_push(std::uint32_t src, std::uint64_t superstep,
   }
   const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
   FrameHeader fh;
-  fh.payload_len = static_cast<std::uint32_t>(payload.size());
-  fh.src = src;
+  fh.kind = static_cast<std::uint16_t>(net::FrameKind::kData);
+  fh.src = static_cast<std::uint16_t>(src);
   fh.superstep = superstep;
+  net::seal_header(fh, payload);
   copy_in(tail, &fh, sizeof(fh));
   if (!payload.empty()) {
     copy_in(tail + sizeof(fh), payload.data(), payload.size());
@@ -102,11 +103,17 @@ std::optional<Frame> SpscRing::try_pop() {
   }
   Frame frame;
   copy_out(head, &frame.header, sizeof(frame.header));
+  // Validate the length before trusting it for the payload copy and the
+  // cursor advance: a corrupt payload_len would otherwise walk the
+  // consumer cursor off into garbage forever.
+  net::check_header(frame.header, capacity_ - sizeof(FrameHeader));
   frame.payload.resize(frame.header.payload_len);
   if (frame.header.payload_len != 0) {
     copy_out(head + sizeof(FrameHeader), frame.payload.data(),
              frame.header.payload_len);
   }
+  net::check_frame(frame.header, frame.payload,
+                   capacity_ - sizeof(FrameHeader));
   header_->head.store(head + sizeof(FrameHeader) + frame.header.payload_len,
                       std::memory_order_release);
   return frame;

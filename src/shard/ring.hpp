@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "net/wire.hpp"
+
 namespace ipregel::shard {
 
 /// One anonymous MAP_SHARED mapping, created by the coordinator BEFORE
@@ -44,17 +46,17 @@ class ShmArena {
 /// (source shard, superstep) combined batch; an empty batch still posts a
 /// zero-payload frame so receivers can advance their per-source cursor
 /// without timing heuristics.
-struct FrameHeader {
-  std::uint32_t payload_len = 0;
-  std::uint32_t src = 0;
-  std::uint64_t superstep = 0;
-};
+///
+/// The header IS the network wire header: rings and TCP streams speak the
+/// same CRC32-sealed frame envelope, so the frame-protocol tests (and the
+/// corruption sweep) cover both transports with one format. try_push
+/// seals the CRC; try_pop verifies it and throws net::WireError on
+/// corruption — a torn shared mapping is detected, never silently
+/// consumed.
+using FrameHeader = net::WireHeader;
 
 /// A popped frame: header plus payload bytes (copied out of the ring).
-struct Frame {
-  FrameHeader header;
-  std::vector<std::uint8_t> payload;
-};
+using Frame = net::Frame;
 
 /// Single-producer single-consumer byte ring over shared memory — the
 /// transport under one directed shard pair. Cursors are monotonically
@@ -87,14 +89,16 @@ class SpscRing {
   /// Free data bytes right now (racy snapshot; monotone for the producer).
   [[nodiscard]] std::size_t free_bytes() const noexcept;
 
-  /// Pushes one frame; returns false when it does not currently fit (the
-  /// producer must drain-or-retry — rings are sized so a full superstep
-  /// batch always fits twice, making persistent falses a peer-death
-  /// symptom, not a flow-control state).
+  /// Pushes one kData frame (CRC-sealed); returns false when it does not
+  /// currently fit (the producer must drain-or-retry — rings are sized so
+  /// a full superstep batch always fits twice, making persistent falses a
+  /// peer-death symptom, not a flow-control state).
   [[nodiscard]] bool try_push(std::uint32_t src, std::uint64_t superstep,
                               std::span<const std::uint8_t> payload) noexcept;
 
-  /// Pops one complete frame if available.
+  /// Pops one complete frame if available. Throws net::WireError when the
+  /// frame fails validation (bad kind, length exceeding the ring, CRC
+  /// mismatch) — corruption of the shared mapping is typed, not consumed.
   [[nodiscard]] std::optional<Frame> try_pop();
 
  private:

@@ -62,8 +62,9 @@ class ShardEngine {
         program_(std::move(program)),
         part_(part),
         me_(me),
-        local_(part.slots(me)) {
-    const std::size_t n = local_.size();
+        n_local_(part.size(me)),
+        first_owned_(n_local_ != 0 ? part.slot_at(me, 0) : 0) {
+    const std::size_t n = n_local_;
     values_.resize(n);
     halted_.assign(n, 0);
     in_msg_.resize(n);
@@ -72,9 +73,8 @@ class ShardEngine {
     nx_flag_.assign(n, 0);
     out_.resize(part_.shards());
     for (std::size_t d = 0; d < part_.shards(); ++d) {
-      out_[d].range = part_.slots(d);
-      out_[d].msg.resize(out_[d].range.size());
-      out_[d].flag.assign(out_[d].range.size(), 0);
+      out_[d].msg.resize(part_.size(d));
+      out_[d].flag.assign(part_.size(d), 0);
       out_[d].count = 0;
     }
     if constexpr (kHasAggregator) {
@@ -83,16 +83,19 @@ class ShardEngine {
     }
   }
 
-  [[nodiscard]] const runtime::Range& local_range() const noexcept {
-    return local_;
+  /// Slots this shard owns. Local indices 0..local_size() enumerate them
+  /// in ascending slot order under every partition scheme.
+  [[nodiscard]] std::size_t local_size() const noexcept { return n_local_; }
+  /// Smallest owned slot — the per-shard snapshot's range anchor.
+  [[nodiscard]] std::size_t first_owned_slot() const noexcept {
+    return first_owned_;
   }
 
   /// Fresh superstep-0 state (initial values, nothing halted, empty
   /// mailboxes).
   void initialize() {
-    for (std::size_t slot = local_.begin; slot < local_.end; ++slot) {
-      values_[slot - local_.begin] =
-          program_.initial_value(graph_.id_of(slot));
+    for (std::size_t li = 0; li < n_local_; ++li) {
+      values_[li] = program_.initial_value(graph_.id_of(part_.slot_at(me_, li)));
     }
     std::fill(halted_.begin(), halted_.end(), 0);
     std::fill(in_flag_.begin(), in_flag_.end(), 0);
@@ -125,13 +128,13 @@ class ShardEngine {
     resend_mode_ = false;
     sent_ = 0;
     StepCounts counts;
-    for (std::size_t slot = local_.begin; slot < local_.end; ++slot) {
-      const std::size_t li = slot - local_.begin;
+    for (std::size_t li = 0; li < n_local_; ++li) {
+      const std::size_t slot = part_.slot_at(me_, li);
       const bool has = in_flag_[li] != 0;
       if (!has && superstep > 0 && halted_[li] != 0) {
         continue;
       }
-      Context ctx(*this, slot, has ? &in_msg_[li] : nullptr);
+      Context ctx(*this, slot, li, has ? &in_msg_[li] : nullptr);
       program_.compute(ctx);
       halted_[li] = ctx.voted_ ? 1 : 0;
       ++counts.executed;
@@ -160,7 +163,7 @@ class ShardEngine {
     std::memcpy(p, &count, sizeof(count));
     p += sizeof(count);
     if (ob.count != 0) {
-      for (std::uint32_t i = 0; i < ob.range.size(); ++i) {
+      for (std::uint32_t i = 0; i < ob.flag.size(); ++i) {
         if (ob.flag[i] == 0) {
           continue;
         }
@@ -231,8 +234,8 @@ class ShardEngine {
     if constexpr (kResendCapable) {
       superstep_ = resume - 1;
       resend_mode_ = true;
-      for (std::size_t slot = local_.begin; slot < local_.end; ++slot) {
-        Context ctx(*this, slot, nullptr);
+      for (std::size_t li = 0; li < n_local_; ++li) {
+        Context ctx(*this, part_.slot_at(me_, li), li, nullptr);
         program_.resend(ctx);
       }
       resend_mode_ = false;
@@ -286,8 +289,8 @@ class ShardEngine {
     snap.meta.selection_bypass = false;
     snap.meta.has_aggregator = kHasAggregator;
     snap.meta.superstep = resume;
-    snap.meta.num_slots = local_.size();
-    snap.meta.first_slot = local_.begin;
+    snap.meta.num_slots = n_local_;
+    snap.meta.first_slot = first_owned_;
     snap.meta.num_vertices = graph_.num_vertices();
     snap.meta.num_edges = graph_.num_edges();
     snap.meta.graph_fingerprint = graph_fp;
@@ -330,7 +333,7 @@ class ShardEngine {
     if (m.combiner != kShardCombinerTag) {
       return "not a per-shard snapshot slice";
     }
-    if (m.num_slots != local_.size() || m.first_slot != local_.begin) {
+    if (m.num_slots != n_local_ || m.first_slot != first_owned_) {
       return "snapshot covers a different slot range";
     }
     if (m.value_size != sizeof(Value) || m.message_size != sizeof(Msg)) {
@@ -369,7 +372,7 @@ class ShardEngine {
   /// Worst-case serialised frame bytes this shard can send to `dst` in
   /// one superstep — the ring-sizing input.
   [[nodiscard]] std::size_t max_frame_bytes(std::size_t dst) const noexcept {
-    return sizeof(std::uint64_t) + part_.slots(dst).size() * kEntryBytes;
+    return sizeof(std::uint64_t) + part_.size(dst) * kEntryBytes;
   }
 
  private:
@@ -377,7 +380,6 @@ class ShardEngine {
       sizeof(std::uint32_t) + sizeof(Msg);
 
   struct Outbox {
-    runtime::Range range;  ///< destination shard's absolute slot range
     std::vector<Msg> msg;
     std::vector<std::uint8_t> flag;
     std::size_t count = 0;
@@ -386,7 +388,7 @@ class ShardEngine {
   void deliver(graph::vid_t dst, const Msg& m) {
     const std::size_t slot = graph_.slot_of(dst);
     Outbox& ob = out_[part_.shard_of_slot(slot)];
-    const std::size_t li = slot - ob.range.begin;
+    const std::size_t li = part_.local_index(slot);
     if (ob.flag[li] != 0) {
       Program::combine(ob.msg[li], m);
     } else {
@@ -447,11 +449,9 @@ class ShardEngine {
     [[nodiscard]] graph::vid_t id() const noexcept {
       return engine_.graph_.id_of(slot_);
     }
-    [[nodiscard]] Value& value() noexcept {
-      return engine_.values_[slot_ - engine_.local_.begin];
-    }
+    [[nodiscard]] Value& value() noexcept { return engine_.values_[li_]; }
     [[nodiscard]] const Value& value() const noexcept {
-      return engine_.values_[slot_ - engine_.local_.begin];
+      return engine_.values_[li_];
     }
     [[nodiscard]] std::size_t out_degree() const noexcept {
       return engine_.graph_.out_degree(slot_);
@@ -467,11 +467,13 @@ class ShardEngine {
 
    private:
     friend class ShardEngine;
-    Context(ShardEngine& engine, std::size_t slot, const Msg* msg) noexcept
-        : engine_(engine), slot_(slot), msg_(msg) {}
+    Context(ShardEngine& engine, std::size_t slot, std::size_t li,
+            const Msg* msg) noexcept
+        : engine_(engine), slot_(slot), li_(li), msg_(msg) {}
 
     ShardEngine& engine_;
     std::size_t slot_;
+    std::size_t li_;
     const Msg* msg_;
     bool voted_ = false;
   };
@@ -486,7 +488,8 @@ class ShardEngine {
   Program program_;
   ShardPartition part_;
   std::size_t me_;
-  runtime::Range local_;
+  std::size_t n_local_;
+  std::size_t first_owned_;
 
   std::vector<Value> values_;
   std::vector<std::uint8_t> halted_;

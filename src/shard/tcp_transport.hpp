@@ -1,0 +1,251 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/stream.hpp"
+#include "net/wire.hpp"
+#include "shard/options.hpp"
+#include "shard/transport.hpp"
+
+namespace ipregel::shard {
+
+/// Pre-fork TCP rendezvous: the coordinator binds one control listener
+/// for itself and one data listener per shard on loopback ephemeral
+/// ports BEFORE forking, so every worker inherits every port with no
+/// discovery protocol. The parent keeps all listener fds open for the
+/// whole run — a respawned worker inherits the SAME listener (and
+/// therefore the same port) at fork time, so surviving peers reconnect
+/// to a respawn without re-rendezvous.
+class TcpRendezvous {
+ public:
+  explicit TcpRendezvous(std::size_t shards);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return data_.size(); }
+  [[nodiscard]] std::uint16_t ctrl_port() const noexcept {
+    return ctrl_.port();
+  }
+  [[nodiscard]] std::uint16_t data_port(std::size_t shard) const noexcept {
+    return data_[shard].port();
+  }
+  [[nodiscard]] net::Listener& data_listener(std::size_t shard) noexcept {
+    return data_[shard];
+  }
+  [[nodiscard]] net::Listener& ctrl_listener() noexcept { return ctrl_; }
+
+  /// Post-fork child hygiene: worker `me` keeps only its own data
+  /// listener.
+  void close_in_child_except(std::size_t me) noexcept;
+
+ private:
+  net::Listener ctrl_;
+  std::vector<net::Listener> data_;
+};
+
+/// Worker-side TCP transport: one bidirectional frame stream per peer
+/// (the higher shard id initiates, the lower accepts on its listener)
+/// plus one stream to the coordinator's control listener. Nonblocking
+/// throughout; connect/accept with exponential backoff + deterministic
+/// jitter; a magic/version/identity handshake opens every connection;
+/// reconnects report the peer through take_resync_peers() so the Worker
+/// republishes its retained frames (generation-based resync — the
+/// receiver's floor/dedup machinery makes the duplicates byte-safe and
+/// the resumed run bit-identical).
+///
+/// Degradation is typed: a data link whose consecutive reconnect budget
+/// is exhausted throws PeerUnreachable (worker exits for the supervisor
+/// ladder); an exhausted control link flips the orphan path
+/// (ctrl_send() == false). Scripted NetFaults trip at counted frame ops
+/// and execute through net::FaultySocket.
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(net::Listener& data_listener, std::uint16_t ctrl_port,
+               std::vector<std::uint16_t> data_ports, std::size_t me,
+               std::size_t shards, std::size_t generation,
+               const NetOptions& net, std::vector<NetFault> armed);
+  ~TcpTransport() override;
+
+  [[nodiscard]] bool try_publish(
+      std::size_t dst, std::uint64_t superstep,
+      std::span<const std::uint8_t> payload) override;
+  [[nodiscard]] std::optional<net::Frame> try_collect(std::size_t src) override;
+  [[nodiscard]] bool ctrl_send(const CtrlMsg& msg) override;
+  [[nodiscard]] std::optional<CtrlMsg> ctrl_recv(int timeout_ms) override;
+  void publish_values(std::span<const std::uint8_t> bytes,
+                      std::size_t value_size,
+                      std::span<const std::size_t> slots) override;
+  [[nodiscard]] bool finish_values() override;
+  [[nodiscard]] std::vector<std::size_t> take_resync_peers() override;
+
+ private:
+  struct Link {
+    enum class State : std::uint8_t {
+      kDown,
+      kConnecting,
+      kHandshaking,
+      kUp,
+    };
+
+    State state = State::kDown;
+    bool initiator = false;
+    std::uint16_t port = 0;  ///< where the initiator connects
+    net::Socket connecting;  ///< in-flight nonblocking connect
+    net::FrameStream stream;
+
+    double next_attempt = 0.0;
+    double attempt_deadline = 0.0;
+    std::size_t failures = 0;   ///< consecutive, reset on handshake
+    std::uint64_t attempts = 0; ///< total, jitter input
+
+    // io_timeout write-progress watchdog.
+    double stall_check_at = 0.0;
+    std::size_t stall_check_bytes = 0;
+
+    // Fault windows.
+    double mute_until = 0.0;
+    double partition_until = 0.0;
+
+    // Counted frame ops (persist across reconnects within an
+    // incarnation — what makes seeded NetFault plans deterministic).
+    std::uint64_t send_ops = 0;
+    std::uint64_t recv_ops = 0;
+
+    std::deque<net::Frame> inbox;
+  };
+
+  struct PendingAccept {
+    net::FrameStream stream;
+    double deadline = 0.0;
+  };
+
+  [[nodiscard]] static double now() noexcept;
+  [[nodiscard]] double backoff_delay(const Link& link, std::size_t peer) const;
+  [[nodiscard]] Link& link_of(std::size_t peer) { return links_[peer]; }
+  [[nodiscard]] bool is_ctrl(std::size_t peer) const noexcept {
+    return peer == kCtrlPeer;
+  }
+
+  /// One nonblocking progress pass over every link + the listener; with
+  /// timeout_ms > 0, polls first (bounded by the next timed event).
+  void pump(int timeout_ms);
+  void progress();
+  void progress_link(std::size_t peer);
+  void start_connect(std::size_t peer, double t);
+  void fail_attempt(std::size_t peer, const char* why);
+  void link_established(std::size_t peer);
+  void teardown(std::size_t peer);
+  void route_frames(std::size_t peer);
+  void accept_new(double t);
+  void identify_pending(double t);
+  void poll_fds(int timeout_ms);
+
+  /// Counted-op fault hooks.
+  void on_send_op(std::size_t peer);
+  void on_recv_op_boundary(std::size_t peer);
+  void apply_fault(std::size_t peer, const NetFault& fault);
+  void queue_frame(std::size_t peer, std::vector<std::uint8_t> encoded,
+                   bool counted);
+
+  static constexpr std::size_t kCtrlPeer = static_cast<std::size_t>(-2);
+  static constexpr std::size_t kMaxDataPayload = 1u << 30;
+
+  net::Listener& listener_;
+  std::uint16_t ctrl_port_ = 0;
+  std::vector<std::uint16_t> data_ports_;
+  std::size_t me_ = 0;
+  std::size_t shards_ = 0;
+  std::size_t generation_ = 0;
+  NetOptions net_;
+  std::vector<NetFault> armed_;
+  /// (fault index, link peer) pairs already fired — kAnyPeer faults fire
+  /// once per link.
+  std::set<std::pair<std::size_t, std::size_t>> fired_;
+
+  std::vector<Link> links_;  ///< per data peer
+  Link ctrl_link_;
+  std::vector<PendingAccept> pending_;
+
+  std::deque<CtrlMsg> ctrl_inbox_;
+  std::vector<std::size_t> resynced_;
+  bool ctrl_resynced_ = false;
+  bool orphaned_ = false;
+  bool halting_ = false;
+
+  // Control backlog: what must survive a reconnect. The hello is cleared
+  // once a kProceed proves the coordinator processed it; the latest
+  // barrier is replaced each superstep (stale replays are resolved by
+  // the coordinator's barrier history); values are the final flush.
+  std::vector<std::uint8_t> backlog_hello_;
+  std::vector<std::uint8_t> backlog_barrier_;
+  std::vector<std::vector<std::uint8_t>> backlog_values_;
+
+  // Last published values (sent at halt).
+  std::vector<std::uint8_t> values_bytes_;
+  std::size_t values_value_size_ = 0;
+  std::vector<std::size_t> values_slots_;
+};
+
+/// Builds the worker-side transport for `me` from the inherited
+/// rendezvous, arming the NetFaults scripted for this incarnation.
+[[nodiscard]] std::unique_ptr<TcpTransport> make_tcp_transport(
+    TcpRendezvous& rendezvous, std::size_t me, std::size_t generation,
+    const ShardOptions& options);
+
+/// Coordinator-side TCP control plane: accepts worker control
+/// connections on the shared listener, validates the identity handshake
+/// against the incarnation it expects (stale generations are reset, not
+/// trusted), decodes CtrlMsg frames into events, and collects the final
+/// kValues frames into the result board that shm runs get for free from
+/// shared memory.
+class TcpCtrlPlane final : public CtrlPlane {
+ public:
+  TcpCtrlPlane(net::Listener& listener, std::size_t shards,
+               const NetOptions& net, std::vector<std::uint8_t>* board);
+
+  void begin_incarnation(std::size_t shard, std::size_t generation,
+                         Channel* worker_end) override;
+  bool send(std::size_t shard, const CtrlMsg& msg) override;
+  [[nodiscard]] std::optional<Event> next(int timeout_ms) override;
+  void drop(std::size_t shard, bool drain_values) override;
+  void close_inherited_in_child() override;
+
+  /// True once every shard delivered its complete final values (the
+  /// empty kValues terminator). The coordinator checks this before
+  /// declaring a TCP run's board trustworthy.
+  [[nodiscard]] bool values_complete() const noexcept;
+
+ private:
+  struct WorkerLink {
+    net::FrameStream stream;
+    bool up = false;
+    std::size_t expected_generation = 0;
+    bool values_done = false;
+  };
+
+  struct PendingAccept {
+    net::FrameStream stream;
+    double deadline = 0.0;
+  };
+
+  [[nodiscard]] static double now() noexcept;
+  void pump(int timeout_ms);
+  void accept_and_identify(double t);
+  void route(std::size_t shard);
+  void apply_values(std::size_t shard, const net::Frame& frame);
+
+  net::Listener& listener_;
+  NetOptions net_;
+  std::vector<WorkerLink> links_;
+  std::vector<PendingAccept> pending_;
+  std::deque<Event> queue_;
+  std::vector<std::uint8_t>* board_;
+};
+
+}  // namespace ipregel::shard

@@ -1,0 +1,35 @@
+#include "shard/transport.hpp"
+
+#include <poll.h>
+
+namespace ipregel::shard {
+
+void ShmCtrlPlane::poll_all(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_shard;
+  for (std::size_t shard = 0; shard < chans_.size(); ++shard) {
+    if (chans_[shard].valid()) {
+      fds.push_back(pollfd{chans_[shard].fd(), POLLIN, 0});
+      fd_shard.push_back(shard);
+    }
+  }
+  if (fds.empty()) {
+    return;
+  }
+  const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                           timeout_ms);
+  if (ready <= 0) {
+    return;  // timeout; EINTR surfaces as a harmless empty drain
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP)) == 0) {
+      continue;
+    }
+    const std::size_t shard = fd_shard[i];
+    while (auto msg = chans_[shard].recv(0)) {
+      queue_.push_back(Event{shard, *msg});
+    }
+  }
+}
+
+}  // namespace ipregel::shard

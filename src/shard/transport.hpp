@@ -1,0 +1,258 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "shard/channel.hpp"
+#include "shard/layout.hpp"
+#include "shard/ring.hpp"
+
+namespace ipregel::shard {
+
+/// Thrown by a Transport when a peer link's reconnect budget is
+/// exhausted: the typed head of the degradation chain kPeerUnreachable →
+/// worker exit → ShardSupervisor respawn ladder → RunErrorKind::
+/// kShardFailure. Never a hang — a worker that cannot reach a peer exits
+/// and lets the supervisor decide.
+class PeerUnreachable : public std::runtime_error {
+ public:
+  PeerUnreachable(std::size_t peer, const std::string& detail)
+      : std::runtime_error("peer " + std::to_string(peer) +
+                           " unreachable: " + detail),
+        peer_(peer) {}
+
+  [[nodiscard]] std::size_t peer() const noexcept { return peer_; }
+
+ private:
+  std::size_t peer_;
+};
+
+/// The worker-side transport seam: everything a Worker needs from the
+/// outside world, with the BSP protocol (barriers, retained-frame
+/// republish, recovery) staying above the seam. Two implementations:
+/// ShmTransport (PR-7's shared-memory rings + SEQPACKET channel, for
+/// fork()ed workers on one box) and TcpTransport (nonblocking loopback
+/// frame streams with handshakes, reconnect, and fault injection).
+///
+/// Contract highlights:
+///  - try_publish/try_collect never block; publish returning false means
+///    "retry after pumping" (ring full / link still connecting).
+///  - Frames collected from one src arrive in the order that src sent
+///    them (SPSC ring order, TCP stream order); duplicates are possible
+///    after recovery/reconnect and the Worker's floor/pending machinery
+///    dedups them.
+///  - Methods may throw PeerUnreachable (TCP reconnect budget exhausted)
+///    or net::WireError (corrupt frame); both poison the incarnation.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues one data frame toward `dst`. False = does not currently fit;
+  /// the caller drains/pumps and retries.
+  [[nodiscard]] virtual bool try_publish(
+      std::size_t dst, std::uint64_t superstep,
+      std::span<const std::uint8_t> payload) = 0;
+
+  /// Next available frame from `src`, if any.
+  [[nodiscard]] virtual std::optional<net::Frame> try_collect(
+      std::size_t src) = 0;
+
+  /// Sends one control message to the coordinator. False = the
+  /// coordinator is gone for good (the worker exits as orphan).
+  [[nodiscard]] virtual bool ctrl_send(const CtrlMsg& msg) = 0;
+
+  /// Next control message from the coordinator, waiting up to timeout_ms
+  /// (0 = just poll). Also drives the transport's internal progress
+  /// (handshakes, reconnects, queued writes).
+  [[nodiscard]] virtual std::optional<CtrlMsg> ctrl_recv(int timeout_ms) = 0;
+
+  /// Publishes this superstep's local values (bytes laid out in local
+  /// index order; `slots` maps local index -> absolute slot). Called
+  /// before every barrier so a halt always has complete values.
+  virtual void publish_values(std::span<const std::uint8_t> bytes,
+                              std::size_t value_size,
+                              std::span<const std::size_t> slots) = 0;
+
+  /// Flushes the final values to the coordinator at halt. False = they
+  /// could not be delivered (the coordinator detects the gap and fails
+  /// the run typed, not silently).
+  [[nodiscard]] virtual bool finish_values() = 0;
+
+  /// Peers whose data link was (re-)established since the last call.
+  /// Each needs a full retained-frame republish — the generation-based
+  /// resync that makes a reconnect resume bit-identically. Empty for
+  /// shm (the rings never "reconnect"; the coordinator's kRecover path
+  /// covers respawns).
+  [[nodiscard]] virtual std::vector<std::size_t> take_resync_peers() = 0;
+};
+
+/// PR-7's plane behind the seam: SPSC rings over the pre-forked shared
+/// arena for data, the SEQPACKET channel for control, the shared result
+/// board for values.
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(const ArenaSpec& spec, const ShmArena& arena, std::size_t me,
+               std::size_t shards, Channel channel)
+      : me_(me), chan_(std::move(channel)) {
+    in_ring_.resize(shards);
+    out_ring_.resize(shards);
+    for (std::size_t peer = 0; peer < shards; ++peer) {
+      if (peer == me) {
+        continue;
+      }
+      in_ring_[peer] = spec.attach(arena, peer, me, false);
+      out_ring_[peer] = spec.attach(arena, me, peer, false);
+    }
+    board_ = arena.at(spec.board_offset);
+  }
+
+  [[nodiscard]] bool try_publish(
+      std::size_t dst, std::uint64_t superstep,
+      std::span<const std::uint8_t> payload) override {
+    return out_ring_[dst].try_push(static_cast<std::uint32_t>(me_), superstep,
+                                   payload);
+  }
+
+  [[nodiscard]] std::optional<net::Frame> try_collect(
+      std::size_t src) override {
+    return in_ring_[src].try_pop();
+  }
+
+  [[nodiscard]] bool ctrl_send(const CtrlMsg& msg) override {
+    return chan_.send(msg);
+  }
+
+  [[nodiscard]] std::optional<CtrlMsg> ctrl_recv(int timeout_ms) override {
+    return chan_.recv(timeout_ms);
+  }
+
+  void publish_values(std::span<const std::uint8_t> bytes,
+                      std::size_t value_size,
+                      std::span<const std::size_t> slots) override {
+    // Coalesce contiguous slot runs into single copies — a block
+    // partition is one run, so this is the PR-7 single memcpy there.
+    std::size_t li = 0;
+    while (li < slots.size()) {
+      std::size_t run = 1;
+      while (li + run < slots.size() &&
+             slots[li + run] == slots[li] + run) {
+        ++run;
+      }
+      std::memcpy(board_ + slots[li] * value_size,
+                  bytes.data() + li * value_size, run * value_size);
+      li += run;
+    }
+  }
+
+  [[nodiscard]] bool finish_values() override {
+    return true;  // the board is shared memory; publishes are already final
+  }
+
+  [[nodiscard]] std::vector<std::size_t> take_resync_peers() override {
+    return {};
+  }
+
+ private:
+  std::size_t me_;
+  Channel chan_;
+  std::vector<SpscRing> in_ring_;
+  std::vector<SpscRing> out_ring_;
+  std::uint8_t* board_ = nullptr;
+};
+
+/// The coordinator-side counterpart of the seam: receives control
+/// messages from all workers, sends releases/aborts, and (for TCP)
+/// collects the final values that shm gets for free via the shared
+/// board.
+class CtrlPlane {
+ public:
+  virtual ~CtrlPlane() = default;
+
+  /// Prepares the control link for a (re)spawned incarnation of `shard`,
+  /// called just BEFORE the fork. Shm creates the socketpair and hands
+  /// back the worker end (the child moves it into its transport); TCP
+  /// records the expected generation and waits for the worker to connect
+  /// in (worker_end stays invalid).
+  virtual void begin_incarnation(std::size_t shard, std::size_t generation,
+                                 Channel* worker_end) = 0;
+
+  /// Sends to one worker; false when its link is currently down (TCP
+  /// requeues what must survive — see the transport's backlog — so false
+  /// here is not an error).
+  virtual bool send(std::size_t shard, const CtrlMsg& msg) = 0;
+
+  struct Event {
+    std::size_t shard = 0;
+    CtrlMsg msg{};
+  };
+
+  /// Next control message from any worker, waiting up to timeout_ms.
+  /// Also drives accepts/handshakes/value collection for TCP.
+  [[nodiscard]] virtual std::optional<Event> next(int timeout_ms) = 0;
+
+  /// The incarnation of `shard` died or the run ended: tear its link
+  /// down. drain_values bounds-blocks to collect final kValues frames
+  /// still in flight (halt path only).
+  virtual void drop(std::size_t shard, bool drain_values) = 0;
+
+  /// Post-fork child hygiene: close every coordinator-side fd the child
+  /// inherited.
+  virtual void close_inherited_in_child() = 0;
+};
+
+/// SEQPACKET socketpair fan-in, PR-7 semantics.
+class ShmCtrlPlane final : public CtrlPlane {
+ public:
+  explicit ShmCtrlPlane(std::size_t shards) : chans_(shards) {}
+
+  void begin_incarnation(std::size_t shard, std::size_t /*generation*/,
+                         Channel* worker_end) override {
+    auto [coord, worker] = Channel::make_pair();
+    chans_[shard] = std::move(coord);
+    *worker_end = std::move(worker);
+  }
+
+  bool send(std::size_t shard, const CtrlMsg& msg) override {
+    return chans_[shard].valid() && chans_[shard].send(msg);
+  }
+
+  [[nodiscard]] std::optional<Event> next(int timeout_ms) override {
+    if (!queue_.empty()) {
+      const Event e = queue_.front();
+      queue_.erase(queue_.begin());
+      return e;
+    }
+    poll_all(timeout_ms);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const Event e = queue_.front();
+    queue_.erase(queue_.begin());
+    return e;
+  }
+
+  void drop(std::size_t shard, bool /*drain_values*/) override {
+    chans_[shard].close();
+  }
+
+  void close_inherited_in_child() override {
+    for (Channel& c : chans_) {
+      c.close();
+    }
+  }
+
+ private:
+  void poll_all(int timeout_ms);
+
+  std::vector<Channel> chans_;
+  std::vector<Event> queue_;
+};
+
+}  // namespace ipregel::shard

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -25,17 +26,19 @@
 #include "shard/layout.hpp"
 #include "shard/options.hpp"
 #include "shard/partition.hpp"
-#include "shard/ring.hpp"
 #include "shard/shard_engine.hpp"
+#include "shard/tcp_transport.hpp"
+#include "shard/transport.hpp"
 
 namespace ipregel::shard {
 
 /// Worker exit codes the coordinator distinguishes from fault-injected
 /// deaths (anything else is "crashed").
-inline constexpr int kWorkerExitHalt = 0;      ///< computation converged
-inline constexpr int kWorkerExitAbort = 3;     ///< coordinator said kAbort
-inline constexpr int kWorkerExitOrphan = 4;    ///< coordinator vanished
-inline constexpr int kWorkerExitStuck = 5;     ///< peer ring never drained
+inline constexpr int kWorkerExitHalt = 0;         ///< computation converged
+inline constexpr int kWorkerExitAbort = 3;        ///< coordinator said kAbort
+inline constexpr int kWorkerExitOrphan = 4;       ///< coordinator vanished
+inline constexpr int kWorkerExitStuck = 5;        ///< peer link never drained
+inline constexpr int kWorkerExitUnreachable = 6;  ///< reconnect budget spent
 
 /// Everything one worker process needs, assembled by the coordinator
 /// pre-fork. References point into the parent's address space; fork's
@@ -45,8 +48,9 @@ struct WorkerConfig {
   const graph::CsrGraph* graph = nullptr;
   const Program* program = nullptr;
   const ShardOptions* options = nullptr;
-  const ArenaSpec* spec = nullptr;
-  const ShmArena* arena = nullptr;
+  const ArenaSpec* spec = nullptr;    ///< kShm only
+  const ShmArena* arena = nullptr;    ///< kShm only
+  TcpRendezvous* rendezvous = nullptr;  ///< kTcp only
   std::size_t me = 0;
   std::size_t generation = 0;
   std::uint64_t graph_fp = 0;
@@ -56,32 +60,27 @@ struct WorkerConfig {
 /// compute, post combined frames, drain peers in source order, publish
 /// values, enter the barrier, wait for the release. Runs single-threaded;
 /// heartbeats are sent from inside these loops, so liveness certifies
-/// progress. Never returns normally — the caller `_exit`s with the
-/// returned code. Must not touch the parent's stdio/test state.
+/// progress. All I/O goes through the Transport seam, so the SAME loop
+/// runs over shared-memory rings and TCP streams. Never returns normally
+/// — the caller `_exit`s with the returned code. Must not touch the
+/// parent's stdio/test state.
 template <VertexProgram Program>
 class Worker {
  public:
   using Value = typename Program::value_type;
   using Msg = typename Program::message_type;
 
-  Worker(const WorkerConfig<Program>& cfg, Channel channel)
+  Worker(const WorkerConfig<Program>& cfg,
+         std::unique_ptr<Transport> transport)
       : cfg_(cfg),
-        chan_(std::move(channel)),
-        part_(*cfg.graph, cfg.options->num_shards),
+        transport_(std::move(transport)),
+        part_(*cfg.graph, cfg.options->num_shards, cfg.options->partition),
         engine_(*cfg.graph, *cfg.program, part_, cfg.me),
         bound_fp_(shard_fingerprint(program_fingerprint<Program>(),
-                                    cfg.options->num_shards, cfg.me)) {
+                                    cfg.options->num_shards, cfg.me,
+                                    cfg.options->partition)),
+        owned_slots_(part_.owned_slots(cfg.me)) {
     const std::size_t n = cfg_.options->num_shards;
-    in_ring_.resize(n);
-    out_ring_.resize(n);
-    for (std::size_t peer = 0; peer < n; ++peer) {
-      if (peer == cfg_.me) {
-        continue;
-      }
-      in_ring_[peer] = cfg_.spec->attach(*cfg_.arena, peer, cfg_.me, false);
-      out_ring_[peer] = cfg_.spec->attach(*cfg_.arena, cfg_.me, peer, false);
-    }
-    board_ = cfg_.arena->at(cfg_.spec->board_offset);
     pending_.resize(n);
     floor_.assign(n, 0);
     for (const ShardFault& f : cfg_.options->faults) {
@@ -109,7 +108,7 @@ class Worker {
     hello.shard = static_cast<std::uint32_t>(cfg_.me);
     hello.superstep = resume;
     hello.flag = cfg_.generation;
-    if (!chan_.send(hello)) {
+    if (!transport_->ctrl_send(hello)) {
       return kWorkerExitOrphan;
     }
 
@@ -135,7 +134,7 @@ class Worker {
         maybe_fault(ShardFault::Phase::kCompute, s);
         heartbeat();
         pump(0);
-        drain_rings();
+        drain_frames();
       };
       const auto counts = engine_.compute_superstep(s, tick);
 
@@ -166,9 +165,8 @@ class Worker {
       // Publish values BEFORE the barrier: if the run halts at this
       // superstep the board is already complete, and a death after this
       // point loses nothing a redo will not rewrite.
-      const auto bytes = engine_.value_bytes();
-      std::memcpy(board_ + engine_.local_range().begin * sizeof(Value),
-                  bytes.data(), bytes.size());
+      transport_->publish_values(engine_.value_bytes(), sizeof(Value),
+                                 owned_slots_);
 
       CtrlMsg barrier;
       barrier.kind = CtrlMsg::Kind::kBarrier;
@@ -185,14 +183,18 @@ class Worker {
         barrier.payload_len = static_cast<std::uint32_t>(agg.size());
         std::memcpy(barrier.payload, agg.data(), agg.size());
       }
-      if (!chan_.send(barrier)) {
+      if (!transport_->ctrl_send(barrier)) {
         return kWorkerExitOrphan;
       }
 
       const CtrlMsg proceed = await_proceed(s);
       if (static_cast<CtrlMsg::Command>(proceed.flag) ==
           CtrlMsg::Command::kHalt) {
-        return kWorkerExitHalt;
+        // TCP: push the final values to the coordinator before exiting
+        // (shm published them into the shared board already). Failure is
+        // typed on the coordinator side — missing values fail the run.
+        return transport_->finish_values() ? kWorkerExitHalt
+                                           : kWorkerExitOrphan;
       }
       if constexpr (HasSerializableAggregator<Program>) {
         engine_.set_aggregated(
@@ -314,7 +316,7 @@ class Worker {
     CtrlMsg hb;
     hb.kind = CtrlMsg::Kind::kHeartbeat;
     hb.shard = static_cast<std::uint32_t>(cfg_.me);
-    if (!chan_.send(hb)) {
+    if (!transport_->ctrl_send(hb)) {
       ::_exit(kWorkerExitOrphan);
     }
   }
@@ -338,15 +340,17 @@ class Worker {
     }
   }
 
-  /// Moves every readable frame from the peer rings into the pending
+  /// Moves every collectable frame from the peer links into the pending
   /// stash, dropping stale generations (below the per-source floor) and
   /// duplicates (republished frames are byte-identical to the originals).
-  void drain_rings() {
+  /// Reconnected peers reported by the transport get the full retained
+  /// republish — the resync half of reconnect-with-resync.
+  void drain_frames() {
     for (std::size_t src = 0; src < part_.shards(); ++src) {
       if (src == cfg_.me) {
         continue;
       }
-      while (auto frame = in_ring_[src].try_pop()) {
+      while (auto frame = transport_->try_collect(src)) {
         if (frame->header.superstep < floor_[src]) {
           continue;
         }
@@ -354,14 +358,26 @@ class Worker {
                               std::move(frame->payload));
       }
     }
+    for (const std::size_t peer : transport_->take_resync_peers()) {
+      // Superstep 0 = "republish everything retained": the peer's dedup
+      // (floor + byte-identical duplicates) keeps the overshoot safe.
+      CtrlMsg req;
+      req.kind = CtrlMsg::Kind::kRecover;
+      req.shard = static_cast<std::uint32_t>(peer);
+      req.superstep = 0;
+      deferred_recover_.push_back(req);
+    }
+    if (!in_push_ && !deferred_recover_.empty()) {
+      flush_recover();
+    }
   }
 
   /// Processes queued control messages. kProceed is returned to the
   /// caller (only the barrier wait expects one); everything else is
-  /// handled inline. Republishing is deferred while a ring push is in
+  /// handled inline. Republishing is deferred while a frame push is in
   /// flight to keep pushes non-reentrant.
   std::optional<CtrlMsg> pump(int timeout_ms) {
-    const auto msg = chan_.recv(timeout_ms);
+    const auto msg = transport_->ctrl_recv(timeout_ms);
     if (!msg.has_value()) {
       return std::nullopt;
     }
@@ -402,17 +418,17 @@ class Worker {
     }
   }
 
-  /// Blocking ring push with liveness: spins draining our own inputs and
-  /// heartbeating until the frame fits. A ring that stays full past the
-  /// deadline means the peer is dead and the coordinator lost track of it
-  /// — exiting lets the supervisor treat US as the failure and untangle.
+  /// Blocking publish with liveness: spins draining our own inputs and
+  /// heartbeating until the frame fits (ring full / TCP link down or
+  /// backpressured). A link that stays unwritable past the deadline means
+  /// the peer is dead and the coordinator lost track of it — exiting lets
+  /// the supervisor treat US as the failure and untangle.
   void push_frame(std::size_t dst, std::uint64_t superstep,
                   std::span<const std::uint8_t> payload) {
     in_push_ = true;
     const double deadline = now() + push_deadline_seconds();
-    while (!out_ring_[dst].try_push(static_cast<std::uint32_t>(cfg_.me),
-                                    superstep, payload)) {
-      drain_rings();
+    while (!transport_->try_publish(dst, superstep, payload)) {
+      drain_frames();
       pump(1);
       heartbeat();
       if (now() > deadline) {
@@ -457,14 +473,14 @@ class Worker {
           floor_[src] = std::max(floor_[src], superstep + 1);
           break;
         }
-        drain_rings();
+        drain_frames();
         pump(1);
         heartbeat();
       }
     }
   }
 
-  /// Waits at the barrier for the release of `superstep`, draining rings
+  /// Waits at the barrier for the release of `superstep`, draining links
   /// (peers may already be posting the next superstep) and serving
   /// recovery requests meanwhile.
   [[nodiscard]] CtrlMsg await_proceed(std::uint64_t superstep) {
@@ -476,20 +492,17 @@ class Worker {
         // A stale release for a superstep we already passed — possible
         // only for redone barriers; ignore.
       }
-      drain_rings();
+      drain_frames();
       heartbeat();
     }
   }
 
   WorkerConfig<Program> cfg_;
-  Channel chan_;
+  std::unique_ptr<Transport> transport_;
   ShardPartition part_;
   ShardEngine<Program> engine_;
   std::uint64_t bound_fp_;
-
-  std::vector<SpscRing> in_ring_;
-  std::vector<SpscRing> out_ring_;
-  std::uint8_t* board_ = nullptr;
+  std::vector<std::size_t> owned_slots_;
 
   /// Received-but-unapplied frames per source, keyed by superstep.
   std::vector<std::map<std::uint64_t, std::vector<std::uint8_t>>> pending_;
@@ -504,15 +517,28 @@ class Worker {
   bool in_push_ = false;
 };
 
-/// Child-process entry: builds the worker and runs it. Defined out of
-/// Worker so the coordinator's fork branch is one call.
+/// Child-process entry: builds the transport matching the configured
+/// plane and runs the worker. Defined out of Worker so the coordinator's
+/// fork branch is one call.
 template <VertexProgram Program>
 [[noreturn]] inline void worker_main(const WorkerConfig<Program>& cfg,
                                      Channel channel) {
   int code = 1;
   try {
-    Worker<Program> worker(cfg, std::move(channel));
+    std::unique_ptr<Transport> transport;
+    if (cfg.options->transport == TransportKind::kTcp) {
+      cfg.rendezvous->close_in_child_except(cfg.me);
+      transport = make_tcp_transport(*cfg.rendezvous, cfg.me, cfg.generation,
+                                     *cfg.options);
+    } else {
+      transport = std::make_unique<ShmTransport>(
+          *cfg.spec, *cfg.arena, cfg.me, cfg.options->num_shards,
+          std::move(channel));
+    }
+    Worker<Program> worker(cfg, std::move(transport));
     code = worker.run();
+  } catch (const PeerUnreachable&) {
+    code = kWorkerExitUnreachable;
   } catch (...) {
     code = 2;
   }

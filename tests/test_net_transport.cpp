@@ -1,0 +1,466 @@
+// Unit tests of the network layer under the sharded runtime's TCP
+// transport: nonblocking sockets and listeners, the deterministic
+// FaultySocket injector, the FrameStream state machine (partial writes,
+// partial reads, death-as-a-state), the Channel's EINTR discipline, and
+// a two-transport loopback pair exercising handshake, reconnect-with-
+// resync, and the threaded soak the TSan CI step leans on.
+
+#include <gtest/gtest.h>
+#include <sys/time.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/faulty_socket.hpp"
+#include "net/socket.hpp"
+#include "net/stream.hpp"
+#include "net/wire.hpp"
+#include "shard/channel.hpp"
+#include "shard/tcp_transport.hpp"
+
+namespace ipregel::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Establishes one loopback TCP connection and returns (accepted,
+/// connected). Fails the test on timeout.
+[[nodiscard]] std::pair<Socket, Socket> make_pair() {
+  Listener listener = Listener::loopback();
+  Socket client = connect_loopback(listener.port());
+  const auto start = Clock::now();
+  std::optional<Socket> accepted;
+  bool client_up = false;
+  while ((!accepted.has_value() || !client_up) && seconds_since(start) < 5.0) {
+    if (!accepted.has_value()) {
+      accepted = listener.accept();
+    }
+    if (!client_up) {
+      const auto state = connect_probe(client);
+      EXPECT_NE(state, ConnectState::kFailed) << "loopback connect refused";
+      if (state == ConnectState::kFailed) {
+        break;
+      }
+      client_up = state == ConnectState::kUp;
+    }
+  }
+  EXPECT_TRUE(accepted.has_value());
+  EXPECT_TRUE(client_up);
+  return {std::move(*accepted), std::move(client)};
+}
+
+/// Drains `n` bytes from `sock` with a deadline, tolerating kWouldBlock.
+[[nodiscard]] std::vector<std::uint8_t> recv_exactly(Socket& sock,
+                                                     std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::size_t have = 0;
+  const auto start = Clock::now();
+  while (have < n && seconds_since(start) < 5.0) {
+    std::size_t done = 0;
+    const auto status = sock.recv_some(out.data() + have, n - have, done);
+    if (status == IoStatus::kClosed) {
+      break;
+    }
+    have += done;
+  }
+  out.resize(have);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Socket / Listener basics.
+
+TEST(NetSocket, LoopbackRoundTrip) {
+  auto [server, client] = make_pair();
+  const char msg[] = "frame bytes";
+  std::size_t done = 0;
+  ASSERT_EQ(client.send_some(msg, sizeof msg, done), IoStatus::kOk);
+  ASSERT_EQ(done, sizeof msg);
+  const auto got = recv_exactly(server, sizeof msg);
+  ASSERT_EQ(got.size(), sizeof msg);
+  EXPECT_EQ(std::memcmp(got.data(), msg, sizeof msg), 0);
+}
+
+TEST(NetSocket, CleanEofReportsClosed) {
+  auto [server, client] = make_pair();
+  client.close();
+  std::uint8_t buf[8];
+  std::size_t done = 0;
+  const auto start = Clock::now();
+  IoStatus status = IoStatus::kWouldBlock;
+  while (status == IoStatus::kWouldBlock && seconds_since(start) < 5.0) {
+    status = server.recv_some(buf, sizeof buf, done);
+  }
+  EXPECT_EQ(status, IoStatus::kClosed);
+}
+
+TEST(NetSocket, HardResetReportsClosedToPeer) {
+  auto [server, client] = make_pair();
+  client.hard_reset();
+  std::uint8_t buf[8];
+  std::size_t done = 0;
+  const auto start = Clock::now();
+  IoStatus status = IoStatus::kWouldBlock;
+  while (status == IoStatus::kWouldBlock && seconds_since(start) < 5.0) {
+    status = server.recv_some(buf, sizeof buf, done);
+  }
+  // ECONNRESET surfaces as kClosed — peer death is a status, never a
+  // throw.
+  EXPECT_EQ(status, IoStatus::kClosed);
+}
+
+TEST(NetSocket, ConnectToDeadPortFails) {
+  std::uint16_t port = 0;
+  {
+    Listener ephemeral = Listener::loopback();
+    port = ephemeral.port();
+  }  // closed: nothing listens on `port` now
+  Socket sock = connect_loopback(port);
+  const auto start = Clock::now();
+  ConnectState state = ConnectState::kPending;
+  while (state == ConnectState::kPending && seconds_since(start) < 5.0) {
+    state = connect_probe(sock);
+  }
+  EXPECT_EQ(state, ConnectState::kFailed);
+  EXPECT_FALSE(sock.valid());
+}
+
+// ---------------------------------------------------------------------
+// FaultySocket: deterministic counted-op injection.
+
+TEST(NetFaulty, PlannedShortWriteTripsAtTheExactOp) {
+  auto [server, client] = make_pair();
+  SocketFaultPlan plan;
+  plan.faults.push_back(
+      {SocketFault::Kind::kShortWrite, /*at_op=*/1, /*arg=*/3});
+  FaultySocket faulty(std::move(client), plan);
+
+  const std::uint8_t payload[16] = {1, 2, 3, 4, 5, 6, 7, 8,
+                                    9, 10, 11, 12, 13, 14, 15, 16};
+  std::size_t done = 0;
+  faulty.begin_send_op();  // op 0: untouched
+  ASSERT_EQ(faulty.send_some(payload, sizeof payload, done), IoStatus::kOk);
+  EXPECT_EQ(done, sizeof payload);
+
+  faulty.begin_send_op();  // op 1: capped at 3 bytes, once
+  ASSERT_EQ(faulty.send_some(payload, sizeof payload, done), IoStatus::kOk);
+  EXPECT_EQ(done, 3u);
+  ASSERT_EQ(faulty.send_some(payload + 3, sizeof payload - 3, done),
+            IoStatus::kOk);
+  EXPECT_EQ(done, sizeof payload - 3);
+}
+
+TEST(NetFaulty, MuteBlocksBothDirectionsUntilLifted) {
+  auto [server, client] = make_pair();
+  FaultySocket faulty(std::move(client));
+  faulty.inject(SocketFault::Kind::kMute);
+  ASSERT_TRUE(faulty.muted());
+
+  std::uint8_t buf[4] = {1, 2, 3, 4};
+  std::size_t done = 0;
+  EXPECT_EQ(faulty.send_some(buf, sizeof buf, done), IoStatus::kWouldBlock);
+  EXPECT_EQ(faulty.recv_some(buf, sizeof buf, done), IoStatus::kWouldBlock);
+
+  faulty.unmute();
+  EXPECT_EQ(faulty.send_some(buf, sizeof buf, done), IoStatus::kOk);
+  EXPECT_EQ(done, sizeof buf);
+}
+
+TEST(NetFaulty, ResetMidWriteTearsTheFrame) {
+  auto [server, client] = make_pair();
+  FaultySocket faulty(std::move(client));
+  faulty.inject(SocketFault::Kind::kResetMidWrite, /*arg=*/4);
+
+  const std::uint8_t payload[16] = {};
+  std::size_t done = 0;
+  (void)faulty.send_some(payload, sizeof payload, done);
+  EXPECT_FALSE(faulty.valid());  // connection was reset under the write
+
+  // The peer received at most the torn prefix, then ECONNRESET.
+  const auto got = recv_exactly(server, sizeof payload);
+  EXPECT_LT(got.size(), sizeof payload);
+}
+
+TEST(NetFaulty, CloseBeforeWriteDropsTheConnection) {
+  auto [server, client] = make_pair();
+  FaultySocket faulty(std::move(client));
+  faulty.inject(SocketFault::Kind::kCloseBeforeWrite);
+
+  const std::uint8_t payload[8] = {};
+  std::size_t done = 0;
+  const auto status = faulty.send_some(payload, sizeof payload, done);
+  EXPECT_NE(status, IoStatus::kOk);
+  EXPECT_EQ(recv_exactly(server, 1).size(), 0u);  // clean EOF, zero bytes
+}
+
+// ---------------------------------------------------------------------
+// FrameStream: reassembly under partial I/O, death semantics.
+
+TEST(NetStream, FramesSurviveShortWritesAndShortReads) {
+  auto [server, client] = make_pair();
+  SocketFaultPlan write_plan;
+  // Every frame send is capped to 5-byte pieces for the first 4 ops.
+  for (std::uint64_t op = 0; op < 4; ++op) {
+    write_plan.faults.push_back({SocketFault::Kind::kShortWrite, op, 5});
+  }
+  SocketFaultPlan read_plan;
+  for (std::uint64_t op = 0; op < 4; ++op) {
+    read_plan.faults.push_back({SocketFault::Kind::kShortRead, op, 3});
+  }
+  FrameStream writer(FaultySocket(std::move(client), write_plan), 1u << 20);
+  FrameStream reader(FaultySocket(std::move(server), read_plan), 1u << 20);
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(40 + i * 17));
+    for (std::size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = static_cast<std::uint8_t>(i * 31 + j);
+    }
+    payloads.push_back(payload);
+    writer.socket().begin_send_op();
+    writer.queue(encode_frame(FrameKind::kData, i, i, payload));
+  }
+
+  std::size_t got = 0;
+  const auto start = Clock::now();
+  while (got < payloads.size() && seconds_since(start) < 5.0) {
+    ASSERT_TRUE(writer.pump_writes());
+    reader.socket().begin_recv_op();
+    if (auto frame = reader.poll_frame()) {
+      EXPECT_EQ(frame->payload, payloads[got]);
+      EXPECT_EQ(frame->header.superstep, got);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, payloads.size());
+  EXPECT_TRUE(writer.write_idle());
+}
+
+TEST(NetStream, GarbageBytesPoisonTheStream) {
+  auto [server, client] = make_pair();
+  FrameStream reader(FaultySocket(std::move(server)), 1u << 20);
+
+  // A foreign client (or a desynchronized peer) writes a "header" whose
+  // kind is garbage: the reader must throw a typed WireError AND mark
+  // itself dead BEFORE the throw — a byte stream cannot resynchronize.
+  std::uint8_t garbage[sizeof(WireHeader)];
+  std::memset(garbage, 0xEE, sizeof garbage);
+  std::size_t done = 0;
+  ASSERT_EQ(client.send_some(garbage, sizeof garbage, done), IoStatus::kOk);
+  ASSERT_EQ(done, sizeof garbage);
+
+  const auto start = Clock::now();
+  bool threw = false;
+  while (!threw && seconds_since(start) < 5.0) {
+    try {
+      if (reader.poll_frame().has_value()) {
+        FAIL() << "garbage parsed as a frame";
+      }
+    } catch (const WireError&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(reader.dead());
+  // A dead stream stays dead and quiet: no crash, no frame, no retry.
+  EXPECT_FALSE(reader.poll_frame().has_value());
+}
+
+TEST(NetStream, PeerEofFlipsDeadWithoutThrowing) {
+  auto [server, client] = make_pair();
+  FrameStream reader(FaultySocket(std::move(server)), 1u << 20);
+  client.close();
+  const auto start = Clock::now();
+  while (!reader.dead() && seconds_since(start) < 5.0) {
+    EXPECT_FALSE(reader.poll_frame().has_value());
+  }
+  EXPECT_TRUE(reader.dead());
+}
+
+// ---------------------------------------------------------------------
+// Channel EINTR discipline (the control-plane satellite): a SIGALRM
+// storm must neither abort a bounded recv nor extend it.
+
+namespace {
+void noop_handler(int) {}
+}  // namespace
+
+TEST(ShardChannel, BoundedRecvSurvivesAnInterruptStorm) {
+  auto [coord, worker] = shard::Channel::make_pair();
+
+  struct sigaction sa{};
+  sa.sa_handler = noop_handler;  // no SA_RESTART: recv really sees EINTR
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old{};
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 5000;  // every 5 ms
+  storm.it_value.tv_usec = 5000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  const auto start = Clock::now();
+  const auto got = coord.recv(150);
+  const double elapsed = seconds_since(start);
+
+  itimerval off{};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old, nullptr);
+
+  EXPECT_FALSE(got.has_value());  // timeout, not an error
+  // The absolute-deadline retry can neither cut the wait short (storms
+  // used to return early pre-fix) nor stretch it unboundedly.
+  EXPECT_GE(elapsed, 0.10);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(ShardChannel, DeadPeerIsAStatusNotAnException) {
+  auto [coord, worker] = shard::Channel::make_pair();
+  worker.close();
+  shard::CtrlMsg msg;
+  EXPECT_FALSE(coord.send(msg));
+  EXPECT_FALSE(coord.recv(0).has_value());
+}
+
+// ---------------------------------------------------------------------
+// TcpTransport pair in standalone data-plane mode (ctrl_port == 0): the
+// handshake, publish/collect, and reconnect-with-resync, single-threaded
+// by alternate pumping.
+
+[[nodiscard]] std::vector<std::uint8_t> tagged_payload(std::size_t src,
+                                                       std::uint64_t step) {
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(src * 131 + step * 7 + i);
+  }
+  return payload;
+}
+
+class TcpPair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    listeners_.push_back(Listener::loopback());
+    listeners_.push_back(Listener::loopback());
+    ports_ = {listeners_[0].port(), listeners_[1].port()};
+  }
+
+  [[nodiscard]] std::unique_ptr<shard::TcpTransport> transport(
+      std::size_t me, std::size_t generation = 0) {
+    return std::make_unique<shard::TcpTransport>(
+        listeners_[me], /*ctrl_port=*/0, ports_, me, /*shards=*/2, generation,
+        shard::NetOptions{}, std::vector<shard::NetFault>{});
+  }
+
+  /// Publishes one frame from `from_t` (shard `from`) to `to_t`, pumping
+  /// both transports until it is accepted and collected; returns the
+  /// received frame.
+  [[nodiscard]] Frame exchange(shard::TcpTransport& from_t,
+                               shard::TcpTransport& to_t, std::size_t from,
+                               std::uint64_t step) {
+    const auto payload = tagged_payload(from, step);
+    const auto start = Clock::now();
+    bool published = false;
+    while (seconds_since(start) < 10.0) {
+      if (!published) {
+        published = from_t.try_publish(1 - from, step, payload);
+      } else {
+        (void)from_t.try_collect(1 - from);  // keep the sender pumping
+      }
+      if (auto frame = to_t.try_collect(from)) {
+        EXPECT_TRUE(published);
+        return *frame;
+      }
+    }
+    ADD_FAILURE() << "frame never arrived";
+    return {};
+  }
+
+  std::vector<Listener> listeners_;
+  std::vector<std::uint16_t> ports_;
+};
+
+TEST_F(TcpPair, HandshakeThenBidirectionalFrames) {
+  auto t0 = transport(0);
+  auto t1 = transport(1);
+  const Frame up = exchange(*t1, *t0, 1, 3);
+  EXPECT_EQ(up.header.src, 1);
+  EXPECT_EQ(up.header.superstep, 3u);
+  EXPECT_EQ(up.payload, tagged_payload(1, 3));
+  const Frame down = exchange(*t0, *t1, 0, 4);
+  EXPECT_EQ(down.header.src, 0);
+  EXPECT_EQ(down.payload, tagged_payload(0, 4));
+  // Both sides report the initial establishment as a resync of the peer.
+  EXPECT_EQ(t0->take_resync_peers(), std::vector<std::size_t>{1});
+  EXPECT_EQ(t1->take_resync_peers(), std::vector<std::size_t>{0});
+  EXPECT_TRUE(t0->take_resync_peers().empty());  // consumed
+}
+
+TEST_F(TcpPair, PeerDeathThenReconnectReportsResync) {
+  auto t0 = transport(0);
+  auto t1 = transport(1);
+  (void)exchange(*t1, *t0, 1, 0);
+  (void)t0->take_resync_peers();
+
+  // "SIGKILL" the initiator: its sockets close with the process. The
+  // respawn (generation 1) dials the same port — the listener fd lives
+  // in the parent — and both sides must flag the peer for resync.
+  t1.reset();
+  t1 = transport(1, /*generation=*/1);
+  const Frame frame = exchange(*t1, *t0, 1, 9);
+  EXPECT_EQ(frame.payload, tagged_payload(1, 9));
+
+  const auto resynced = t0->take_resync_peers();
+  ASSERT_EQ(resynced.size(), 1u);
+  EXPECT_EQ(resynced[0], 1u);
+  EXPECT_EQ(t1->take_resync_peers(), std::vector<std::size_t>{0});
+
+  // And traffic keeps flowing on the rebuilt link, both directions.
+  const Frame down = exchange(*t0, *t1, 0, 10);
+  EXPECT_EQ(down.payload, tagged_payload(0, 10));
+}
+
+TEST_F(TcpPair, ThreadedSoak) {
+  // The TSan CI step's target: two transports on two threads hammer the
+  // loopback pair concurrently. Each thread owns its transport outright
+  // (one worker process == one transport — the seam's threading model);
+  // the only shared state is the kernel socket pair.
+  static constexpr std::uint64_t kFrames = 200;
+  auto t0 = transport(0);
+  auto t1 = transport(1);
+
+  auto drive = [](shard::TcpTransport& mine, std::size_t me) {
+    std::uint64_t sent = 0;
+    std::uint64_t seen = 0;
+    const auto start = Clock::now();
+    while ((sent < kFrames || seen < kFrames) &&
+           seconds_since(start) < 30.0) {
+      if (sent < kFrames &&
+          mine.try_publish(1 - me, sent, tagged_payload(me, sent))) {
+        ++sent;
+      }
+      if (const auto frame = mine.try_collect(1 - me)) {
+        EXPECT_EQ(frame->header.src, 1 - me);
+        EXPECT_EQ(frame->payload,
+                  tagged_payload(1 - me, frame->header.superstep));
+        ++seen;
+      }
+    }
+    EXPECT_EQ(sent, kFrames);
+    EXPECT_EQ(seen, kFrames);
+  };
+
+  std::thread peer([&] { drive(*t1, 1); });
+  drive(*t0, 0);
+  peer.join();
+}
+
+}  // namespace
+}  // namespace ipregel::net

@@ -1,0 +1,359 @@
+// The network chaos matrix: the sharded runtime over loopback TCP must
+// produce final values BIT-IDENTICAL to the undisturbed shared-memory
+// run — under process kills (the PR-7 matrix re-run over sockets), under
+// injected network faults at deterministic counted frame ops (torn
+// frames, short reads/writes, dropped connections), under stall windows
+// long enough to trip the heartbeat watchdog, and under full N-way
+// partitions that heal. A partition that never heals must exhaust the
+// reconnect budget into a TYPED kShardFailure — never a hang, never a
+// wrong answer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "shard/coordinator.hpp"
+#include "test_util.hpp"
+
+namespace ipregel::shard {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& suffix) {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("ipregel_") + info->test_suite_name() + "_" +
+             info->name() + "_" + suffix);
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Cell defaults mirror the kill matrix: 2 shards, checkpoint every
+/// superstep, keep 3, retain 4 frame generations; fast supervisor
+/// backoff and fast net backoff so chaos cells converge in test time.
+ShardOptions cell_options(ft::CheckpointMode mode, const std::string& dir) {
+  ShardOptions opt;
+  opt.num_shards = 2;
+  opt.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  opt.checkpoint.mode = mode;
+  opt.checkpoint.every = 1;
+  opt.checkpoint.keep = 3;
+  opt.checkpoint.directory = dir;
+  opt.retain_supersteps = 4;
+  opt.supervisor.backoff_initial_seconds = 0.01;
+  opt.net.backoff_initial_seconds = 0.005;
+  opt.net.backoff_max_seconds = 0.05;
+  return opt;
+}
+
+/// Runs the app twice — undisturbed over SHM, then over TCP with the
+/// given chaos — and requires byte-equal final values.
+template <typename Program>
+void run_tcp_cell(const graph::CsrGraph& g, Program program,
+                  ft::CheckpointMode mode, const std::string& tag,
+                  const std::function<void(ShardOptions&)>& chaos,
+                  std::size_t min_respawns = 0) {
+  using Value = typename Program::value_type;
+  SCOPED_TRACE(tag);
+
+  TempDir base_dir(tag + "_base");
+  auto base_opt = cell_options(mode, base_dir.str());
+  std::vector<Value> want;
+  const auto base = run_sharded(g, program, base_opt, &want);
+  ASSERT_TRUE(base.ok()) << base.error->what();
+  ASSERT_EQ(base.shard.respawns, 0u);
+
+  TempDir tcp_dir(tag + "_tcp");
+  auto tcp_opt = cell_options(mode, tcp_dir.str());
+  tcp_opt.transport = TransportKind::kTcp;
+  chaos(tcp_opt);
+  std::vector<Value> got;
+  const auto tcp = run_sharded(g, program, tcp_opt, &got);
+  ASSERT_TRUE(tcp.ok()) << tcp.error->what();
+  EXPECT_GE(tcp.shard.respawns, min_respawns);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    // Bitwise: the TCP plane must reproduce the exact fold order of the
+    // shared-memory run, faults and reconnects included.
+    ASSERT_EQ(std::memcmp(&got[s], &want[s], sizeof(Value)), 0)
+        << "slot " << s << " diverged over TCP";
+  }
+}
+
+[[nodiscard]] ShardFault kill_at(std::size_t shard, std::uint64_t superstep,
+                                 ShardFault::Phase phase,
+                                 std::size_t generation = 0) {
+  ShardFault f;
+  f.kind = ShardFault::Kind::kSigkill;
+  f.shard = shard;
+  f.superstep = superstep;
+  f.phase = phase;
+  f.generation = generation;
+  return f;
+}
+
+[[nodiscard]] NetFault net_fault(NetFault::Kind kind, std::size_t shard,
+                                 std::size_t peer, std::uint64_t at_op,
+                                 NetFault::Plane plane = NetFault::Plane::kData,
+                                 double seconds = 0.25) {
+  NetFault f;
+  f.kind = kind;
+  f.shard = shard;
+  f.peer = peer;
+  f.at_op = at_op;
+  f.plane = plane;
+  f.seconds = seconds;
+  return f;
+}
+
+constexpr ft::CheckpointMode kModes[] = {ft::CheckpointMode::kHeavyweight,
+                                         ft::CheckpointMode::kLightweight};
+
+// ---------------------------------------------------------------------
+// Cell family 1 — every app × both checkpoint modes: a clean TCP run, a
+// SIGKILL mid-run (the PR-7 fixed point re-run over sockets), and a
+// torn-frame reset at a counted data op.
+
+template <typename Program>
+void run_matrix_for(const graph::CsrGraph& g, Program program,
+                    const std::string& app) {
+  for (const auto mode : kModes) {
+    const std::string mt = app + "_" + std::string(to_string(mode));
+
+    run_tcp_cell(g, program, mode, mt + "_clean",
+                 [](ShardOptions&) {});
+
+    run_tcp_cell(
+        g, program, mode, mt + "_kill_s7",
+        [](ShardOptions& opt) {
+          opt.faults = {kill_at(1, 7, ShardFault::Phase::kCompute)};
+        },
+        /*min_respawns=*/1);
+
+    // RST mid-frame on the data link at counted op 5: the torn frame is
+    // recovered by reconnect + retained-frame republish, transparently —
+    // no process ever dies.
+    run_tcp_cell(g, program, mode, mt + "_reset_midframe",
+                 [](ShardOptions& opt) {
+                   opt.net_faults = {net_fault(NetFault::Kind::kResetMidFrame,
+                                               1, 0, 5)};
+                 });
+  }
+}
+
+TEST(ShardNetMatrix, PageRank) {
+  const auto g = testing::make_graph(
+      graph::rmat(6, 4, graph::RmatOptions{.seed = 12}));
+  apps::PageRank pr;
+  pr.rounds = 12;
+  run_matrix_for(g, pr, "pagerank");
+}
+
+TEST(ShardNetMatrix, Sssp) {
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  run_matrix_for(g, apps::Sssp{}, "sssp");
+}
+
+TEST(ShardNetMatrix, Hashmin) {
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  run_matrix_for(g, apps::Hashmin{}, "hashmin");
+}
+
+// ---------------------------------------------------------------------
+// Cell family 2 — one fault kind per protocol phase, sssp/heavyweight.
+
+TEST(ShardNetMatrix, PartialIoAtEveryPhaseIsTransparent) {
+  // Short writes and short reads at the handshake-adjacent op (1) and a
+  // mid-stream op (5), both directions at once: pure framing stress, no
+  // reconnect — the stream reassembles byte-split frames.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  run_tcp_cell(g, apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+               "short_io", [](ShardOptions& opt) {
+                 opt.net_faults = {
+                     net_fault(NetFault::Kind::kShortWrite, 1, 0, 1),
+                     net_fault(NetFault::Kind::kShortWrite, 0, 1, 5),
+                     net_fault(NetFault::Kind::kShortRead, 0, 1, 2),
+                     net_fault(NetFault::Kind::kShortRead, 1, 0, 6),
+                 };
+               });
+}
+
+TEST(ShardNetMatrix, DroppedConnectionsAtEveryPhaseResync) {
+  // Orderly connection drops at the first post-handshake op on one side
+  // and mid-stream on the other: both reconnect and republish retained
+  // frames; dedup keeps the fold bit-identical.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  run_tcp_cell(g, apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+               "drop_conn", [](ShardOptions& opt) {
+                 opt.net_faults = {
+                     net_fault(NetFault::Kind::kDropConn, 1, 0, 1),
+                     net_fault(NetFault::Kind::kDropConn, 0, 1, 4),
+                 };
+               });
+}
+
+TEST(ShardNetMatrix, KillDuringEveryProtocolPhaseOverTcp) {
+  // The PR-7 phase sweep, over sockets: death mid-compute, after frames
+  // are posted, before and after the checkpoint. Each lands the respawn
+  // at a different resume point; TCP adds reconnect + republish to every
+  // one of them.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  for (const auto phase :
+       {ShardFault::Phase::kCompute, ShardFault::Phase::kAfterPost,
+        ShardFault::Phase::kBeforeCheckpoint,
+        ShardFault::Phase::kAfterCheckpoint}) {
+    run_tcp_cell(
+        g, apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+        "tcp_phase_" + std::to_string(static_cast<int>(phase)),
+        [&](ShardOptions& opt) {
+          opt.faults = {kill_at(0, 4, phase)};
+        },
+        /*min_respawns=*/1);
+  }
+}
+
+TEST(ShardNetMatrix, DataStallRidesThrough) {
+  // The data link goes silent for 0.3s mid-run. Writes queue behind the
+  // mute and flush when it lifts; heartbeats ride the (unmuted) control
+  // link, so nobody is killed.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  run_tcp_cell(g, apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+               "data_stall", [](ShardOptions& opt) {
+                 opt.net_faults = {net_fault(NetFault::Kind::kStall, 1, 0, 3,
+                                             NetFault::Plane::kData, 0.3)};
+               });
+}
+
+TEST(ShardNetMatrix, CtrlStallTripsTheHeartbeatWatchdog) {
+  // The CONTROL link stalls for far longer than the heartbeat deadline:
+  // the worker's beats are muted, the coordinator's watchdog declares it
+  // hung and SIGKILLs it, and the respawn recovers — bit-identical, with
+  // the kill accounted as a heartbeat kill.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  TempDir base_dir("hb_base");
+  auto base_opt = cell_options(ft::CheckpointMode::kHeavyweight,
+                               base_dir.str());
+  std::vector<apps::Sssp::value_type> want;
+  const auto base = run_sharded(g, apps::Sssp{}, base_opt, &want);
+  ASSERT_TRUE(base.ok()) << base.error->what();
+
+  TempDir tcp_dir("hb_tcp");
+  auto tcp_opt = cell_options(ft::CheckpointMode::kHeavyweight,
+                              tcp_dir.str());
+  tcp_opt.transport = TransportKind::kTcp;
+  tcp_opt.heartbeat_interval_seconds = 0.02;
+  tcp_opt.hang_timeout_seconds = 0.3;
+  tcp_opt.net_faults = {net_fault(NetFault::Kind::kStall, 1, 0, 4,
+                                  NetFault::Plane::kCtrl, 5.0)};
+  std::vector<apps::Sssp::value_type> got;
+  const auto tcp = run_sharded(g, apps::Sssp{}, tcp_opt, &got);
+  ASSERT_TRUE(tcp.ok()) << tcp.error->what();
+  EXPECT_GE(tcp.shard.heartbeat_kills + tcp.shard.respawns, 1u);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_EQ(std::memcmp(&got[s], &want[s],
+                          sizeof(apps::Sssp::value_type)),
+              0)
+        << "slot " << s << " diverged after watchdog kill";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cell family 3 — partitions.
+
+TEST(ShardNetMatrix, HealedPartitionIsTransparentAtFourShards) {
+  // A symmetric partition between shards 1 and 2 of a 4-shard run: the
+  // live connection is reset, new connects are refused for the window,
+  // then the pair reconnects and resyncs. Shards 0 and 3 never notice.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  TempDir base_dir("part_base");
+  auto base_opt = cell_options(ft::CheckpointMode::kHeavyweight,
+                               base_dir.str());
+  base_opt.num_shards = 4;
+  std::vector<apps::Sssp::value_type> want;
+  const auto base = run_sharded(g, apps::Sssp{}, base_opt, &want);
+  ASSERT_TRUE(base.ok()) << base.error->what();
+
+  TempDir tcp_dir("part_tcp");
+  auto tcp_opt = cell_options(ft::CheckpointMode::kHeavyweight,
+                              tcp_dir.str());
+  tcp_opt.num_shards = 4;
+  tcp_opt.transport = TransportKind::kTcp;
+  // Budget sized so the window cannot exhaust it even with minimal
+  // jitter: the partition must HEAL, not degrade.
+  tcp_opt.net.max_reconnects_per_link = 64;
+  tcp_opt.net_faults = {
+      net_fault(NetFault::Kind::kPartition, 2, 1, 3,
+                NetFault::Plane::kData, 0.25),
+      net_fault(NetFault::Kind::kPartition, 1, 2, 3,
+                NetFault::Plane::kData, 0.25),
+  };
+  std::vector<apps::Sssp::value_type> got;
+  const auto tcp = run_sharded(g, apps::Sssp{}, tcp_opt, &got);
+  ASSERT_TRUE(tcp.ok()) << tcp.error->what();
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    ASSERT_EQ(std::memcmp(&got[s], &want[s],
+                          sizeof(apps::Sssp::value_type)),
+              0)
+        << "slot " << s << " diverged across the healed partition";
+  }
+}
+
+TEST(ShardNetMatrix, UnhealedPartitionDegradesToTypedFailure) {
+  // The partition never heals and re-arms in every incarnation: each
+  // attempt through the window burns reconnect budget, the worker exits
+  // kWorkerExitUnreachable, the supervisor ladder respawns it into the
+  // same wall, and after the respawn budget the run fails TYPED — a
+  // kShardFailure naming the shard, never a hang, never a wrong answer.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  TempDir dir("unhealed");
+  auto opt = cell_options(ft::CheckpointMode::kHeavyweight, dir.str());
+  opt.transport = TransportKind::kTcp;
+  opt.net.max_reconnects_per_link = 4;
+  opt.guards.run_seconds = 60.0;  // backstop only; typed failure must win
+  for (std::size_t generation = 0; generation <= 4; ++generation) {
+    NetFault f = net_fault(NetFault::Kind::kPartition, 1, 0, 1,
+                           NetFault::Plane::kData, 3600.0);
+    f.generation = generation;
+    opt.net_faults.push_back(f);
+  }
+  std::vector<apps::Sssp::value_type> got;
+  const auto outcome = run_sharded(g, apps::Sssp{}, opt, &got);
+  ASSERT_FALSE(outcome.ok());
+  ASSERT_TRUE(outcome.error.has_value());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kShardFailure)
+      << outcome.error->what();
+  EXPECT_GE(outcome.shard.respawns, 1u);
+}
+
+}  // namespace
+}  // namespace ipregel::shard

@@ -6,11 +6,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "runtime/partition.hpp"
 #include "shard/layout.hpp"
 #include "shard/partition.hpp"
 #include "shard/ring.hpp"
@@ -195,6 +197,72 @@ TEST(ShardPartition, MatchesTheEnginesThreadShares) {
     EXPECT_EQ(part.slots(s).begin, expect.begin + g.first_slot());
     EXPECT_EQ(part.slots(s).end, expect.end + g.first_slot());
   }
+}
+
+TEST(ShardPartition, HashSchemeCoversAndInverts) {
+  const auto g = testing::make_graph(
+      graph::rmat(8, 4, graph::RmatOptions{.seed = 5}));
+  const std::size_t populated = g.num_slots() - g.first_slot();
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const ShardPartition part(g, shards, PartitionScheme::kHash);
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      covered += part.size(s);
+      const auto owned = part.owned_slots(s);
+      ASSERT_EQ(owned.size(), part.size(s));
+      for (std::size_t local = 0; local < owned.size(); ++local) {
+        // Ownership, local indexing, and slot_at must agree and invert.
+        ASSERT_EQ(part.shard_of_slot(owned[local]), s);
+        ASSERT_EQ(part.local_index(owned[local]), local);
+        ASSERT_EQ(part.slot_at(s, local), owned[local]);
+        if (local > 0) {
+          // The bit-identity invariant: local indices ascend in slot
+          // order under BOTH schemes.
+          ASSERT_LT(owned[local - 1], owned[local]);
+        }
+      }
+    }
+    EXPECT_EQ(covered, populated) << shards;
+  }
+}
+
+TEST(ShardPartition, HashSchemeAgreesWithRuntimeHashPartition) {
+  const auto g = testing::make_graph(
+      graph::rmat(7, 3, graph::RmatOptions{.seed = 11}));
+  const ShardPartition part(g, 4, PartitionScheme::kHash);
+  for (std::size_t slot = g.first_slot(); slot < g.num_slots(); ++slot) {
+    EXPECT_EQ(part.shard_of_slot(slot), runtime::hash_partition(slot, 4));
+  }
+}
+
+TEST(ShardPartition, HashSchemeSpreadsAContiguousHubRange) {
+  // The scheme's reason to exist: on a degree-renumbered graph the hubs
+  // occupy the lowest slots, which kBlock concentrates in shard 0. Hashed
+  // ownership must spread any contiguous window across every shard.
+  const auto g = testing::make_graph(
+      graph::rmat(10, 8, graph::RmatOptions{.seed = 7}));
+  constexpr std::size_t kShards = 4;
+  const ShardPartition part(g, kShards, PartitionScheme::kHash);
+  const std::size_t window =
+      std::min<std::size_t>(64, g.num_slots() - g.first_slot());
+  std::vector<std::size_t> hits(kShards, 0);
+  for (std::size_t slot = g.first_slot(); slot < g.first_slot() + window;
+       ++slot) {
+    ++hits[part.shard_of_slot(slot)];
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(hits[s], 0u) << "shard " << s << " owns none of the hub window";
+  }
+}
+
+TEST(ShardFingerprint, SchemeIsPartOfTheBinding) {
+  // A kHash snapshot slice must never restore into a kBlock topology:
+  // same shard count, same shard, different scheme → different identity.
+  const std::uint64_t base = 0xDEADBEEFCAFEF00DULL;
+  EXPECT_NE(shard_fingerprint(base, 4, 1, PartitionScheme::kBlock),
+            shard_fingerprint(base, 4, 1, PartitionScheme::kHash));
+  EXPECT_EQ(shard_fingerprint(base, 4, 1, PartitionScheme::kHash),
+            shard_fingerprint(base, 4, 1, PartitionScheme::kHash));
 }
 
 TEST(ShardFingerprint, BindsTopologyIntoTheProgramIdentity) {

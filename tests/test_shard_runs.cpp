@@ -259,6 +259,51 @@ TEST(ShardRuns, DesolateAddressingSurvivesSharding) {
   expect_slots_eq(g, got, want, "hashmin/desolate");
 }
 
+TEST(ShardRuns, HashPartitionIsBitIdenticalForMinCombineApps) {
+  // The hash scheme assigns slots by mix64(slot) % shards instead of
+  // contiguous blocks. Min-combiner folds are order-insensitive ONLY
+  // because each destination's messages still fold in ascending-source,
+  // ascending-local-slot order — which owned_slots() preserves under
+  // hashing (local indices ascend in slot order). So the result must
+  // stay bit-identical to the engine at every shard count.
+  const auto g = testing::make_graph(
+      graph::rmat(8, 4, graph::RmatOptions{.seed = 3}));
+  const auto want_hm = engine_reference(g, apps::Hashmin{});
+  const auto want_sp = engine_reference(g, apps::Sssp{});
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    shard::ShardOptions opt;
+    opt.num_shards = shards;
+    opt.partition = shard::PartitionScheme::kHash;
+    std::vector<graph::vid_t> got_hm;
+    const auto hm = shard::run_sharded(g, apps::Hashmin{}, opt, &got_hm);
+    ASSERT_TRUE(hm.ok()) << shards << " shards: " << hm.error->what();
+    expect_slots_eq(g, got_hm, want_hm,
+                    "hashmin-hash/" + std::to_string(shards));
+
+    std::vector<std::uint32_t> got_sp;
+    const auto sp = shard::run_sharded(g, apps::Sssp{}, opt, &got_sp);
+    ASSERT_TRUE(sp.ok()) << shards << " shards: " << sp.error->what();
+    expect_slots_eq(g, got_sp, want_sp,
+                    "sssp-hash/" + std::to_string(shards));
+  }
+}
+
+TEST(ShardRuns, HashPartitionOverTcpMatchesToo) {
+  // Both selectable axes at once: hash partitioning over the TCP
+  // transport, still bit-identical to the engine.
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  const auto want = engine_reference(g, apps::Sssp{});
+  shard::ShardOptions opt;
+  opt.num_shards = 3;
+  opt.partition = shard::PartitionScheme::kHash;
+  opt.transport = shard::TransportKind::kTcp;
+  std::vector<std::uint32_t> got;
+  const auto outcome = shard::run_sharded(g, apps::Sssp{}, opt, &got);
+  ASSERT_TRUE(outcome.ok()) << outcome.error->what();
+  expect_slots_eq(g, got, want, "sssp-hash-tcp/3");
+}
+
 TEST(ShardRuns, RejectsLightweightCheckpointsForAggregatorPrograms) {
   const auto g = testing::make_graph(graph::cycle_graph(8));
   TempDir dir;

@@ -59,6 +59,15 @@ enum class RunErrorKind : std::uint8_t {
   /// the remaining workers and aborted the job. Not retryable at this
   /// level — per-shard retries already happened inside the run.
   kShardFailure,
+  /// The beyond-RAM paged store (src/store) could not serve an edge page:
+  /// the page failed its CRC seal or read after the bounded retry budget,
+  /// the store file's superblock was invalid, or the backing filesystem
+  /// lost power mid-read. The streaming runner unwinds the superstep and
+  /// surfaces the store::PageError detail. Retryable when the underlying
+  /// page fault was transient (the retry-then-quarantine ladder already
+  /// distinguishes that; what reaches this level recurs), so not
+  /// retryable by default.
+  kPageError,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(RunErrorKind k) noexcept {
@@ -81,6 +90,8 @@ enum class RunErrorKind : std::uint8_t {
       return "snapshot-mismatch";
     case RunErrorKind::kShardFailure:
       return "shard-failure";
+    case RunErrorKind::kPageError:
+      return "page-error";
   }
   return "invalid";
 }

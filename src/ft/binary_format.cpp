@@ -8,23 +8,6 @@
 namespace ipregel::ft {
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() noexcept {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-const std::array<std::uint32_t, 256>& crc_table() noexcept {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  return table;
-}
-
 template <typename T>
 void write_raw(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -41,17 +24,6 @@ bool read_raw(std::istream& in, T& v) {
 }
 
 }  // namespace
-
-std::uint32_t crc32(const void* data, std::size_t bytes,
-                    std::uint32_t seed) noexcept {
-  const auto& table = crc_table();
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
 
 BinaryWriter::BinaryWriter(std::ostream& out, std::uint64_t magic,
                            std::uint32_t version)

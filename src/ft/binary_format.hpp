@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "integrity/crc32.hpp"
+
 namespace ipregel::ft {
 
 /// Shared framing for every binary file this framework writes.
@@ -29,11 +31,12 @@ namespace ipregel::ft {
 ///
 /// Readers throw FormatError — never return partially-populated data.
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-/// `seed` chains incremental computations: crc32(b, crc32(a)) ==
-/// crc32(ab).
-[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes,
-                                  std::uint32_t seed = 0) noexcept;
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). The
+/// implementation moved to integrity/crc32.hpp (the corruption-defense
+/// subsystem is its natural home, and the paged store seals pages with it
+/// without depending on ft); this alias keeps the historical spelling the
+/// ft/net/shard call sites use.
+using integrity::crc32;
 
 /// Malformed, corrupted, truncated, or version-mismatched binary file.
 class FormatError : public std::runtime_error {

@@ -116,6 +116,11 @@ struct RetryPolicy {
         // (shard::ShardSupervisor); a failure that reaches here exhausted
         // it, and this in-process supervisor cannot do better.
         return false;
+      case RunErrorKind::kPageError:
+        // The page cache already spent its bounded retries (and a CRC
+        // failure its quarantine-and-refetch) before surfacing this; a
+        // whole-run retry against the same damaged store would spin.
+        return false;
     }
     return false;
   }

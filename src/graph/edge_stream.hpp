@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace ipregel::graph {
+
+/// A restartable stream of directed edges — the interchange format for
+/// consumers that must not materialise the edge list (the paged-store
+/// builder makes several passes over its input and keeps only a bounded
+/// buffer resident).
+///
+/// The contract is determinism: after restart(), the stream yields the
+/// IDENTICAL edge sequence it yielded on every previous pass. Generators
+/// satisfy it by snapshotting their RNG state; file loaders by seeking to
+/// their start offset.
+class EdgeSource {
+ public:
+  EdgeSource() = default;
+  EdgeSource(const EdgeSource&) = delete;
+  EdgeSource& operator=(const EdgeSource&) = delete;
+  virtual ~EdgeSource() = default;
+
+  /// Rewinds to the first edge.
+  virtual void restart() = 0;
+  /// Produces the next edge; returns false at end of stream.
+  virtual bool next(Edge& e) = 0;
+  /// Total edges the stream yields per pass (known up front).
+  [[nodiscard]] virtual eid_t num_edges() const = 0;
+};
+
+/// Adapts an in-memory EdgeList to the stream interface (weights are
+/// dropped; the streaming consumers are unweighted). The list must
+/// outlive the stream. Used by tests to prove a streaming build matches
+/// the in-RAM build on the same edges.
+class EdgeListSource final : public EdgeSource {
+ public:
+  explicit EdgeListSource(const EdgeList& list) : list_(list) {}
+
+  void restart() override { at_ = 0; }
+  bool next(Edge& e) override {
+    if (at_ >= list_.size()) {
+      return false;
+    }
+    e = list_.edges()[at_++];
+    return true;
+  }
+  [[nodiscard]] eid_t num_edges() const override { return list_.size(); }
+
+ private:
+  const EdgeList& list_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace ipregel::graph

@@ -11,54 +11,77 @@ namespace ipregel::graph {
 
 using runtime::Xoshiro256;
 
-EdgeList rmat(unsigned scale, unsigned edge_factor,
-              const RmatOptions& options) {
+RmatStream::RmatStream(unsigned scale, unsigned edge_factor,
+                       const RmatOptions& options)
+    : options_(options), scale_(scale), rng_(options.seed),
+      edges_start_(options.seed) {
   if (scale >= 32) {
     throw std::invalid_argument("rmat scale must be < 32 for 32-bit ids");
   }
   const vid_t n = vid_t{1} << scale;
-  const eid_t m = static_cast<eid_t>(edge_factor) * n;
-  const double ab = options.a + options.b;
-  const double abc = ab + options.c;
+  m_ = static_cast<eid_t>(edge_factor) * n;
 
-  Xoshiro256 rng(options.seed);
-
-  // Optional id scrambling: a random permutation of [0, n).
-  std::vector<vid_t> perm;
-  if (options.scramble_ids) {
-    perm.resize(n);
-    std::iota(perm.begin(), perm.end(), vid_t{0});
+  // Optional id scrambling: a random permutation of [0, n), drawn from
+  // the same generator stream ahead of the edges (historical rmat()
+  // behaviour, preserved bit for bit).
+  if (options_.scramble_ids) {
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), vid_t{0});
     for (vid_t i = n; i > 1; --i) {
-      const auto j = static_cast<vid_t>(rng.next_below(i));
-      std::swap(perm[i - 1], perm[j]);
+      const auto j = static_cast<vid_t>(rng_.next_below(i));
+      std::swap(perm_[i - 1], perm_[j]);
     }
   }
+  // Snapshot the post-permutation state: restart() is a copy, not a
+  // replay of the permutation draw.
+  edges_start_ = rng_;
+}
 
+void RmatStream::restart() {
+  rng_ = edges_start_;
+  produced_ = 0;
+}
+
+bool RmatStream::next(Edge& e) {
+  if (produced_ >= m_) {
+    return false;
+  }
+  const double ab = options_.a + options_.b;
+  const double abc = ab + options_.c;
+  vid_t row = 0;
+  vid_t col = 0;
+  for (unsigned bit = 0; bit < scale_; ++bit) {
+    const double r = rng_.next_double();
+    row <<= 1;
+    col <<= 1;
+    if (r < options_.a) {
+      // top-left quadrant: neither bit set
+    } else if (r < ab) {
+      col |= 1;  // top-right
+    } else if (r < abc) {
+      row |= 1;  // bottom-left
+    } else {
+      row |= 1;  // bottom-right
+      col |= 1;
+    }
+  }
+  if (options_.scramble_ids) {
+    row = perm_[row];
+    col = perm_[col];
+  }
+  e = Edge{row, col};
+  ++produced_;
+  return true;
+}
+
+EdgeList rmat(unsigned scale, unsigned edge_factor,
+              const RmatOptions& options) {
+  RmatStream stream(scale, edge_factor, options);
   std::vector<Edge> edges;
-  edges.reserve(m);
-  for (eid_t e = 0; e < m; ++e) {
-    vid_t row = 0;
-    vid_t col = 0;
-    for (unsigned bit = 0; bit < scale; ++bit) {
-      const double r = rng.next_double();
-      row <<= 1;
-      col <<= 1;
-      if (r < options.a) {
-        // top-left quadrant: neither bit set
-      } else if (r < ab) {
-        col |= 1;  // top-right
-      } else if (r < abc) {
-        row |= 1;  // bottom-left
-      } else {
-        row |= 1;  // bottom-right
-        col |= 1;
-      }
-    }
-    if (options.scramble_ids) {
-      row = perm[row];
-      col = perm[col];
-    }
-    edges.push_back(Edge{row, col});
+  edges.reserve(stream.num_edges());
+  Edge e;
+  while (stream.next(e)) {
+    edges.push_back(e);
   }
   return EdgeList(std::move(edges));
 }

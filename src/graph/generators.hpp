@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/edge_list.hpp"
+#include "graph/edge_stream.hpp"
+#include "runtime/rng.hpp"
 
 namespace ipregel::graph {
 
@@ -30,6 +33,37 @@ struct RmatOptions {
 /// paper's Wikipedia graph.
 [[nodiscard]] EdgeList rmat(unsigned scale, unsigned edge_factor,
                             const RmatOptions& options = {});
+
+/// Restartable R-MAT edge stream: yields EXACTLY the edges rmat() with
+/// the same parameters returns, in the same order, generating each edge
+/// on demand instead of materialising the list — the beyond-RAM input
+/// path (a scale-24 edge-factor-16 graph is 2 GB as an edge list and a
+/// few hundred resident bytes as this stream).
+///
+/// Only the O(V) id-scrambling permutation stays resident; restart() is
+/// O(1) — the generator RNG state is snapshotted after the permutation is
+/// drawn, so every pass replays the identical edge sequence. rmat() is
+/// implemented on top of this stream, which is what keeps the two
+/// bit-identical by construction.
+class RmatStream final : public EdgeSource {
+ public:
+  /// Throws std::invalid_argument for scale >= 32 (ids are 32-bit).
+  RmatStream(unsigned scale, unsigned edge_factor,
+             const RmatOptions& options = {});
+
+  void restart() override;
+  bool next(Edge& e) override;
+  [[nodiscard]] eid_t num_edges() const override { return m_; }
+
+ private:
+  RmatOptions options_;
+  unsigned scale_;
+  eid_t m_ = 0;
+  eid_t produced_ = 0;
+  std::vector<vid_t> perm_;
+  runtime::Xoshiro256 rng_;          ///< current position in the stream
+  runtime::Xoshiro256 edges_start_;  ///< state right after the permutation
+};
 
 /// Uniform random directed multigraph: exactly `num_edges` edges with
 /// endpoints uniform over [0, num_vertices). Self-loops are excluded;

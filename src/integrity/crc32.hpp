@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ipregel::integrity {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+///
+/// This is the framework's one CRC: the ft binary framing, the shard/net
+/// wire headers, and the paged store's page seals all chain through it, so
+/// a corruption test proven against one layer transfers to the others.
+/// It lives in the integrity subsystem (home of the corruption-defense
+/// machinery) and is re-exported as ft::crc32 for the original call
+/// sites.
+///
+/// `seed` chains incremental computations: crc32(b, crc32(a)) ==
+/// crc32(ab).
+
+namespace detail {
+
+inline constexpr std::array<std::uint32_t, 256> kCrcTable = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t bytes,
+                                         std::uint32_t seed = 0) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = detail::kCrcTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ipregel::integrity

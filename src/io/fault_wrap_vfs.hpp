@@ -76,6 +76,14 @@ class ReadFaultVfs final : public Vfs {
       }
       return inner_->read(buf, n);
     }
+    std::size_t read_at(void* buf, std::size_t n,
+                        std::uint64_t offset) override {
+      if (injector_ != nullptr && injector_->remaining_ > 0) {
+        --injector_->remaining_;
+        throw IoError(IoOp::kRead, path_, EIO, "injected read fault");
+      }
+      return inner_->read_at(buf, n, offset);
+    }
     void write(const void* buf, std::size_t n) override {
       inner_->write(buf, n);
     }

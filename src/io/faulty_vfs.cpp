@@ -18,17 +18,15 @@ class FaultyVfs::MemFile final : public Vfs::File {
 
   std::size_t read(void* buf, std::size_t n) override {
     std::lock_guard<std::mutex> lock(vfs_.mu_);
-    if (vfs_.frozen_) {
-      vfs_.throw_power_cut(IoOp::kRead, path_);
-    }
-    const std::vector<std::uint8_t>& data = inode_->live;
-    if (pos_ >= data.size()) {
-      return 0;
-    }
-    const std::size_t got = std::min(n, data.size() - pos_);
-    std::memcpy(buf, data.data() + pos_, got);
+    const std::size_t got = read_from(buf, n, pos_);
     pos_ += got;
     return got;
+  }
+
+  std::size_t read_at(void* buf, std::size_t n,
+                      std::uint64_t offset) override {
+    std::lock_guard<std::mutex> lock(vfs_.mu_);
+    return read_from(buf, n, static_cast<std::size_t>(offset));
   }
 
   void write(const void* buf, std::size_t n) override {
@@ -92,6 +90,34 @@ class FaultyVfs::MemFile final : public Vfs::File {
   void close() override {}  // nothing buffered at this layer
 
  private:
+  /// Shared body of read/read_at: applies the armed read plan, then copies
+  /// from the live content at `from`. Caller holds vfs_.mu_.
+  std::size_t read_from(void* buf, std::size_t n, std::size_t from) {
+    if (vfs_.frozen_) {
+      vfs_.throw_power_cut(IoOp::kRead, path_);
+    }
+    const ReadFaultKind fault = vfs_.begin_read(path_);
+    const std::vector<std::uint8_t>& data = inode_->live;
+    if (from >= data.size()) {
+      return 0;
+    }
+    std::size_t want = std::min(n, data.size() - from);
+    if (fault == ReadFaultKind::kReadShort) {
+      want /= 2;  // the rest of the buffer is never written
+    }
+    std::memcpy(buf, data.data() + from, want);
+    if (fault == ReadFaultKind::kTornPage) {
+      // Deterministic silent corruption of the second half of what came
+      // back — the shape of a torn sector or at-rest rot that only a
+      // content check (per-page CRC) can catch.
+      auto* p = static_cast<std::uint8_t*>(buf);
+      for (std::size_t i = want / 2; i < want; ++i) {
+        p[i] ^= 0xA5;
+      }
+    }
+    return want;
+  }
+
   FaultyVfs& vfs_;
   std::shared_ptr<Inode> inode_;
   std::string path_;
@@ -129,17 +155,52 @@ void FaultyVfs::begin_mutation(IoOp op, const std::string& path) {
   }
 }
 
+FaultyVfs::ReadFaultKind FaultyVfs::begin_read(const std::string& path) {
+  ++read_ops_;
+  if (read_plan_.kind == ReadFaultKind::kNone || read_plan_.at_op == 0 ||
+      read_ops_ != read_plan_.at_op) {
+    return ReadFaultKind::kNone;
+  }
+  const ReadFaultKind kind = read_plan_.kind;
+  read_plan_ = ReadPlan{};  // every read fault is one-shot
+  switch (kind) {
+    case ReadFaultKind::kReadEio:
+      throw IoError(IoOp::kRead, path, EIO, "injected read error");
+    case ReadFaultKind::kReadPowerCut:
+      frozen_ = true;
+      throw_power_cut(IoOp::kRead, path);
+    case ReadFaultKind::kReadShort:
+    case ReadFaultKind::kTornPage:
+    case ReadFaultKind::kNone:
+      break;
+  }
+  return kind;
+}
+
 void FaultyVfs::set_plan(Plan plan) {
   std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
   ops_ = 0;
 }
 
+void FaultyVfs::set_read_plan(ReadPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_plan_ = plan;
+  read_ops_ = 0;
+}
+
+std::uint64_t FaultyVfs::read_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_ops_;
+}
+
 void FaultyVfs::reboot() {
   std::lock_guard<std::mutex> lock(mu_);
   frozen_ = false;
   plan_ = Plan{};
+  read_plan_ = ReadPlan{};
   ops_ = 0;
+  read_ops_ = 0;
   live_ = synced_;
   for (auto& entry : live_) {
     entry.second->live = entry.second->synced;

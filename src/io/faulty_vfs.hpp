@@ -46,6 +46,22 @@ namespace ipregel::io {
 ///
 /// A probe run against an unarmed FaultyVfs yields `mutating_ops()`, the
 /// loop bound a crash matrix iterates `at_op` over.
+///
+/// ## Read plans
+///
+/// Read operations (`File::read` / `File::read_at`) have their own counter
+/// and their own plan — injection parity with the mutating side, so a
+/// paging matrix can sweep "fault at the k-th page read" exactly like the
+/// crash matrix sweeps mutating syscalls:
+///
+///  - kReadEio: the read fails with EIO and returns nothing; one-shot.
+///  - kReadShort: half the requested bytes come back (the rest of the
+///    buffer untouched), no error — a short read the caller must notice.
+///  - kTornPage: the full count comes back but the second half of the
+///    buffer is deterministically corrupted — the at-rest rot / torn
+///    sector a per-page CRC exists to catch. One-shot, silent.
+///  - kReadPowerCut: the disk freezes mid-read; this and every subsequent
+///    operation throws PowerLoss until `reboot()`.
 class FaultyVfs final : public Vfs {
  public:
   enum class FaultKind : std::uint8_t {
@@ -64,10 +80,29 @@ class FaultyVfs final : public Vfs {
     std::uint64_t at_op = 0;
   };
 
+  enum class ReadFaultKind : std::uint8_t {
+    kNone,
+    kReadEio,
+    kReadShort,
+    kTornPage,
+    kReadPowerCut,
+  };
+
+  struct ReadPlan {
+    ReadFaultKind kind = ReadFaultKind::kNone;
+    /// 1-based index of the counted read operation that faults
+    /// (0 = disarmed).
+    std::uint64_t at_op = 0;
+  };
+
   FaultyVfs() = default;
 
   /// Arms a fault plan and resets the operation counter.
   void set_plan(Plan plan);
+  /// Arms a read-fault plan and resets the read-operation counter.
+  void set_read_plan(ReadPlan plan);
+  /// Counted read operations so far (the paging-matrix loop bound).
+  [[nodiscard]] std::uint64_t read_ops() const;
   /// Power restored: the live state reverts to the synced state, the plan
   /// disarms, and the operation counter resets.
   void reboot();
@@ -105,11 +140,19 @@ class FaultyVfs final : public Vfs {
   /// the returned FaultAction.
   [[noreturn]] void throw_power_cut(IoOp op, const std::string& path);
 
+  /// Counts one read operation and applies the armed read plan. Returns
+  /// the fault to apply to this read (kNone in the common case); the
+  /// caller (read/read_at) implements the short/torn byte handling.
+  /// Caller must hold mu_; throws for kReadEio / kReadPowerCut.
+  ReadFaultKind begin_read(const std::string& path);
+
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Inode>> live_;
   std::map<std::string, std::shared_ptr<Inode>> synced_;
   Plan plan_;
+  ReadPlan read_plan_;
   std::uint64_t ops_ = 0;
+  std::uint64_t read_ops_ = 0;
   bool frozen_ = false;
 };
 
@@ -128,6 +171,23 @@ class FaultyVfs final : public Vfs {
       return "torn-write";
     case FaultyVfs::FaultKind::kPowerCut:
       return "power-cut";
+  }
+  return "invalid";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(
+    FaultyVfs::ReadFaultKind k) noexcept {
+  switch (k) {
+    case FaultyVfs::ReadFaultKind::kNone:
+      return "none";
+    case FaultyVfs::ReadFaultKind::kReadEio:
+      return "read-eio";
+    case FaultyVfs::ReadFaultKind::kReadShort:
+      return "short-read";
+    case FaultyVfs::ReadFaultKind::kTornPage:
+      return "torn-page";
+    case FaultyVfs::ReadFaultKind::kReadPowerCut:
+      return "read-power-cut";
   }
   return "invalid";
 }

@@ -95,6 +95,27 @@ class RealFile final : public Vfs::File {
     }
   }
 
+  std::size_t read_at(void* buf, std::size_t n,
+                      std::uint64_t offset) override {
+    char* p = static_cast<char*>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::pread(fd_, p + got, n - got,
+                                static_cast<off_t>(offset + got));
+      if (r > 0) {
+        got += static_cast<std::size_t>(r);
+        continue;
+      }
+      if (r == 0) {
+        break;  // end of file
+      }
+      if (errno != EINTR) {
+        throw IoError(IoOp::kRead, path_, errno, "pread failed");
+      }
+    }
+    return got;
+  }
+
   void seek(std::uint64_t pos) override {
     if (::lseek(fd_, static_cast<off_t>(pos), SEEK_SET) < 0) {
       throw IoError(IoOp::kRead, path_, errno, "seek failed");

@@ -119,6 +119,14 @@ class Vfs {
 
     /// Reads up to `n` bytes; returns the number read (0 = end of file).
     virtual std::size_t read(void* buf, std::size_t n) = 0;
+    /// Positional read: up to `n` bytes starting at absolute `offset`,
+    /// without touching the handle's sequential cursor (POSIX pread).
+    /// Returns the number read (0 = end of file, short = hit end of file).
+    /// The pager depends on this: two cache lanes reading the same handle
+    /// through seek()+read() would race on the shared cursor and hand each
+    /// other's pages back — pread has no cursor to race on.
+    virtual std::size_t read_at(void* buf, std::size_t n,
+                                std::uint64_t offset) = 0;
     /// Writes all `n` bytes or throws (a short write is a failure).
     virtual void write(const void* buf, std::size_t n) = 0;
     /// Repositions the read cursor (kRead handles only).

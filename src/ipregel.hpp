@@ -34,6 +34,7 @@
 #include "ft/supervisor.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
+#include "graph/edge_stream.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/io.hpp"
@@ -45,6 +46,13 @@
 #include "query/service.hpp"
 #include "runtime/memory_tracker.hpp"
 #include "service/degradation.hpp"
+#include "store/page_cache.hpp"
+#include "store/page_error.hpp"
+#include "store/page_format.hpp"
+#include "store/paged_graph.hpp"
+#include "store/paged_store.hpp"
+#include "store/store_writer.hpp"
+#include "store/streaming_runner.hpp"
 #include "service/job.hpp"
 #include "service/job_manager.hpp"
 #include "service/shed.hpp"

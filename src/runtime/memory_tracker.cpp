@@ -33,6 +33,8 @@ std::string_view to_string(MemCategory c) noexcept {
       return "checkpoint-staging";
     case MemCategory::kQueryCache:
       return "query-cache";
+    case MemCategory::kPageCache:
+      return "page-cache";
     case MemCategory::kOther:
       return "other";
     case MemCategory::kCount:

@@ -31,6 +31,7 @@ enum class MemCategory : std::size_t {
   kCommBuffers,     ///< serialised message buffers (distributed baseline)
   kCheckpoint,      ///< fault-tolerance snapshot staging buffers
   kQueryCache,      ///< query service result-cache entries
+  kPageCache,       ///< paged-store resident edge pages (src/store)
   kOther,           ///< anything else the framework allocates
   kCount
 };

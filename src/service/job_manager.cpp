@@ -75,6 +75,17 @@ JobManager::Stats JobManager::stats() const {
   return stats_;
 }
 
+bool JobManager::shed_weakest_queued(const std::string& detail) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t weakest = weakest_locked();
+  if (weakest == kNpos) {
+    return false;
+  }
+  log_.record(DegradationStep::kShedQueued, queue_[weakest].id, detail);
+  shed_at_locked(weakest, ShedReason::kPriorityEvicted);
+  return true;
+}
+
 void JobManager::admit(PendingJob&& job) {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.submitted;

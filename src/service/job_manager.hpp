@@ -203,6 +203,14 @@ class JobManager {
   /// the destructor.
   void shutdown();
 
+  /// External-pressure relief valve: sheds the least important queued job
+  /// (kPriorityEvicted, recorded on the degradation log as kShedQueued
+  /// with `detail`). Returns false when nothing is queued. The paged
+  /// store's cache points its rung-3 callback here, so sustained paging
+  /// thrash relieves pressure through the same audited ladder admission
+  /// control uses, instead of silently overrunning memory.
+  bool shed_weakest_queued(const std::string& detail);
+
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const DegradationLog& degradation_log() const noexcept {
     return log_;

@@ -1,0 +1,218 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "integrity/crc32.hpp"
+
+namespace ipregel::store {
+
+/// On-disk layout of the beyond-RAM paged CSR edge store.
+///
+/// A store file is one superblock followed by a run of uniform-stride
+/// pages:
+///
+///   [ superblock, 512 bytes ][ page 0 ][ page 1 ] ... [ page N-1 ]
+///
+///   page i = [ PageHeader, 16 bytes ][ payload slot, page_bytes bytes ]
+///            at byte offset  kSuperblockBytes + i * (16 + page_bytes)
+///
+/// Every page is sealed: its header carries a CRC32 (the framework's one
+/// CRC, integrity::crc32) chained over the header-with-crc-zeroed and the
+/// ENTIRE payload slot including zero padding, so a flipped bit anywhere
+/// in the page — header, data, or padding — fails verification. Pages are
+/// self-identifying (magic + their own index), so a read that lands on
+/// the wrong offset is a typed kBadHeader, not silently-wrong edges.
+///
+/// The uniform stride is the point of the design: page i's offset is pure
+/// arithmetic, so the pager issues exactly one positional read per page
+/// (Vfs::File::read_at) with no directory structures to cache or corrupt.
+/// The CSR arrays are laid into pages section by section; each section
+/// starts on a fresh page and is a contiguous little-endian element array
+/// (byte b of a section lives in section page b / page_bytes at offset
+/// b % page_bytes), which is why page_bytes must be a multiple of 8 — no
+/// u32/u64 element ever straddles a page boundary.
+///
+/// The file is immutable once published (written via io::AtomicFile:
+/// tmp → fsync → rename → fsync_dir), so there is no update path to tear;
+/// every integrity question is "did these bytes survive", which the seals
+/// answer.
+
+inline constexpr std::uint64_t kStoreMagic = 0x4547415047525049ull;  // IPRGPAGE
+inline constexpr std::uint32_t kStoreVersion = 1;
+inline constexpr std::uint32_t kPageMagic = 0x45474150u;  // "PAGE"
+inline constexpr std::size_t kSuperblockBytes = 512;
+inline constexpr std::size_t kPageHeaderBytes = 16;
+
+/// Smallest / alignment constraints on the payload-slot size.
+inline constexpr std::size_t kMinPageBytes = 64;
+inline constexpr std::size_t kPageAlign = 8;
+
+/// Superblock flag bits.
+inline constexpr std::uint32_t kFlagHasWeights = 1u << 0;
+inline constexpr std::uint32_t kFlagHasInEdges = 1u << 1;
+
+/// The five CSR sections a store can carry, in file order. kWeights and
+/// the in-edge sections are optional (num_pages == 0 when absent).
+enum class Section : std::uint8_t {
+  kOutOffsets,  ///< (num_slots + 1) x u64
+  kOutTargets,  ///< num_edges x u32
+  kWeights,     ///< num_edges x u32
+  kInOffsets,   ///< (num_slots + 1) x u64
+  kInTargets,   ///< num_edges x u32
+};
+inline constexpr std::size_t kNumSections = 5;
+
+/// Where a section's bytes live: a contiguous run of pages.
+struct SectionRef {
+  std::uint64_t first_page = 0;
+  std::uint64_t num_pages = 0;
+  std::uint64_t payload_bytes = 0;  ///< logical bytes (last page may be short)
+};
+
+/// Fixed 16-byte header sealing one page.
+struct PageHeader {
+  std::uint32_t magic = kPageMagic;
+  std::uint32_t page_index = 0;
+  std::uint32_t payload_bytes = 0;  ///< logical bytes in this page's slot
+  std::uint32_t crc = 0;            ///< seal; see page_crc()
+};
+static_assert(sizeof(PageHeader) == kPageHeaderBytes);
+
+/// The CRC32 seal of a page: the first 12 header bytes (crc field
+/// excluded by construction) chained over the full payload slot. `slot`
+/// must be `capacity` bytes, zero-padded past header.payload_bytes.
+[[nodiscard]] inline std::uint32_t page_crc(const PageHeader& header,
+                                            const std::uint8_t* slot,
+                                            std::size_t capacity) noexcept {
+  const std::uint32_t head = integrity::crc32(&header, 12);
+  return integrity::crc32(slot, capacity, head);
+}
+
+/// Decoded superblock. Serialised as a fixed little-endian field sequence
+/// (see store_writer.cpp / paged_store.cpp) padded to kSuperblockBytes,
+/// with its own trailing CRC32 — a store whose superblock does not verify
+/// is rejected before a single page is read.
+struct Superblock {
+  std::uint32_t version = kStoreVersion;
+  std::uint32_t page_bytes = 0;  ///< payload-slot capacity per page
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_slots = 0;
+  std::uint64_t first_slot = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t id_offset = 0;
+  std::uint32_t flags = 0;
+  std::array<SectionRef, kNumSections> sections{};
+
+  [[nodiscard]] const SectionRef& section(Section s) const noexcept {
+    return sections[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] SectionRef& section(Section s) noexcept {
+    return sections[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] bool has_weights() const noexcept {
+    return (flags & kFlagHasWeights) != 0;
+  }
+  [[nodiscard]] bool has_in_edges() const noexcept {
+    return (flags & kFlagHasInEdges) != 0;
+  }
+
+  /// Bytes from the start of the file to page `index`.
+  [[nodiscard]] std::uint64_t page_offset(std::uint64_t index) const noexcept {
+    return kSuperblockBytes +
+           index * (kPageHeaderBytes + std::uint64_t{page_bytes});
+  }
+  /// Total pages in the file (sections are contiguous and in order).
+  [[nodiscard]] std::uint64_t num_pages() const noexcept {
+    std::uint64_t n = 0;
+    for (const SectionRef& s : sections) {
+      n += s.num_pages;
+    }
+    return n;
+  }
+};
+
+namespace detail {
+
+/// Sequential little-endian-native field packer/unpacker for the
+/// superblock. Writer and reader share these so the layout cannot
+/// diverge; integers are memcpy'd (this is a single-node cache format,
+/// same convention as ft/binary_format.hpp).
+template <typename T>
+inline void put(std::uint8_t* buf, std::size_t& at, T v) noexcept {
+  std::memcpy(buf + at, &v, sizeof(T));
+  at += sizeof(T);
+}
+
+template <typename T>
+inline T get(const std::uint8_t* buf, std::size_t& at) noexcept {
+  T v;
+  std::memcpy(&v, buf + at, sizeof(T));
+  at += sizeof(T);
+  return v;
+}
+
+}  // namespace detail
+
+/// Serialises `sb` into a kSuperblockBytes buffer: magic, fields, section
+/// table, CRC32 over everything so far, zero padding.
+inline void encode_superblock(const Superblock& sb,
+                              std::uint8_t* out) noexcept {
+  std::memset(out, 0, kSuperblockBytes);
+  std::size_t at = 0;
+  detail::put(out, at, kStoreMagic);
+  detail::put(out, at, sb.version);
+  detail::put(out, at, sb.page_bytes);
+  detail::put(out, at, sb.num_vertices);
+  detail::put(out, at, sb.num_slots);
+  detail::put(out, at, sb.first_slot);
+  detail::put(out, at, sb.num_edges);
+  detail::put(out, at, sb.id_offset);
+  detail::put(out, at, sb.flags);
+  for (const SectionRef& s : sb.sections) {
+    detail::put(out, at, s.first_page);
+    detail::put(out, at, s.num_pages);
+    detail::put(out, at, s.payload_bytes);
+  }
+  const std::uint32_t crc = integrity::crc32(out, at);
+  detail::put(out, at, crc);
+}
+
+/// Parses and verifies a kSuperblockBytes buffer into `sb`. Returns
+/// nullptr on success, otherwise a static string naming the violation
+/// (the caller wraps it into a typed PageError).
+[[nodiscard]] inline const char* decode_superblock(const std::uint8_t* in,
+                                                   Superblock& sb) noexcept {
+  std::size_t at = 0;
+  if (detail::get<std::uint64_t>(in, at) != kStoreMagic) {
+    return "bad store magic";
+  }
+  sb.version = detail::get<std::uint32_t>(in, at);
+  if (sb.version != kStoreVersion) {
+    return "unsupported store version";
+  }
+  sb.page_bytes = detail::get<std::uint32_t>(in, at);
+  sb.num_vertices = detail::get<std::uint64_t>(in, at);
+  sb.num_slots = detail::get<std::uint64_t>(in, at);
+  sb.first_slot = detail::get<std::uint64_t>(in, at);
+  sb.num_edges = detail::get<std::uint64_t>(in, at);
+  sb.id_offset = detail::get<std::uint32_t>(in, at);
+  sb.flags = detail::get<std::uint32_t>(in, at);
+  for (SectionRef& s : sb.sections) {
+    s.first_page = detail::get<std::uint64_t>(in, at);
+    s.num_pages = detail::get<std::uint64_t>(in, at);
+    s.payload_bytes = detail::get<std::uint64_t>(in, at);
+  }
+  const std::uint32_t expect = integrity::crc32(in, at);
+  if (detail::get<std::uint32_t>(in, at) != expect) {
+    return "superblock CRC mismatch";
+  }
+  if (sb.page_bytes < kMinPageBytes || sb.page_bytes % kPageAlign != 0) {
+    return "impossible page size";
+  }
+  return nullptr;
+}
+
+}  // namespace ipregel::store

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runtime/memory_tracker.hpp"
+#include "store/page_cache.hpp"
+#include "store/paged_store.hpp"
+
+namespace ipregel::store {
+
+/// The engine-facing view of a paged store: vertex-sized state resident,
+/// edge-sized state streamed.
+///
+/// This is the split the beyond-RAM mode is built on. The offset arrays
+/// are O(V) — the same budget class as the engine's values, mailboxes,
+/// and halted flags, all of which stay resident by design — so they are
+/// loaded (seal-verified) at construction and answer out_degree() /
+/// in_degree() without touching the cache. The target arrays are O(E) —
+/// the bytes that don't fit — so neighbour iteration walks their pages
+/// through the PageCache, pinning each page exactly once per contiguous
+/// run of elements.
+///
+/// Iteration visits elements in exact CSR array order, which is what
+/// makes a streaming pull gather combine in the same order as the in-RAM
+/// engine — the heart of the bit-identity guarantee.
+class PagedGraph {
+ public:
+  /// Loads the resident offset arrays (every page verified). Throws
+  /// PageError on damage; propagates io::PowerLoss.
+  PagedGraph(const PagedStore& store, PageCache& cache)
+      : store_(store), cache_(cache), sb_(store.superblock()) {
+    out_offsets_ = store_.load_u64_section(Section::kOutOffsets);
+    if (sb_.has_in_edges()) {
+      in_offsets_ = store_.load_u64_section(Section::kInOffsets);
+    }
+    offsets_mem_ = runtime::MemReservation(
+        runtime::MemCategory::kGraphTopology,
+        (out_offsets_.size() + in_offsets_.size()) * sizeof(std::uint64_t));
+  }
+
+  PagedGraph(const PagedGraph&) = delete;
+  PagedGraph& operator=(const PagedGraph&) = delete;
+
+  [[nodiscard]] const PagedStore& store() const noexcept { return store_; }
+  [[nodiscard]] PageCache& cache() const noexcept { return cache_; }
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return sb_.num_vertices;
+  }
+  [[nodiscard]] std::size_t num_slots() const noexcept {
+    return sb_.num_slots;
+  }
+  [[nodiscard]] std::size_t first_slot() const noexcept {
+    return sb_.first_slot;
+  }
+  [[nodiscard]] graph::vid_t id_offset() const noexcept {
+    return sb_.id_offset;
+  }
+  [[nodiscard]] graph::eid_t num_edges() const noexcept {
+    return sb_.num_edges;
+  }
+  [[nodiscard]] bool has_in_edges() const noexcept {
+    return sb_.has_in_edges();
+  }
+  [[nodiscard]] bool has_weights() const noexcept {
+    return sb_.has_weights();
+  }
+
+  [[nodiscard]] std::size_t slot_of(graph::vid_t id) const noexcept {
+    return static_cast<std::size_t>(id - sb_.id_offset);
+  }
+  [[nodiscard]] graph::vid_t id_of(std::size_t slot) const noexcept {
+    return static_cast<graph::vid_t>(slot) + sb_.id_offset;
+  }
+
+  [[nodiscard]] std::size_t out_degree(std::size_t slot) const noexcept {
+    return out_offsets_[slot + 1] - out_offsets_[slot];
+  }
+  [[nodiscard]] std::size_t in_degree(std::size_t slot) const noexcept {
+    return in_offsets_[slot + 1] - in_offsets_[slot];
+  }
+
+  /// Calls `fn(vid_t target)` for every out-neighbour of `slot`, in CSR
+  /// order, streaming the target pages through the cache.
+  template <typename Fn>
+  void for_each_out_target(std::size_t slot, Fn&& fn) const {
+    for_each_element(Section::kOutTargets, out_offsets_[slot],
+                     out_offsets_[slot + 1], fn);
+  }
+
+  /// Calls `fn(vid_t source)` for every in-neighbour of `slot`, in CSR
+  /// order (identical to CsrGraph::in_neighbours order).
+  template <typename Fn>
+  void for_each_in_neighbour(std::size_t slot, Fn&& fn) const {
+    for_each_element(Section::kInTargets, in_offsets_[slot],
+                     in_offsets_[slot + 1], fn);
+  }
+
+  /// Calls `fn(vid_t target, weight_t w)` for every out-edge of `slot`.
+  /// Requires has_weights(); pins one target page and one weight page at
+  /// a time (the cache budget must admit two pinned pages per thread).
+  template <typename Fn>
+  void for_each_out_edge_weighted(std::size_t slot, Fn&& fn) const {
+    const std::uint64_t begin = out_offsets_[slot];
+    const std::uint64_t end = out_offsets_[slot + 1];
+    for (std::uint64_t e = begin; e < end; ++e) {
+      graph::vid_t target;
+      graph::weight_t weight;
+      read_element(Section::kOutTargets, e, target);
+      read_element(Section::kWeights, e, weight);
+      fn(target, weight);
+    }
+  }
+
+ private:
+  /// Streams elements [begin, end) of a u32 section page by page: one pin
+  /// per touched page, elements delivered in array order. page_bytes is a
+  /// multiple of 8, so no element straddles a page boundary.
+  template <typename Fn>
+  void for_each_element(Section section, std::uint64_t begin,
+                        std::uint64_t end, Fn& fn) const {
+    const SectionRef& ref = sb_.section(section);
+    const std::size_t page_bytes = store_.page_bytes();
+    const std::size_t per_page = page_bytes / sizeof(graph::vid_t);
+    std::uint64_t e = begin;
+    while (e < end) {
+      const std::uint64_t page_in_section = e / per_page;
+      const std::uint64_t first_in_page = page_in_section * per_page;
+      const std::uint64_t last = std::min<std::uint64_t>(
+          end, first_in_page + per_page);
+      const PageCache::Pin pin =
+          cache_.pin(ref.first_page + page_in_section);
+      const auto* elems = reinterpret_cast<const graph::vid_t*>(pin.data());
+      for (; e < last; ++e) {
+        fn(elems[e - first_in_page]);
+      }
+    }
+  }
+
+  template <typename T>
+  void read_element(Section section, std::uint64_t index, T& out) const {
+    const SectionRef& ref = sb_.section(section);
+    const std::size_t per_page = store_.page_bytes() / sizeof(T);
+    const PageCache::Pin pin = cache_.pin(ref.first_page + index / per_page);
+    std::memcpy(&out, pin.data() + (index % per_page) * sizeof(T), sizeof(T));
+  }
+
+  const PagedStore& store_;
+  PageCache& cache_;
+  const Superblock& sb_;
+  std::vector<std::uint64_t> out_offsets_;
+  std::vector<std::uint64_t> in_offsets_;
+  runtime::MemReservation offsets_mem_;
+};
+
+}  // namespace ipregel::store

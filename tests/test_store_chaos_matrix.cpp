@@ -1,0 +1,253 @@
+// The paged-path chaos matrix: a seeded fault plan injects EIO, short
+// reads, torn pages, and power cuts at EVERY counted page operation, and
+// each cell must end in one of exactly two ways — the run absorbs the
+// fault and finishes BIT-IDENTICAL to the undisturbed in-RAM engine, or
+// it fails with a typed error and a clean retry finishes bit-identical.
+// Never silently-wrong values, never a hang. The build-phase sweep does
+// the same for the streaming store writer's mutating operations.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "io/faulty_vfs.hpp"
+#include "store/page_cache.hpp"
+#include "store/page_error.hpp"
+#include "store/paged_graph.hpp"
+#include "store/paged_store.hpp"
+#include "store/store_writer.hpp"
+#include "store/streaming_runner.hpp"
+
+namespace ipregel::store {
+namespace {
+
+using graph::CsrGraph;
+using io::FaultyVfs;
+
+constexpr const char* kPath = "/chaos/graph.pages";
+constexpr std::size_t kPage = 64;
+constexpr std::size_t kRounds = 5;
+
+/// Matrix cells are capped so sanitizer builds stay inside their timeout:
+/// a sweep longer than this is strided, covering first, last, and an even
+/// sample in between.
+constexpr std::uint64_t kMaxCells = 96;
+
+std::uint64_t stride_for(std::uint64_t total) {
+  return total <= kMaxCells ? 1 : (total + kMaxCells - 1) / kMaxCells;
+}
+
+CsrGraph chaos_graph() {
+  return CsrGraph::build(
+      graph::rmat(6, 4, {.seed = 77}),
+      {.addressing = graph::AddressingMode::kOffset, .build_in_edges = true});
+}
+
+/// One complete paged run: open, load offsets, stream a pull PageRank.
+/// Throws PageError (open/load damage), RunError (in-run damage), or
+/// io::PowerLoss (dead disk during open/load).
+std::vector<double> paged_run(FaultyVfs& vfs) {
+  const PagedStore store(vfs, kPath);
+  PageCache cache(store, {.budget_bytes = 8 * kPage, .max_retries = 2});
+  PagedGraph pg(store, cache);
+  StreamingRunner<apps::PageRank> runner(pg, apps::PageRank{.rounds = kRounds});
+  (void)runner.run(StreamMode::kPull);
+  return runner.values();
+}
+
+TEST(StoreChaosMatrix, TransientReadFaultSweepRecoversBitIdentical) {
+  const CsrGraph g = chaos_graph();
+  // The undisturbed in-RAM reference the whole matrix is judged against.
+  Engine<apps::PageRank, CombinerKind::kPull, false> engine(
+      g, apps::PageRank{.rounds = kRounds});
+  (void)engine.run();
+  const std::vector<double> reference(engine.values().begin(),
+                                      engine.values().end());
+
+  FaultyVfs vfs;
+  write_store(g, kPath, &vfs, {.page_bytes = kPage});
+  vfs.sync_all();
+
+  // Probe: count the read ops of one undisturbed paged run — the sweep's
+  // loop bound.
+  vfs.set_read_plan({FaultyVfs::ReadFaultKind::kNone, 0});
+  ASSERT_EQ(paged_run(vfs), reference);  // the paged path itself agrees
+  const std::uint64_t total = vfs.read_ops();
+  ASSERT_GE(total, 10u);
+  const std::uint64_t step = stride_for(total);
+
+  for (const FaultyVfs::ReadFaultKind kind :
+       {FaultyVfs::ReadFaultKind::kReadEio,
+        FaultyVfs::ReadFaultKind::kReadShort,
+        FaultyVfs::ReadFaultKind::kTornPage}) {
+    for (std::uint64_t at = 1; at <= total; at += step) {
+      SCOPED_TRACE(std::string(io::to_string(kind)) + " at read op " +
+                   std::to_string(at) + " of " + std::to_string(total));
+      vfs.set_read_plan({kind, at});
+      bool typed_failure = false;
+      std::vector<double> values;
+      try {
+        values = paged_run(vfs);
+      } catch (const PageError& e) {
+        // Open/section-load damage: typed, names the failure.
+        EXPECT_NE(to_string(e.kind()), "invalid");
+        typed_failure = true;
+      } catch (const RunError& e) {
+        EXPECT_EQ(e.kind(), RunErrorKind::kPageError);
+        typed_failure = true;
+      }
+      if (typed_failure) {
+        // The plan is one-shot and has fired: a clean retry of the whole
+        // cell must succeed.
+        values = paged_run(vfs);
+      }
+      ASSERT_EQ(values, reference);
+    }
+  }
+}
+
+TEST(StoreChaosMatrix, PowerCutSweepFailsTypedAndRecoversAfterReboot) {
+  const CsrGraph g = chaos_graph();
+  Engine<apps::PageRank, CombinerKind::kPull, false> engine(
+      g, apps::PageRank{.rounds = kRounds});
+  (void)engine.run();
+  const std::vector<double> reference(engine.values().begin(),
+                                      engine.values().end());
+
+  FaultyVfs vfs;
+  write_store(g, kPath, &vfs, {.page_bytes = kPage});
+  vfs.sync_all();
+  vfs.set_read_plan({FaultyVfs::ReadFaultKind::kNone, 0});
+  ASSERT_EQ(paged_run(vfs), reference);
+  const std::uint64_t total = vfs.read_ops();
+  const std::uint64_t step = stride_for(total);
+
+  for (std::uint64_t at = 1; at <= total; at += step) {
+    SCOPED_TRACE("power cut at read op " + std::to_string(at) + " of " +
+                 std::to_string(total));
+    vfs.set_read_plan({FaultyVfs::ReadFaultKind::kReadPowerCut, at});
+    bool failed = false;
+    try {
+      (void)paged_run(vfs);
+    } catch (const io::PowerLoss&) {
+      failed = true;  // disk died during open/offset load
+    } catch (const RunError& e) {
+      // Disk died mid-superstep: the runner surfaces it typed.
+      EXPECT_EQ(e.kind(), RunErrorKind::kPageError);
+      failed = true;
+    }
+    ASSERT_TRUE(failed) << "an armed power cut never fired or was absorbed";
+    EXPECT_TRUE(vfs.power_is_cut());
+    vfs.reboot();
+    // The store was published durably: power restored, the same file
+    // serves a bit-identical run.
+    ASSERT_EQ(paged_run(vfs), reference);
+  }
+}
+
+TEST(StoreChaosMatrix, BuildPhaseCrashSweepNeverPublishesATornStore) {
+  // The streaming writer goes through AtomicFile: whatever a crash leaves
+  // behind, the final name holds either nothing or a COMPLETE store, and
+  // a rebuild over the debris converges to the reference bytes.
+  std::vector<std::uint8_t> reference;
+  {
+    FaultyVfs clean;
+    graph::RmatStream source(6, 4, {.seed = 77});
+    write_store_streaming(source, kPath, &clean,
+                          {.page_bytes = kPage, .build_in_edges = true});
+    reference = clean.read_all(kPath);
+  }
+
+  // Probe the mutating-op count of one clean build.
+  FaultyVfs probe;
+  {
+    graph::RmatStream source(6, 4, {.seed = 77});
+    write_store_streaming(source, kPath, &probe,
+                          {.page_bytes = kPage, .build_in_edges = true});
+  }
+  const std::uint64_t total = probe.mutating_ops();
+  ASSERT_GE(total, 5u);  // open, writes, fsync, rename, fsync_dir
+  const std::uint64_t step = stride_for(total);
+
+  for (const FaultyVfs::FaultKind kind :
+       {FaultyVfs::FaultKind::kPowerCut, FaultyVfs::FaultKind::kTornWrite,
+        FaultyVfs::FaultKind::kEio}) {
+    for (std::uint64_t at = 1; at <= total; at += step) {
+      SCOPED_TRACE(std::string(io::to_string(kind)) + " at mutating op " +
+                   std::to_string(at) + " of " + std::to_string(total));
+      FaultyVfs vfs;
+      vfs.set_plan({kind, at});
+      graph::RmatStream source(6, 4, {.seed = 77});
+      try {
+        write_store_streaming(source, kPath, &vfs,
+                              {.page_bytes = kPage, .build_in_edges = true});
+        // kEio beyond the ops the build makes simply never fires.
+        EXPECT_EQ(kind, FaultyVfs::FaultKind::kEio);
+      } catch (const io::PowerLoss&) {
+        EXPECT_NE(kind, FaultyVfs::FaultKind::kEio);
+        vfs.reboot();
+      } catch (const io::IoError&) {
+        EXPECT_EQ(kind, FaultyVfs::FaultKind::kEio);
+      }
+      if (vfs.exists(kPath)) {
+        // Whatever survived under the final name is a complete store.
+        EXPECT_EQ(vfs.read_all(kPath), reference);
+      }
+      // A rebuild over the debris converges.
+      graph::RmatStream again(6, 4, {.seed = 77});
+      write_store_streaming(again, kPath, &vfs,
+                            {.page_bytes = kPage, .build_in_edges = true});
+      EXPECT_EQ(vfs.read_all(kPath), reference);
+    }
+  }
+}
+
+TEST(StoreChaosMatrix, PushModeSurvivesTheSameReadFaults) {
+  // A smaller sweep through the push path (out-target pages instead of
+  // in-target pages): same contract, order-insensitive program, so
+  // bit-identity holds at any thread count too.
+  const CsrGraph g = chaos_graph();
+  FaultyVfs vfs;
+  write_store(g, kPath, &vfs, {.page_bytes = kPage});
+  vfs.sync_all();
+
+  const auto push_run = [&vfs]() {
+    const PagedStore store(vfs, kPath);
+    PageCache cache(store, {.budget_bytes = 8 * kPage, .max_retries = 2});
+    PagedGraph pg(store, cache);
+    StreamingRunner<apps::Hashmin> runner(pg, apps::Hashmin{},
+                                          {.threads = 2});
+    (void)runner.run(StreamMode::kPush);
+    return runner.values();
+  };
+
+  vfs.set_read_plan({FaultyVfs::ReadFaultKind::kNone, 0});
+  const std::vector<graph::vid_t> reference = push_run();
+  const std::uint64_t total = vfs.read_ops();
+  const std::uint64_t step = stride_for(total) * 3;  // coarser sample
+
+  for (std::uint64_t at = 1; at <= total; at += step) {
+    SCOPED_TRACE("torn page at read op " + std::to_string(at));
+    vfs.set_read_plan({FaultyVfs::ReadFaultKind::kTornPage, at});
+    std::vector<graph::vid_t> values;
+    try {
+      values = push_run();
+    } catch (const PageError&) {
+      values = push_run();
+    } catch (const RunError& e) {
+      EXPECT_EQ(e.kind(), RunErrorKind::kPageError);
+      values = push_run();
+    }
+    ASSERT_EQ(values, reference);
+  }
+}
+
+}  // namespace
+}  // namespace ipregel::store

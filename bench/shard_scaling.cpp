@@ -36,7 +36,7 @@
 #include "benchlib/workloads.hpp"
 #include "core/runner.hpp"
 #include "runtime/timer.hpp"
-#include "shard/coordinator.hpp"
+#include "shard/resilient.hpp"
 
 namespace {
 
@@ -50,6 +50,10 @@ struct Params {
   std::vector<std::size_t> shard_ladder{1, 2, 4, 8};
   double shard1_speedup_floor = 0.1;   ///< 1-shard <= 10x engine wall
   double recovery_ceiling_seconds = 60.0;
+  /// Superstep at which the COORDINATOR is killed, and the ceiling on the
+  /// takeover's resume-to-first-committed-barrier latency.
+  std::uint64_t coord_kill_superstep = 7;
+  double coord_recovery_ceiling_seconds = 60.0;
 };
 
 Params make_params(bool smoke, bool tcp) {
@@ -64,6 +68,9 @@ Params make_params(bool smoke, bool tcp) {
     // claim (bounded overhead, bounded recovery), widen the margins.
     p.shard1_speedup_floor = 0.02;
     p.recovery_ceiling_seconds = 120.0;
+    // The smoke run is only p.rounds=6 supersteps long: kill earlier.
+    p.coord_kill_superstep = 4;
+    p.coord_recovery_ceiling_seconds = 120.0;
   }
   if (tcp) {
     // Every frame pays a loopback socket round-trip and the ctrl plane
@@ -258,6 +265,71 @@ int main(int argc, char** argv) {
   report.num("recovery.total_seconds", outcome.shard.recovery_seconds);
   report.num("recovery.seconds_per_kill", per_kill);
   report.ceiling("recovery.seconds_per_kill", p.recovery_ceiling_seconds);
+
+  // ---- Coordinator recovery time ---------------------------------------
+  // The tentpole cost: SIGKILL the COORDINATOR right after a partial
+  // proceed delivery and price the takeover — supervisor fork to the
+  // takeover's first freshly committed barrier (manifest load, fence
+  // claim, reattach window, adoption, resumed release). Values must
+  // still be bit-identical to the undisturbed run, and the latency is a
+  // self-enforced ceiling so a takeover that crawls (or silently
+  // restarts from scratch) can never become a committed baseline.
+  const std::filesystem::path run_dir =
+      std::filesystem::temp_directory_path() /
+      ("ipregel_bench_" + bench_name + "_coord");
+  std::filesystem::remove_all(ckpt_dir);
+  std::filesystem::remove_all(run_dir);
+  std::filesystem::create_directories(ckpt_dir);
+  std::filesystem::create_directories(run_dir);
+  shard::ShardOptions coord;
+  coord.num_shards = 2;
+  if (p.tcp) coord.transport = shard::TransportKind::kTcp;
+  coord.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  coord.checkpoint.every = 2;
+  coord.checkpoint.directory = ckpt_dir.string();
+  coord.retain_supersteps = 4;
+  coord.supervisor.backoff_initial_seconds = 0.01;
+  coord.recovery.directory = run_dir.string();
+  coord.recovery.reattach_wait_seconds = 0.4;
+  shard::CoordFault coord_kill;
+  coord_kill.kind = shard::CoordFault::Kind::kSigkill;
+  coord_kill.phase = shard::CoordFault::Phase::kProceed;
+  coord_kill.superstep = p.coord_kill_superstep;
+  coord.coord_faults = {coord_kill};
+  std::vector<double> resumed;
+  const auto takeover = shard::run_sharded_resilient(g, pr, coord, &resumed);
+  std::filesystem::remove_all(ckpt_dir);
+  std::filesystem::remove_all(run_dir);
+  if (!takeover.ok()) {
+    std::cerr << "FAIL: coordinator-kill run errored: "
+              << takeover.error->what() << "\n";
+    return 1;
+  }
+  if (takeover.shard.coordinator_takeovers == 0) {
+    std::cerr << "FAIL: the coordinator kill never fired\n";
+    return 1;
+  }
+  for (std::size_t s = g.first_slot(); s < resumed.size(); ++s) {
+    if (std::memcmp(&resumed[s], &undisturbed[s], sizeof(double)) != 0) {
+      std::cerr << "FAIL: post-takeover values are not bit-identical at "
+                   "slot "
+                << s << "\n";
+      return 1;
+    }
+  }
+  const double coord_seconds = takeover.shard.coordinator_recovery_seconds;
+  std::cout << "coordinator recovery: "
+            << takeover.shard.coordinator_takeovers << " takeover(s), "
+            << takeover.shard.adopted_workers << " worker(s) adopted, "
+            << fmt3(coord_seconds) << " s resume-to-barrier\n";
+  table.add_row({"coordinator-recovery", fmt3(coord_seconds), "-", "-",
+                 fmt_count(takeover.shard.adopted_workers)});
+  report.count("recovery.coordinator_takeovers",
+               takeover.shard.coordinator_takeovers);
+  report.count("recovery.adopted_workers", takeover.shard.adopted_workers);
+  report.num("recovery.coordinator_recovery_seconds", coord_seconds);
+  report.ceiling("recovery.coordinator_recovery_seconds",
+                 p.coord_recovery_ceiling_seconds);
 
   table.print();
   std::string stem = "results/bench_shard";

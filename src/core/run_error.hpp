@@ -68,6 +68,13 @@ enum class RunErrorKind : std::uint8_t {
   /// distinguishes that; what reaches this level recurs), so not
   /// retryable by default.
   kPageError,
+  /// A sharded run's coordinator incarnation discovered it is STALE: a
+  /// newer incarnation holds the fencing epoch, and a worker rejected its
+  /// HELLO/adoption attempt with the newer epoch. The stale incarnation
+  /// stepped down without committing a barrier or killing any worker —
+  /// split-brain is structurally impossible, and this error is how the
+  /// loser reports it. Never retryable: the run is owned by someone newer.
+  kCoordinatorFenced,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(RunErrorKind k) noexcept {
@@ -92,6 +99,8 @@ enum class RunErrorKind : std::uint8_t {
       return "shard-failure";
     case RunErrorKind::kPageError:
       return "page-error";
+    case RunErrorKind::kCoordinatorFenced:
+      return "coordinator-fenced";
   }
   return "invalid";
 }

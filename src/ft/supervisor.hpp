@@ -121,6 +121,10 @@ struct RetryPolicy {
         // failure its quarantine-and-refetch) before surfacing this; a
         // whole-run retry against the same damaged store would spin.
         return false;
+      case RunErrorKind::kCoordinatorFenced:
+        // The run is owned by a newer coordinator incarnation; retrying
+        // the loser would just be fenced again.
+        return false;
     }
     return false;
   }

@@ -102,4 +102,121 @@ class ReadFaultVfs final : public Vfs {
   std::string path_filter_;
 };
 
+/// A pass-through Vfs that POWER-CUTS at counted mutating syscall `at`:
+/// every mutating operation (write, fsync, close-of-write-handle, rename,
+/// unlink, fsync_dir, mkdir, open-for-write) on a matching path increments
+/// a counter, and the operation whose index equals `at` throws PowerLoss
+/// WITHOUT being performed. Reads are never counted or failed.
+///
+/// The write-side sibling of ReadFaultVfs, for the same reason: FaultyVfs's
+/// in-memory platter dies with the process, but a coordinator-crash test
+/// needs the torn bytes to SURVIVE on the real filesystem so the next
+/// coordinator incarnation can walk the manifest directory and fall back
+/// past them. Everything performed before the cut is real and durable;
+/// everything after never happened — exactly a machine losing power
+/// mid-publish.
+class WriteCutVfs final : public Vfs {
+ public:
+  /// `base` must outlive this wrapper. Not owned. `at` counts from 0; an
+  /// `at` beyond the plan's total op count simply never trips.
+  WriteCutVfs(Vfs& base, std::uint64_t at, std::string path_filter = {})
+      : base_(base), at_(at), path_filter_(std::move(path_filter)) {}
+
+  /// Mutating ops performed so far (the sweep bound for a matrix that
+  /// cuts at every syscall).
+  [[nodiscard]] std::uint64_t ops() const noexcept { return count_; }
+  [[nodiscard]] bool tripped() const noexcept { return tripped_; }
+
+  std::unique_ptr<File> open(const std::string& path,
+                             OpenMode mode) override {
+    if (mode != OpenMode::kRead) {
+      tick(IoOp::kOpen, path);
+    }
+    auto file = base_.open(path, mode);
+    return std::make_unique<WrappedFile>(std::move(file), path,
+                                         mode != OpenMode::kRead ? this
+                                                                 : nullptr);
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    tick(IoOp::kRename, to);
+    base_.rename(from, to);
+  }
+  void unlink(const std::string& path) override {
+    tick(IoOp::kUnlink, path);
+    base_.unlink(path);
+  }
+  bool exists(const std::string& path) override { return base_.exists(path); }
+  std::vector<std::string> list(const std::string& dir) override {
+    return base_.list(dir);
+  }
+  void fsync_dir(const std::string& dir) override {
+    tick(IoOp::kFsync, dir);
+    base_.fsync_dir(dir);
+  }
+  void mkdir(const std::string& dir) override {
+    tick(IoOp::kMkdir, dir);
+    base_.mkdir(dir);
+  }
+
+ private:
+  void tick(IoOp op, const std::string& path) {
+    if (!path_filter_.empty() &&
+        path.find(path_filter_) == std::string::npos) {
+      return;
+    }
+    if (count_++ == at_) {
+      tripped_ = true;
+      throw PowerLoss(op, path);
+    }
+  }
+
+  class WrappedFile final : public File {
+   public:
+    WrappedFile(std::unique_ptr<File> inner, std::string path,
+                WriteCutVfs* injector)
+        : inner_(std::move(inner)),
+          path_(std::move(path)),
+          injector_(injector) {}
+
+    std::size_t read(void* buf, std::size_t n) override {
+      return inner_->read(buf, n);
+    }
+    std::size_t read_at(void* buf, std::size_t n,
+                        std::uint64_t offset) override {
+      return inner_->read_at(buf, n, offset);
+    }
+    void write(const void* buf, std::size_t n) override {
+      if (injector_ != nullptr) {
+        injector_->tick(IoOp::kWrite, path_);
+      }
+      inner_->write(buf, n);
+    }
+    void seek(std::uint64_t pos) override { inner_->seek(pos); }
+    void fsync() override {
+      if (injector_ != nullptr) {
+        injector_->tick(IoOp::kFsync, path_);
+      }
+      inner_->fsync();
+    }
+    void close() override {
+      if (injector_ != nullptr) {
+        injector_->tick(IoOp::kClose, path_);
+      }
+      inner_->close();
+    }
+
+   private:
+    std::unique_ptr<File> inner_;
+    std::string path_;
+    WriteCutVfs* injector_;
+  };
+
+  Vfs& base_;
+  std::uint64_t at_;
+  std::uint64_t count_ = 0;
+  bool tripped_ = false;
+  std::string path_filter_;
+};
+
 }  // namespace ipregel::io

@@ -94,30 +94,49 @@ Frame decode_frame(std::span<const std::uint8_t> bytes,
 }
 
 std::vector<std::uint8_t> encode_hello(HelloRole role, std::uint16_t shard,
-                                       std::uint64_t generation) {
+                                       std::uint64_t generation,
+                                       std::uint64_t epoch,
+                                       std::uint64_t pid) {
   WireHello hello{};
   hello.role = static_cast<std::uint16_t>(role);
   hello.shard = shard;
   hello.generation = generation;
+  hello.epoch = epoch;
+  hello.pid = pid;
   std::vector<std::uint8_t> payload(sizeof(hello));
   std::memcpy(payload.data(), &hello, sizeof(hello));
   return encode_frame(FrameKind::kHello, shard, generation, payload);
 }
 
 WireHello decode_hello(std::span<const std::uint8_t> payload) {
-  if (payload.size() < sizeof(WireHello)) {
+  // The version field sits in the fixed v1 prefix, so it can be examined
+  // before deciding how many bytes the full hello must have.
+  if (payload.size() < kWireHelloV1Bytes) {
     throw WireError(WireErrorKind::kTruncatedPayload,
                     "hello of " + std::to_string(payload.size()) + " bytes");
   }
+  // Stage through a zeroed full-size buffer so a v1 prefix decodes with
+  // the v2 fields at their wire-neutral zero values.
+  std::uint8_t raw[sizeof(WireHello)] = {};
+  std::memcpy(raw, payload.data(), kWireHelloV1Bytes);
   WireHello hello{};
-  std::memcpy(&hello, payload.data(), sizeof(hello));
+  std::memcpy(&hello, raw, sizeof(hello));
   if (hello.magic != kHelloMagic) {
     throw WireError(WireErrorKind::kBadMagic);
   }
-  if (hello.version != kWireVersion) {
+  if (hello.version < kWireVersionMinAccepted ||
+      hello.version > kWireVersion) {
     throw WireError(WireErrorKind::kBadVersion,
                     "peer speaks v" + std::to_string(hello.version) +
                         ", this build speaks v" + std::to_string(kWireVersion));
+  }
+  if (hello.version >= 2) {
+    if (payload.size() < sizeof(WireHello)) {
+      throw WireError(WireErrorKind::kTruncatedPayload,
+                      "v2 hello of " + std::to_string(payload.size()) +
+                          " bytes");
+    }
+    std::memcpy(&hello, payload.data(), sizeof(hello));
   }
   return hello;
 }

@@ -11,9 +11,15 @@
 namespace ipregel::net {
 
 /// Wire protocol version. Bumped on any layout change to WireHeader or
-/// WireHello; a peer speaking a different version is rejected at the
-/// handshake with a typed WireError, never silently misparsed.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// WireHello; a peer speaking an unknown version is rejected at the
+/// handshake with a typed WireError, never silently misparsed. v2 extended
+/// the hello with the coordinator fencing epoch and the sender's pid; v1
+/// hellos are still decoded (epoch/pid read as 0) so the version bump
+/// itself cannot strand a mid-upgrade pair.
+inline constexpr std::uint32_t kWireVersion = 2;
+
+/// The last wire version this build still accepts at the handshake.
+inline constexpr std::uint32_t kWireVersionMinAccepted = 1;
 
 /// Magic prefix of a hello payload ("IPGH" little-endian). Connecting a
 /// non-ipregel client (or a stale build) trips kBadMagic instead of
@@ -154,15 +160,31 @@ struct WireHello {
   std::uint16_t shard = 0;
   std::uint32_t reserved = 0;
   std::uint64_t generation = 0;
+  // --- v2 fields (decoded as 0 from a v1 peer) ---------------------------
+  /// Coordinator fencing epoch: on a coordinator's ctrl hello/ack, the
+  /// epoch it claims to own the run with (a worker that has obeyed a newer
+  /// epoch rejects the connection — the fenced HELLO); on a worker's
+  /// hello, the newest epoch it has obeyed. 0 in non-resilient runs.
+  std::uint64_t epoch = 0;
+  /// Sender's pid on worker hellos, so a takeover coordinator that did not
+  /// fork the worker can still supervise and kill it. 0 from coordinators.
+  std::uint64_t pid = 0;
 };
-static_assert(sizeof(WireHello) == 24, "hello layout is load-bearing");
+static_assert(sizeof(WireHello) == 40, "hello layout is load-bearing");
+
+/// Byte size of a v1 hello payload (fields through `generation`).
+inline constexpr std::size_t kWireHelloV1Bytes = 24;
 
 [[nodiscard]] std::vector<std::uint8_t> encode_hello(HelloRole role,
                                                      std::uint16_t shard,
-                                                     std::uint64_t generation);
+                                                     std::uint64_t generation,
+                                                     std::uint64_t epoch = 0,
+                                                     std::uint64_t pid = 0);
 
 /// Parses a hello payload; throws WireError kBadMagic/kBadVersion (or
-/// kTruncatedPayload on a short buffer).
+/// kTruncatedPayload on a short buffer). Accepts versions in
+/// [kWireVersionMinAccepted, kWireVersion]; a v1 payload yields
+/// epoch == 0 and pid == 0.
 [[nodiscard]] WireHello decode_hello(std::span<const std::uint8_t> payload);
 
 }  // namespace ipregel::net

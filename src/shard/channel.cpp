@@ -2,10 +2,13 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstring>
+#include <string>
 
 #include "net/error.hpp"
 
@@ -27,6 +30,7 @@ Channel& Channel::operator=(Channel&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    peer_dead_ = std::exchange(other.peer_dead_, false);
   }
   return *this;
 }
@@ -37,6 +41,7 @@ void Channel::close() noexcept {
     ::close(fd_);
     fd_ = -1;
   }
+  peer_dead_ = false;
 }
 
 std::pair<Channel, Channel> Channel::make_pair() {
@@ -45,6 +50,90 @@ std::pair<Channel, Channel> Channel::make_pair() {
     throw net::NetError(net::NetOp::kSocket, "seqpacket pair", errno);
   }
   return {Channel(fds[0]), Channel(fds[1])};
+}
+
+namespace {
+
+[[nodiscard]] sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw net::NetError(net::NetOp::kSocket, path, 0,
+                        "unix socket path too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Channel Channel::listen_at(const std::string& path, int backlog) {
+  // Nonblocking listener: accept() must be a poll, never a wait — the
+  // coordinator interleaves it with the rest of its event loop. Accepted
+  // connections are plain blocking fds like every other Channel.
+  const int fd =
+      ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    throw net::NetError(net::NetOp::kSocket, path, errno);
+  }
+  // CLOEXEC is moot (workers are fork()ed, never exec), but keeps the
+  // listener out of any future exec'd tooling. Stale socket files from a
+  // previous run in the same directory would make bind fail with
+  // EADDRINUSE; they carry no state, so replace them.
+  ::unlink(path.c_str());
+  const sockaddr_un addr = unix_addr(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw net::NetError(net::NetOp::kBind, path, err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw net::NetError(net::NetOp::kListen, path, err);
+  }
+  return Channel(fd);
+}
+
+std::optional<Channel> Channel::accept() {
+  for (;;) {
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      return Channel(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return std::nullopt;  // nothing pending (listener is nonblocking via
+                            // poll-before-accept callers; ECONNABORTED is a
+                            // connector that gave up while queued)
+    }
+    throw net::NetError(net::NetOp::kAccept,
+                        "reattach listener fd " + std::to_string(fd_), errno);
+  }
+}
+
+std::optional<Channel> Channel::connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw net::NetError(net::NetOp::kSocket, path, errno);
+  }
+  const sockaddr_un addr = unix_addr(path);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return Channel(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // No listener yet (ENOENT/ECONNREFUSED) or its backlog is full
+    // (EAGAIN): the parked worker retries until its window expires.
+    ::close(fd);
+    return std::nullopt;
+  }
 }
 
 bool Channel::send(const CtrlMsg& msg) {
@@ -57,6 +146,7 @@ bool Channel::send(const CtrlMsg& msg) {
       continue;
     }
     if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      peer_dead_ = true;
       return false;  // peer died; the caller's liveness machinery handles it
     }
     throw net::NetError(net::NetOp::kSend,
@@ -103,7 +193,9 @@ std::optional<CtrlMsg> Channel::recv(int timeout_ms) {
       continue;
     }
     if (n == 0 || (n < 0 && (errno == ECONNRESET || errno == EPIPE))) {
-      return std::nullopt;  // peer closed
+      peer_dead_ = true;
+      return std::nullopt;  // peer closed — distinguishable from timeout
+                            // via peer_dead()
     }
     if (n > 0) {
       // Truncated/oversized datagram: a protocol bug, not an I/O state.

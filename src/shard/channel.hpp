@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <type_traits>
 #include <utility>
 
@@ -18,7 +19,13 @@ struct CtrlMsg {
     /// worker → coordinator, once per incarnation after (re)initialising:
     /// "I am shard `shard`, generation `generation`, resuming at
     /// `superstep`". For generation > 0 the coordinator answers by
-    /// broadcasting kRecover to the survivors.
+    /// broadcasting kRecover to the survivors. `active` qualifies the
+    /// hello: 0 = fresh (re)spawn, 1 = adoption (a LIVE incarnation
+    /// re-binding to a takeover coordinator — no kRecover broadcast
+    /// needed), 2 = full-respawn cut negotiation (`superstep` is the
+    /// achieved resume point, which may be below the proposed cut).
+    /// `sent` carries the worker's pid so a takeover coordinator that
+    /// did not fork it can still supervise it.
     kHello = 1,
     /// worker → coordinator: liveness tick, sent from inside the
     /// compute/drain/wait loops.
@@ -35,6 +42,22 @@ struct CtrlMsg {
     kRecover,
     /// coordinator → workers: tear down now (job failed or cancelled).
     kAbort,
+    /// takeover coordinator → parked worker, first message on a freshly
+    /// accepted reattach connection: "I am the coordinator incarnation
+    /// with fencing epoch `epoch`; the committed barrier is `superstep`".
+    /// The worker answers kHello (adoption accepted) or kFenced (the
+    /// claimed epoch is older than one it has already obeyed).
+    kAdopt,
+    /// worker → stale coordinator: "your fencing epoch `flag` is older
+    /// than epoch `epoch`, which I have already seen — step down". The
+    /// typed split-brain rejection; a coordinator receiving this aborts
+    /// with RunErrorKind::kCoordinatorFenced without touching any worker.
+    kFenced,
+    /// coordinator → worker (resilient TCP runs only): "your final values
+    /// are durably received — it is safe to exit". Workers in a resilient
+    /// TCP run hold their final values until acked, so a coordinator
+    /// crash between values receipt and job completion cannot lose them.
+    kValuesAck,
   };
 
   /// kProceed sub-command.
@@ -53,6 +76,13 @@ struct CtrlMsg {
   std::uint64_t active = 0;    ///< kBarrier: vertices not halted
   std::uint64_t executed = 0;  ///< kBarrier: vertices executed
   std::uint32_t payload_len = 0;
+  /// Coordinator fencing epoch (0 in non-resilient runs). Stamped on
+  /// every coordinator→worker message; a worker rejects an epoch older
+  /// than one it has already obeyed (kFenced). Worker→coordinator
+  /// messages echo the sender's last-known epoch. An adoption kHello
+  /// additionally carries the worker's pid in `sent` so a takeover
+  /// coordinator (which did not fork it) can supervise and kill it.
+  std::uint64_t epoch = 0;
   std::uint8_t payload[kMaxAggregate] = {};
 };
 static_assert(std::is_trivially_copyable_v<CtrlMsg>);
@@ -69,16 +99,40 @@ class Channel {
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
-  Channel(Channel&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Channel(Channel&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        peer_dead_(std::exchange(other.peer_dead_, false)) {}
   Channel& operator=(Channel&& other) noexcept;
 
   /// socketpair(AF_UNIX, SOCK_SEQPACKET): (coordinator end, worker end).
   /// Throws net::NetError on failure.
   [[nodiscard]] static std::pair<Channel, Channel> make_pair();
 
+  /// Binds + listens a named AF_UNIX SEQPACKET socket at `path` (any
+  /// stale socket file is unlinked first) — the reattach rendezvous a
+  /// takeover coordinator accepts parked workers on. The returned Channel
+  /// is a LISTENER: use accept(), never send/recv. Throws net::NetError.
+  [[nodiscard]] static Channel listen_at(const std::string& path,
+                                         int backlog);
+
+  /// Accepts one queued connection on a listener, without blocking.
+  /// nullopt when none is pending.
+  [[nodiscard]] std::optional<Channel> accept();
+
+  /// Connects to a named listener. nullopt when nothing listens there (or
+  /// the backlog is full) — the parked worker's retry loop handles it.
+  [[nodiscard]] static std::optional<Channel> connect_to(
+      const std::string& path);
+
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   [[nodiscard]] int fd() const noexcept { return fd_; }
   void close() noexcept;
+
+  /// True once a send saw EPIPE/ECONNRESET or a recv saw EOF: the peer
+  /// process is gone for good on a socketpair (distinguishes recv's
+  /// nullopt-on-timeout from nullopt-on-death, which is what bounds the
+  /// orphaned-worker exit on the shm transport).
+  [[nodiscard]] bool peer_dead() const noexcept { return peer_dead_; }
 
   /// Sends one message. Retries EINTR (SIGCHLD storms from sibling-worker
   /// deaths land mid-call); returns false when the peer is gone (EPIPE /
@@ -95,6 +149,7 @@ class Channel {
 
  private:
   int fd_ = -1;
+  bool peer_dead_ = false;
 };
 
 }  // namespace ipregel::shard

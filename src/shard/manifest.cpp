@@ -1,0 +1,278 @@
+#include "shard/manifest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "ft/binary_format.hpp"
+#include "io/stream.hpp"
+#include "io/vfs.hpp"
+#include "runtime/rng.hpp"
+
+namespace ipregel::shard {
+
+namespace {
+
+constexpr std::uint64_t kManifestMagic = 0x464E414D52504900ULL;  // "IPRMANF"
+constexpr std::uint32_t kManifestVersion = 1;
+
+constexpr std::uint32_t kMetaTag = 1;
+constexpr std::uint32_t kShardsTag = 2;
+constexpr std::uint32_t kHistoryTag = 3;
+
+constexpr const char* kPrefix = "manifest.";
+constexpr const char* kSuffix = ".ipman";
+
+[[nodiscard]] std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+[[nodiscard]] double bits_double(std::uint64_t bits) noexcept {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t options_digest(const ShardOptions& options) {
+  std::uint64_t h = 0x1972'5045'4C4D'414EULL;
+  const auto fold = [&h](std::uint64_t v) { h = runtime::mix64(h ^ v); };
+  fold(options.num_shards);
+  fold(static_cast<std::uint64_t>(options.partition));
+  fold(static_cast<std::uint64_t>(options.transport));
+  fold(static_cast<std::uint64_t>(options.checkpoint.mode));
+  fold(options.checkpoint.every);
+  fold(options.retain_supersteps);
+  fold(options.max_supersteps);
+  return h;
+}
+
+void write_manifest(io::Vfs& vfs, const std::string& path,
+                    const RunManifest& m) {
+  io::AtomicFile file(vfs, path);
+  ft::BinaryWriter writer(file.stream(), kManifestMagic, kManifestVersion);
+
+  ft::FieldWriter meta;
+  meta.u64(m.graph_fingerprint);
+  meta.u64(m.options_digest);
+  meta.u64(m.num_shards);
+  meta.u8(m.partition);
+  meta.u8(m.transport);
+  meta.u64(m.epoch);
+  meta.u64(m.commit_seq);
+  meta.u64(m.barrier_superstep);
+  meta.u8(m.halting ? 1 : 0);
+  meta.u64(m.supersteps);
+  meta.u64(m.total_messages);
+  meta.u64(m.total_executed);
+  meta.u8(m.reached_cap ? 1 : 0);
+  meta.u64(m.respawns);
+  meta.u64(m.snapshot_recoveries);
+  meta.u64(m.heartbeat_kills);
+  meta.u64(m.coordinator_takeovers);
+  meta.u64(m.adopted_workers);
+  meta.u64(double_bits(m.recovery_seconds));
+  meta.u64(double_bits(m.coordinator_recovery_seconds));
+  writer.section(kMetaTag, meta.bytes().data(), meta.bytes().size());
+
+  ft::FieldWriter shards;
+  shards.u64(m.generations.size());
+  for (const std::uint64_t g : m.generations) {
+    shards.u64(g);
+  }
+  writer.section(kShardsTag, shards.bytes().data(), shards.bytes().size());
+
+  ft::FieldWriter history;
+  history.u64(m.history.size());
+  for (const ManifestRelease& rel : m.history) {
+    history.u64(rel.superstep);
+    history.u64(rel.command);
+    history.u32(static_cast<std::uint32_t>(rel.aggregate.size()));
+    for (const std::uint8_t b : rel.aggregate) {
+      history.u8(b);
+    }
+  }
+  writer.section(kHistoryTag, history.bytes().data(),
+                 history.bytes().size());
+
+  writer.finish();
+  file.commit();
+}
+
+RunManifest read_manifest(io::Vfs& vfs, const std::string& path) {
+  io::VfsIStream in(vfs, path);
+  RunManifest m;
+  try {
+    ft::BinaryReader reader(in.stream(), path, kManifestMagic,
+                            kManifestVersion, kManifestVersion);
+
+    const std::vector<std::uint8_t> meta_bytes =
+        reader.expect_section(kMetaTag);
+    ft::FieldReader meta(meta_bytes, path + " meta");
+    m.graph_fingerprint = meta.u64();
+    m.options_digest = meta.u64();
+    m.num_shards = meta.u64();
+    m.partition = meta.u8();
+    m.transport = meta.u8();
+    m.epoch = meta.u64();
+    m.commit_seq = meta.u64();
+    m.barrier_superstep = meta.u64();
+    m.halting = meta.u8() != 0;
+    m.supersteps = meta.u64();
+    m.total_messages = meta.u64();
+    m.total_executed = meta.u64();
+    m.reached_cap = meta.u8() != 0;
+    m.respawns = meta.u64();
+    m.snapshot_recoveries = meta.u64();
+    m.heartbeat_kills = meta.u64();
+    m.coordinator_takeovers = meta.u64();
+    m.adopted_workers = meta.u64();
+    m.recovery_seconds = bits_double(meta.u64());
+    m.coordinator_recovery_seconds = bits_double(meta.u64());
+    meta.done();
+
+    const std::vector<std::uint8_t> shard_bytes =
+        reader.expect_section(kShardsTag);
+    ft::FieldReader shards(shard_bytes, path + " shards");
+    const std::uint64_t n = shards.u64();
+    if (n != m.num_shards || n > 65'536) {
+      throw ft::FormatError(path + ": shard table size mismatch");
+    }
+    m.generations.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m.generations[i] = shards.u64();
+    }
+    shards.done();
+
+    const std::vector<std::uint8_t> history_bytes =
+        reader.expect_section(kHistoryTag);
+    ft::FieldReader history(history_bytes, path + " history");
+    const std::uint64_t releases = history.u64();
+    if (releases > 1'000'000) {
+      throw ft::FormatError(path + ": implausible history size");
+    }
+    m.history.resize(releases);
+    for (std::uint64_t i = 0; i < releases; ++i) {
+      ManifestRelease& rel = m.history[i];
+      rel.superstep = history.u64();
+      rel.command = history.u64();
+      const std::uint32_t len = history.u32();
+      rel.aggregate.resize(len);
+      for (std::uint32_t b = 0; b < len; ++b) {
+        rel.aggregate[b] = history.u8();
+      }
+      if (i > 0 && rel.superstep <= m.history[i - 1].superstep) {
+        throw ft::FormatError(path + ": history not ascending");
+      }
+    }
+    history.done();
+  } catch (...) {
+    // A parse failure may be a disguised I/O failure; surface the typed
+    // IoError (PowerLoss included) when one was captured.
+    in.rethrow_io_error();
+    throw;
+  }
+  return m;
+}
+
+ManifestDirectory::ManifestDirectory(std::string dir, io::Vfs* vfs,
+                                     std::size_t keep)
+    : dir_(std::move(dir)), vfs_(vfs), keep_(keep == 0 ? 1 : keep) {}
+
+std::string ManifestDirectory::path_for(std::uint64_t seq) const {
+  char name[48];
+  std::snprintf(name, sizeof(name), "%s%012llu%s", kPrefix,
+                static_cast<unsigned long long>(seq), kSuffix);
+  return dir_ + "/" + name;
+}
+
+std::vector<ManifestDirectory::Entry> ManifestDirectory::list() const {
+  io::Vfs& vfs = io::vfs_or_real(vfs_);
+  std::vector<Entry> entries;
+  std::vector<std::string> names;
+  try {
+    names = vfs.list(dir_);
+  } catch (const io::IoError&) {
+    return entries;  // missing directory = no manifests yet
+  }
+  const std::string prefix = kPrefix;
+  const std::string suffix = kSuffix;
+  for (const std::string& name : names) {
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    Entry e;
+    e.seq = std::strtoull(digits.c_str(), nullptr, 10);
+    e.path = dir_ + "/" + name;
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  return entries;
+}
+
+std::optional<RunManifest> ManifestDirectory::newest_valid() {
+  io::Vfs& vfs = io::vfs_or_real(vfs_);
+  std::vector<Entry> entries = list();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    try {
+      return read_manifest(vfs, it->path);
+    } catch (const io::PowerLoss&) {
+      throw;  // the simulated machine is dead; there is no "fall back"
+    } catch (const ft::FormatError&) {
+      quarantine(it->path);
+    } catch (const io::IoError&) {
+      quarantine(it->path);
+    }
+  }
+  return std::nullopt;
+}
+
+void ManifestDirectory::publish(const RunManifest& m) {
+  io::Vfs& vfs = io::vfs_or_real(vfs_);
+  write_manifest(vfs, path_for(m.commit_seq), m);
+  // Bounded retention, oldest-first. Final-named manifests are always
+  // fully fsynced (AtomicFile renames only after a successful flush), so
+  // a name-based prune can never delete the only good fallback.
+  std::vector<Entry> entries = list();
+  if (entries.size() <= keep_) {
+    return;
+  }
+  for (std::size_t i = 0; i + keep_ < entries.size(); ++i) {
+    try {
+      vfs.unlink(entries[i].path);
+    } catch (const io::PowerLoss&) {
+      throw;
+    } catch (const io::IoError&) {
+      // Retention is best-effort; an undeletable old manifest is noise.
+    }
+  }
+}
+
+void ManifestDirectory::quarantine(const std::string& path) {
+  io::Vfs& vfs = io::vfs_or_real(vfs_);
+  try {
+    vfs.rename(path, path + ".quarantined");
+    ++quarantined_;
+  } catch (const io::PowerLoss&) {
+    throw;
+  } catch (const io::IoError&) {
+    // Leave it; the walk skips it either way.
+  }
+}
+
+}  // namespace ipregel::shard

@@ -149,6 +149,100 @@ struct RestoreFault {
   std::size_t fail_reads = 1;
 };
 
+/// A scripted COORDINATOR fault, the control-plane sibling of ShardFault:
+/// "the coordinator incarnation with fencing epoch E dies at this point of
+/// the run protocol". Only honoured by run_sharded_resilient — a plain
+/// run_sharded has no supervisor to take over, so killing its coordinator
+/// would just kill the run.
+struct CoordFault {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// The coordinator raise(SIGKILL)s itself — instant, uncatchable, the
+    /// operator's kill -9 / OOM-kill model.
+    kSigkill,
+    /// A power cut at counted mutating-filesystem-syscall `at_syscall` of
+    /// the NEXT manifest publish: the write stops mid-syscall and the
+    /// process dies, leaving whatever bytes the real filesystem already
+    /// holds on disk. Only meaningful with phase kManifestPublish.
+    kPowerCut,
+  };
+  /// Where in the coordinator protocol the fault trips.
+  enum class Phase : std::uint8_t {
+    /// During the initial spawn loop, right after forking shard
+    /// `superstep` (partial spawn; later shards never existed).
+    kSpawn,
+    /// On receiving the first barrier entry for superstep `superstep`,
+    /// before the barrier is complete.
+    kBarrierCollect,
+    /// During the manifest publish for the release of `superstep` (the
+    /// commit point). kSigkill dies just before the write; kPowerCut dies
+    /// inside it at `at_syscall`.
+    kManifestPublish,
+    /// After the release of `superstep` was durably committed and the
+    /// proceed was delivered to shard 0 — but before the remaining shards
+    /// heard it (partial delivery).
+    kProceed,
+    /// During a TAKEOVER's recovery bring-up, right after the first worker
+    /// was adopted (reattach mode) or the first replacement shard was
+    /// forked (full-respawn mode). Arms a second takeover on top of the
+    /// first. `superstep` is ignored.
+    kRecover,
+  };
+
+  Kind kind = Kind::kNone;
+  Phase phase = Phase::kProceed;
+  /// Barrier superstep (or spawn index, for kSpawn) the fault trips at.
+  std::uint64_t superstep = 0;
+  /// Fencing epoch of the incarnation the fault arms in: 1 = the first
+  /// coordinator, 2 = the first takeover, ... Lets a plan kill a TAKEOVER.
+  std::uint64_t epoch = 1;
+  /// Counted mutating syscall within the manifest publish (kPowerCut).
+  std::uint64_t at_syscall = 0;
+};
+
+/// Coordinator crash-recovery configuration. Recovery is ON when
+/// `directory` is non-empty AND the run enters through
+/// run_sharded_resilient; plain run_sharded ignores it entirely.
+struct RecoveryOptions {
+  /// Durable run directory: the manifest sequence, the shm reattach
+  /// rendezvous socket, and (TCP) the sealed final-values blob live here.
+  /// Must be a real filesystem path (same constraint as checkpoints).
+  std::string directory;
+
+  /// How long a worker whose ctrl plane died PARKS awaiting adoption by a
+  /// takeover coordinator before giving up with today's typed orphan exit
+  /// (kWorkerExitOrphan). 0 disables parking — ctrl loss exits
+  /// immediately, the pre-recovery behaviour.
+  double park_seconds = 10.0;
+
+  /// How long a takeover coordinator waits for parked survivors to
+  /// reattach before falling back to respawning the missing shards from
+  /// their newest valid snapshots.
+  double reattach_wait_seconds = 2.0;
+
+  /// Takeover strategy: true = adopt parked survivors (their in-memory
+  /// state and retained frames survive, no snapshot restore needed);
+  /// false = abandon the old era and respawn EVERY shard from snapshots
+  /// at a consistent cut (exercises the pure-durable-state path).
+  bool prefer_reattach = true;
+
+  /// Coordinator incarnations beyond the first the supervisor will fork.
+  std::size_t max_takeovers = 4;
+
+  /// Manifest files retained in the run directory.
+  std::size_t keep_manifests = 4;
+
+  /// TEST HOOK — simulate a RESURRECTED STALE coordinator: the Nth
+  /// takeover (1 = first takeover) skips the fence-claim manifest write
+  /// and presents fencing epoch 1, as a woken-up dead incarnation that
+  /// still believes it owns the run would. Workers that have seen a newer
+  /// epoch must reject it (kCoordinatorFenced), proving split-brain
+  /// cannot commit. 0 = off.
+  std::size_t stale_epoch_at_takeover = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !directory.empty(); }
+};
+
 /// Per-run observability counters of the shard control plane, reported
 /// next to the RunResult.
 struct ShardRunStats {
@@ -161,6 +255,19 @@ struct ShardRunStats {
   /// Wall-clock seconds spent with at least one shard dead or recovering
   /// (death detection to the respawned worker's barrier re-entry).
   double recovery_seconds = 0.0;
+  /// Coordinator takeovers performed (incarnations beyond the first).
+  std::size_t coordinator_takeovers = 0;
+  /// Parked workers adopted across all takeovers (vs. respawned).
+  std::size_t adopted_workers = 0;
+  /// Wall-clock seconds from the LAST takeover's boot to its first freshly
+  /// committed barrier — the bench/shard_scaling
+  /// `coordinator_recovery_seconds` column.
+  double coordinator_recovery_seconds = 0.0;
+  /// Coordinator incarnations that were rejected by workers as STALE
+  /// (kCoordinatorFenced) and superseded by a rightful takeover. A fenced
+  /// incarnation never commits anything — this counts how often the
+  /// fencing rule actually fired.
+  std::size_t coordinator_fenced = 0;
 };
 
 /// The typed result of a sharded run: RunOutcome's shape plus the shard
@@ -243,6 +350,13 @@ struct ShardOptions {
 
   /// Extra bytes per ring beyond the computed 2-full-batch minimum.
   std::size_t ring_slack_bytes = 4096;
+
+  /// Coordinator crash recovery (run_sharded_resilient only).
+  RecoveryOptions recovery{};
+
+  /// Scripted coordinator faults (chaos tests; empty in production;
+  /// honoured only by run_sharded_resilient).
+  std::vector<CoordFault> coord_faults;
 };
 
 }  // namespace ipregel::shard

@@ -252,6 +252,29 @@ class ShardEngine {
     }
   }
 
+  /// Full-era lightweight rebuild: replays Program::resend for every local
+  /// vertex AS superstep `resume - 1`, filling the per-destination outboxes
+  /// for ALL shards (unlike resend_self, which keeps only the self slice).
+  /// Used when every shard restarts at the same cut — nobody retained the
+  /// original frames, so each shard regenerates its own outgoing slice and
+  /// pushes it; the caller then applies peers' regenerated frames plus the
+  /// self outbox (take_outbox(me), into_current) in ascending source order,
+  /// the same fold shape as the original exchange.
+  void regenerate_all(std::uint64_t resume) {
+    if (resume == 0) {
+      return;  // superstep 0 has no inbox
+    }
+    if constexpr (kResendCapable) {
+      superstep_ = resume - 1;
+      resend_mode_ = true;
+      for (std::size_t li = 0; li < n_local_; ++li) {
+        Context ctx(*this, part_.slot_at(me_, li), li, nullptr);
+        program_.resend(ctx);
+      }
+      resend_mode_ = false;
+    }
+  }
+
   // --- aggregator plumbing (cross-shard reduction) -----------------------
 
   /// This superstep's local partial, reset to identity for the next one.

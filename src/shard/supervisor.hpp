@@ -58,6 +58,16 @@ class ShardSupervisor {
   [[nodiscard]] std::size_t generation(std::size_t shard) const noexcept {
     return respawns_[shard];
   }
+
+  /// Seeds a shard's generation from a durable run manifest, so a takeover
+  /// coordinator resumes numbering where the dead incarnation left off and
+  /// never re-issues a generation a live worker already holds. Charges the
+  /// seeded respawns against the per-shard budget but NOT the run-wide
+  /// total: the takeover should not inherit a near-exhausted global fuse
+  /// from failures it already survived.
+  void seed_generation(std::size_t shard, std::size_t generation) noexcept {
+    respawns_[shard] = std::max(respawns_[shard], generation);
+  }
   [[nodiscard]] std::size_t total_respawns() const noexcept { return total_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "shard/tcp_transport.hpp"
 
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -231,6 +232,19 @@ void TcpTransport::fail_attempt(std::size_t peer, const char* why) {
   ++link.failures;
   ++link.attempts;
   link.next_attempt = now() + backoff_delay(link, peer);
+  if (is_ctrl(peer) && park_seconds_ > 0.0) {
+    // Coordinator-recovery mode: the ctrl budget is TIME, not attempts —
+    // the worker parks through a coordinator takeover (which can outlast
+    // any attempt count) but still exits within a bounded wall-clock
+    // window if no rightful coordinator ever returns.
+    if (ctrl_down_since_ == 0.0) {
+      ctrl_down_since_ = now();
+    }
+    if (now() - ctrl_down_since_ > park_seconds_) {
+      orphaned_ = true;  // park window expired: bounded orphan exit
+    }
+    return;
+  }
   if (link.failures < net_.max_reconnects_per_link) {
     return;
   }
@@ -261,6 +275,7 @@ void TcpTransport::link_established(std::size_t peer) {
   }
   if (is_ctrl(peer)) {
     ctrl_resynced_ = true;
+    ctrl_down_since_ = 0.0;  // the park clock restarts at the next outage
     // Requeue everything that must survive the connection loss; the
     // coordinator's hello/barrier replay machinery makes duplicates safe.
     if (!backlog_hello_.empty()) {
@@ -283,6 +298,11 @@ void TcpTransport::teardown(std::size_t peer) {
   link.stream.close();
   link.state = Link::State::kDown;
   link.stall_check_at = 0.0;
+  if (is_ctrl(peer) && park_seconds_ > 0.0 && ctrl_down_since_ == 0.0) {
+    // The park window is measured from the moment the established link
+    // died, not from the first failed reconnect.
+    ctrl_down_since_ = now();
+  }
   // An established connection's death retries immediately (first failure
   // backs off if the retry also fails) — failures counts consecutive
   // failed ATTEMPTS, not connection losses.
@@ -371,9 +391,13 @@ void TcpTransport::progress_link(std::size_t peer) {
       link.attempt_deadline = t + net_.connect_timeout_seconds;
       const auto role =
           is_ctrl(peer) ? net::HelloRole::kCtrl : net::HelloRole::kData;
+      // v2 hello: the newest epoch this worker has obeyed plus its pid, so
+      // a takeover coordinator (which did not fork us) can fence itself
+      // against us and supervise us.
       queue_frame(peer,
                   net::encode_hello(role, static_cast<std::uint16_t>(me_),
-                                    generation_),
+                                    generation_, coord_epoch_,
+                                    static_cast<std::uint64_t>(::getpid())),
                   true);
       return;
     }
@@ -412,6 +436,25 @@ void TcpTransport::progress_link(std::size_t peer) {
         if (hello.shard != expect) {
           fail_attempt(peer, "handshake identity mismatch");
           return;
+        }
+        if (is_ctrl(peer) && park_seconds_ > 0.0) {
+          if (hello.epoch < coord_epoch_) {
+            // The fenced HELLO over TCP: a coordinator claiming an epoch
+            // older than one already obeyed gets a typed kFenced and no
+            // link. The worker keeps reconnecting (a rightful successor
+            // may still appear) until the park window expires.
+            CtrlMsg fenced{};
+            fenced.kind = CtrlMsg::Kind::kFenced;
+            fenced.shard = static_cast<std::uint32_t>(me_);
+            fenced.flag = hello.epoch;
+            fenced.epoch = coord_epoch_;
+            link.stream.queue(
+                encode_ctrl(fenced, static_cast<std::uint16_t>(me_)));
+            (void)link.stream.pump_writes();
+            fail_attempt(peer, "stale coordinator fenced");
+            return;
+          }
+          coord_epoch_ = hello.epoch;
         }
       } catch (const net::WireError&) {
         fail_attempt(peer, "handshake bad hello");
@@ -778,9 +821,13 @@ std::unique_ptr<TcpTransport> make_tcp_transport(TcpRendezvous& rendezvous,
       armed.push_back(fault);
     }
   }
-  return std::make_unique<TcpTransport>(
+  auto transport = std::make_unique<TcpTransport>(
       rendezvous.data_listener(me), rendezvous.ctrl_port(), std::move(ports),
       me, rendezvous.shards(), generation, options.net, std::move(armed));
+  if (options.recovery.enabled()) {
+    transport->set_recovery(options.recovery.park_seconds, 0);
+  }
+  return transport;
 }
 
 // ---------------------------------------------------------------------------
@@ -911,6 +958,8 @@ void TcpCtrlPlane::accept_and_identify(double t) {
     if (frame.has_value()) {
       std::size_t shard = links_.size();
       std::uint64_t generation = 0;
+      std::uint64_t worker_epoch = 0;
+      std::uint64_t worker_pid = 0;
       try {
         const net::WireHello hello = net::decode_hello(frame->payload);
         if (static_cast<net::FrameKind>(frame->header.kind) ==
@@ -919,30 +968,50 @@ void TcpCtrlPlane::accept_and_identify(double t) {
             hello.shard < links_.size()) {
           shard = hello.shard;
           generation = hello.generation;
+          worker_epoch = hello.epoch;
+          worker_pid = hello.pid;
         }
       } catch (const net::WireError&) {
       }
       if (shard == links_.size()) {
         it->stream.hard_reset();
         discard = true;
-      } else if (generation != links_[shard].expected_generation) {
+      } else if (generation < links_[shard].expected_generation) {
         // A stale incarnation (e.g. a zombie that raced its own SIGKILL)
-        // must not impersonate the respawn the supervisor registered.
+        // must not impersonate the respawn the supervisor registered. A
+        // HIGHER generation is legitimate after a coordinator takeover —
+        // the dead coordinator may have respawned the shard after its
+        // last manifest publish, so the expectation is a floor, not an
+        // exact match.
         it->stream.hard_reset();
         discard = true;
       } else {
         WorkerLink& link = links_[shard];
+        link.expected_generation = generation;
         link.stream.close();
         link.stream = std::move(it->stream);
         link.up = true;
-        // Ack echoes the WORKER's shard id: "I know who you are and I
-        // expect this incarnation."
+        // Ack echoes the WORKER's shard id ("I know who you are and I
+        // expect this incarnation") and carries OUR fencing epoch — the
+        // worker refuses the link if it has already obeyed a newer one.
         link.stream.queue(net::encode_hello(
             net::HelloRole::kCtrl, static_cast<std::uint16_t>(shard),
-            generation));
+            generation, epoch_));
         if (!link.stream.pump_writes()) {
           link.up = false;
           link.stream.close();
+        } else {
+          // Surface the attachment as a synthetic kAdopt event: a takeover
+          // coordinator learns which live incarnation (generation, pid)
+          // re-bound without any worker-side protocol change. Non-takeover
+          // coordinators ignore it.
+          CtrlMsg adopt{};
+          adopt.kind = CtrlMsg::Kind::kAdopt;
+          adopt.shard = static_cast<std::uint32_t>(shard);
+          adopt.flag = generation;
+          adopt.sent = worker_pid;
+          adopt.epoch = worker_epoch;
+          queue_.push_back(Event{shard, adopt});
         }
         installed = true;
       }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -83,6 +84,28 @@ class TcpTransport final : public Transport {
                       std::span<const std::size_t> slots) override;
   [[nodiscard]] bool finish_values() override;
   [[nodiscard]] std::vector<std::size_t> take_resync_peers() override;
+
+  /// Enables coordinator-recovery mode: the control link's reconnect
+  /// budget becomes TIME-based (park up to `park_seconds` of continuous
+  /// ctrl downtime before flipping orphaned) instead of attempt-based, the
+  /// handshake enforces the fencing epoch (a coordinator ack claiming an
+  /// epoch older than `epoch` is answered with kFenced and refused), and
+  /// final values are held until the coordinator's kValuesAck.
+  void set_recovery(double park_seconds, std::uint64_t epoch) noexcept {
+    park_seconds_ = park_seconds;
+    coord_epoch_ = epoch;
+  }
+
+  /// Worker bookkeeping: the newest coordinator epoch observed on any
+  /// control message; future handshakes fence anything older.
+  void note_epoch(std::uint64_t epoch) override {
+    coord_epoch_ = std::max(coord_epoch_, epoch);
+  }
+
+  [[nodiscard]] bool ctrl_down() const override { return orphaned_; }
+  [[nodiscard]] bool needs_values_ack() const override {
+    return park_seconds_ > 0.0;
+  }
 
  private:
   struct Link {
@@ -178,6 +201,11 @@ class TcpTransport final : public Transport {
   bool orphaned_ = false;
   bool halting_ = false;
 
+  // Coordinator-recovery state (inert while park_seconds_ == 0).
+  double park_seconds_ = 0.0;     ///< ctrl park window; 0 = attempt budget
+  double ctrl_down_since_ = 0.0;  ///< first ctrl failure of this outage
+  std::uint64_t coord_epoch_ = 0; ///< newest coordinator epoch obeyed
+
   // Control backlog: what must survive a reconnect. The hello is cleared
   // once a kProceed proves the coordinator processed it; the latest
   // barrier is replaced each superstep (stale replays are resolved by
@@ -221,6 +249,19 @@ class TcpCtrlPlane final : public CtrlPlane {
   /// declaring a TCP run's board trustworthy.
   [[nodiscard]] bool values_complete() const noexcept;
 
+  /// Fencing epoch stamped on every handshake ack this plane sends. A
+  /// worker that has obeyed a newer epoch answers kFenced and refuses the
+  /// link — how a stale coordinator incarnation finds out it lost.
+  void set_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+
+  /// Takeover with durable values already on disk: the new coordinator
+  /// does not need the workers to re-deliver them.
+  void mark_values_done_all() noexcept {
+    for (WorkerLink& link : links_) {
+      link.values_done = true;
+    }
+  }
+
  private:
   struct WorkerLink {
     net::FrameStream stream;
@@ -246,6 +287,7 @@ class TcpCtrlPlane final : public CtrlPlane {
   std::vector<PendingAccept> pending_;
   std::deque<Event> queue_;
   std::vector<std::uint8_t>* board_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace ipregel::shard

@@ -1,8 +1,65 @@
 #include "shard/transport.hpp"
 
 #include <poll.h>
+#include <time.h>
 
 namespace ipregel::shard {
+
+namespace {
+
+[[nodiscard]] double mono_seconds() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void sleep_ms(long ms) noexcept {
+  timespec ts{ms / 1000, (ms % 1000) * 1'000'000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> ShmTransport::reattach_ctrl(
+    double deadline_seconds, std::uint64_t known_epoch) {
+  if (reattach_path_.empty()) {
+    return std::nullopt;  // recovery disabled: orphan exit, as before
+  }
+  const double deadline = mono_seconds() + deadline_seconds;
+  while (mono_seconds() < deadline) {
+    auto conn = Channel::connect_to(reattach_path_);
+    if (!conn) {
+      sleep_ms(25);  // no takeover listening yet (or backlog full)
+      continue;
+    }
+    // The takeover coordinator greets first: kAdopt carrying its claimed
+    // fencing epoch and the last committed barrier.
+    auto greet = conn->recv(1000);
+    if (greet && greet->kind == CtrlMsg::Kind::kAbort) {
+      // A full-respawn takeover abandoned this era: stop parking NOW so
+      // no stale incarnation lingers near the rings the new era owns.
+      return std::nullopt;
+    }
+    if (!greet || greet->kind != CtrlMsg::Kind::kAdopt) {
+      continue;  // listener died mid-greeting; keep parking
+    }
+    if (greet->epoch < known_epoch) {
+      // The fenced HELLO: a stale incarnation is told, with a typed
+      // message, exactly which epoch outranks it — and is NOT obeyed.
+      CtrlMsg fenced{};
+      fenced.kind = CtrlMsg::Kind::kFenced;
+      fenced.shard = static_cast<std::uint32_t>(me_);
+      fenced.flag = greet->epoch;
+      fenced.epoch = known_epoch;
+      (void)conn->send(fenced);
+      continue;  // keep waiting for a rightful coordinator
+    }
+    chan_ = std::move(*conn);
+    return greet->epoch;
+  }
+  return std::nullopt;  // park window expired: bounded orphan exit
+}
 
 void ShmCtrlPlane::poll_all(int timeout_ms) {
   std::vector<pollfd> fds;

@@ -91,6 +91,38 @@ class Transport {
   /// shm (the rings never "reconnect"; the coordinator's kRecover path
   /// covers respawns).
   [[nodiscard]] virtual std::vector<std::size_t> take_resync_peers() = 0;
+
+  /// True when the control link to the coordinator is known dead (send
+  /// failed / peer hung up). With coordinator recovery enabled the worker
+  /// parks and calls reattach_ctrl instead of exiting as orphan.
+  [[nodiscard]] virtual bool ctrl_down() const { return false; }
+
+  /// Parks this worker for up to `deadline_seconds` waiting for a takeover
+  /// coordinator to adopt it, enforcing the fencing rule: a greeting whose
+  /// epoch is older than `known_epoch` is answered with kFenced and NOT
+  /// obeyed. On success the control link is re-established and the new
+  /// coordinator's epoch is returned (the worker then re-introduces itself
+  /// with an adoption hello); nullopt = the park window expired and the
+  /// worker must exit as orphan — the bounded-exit guarantee.
+  [[nodiscard]] virtual std::optional<std::uint64_t> reattach_ctrl(
+      double deadline_seconds, std::uint64_t known_epoch) {
+    (void)deadline_seconds;
+    (void)known_epoch;
+    return std::nullopt;
+  }
+
+  /// True when the worker must hold after finish_values until the
+  /// coordinator acknowledges durable receipt (kValuesAck): TCP values
+  /// travel over a stream that dies with the worker, so exiting before the
+  /// ack can lose the only copy. Shm values live in the supervisor-owned
+  /// arena and never need the ack.
+  [[nodiscard]] virtual bool needs_values_ack() const { return false; }
+
+  /// Informs the transport of the newest coordinator fencing epoch the
+  /// worker has obeyed, so transport-level handshakes (the TCP reconnect
+  /// hello) fence stale coordinators without asking the worker. No-op for
+  /// shm, whose reattach_ctrl takes the epoch explicitly.
+  virtual void note_epoch(std::uint64_t epoch) { (void)epoch; }
 };
 
 /// PR-7's plane behind the seam: SPSC rings over the pre-forked shared
@@ -159,9 +191,25 @@ class ShmTransport final : public Transport {
     return {};
   }
 
+  /// Rendezvous path a takeover coordinator listens on; empty disables
+  /// park-and-reattach (the pre-recovery orphan-exit behaviour).
+  void set_reattach_path(std::string path) {
+    reattach_path_ = std::move(path);
+  }
+
+  [[nodiscard]] bool ctrl_down() const override {
+    return !chan_.valid() || chan_.peer_dead();
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> reattach_ctrl(
+      double deadline_seconds, std::uint64_t known_epoch) override;
+
+  [[nodiscard]] bool needs_values_ack() const override { return false; }
+
  private:
   std::size_t me_;
   Channel chan_;
+  std::string reattach_path_;
   std::vector<SpscRing> in_ring_;
   std::vector<SpscRing> out_ring_;
   std::uint8_t* board_ = nullptr;
@@ -205,6 +253,15 @@ class CtrlPlane {
   /// Post-fork child hygiene: close every coordinator-side fd the child
   /// inherited.
   virtual void close_inherited_in_child() = 0;
+
+  /// Re-binds a parked worker's freshly accepted reattach connection as
+  /// shard's control link (shm takeover adoption). TCP adoption rides the
+  /// existing reconnect machinery instead, so the default discards the
+  /// channel.
+  virtual void adopt(std::size_t shard, Channel chan) {
+    (void)shard;
+    chan.close();
+  }
 };
 
 /// SEQPACKET socketpair fan-in, PR-7 semantics.
@@ -246,6 +303,10 @@ class ShmCtrlPlane final : public CtrlPlane {
     for (Channel& c : chans_) {
       c.close();
     }
+  }
+
+  void adopt(std::size_t shard, Channel chan) override {
+    chans_[shard] = std::move(chan);
   }
 
  private:

@@ -40,6 +40,10 @@ inline constexpr int kWorkerExitOrphan = 4;       ///< coordinator vanished
 inline constexpr int kWorkerExitStuck = 5;        ///< peer link never drained
 inline constexpr int kWorkerExitUnreachable = 6;  ///< reconnect budget spent
 
+/// Sentinel for WorkerConfig::resume_cap: no cut negotiation, restore to
+/// the newest valid snapshot as usual.
+inline constexpr std::uint64_t kNoResumeCap = ~0ULL;
+
 /// Everything one worker process needs, assembled by the coordinator
 /// pre-fork. References point into the parent's address space; fork's
 /// copy-on-write snapshot keeps them valid in the child.
@@ -54,6 +58,16 @@ struct WorkerConfig {
   std::size_t me = 0;
   std::size_t generation = 0;
   std::uint64_t graph_fp = 0;
+
+  // --- coordinator-recovery extras (inert defaults otherwise) -------------
+  /// Fencing epoch of the spawning coordinator incarnation; the worker
+  /// refuses to obey anything older.
+  std::uint64_t coord_epoch = 0;
+  /// Full-respawn cut negotiation: restore to the newest valid snapshot
+  /// AT OR BELOW this superstep and report the achieved resume point with
+  /// an active == 2 hello. A worker that cannot reach the cut parks until
+  /// the coordinator lowers it (by killing the round).
+  std::uint64_t resume_cap = kNoResumeCap;
 };
 
 /// The worker process body: restore-or-initialise, then the BSP loop —
@@ -81,6 +95,7 @@ class Worker {
                                     cfg.options->partition)),
         owned_slots_(part_.owned_slots(cfg.me)) {
     const std::size_t n = cfg_.options->num_shards;
+    coord_epoch_ = cfg.coord_epoch;
     pending_.resize(n);
     floor_.assign(n, 0);
     for (const ShardFault& f : cfg_.options->faults) {
@@ -95,33 +110,62 @@ class Worker {
     std::uint64_t resume = 0;
     ft::CheckpointMode restored_mode = ft::CheckpointMode::kHeavyweight;
     bool restored = false;
-    if (cfg_.generation > 0 && cfg_.options->checkpoint.enabled()) {
+    const bool negotiated = cfg_.resume_cap != kNoResumeCap;
+    if (negotiated) {
+      // Full-respawn cut negotiation: the takeover coordinator proposed a
+      // cut; restore only up to it and report what was actually reached.
+      if (cfg_.options->checkpoint.enabled() && cfg_.resume_cap > 0) {
+        restored = try_restore_capped(cfg_.resume_cap, resume, restored_mode);
+      }
+    } else if (cfg_.generation > 0 && cfg_.options->checkpoint.enabled()) {
       restored = try_restore(resume, restored_mode);
     }
     if (!restored) {
       resume = 0;
       engine_.initialize();
     }
+    superstep_now_ = resume;
 
     CtrlMsg hello;
     hello.kind = CtrlMsg::Kind::kHello;
     hello.shard = static_cast<std::uint32_t>(cfg_.me);
     hello.superstep = resume;
     hello.flag = cfg_.generation;
+    hello.sent = static_cast<std::uint64_t>(::getpid());
+    hello.active = negotiated ? 2 : 0;
+    hello.epoch = coord_epoch_;
     if (!transport_->ctrl_send(hello)) {
-      return kWorkerExitOrphan;
+      if (!on_ctrl_down()) {
+        return kWorkerExitOrphan;
+      }
+    }
+
+    if (negotiated && resume != cfg_.resume_cap) {
+      // Could not reach the cut. The hello reported the achieved resume;
+      // the coordinator will lower the cut and SIGKILL this round. Park,
+      // serving control traffic (kAbort still exits typed) until then.
+      for (;;) {
+        pump(5);
+        heartbeat();
+      }
     }
 
     if (restored && restored_mode == ft::CheckpointMode::kLightweight &&
         resume > 0) {
-      // Rebuild inbox_resume from the survivors' republished frames with
-      // our own resend slice interleaved at source position `me` — the
-      // original source-order fold, bit for bit.
-      for (std::size_t src = 0; src < part_.shards(); ++src) {
-        floor_[src] = resume - 1;
+      if (negotiated) {
+        // Everyone restored the SAME cut: nobody holds retained frames,
+        // so each worker regenerates and pushes its own slice.
+        rebuild_all(resume);
+      } else {
+        // Rebuild inbox_resume from the survivors' republished frames
+        // with our own resend slice interleaved at source position `me` —
+        // the original source-order fold, bit for bit.
+        for (std::size_t src = 0; src < part_.shards(); ++src) {
+          floor_[src] = resume - 1;
+        }
+        exchange(resume - 1, /*into_current=*/true, /*self_resend=*/true,
+                 nullptr);
       }
-      exchange(resume - 1, /*into_current=*/true, /*self_resend=*/true,
-               nullptr);
     } else {
       for (std::size_t src = 0; src < part_.shards(); ++src) {
         floor_[src] = resume;
@@ -130,6 +174,7 @@ class Worker {
 
     std::uint64_t s = resume;
     for (;;) {
+      superstep_now_ = s;
       auto tick = [&](std::uint64_t /*executed*/) {
         maybe_fault(ShardFault::Phase::kCompute, s);
         heartbeat();
@@ -175,6 +220,7 @@ class Worker {
       barrier.sent = counts.sent;
       barrier.active = counts.active;
       barrier.executed = counts.executed;
+      barrier.epoch = coord_epoch_;
       if constexpr (HasSerializableAggregator<Program>) {
         const auto agg = engine_.take_aggregate_partial();
         static_assert(sizeof(typename Program::aggregate_type) <=
@@ -183,8 +229,14 @@ class Worker {
         barrier.payload_len = static_cast<std::uint32_t>(agg.size());
         std::memcpy(barrier.payload, agg.data(), agg.size());
       }
+      // Keep the latest barrier around: a takeover coordinator never saw
+      // it, so an adoption re-sends it for re-collection. Duplicates of
+      // COMMITTED barriers are answered from the release history.
+      pending_barrier_ = barrier;
       if (!transport_->ctrl_send(barrier)) {
-        return kWorkerExitOrphan;
+        if (!on_ctrl_down()) {
+          return kWorkerExitOrphan;
+        }
       }
 
       const CtrlMsg proceed = await_proceed(s);
@@ -193,8 +245,17 @@ class Worker {
         // TCP: push the final values to the coordinator before exiting
         // (shm published them into the shared board already). Failure is
         // typed on the coordinator side — missing values fail the run.
-        return transport_->finish_values() ? kWorkerExitHalt
-                                           : kWorkerExitOrphan;
+        if (!transport_->finish_values()) {
+          return kWorkerExitOrphan;
+        }
+        if (transport_->needs_values_ack()) {
+          // Resilient TCP halt: the stream dies with this process, so hold
+          // until the coordinator confirms the values are durably its —
+          // a coordinator crash inside the halt window then re-collects
+          // them from the reconnect backlog instead of losing them.
+          return await_values_ack() ? kWorkerExitHalt : kWorkerExitOrphan;
+        }
+        return kWorkerExitHalt;
       }
       if constexpr (HasSerializableAggregator<Program>) {
         engine_.set_aggregated(
@@ -271,6 +332,135 @@ class Worker {
     }
   }
 
+  /// Cut-negotiation restore: the newest snapshot at or below `cap` that
+  /// fully validates. Unlike try_restore this must NOT quarantine newer
+  /// snapshots — they are perfectly good, just above the proposed cut —
+  /// so the walk filters by superstep before validating.
+  bool try_restore_capped(std::uint64_t cap, std::uint64_t& resume,
+                          ft::CheckpointMode& mode) {
+    io::Vfs* vfs = cfg_.options->checkpoint.vfs;
+    ft::SnapshotDirectory dir(shard_dir(), cfg_.options->checkpoint.basename,
+                              vfs, cfg_.options->checkpoint.keep);
+    std::vector<ft::SnapshotDirectory::Entry> entries;
+    try {
+      entries = dir.list();
+    } catch (const std::exception&) {
+      return false;
+    }
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->superstep > cap) {
+        continue;
+      }
+      try {
+        const ft::EngineSnapshot snap = ft::read_snapshot(it->path, vfs);
+        if (engine_.validate(snap, cfg_.graph_fp, bound_fp_) != nullptr) {
+          continue;
+        }
+        engine_.initialize();
+        engine_.restore(snap);
+        resume = snap.meta.superstep;
+        mode = snap.meta.mode;
+        return true;
+      } catch (const std::exception&) {
+        continue;  // torn/unreadable: fall back a generation
+      }
+    }
+    return false;
+  }
+
+  /// Full-respawn rebuild of the in-flight state at a lightweight cut:
+  /// every worker restored the SAME superstep, so nobody holds anybody's
+  /// retained frames. Each worker regenerates ALL its outboxes via resend
+  /// semantics as superstep resume-1, pushes the remote slices, and folds
+  /// every source's frame (its own included, at source position `me`) in
+  /// ascending source order into the current inbox — the original
+  /// superstep-(resume-1) exchange, bit for bit.
+  void rebuild_all(std::uint64_t resume) {
+    engine_.regenerate_all(resume);
+    for (std::size_t src = 0; src < part_.shards(); ++src) {
+      floor_[src] = resume - 1;
+    }
+    RetainedGen gen;
+    gen.superstep = resume - 1;
+    gen.frames.resize(part_.shards());
+    for (std::size_t dst = 0; dst < part_.shards(); ++dst) {
+      gen.frames[dst] = engine_.take_outbox(dst);
+      if (dst != cfg_.me) {
+        push_frame(dst, resume - 1, gen.frames[dst]);
+      }
+    }
+    std::vector<std::uint8_t> self_frame = std::move(gen.frames[cfg_.me]);
+    gen.frames[cfg_.me].clear();
+    retained_.push_back(std::move(gen));
+    exchange(resume - 1, /*into_current=*/true, /*self_resend=*/false,
+             &self_frame);
+  }
+
+  /// The coordinator is gone for good on the current link. With recovery
+  /// enabled, park on the reattach rendezvous awaiting a fenced takeover;
+  /// on adoption, re-introduce this live incarnation (hello.active == 1,
+  /// pid attached) and re-send the latest barrier so the takeover can
+  /// re-collect anything its predecessor never committed. False = recovery
+  /// disabled or the park window expired — the caller exits orphan, the
+  /// bounded-exit guarantee.
+  bool on_ctrl_down() {
+    const RecoveryOptions& rec = cfg_.options->recovery;
+    if (!rec.enabled()) {
+      return false;
+    }
+    const auto epoch =
+        transport_->reattach_ctrl(rec.park_seconds, coord_epoch_);
+    if (!epoch.has_value()) {
+      return false;
+    }
+    coord_epoch_ = std::max(coord_epoch_, *epoch);
+    transport_->note_epoch(coord_epoch_);
+    CtrlMsg hello;
+    hello.kind = CtrlMsg::Kind::kHello;
+    hello.shard = static_cast<std::uint32_t>(cfg_.me);
+    hello.superstep = superstep_now_;
+    hello.flag = cfg_.generation;
+    hello.sent = static_cast<std::uint64_t>(::getpid());
+    hello.active = 1;  // adoption: a live incarnation re-binding
+    hello.epoch = coord_epoch_;
+    if (!transport_->ctrl_send(hello)) {
+      return false;
+    }
+    if (pending_barrier_.has_value()) {
+      CtrlMsg barrier = *pending_barrier_;
+      barrier.epoch = coord_epoch_;
+      if (!transport_->ctrl_send(barrier)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Resilient TCP halt hold: wait (bounded by the park window) for the
+  /// coordinator's durable-receipt ack. The transport keeps reconnecting
+  /// underneath — a takeover gets the values re-sent from the backlog and
+  /// acks once its own values blob is durable.
+  bool await_values_ack() {
+    const double deadline =
+        now() + std::max(cfg_.options->recovery.park_seconds, 1.0) + 2.0;
+    while (now() < deadline) {
+      const auto msg = transport_->ctrl_recv(10);
+      if (msg.has_value()) {
+        if (msg->kind == CtrlMsg::Kind::kValuesAck) {
+          return true;
+        }
+        if (msg->kind == CtrlMsg::Kind::kAbort) {
+          ::_exit(kWorkerExitAbort);
+        }
+      }
+      if (transport_->ctrl_down()) {
+        return false;
+      }
+      heartbeat();
+    }
+    return false;
+  }
+
   [[nodiscard]] bool checkpoint_due(std::uint64_t resume) const noexcept {
     const ft::CheckpointPolicy& p = cfg_.options->checkpoint;
     if (!p.enabled() || resume == 0) {
@@ -316,8 +506,14 @@ class Worker {
     CtrlMsg hb;
     hb.kind = CtrlMsg::Kind::kHeartbeat;
     hb.shard = static_cast<std::uint32_t>(cfg_.me);
+    hb.epoch = coord_epoch_;
     if (!transport_->ctrl_send(hb)) {
-      ::_exit(kWorkerExitOrphan);
+      // The heartbeat is sent from inside every blocking loop, so this is
+      // where a coordinator death is usually first noticed — and where
+      // the park-and-reattach (or the bounded orphan exit) happens.
+      if (!on_ctrl_down()) {
+        ::_exit(kWorkerExitOrphan);
+      }
     }
   }
 
@@ -380,6 +576,16 @@ class Worker {
     const auto msg = transport_->ctrl_recv(timeout_ms);
     if (!msg.has_value()) {
       return std::nullopt;
+    }
+    if (cfg_.options->recovery.enabled()) {
+      if (msg->epoch < coord_epoch_) {
+        // A fenced incarnation's message still in flight: never obeyed.
+        return std::nullopt;
+      }
+      if (msg->epoch > coord_epoch_) {
+        coord_epoch_ = msg->epoch;
+        transport_->note_epoch(coord_epoch_);
+      }
     }
     switch (msg->kind) {
       case CtrlMsg::Kind::kAbort:
@@ -515,6 +721,13 @@ class Worker {
 
   double last_heartbeat_ = 0.0;
   bool in_push_ = false;
+
+  /// Newest coordinator fencing epoch this worker has obeyed.
+  std::uint64_t coord_epoch_ = 0;
+  /// Superstep the run loop is currently in (adoption hellos report it).
+  std::uint64_t superstep_now_ = 0;
+  /// Latest barrier sent, re-sent on adoption by a takeover coordinator.
+  std::optional<CtrlMsg> pending_barrier_;
 };
 
 /// Child-process entry: builds the transport matching the configured
@@ -531,10 +744,16 @@ template <VertexProgram Program>
       transport = make_tcp_transport(*cfg.rendezvous, cfg.me, cfg.generation,
                                      *cfg.options);
     } else {
-      transport = std::make_unique<ShmTransport>(
+      auto shm = std::make_unique<ShmTransport>(
           *cfg.spec, *cfg.arena, cfg.me, cfg.options->num_shards,
           std::move(channel));
+      if (cfg.options->recovery.enabled()) {
+        shm->set_reattach_path(cfg.options->recovery.directory +
+                               "/reattach.sock");
+      }
+      transport = std::move(shm);
     }
+    transport->note_epoch(cfg.coord_epoch);
     Worker<Program> worker(cfg, std::move(transport));
     code = worker.run();
   } catch (const PeerUnreachable&) {

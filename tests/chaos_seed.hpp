@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared chaos-matrix plumbing: every matrix derives its randomized cells
+// from a seed that IPREGEL_CHAOS_SEED overrides (so CI soaks can sweep
+// seeds and a failing run can be replayed exactly), and announces each
+// cell's coordinates up front (so the failing cell of a matrix is
+// identifiable from the log alone, seed included).
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace ipregel::testing {
+
+/// The matrix seed: IPREGEL_CHAOS_SEED when set (decimal or 0x-hex),
+/// otherwise the matrix's checked-in default.
+[[nodiscard]] inline std::uint64_t chaos_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("IPREGEL_CHAOS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  return fallback;
+}
+
+/// One line per cell, BEFORE the cell runs: if the cell fails (or hangs
+/// into the ctest timeout), the last announced line names it, and the
+/// seed reproduces it via IPREGEL_CHAOS_SEED.
+inline void announce_cell(const char* matrix, std::uint64_t seed,
+                          const std::string& cell) {
+  std::cout << "[chaos] matrix=" << matrix << " seed=" << seed
+            << " cell=" << cell << std::endl;
+}
+
+}  // namespace ipregel::testing

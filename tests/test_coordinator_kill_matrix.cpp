@@ -1,0 +1,406 @@
+// The headline chaos matrix of coordinator recovery: SIGKILL (or
+// power-cut) the COORDINATOR at every phase of its protocol — mid-spawn,
+// mid-barrier-collect, just before and inside the manifest publish, after
+// a partial proceed delivery, and during a takeover's own recovery — for
+// PageRank, SSSP, and Hashmin, under both checkpoint modes, on both
+// transports, with both takeover strategies (adopt parked survivors /
+// full respawn from snapshots). Every cell requires the resumed run to
+// finish with values BIT-IDENTICAL to the undisturbed run: the takeover
+// must continue from the durable manifest, never re-commit a barrier, and
+// never invent one. The fencing cells additionally resurrect a stale
+// coordinator and require workers to reject it with the typed
+// kCoordinatorFenced error rather than hang or obey.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/hashmin.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "chaos_seed.hpp"
+#include "runtime/rng.hpp"
+#include "shard/resilient.hpp"
+#include "test_util.hpp"
+
+namespace ipregel::shard {
+namespace {
+
+class TempDir {
+ public:
+  // Deliberately short (no suite/test names): the recovery directory
+  // hosts the reattach rendezvous socket, and sun_path caps the whole
+  // path at ~107 bytes. Cell tags are unique across the binary.
+  explicit TempDir(const std::string& suffix) {
+    path_ = std::filesystem::temp_directory_path() / ("ipck_" + suffix);
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// The matrix seed (IPREGEL_CHAOS_SEED overrides); the seeded cell derives
+/// its coordinates from it, every cell announces itself under it.
+const std::uint64_t kSeed = testing::chaos_seed(0xC00D'2026ULL);
+
+ShardOptions coord_cell_options(ft::CheckpointMode mode,
+                                TransportKind transport,
+                                const std::string& ckpt_dir) {
+  ShardOptions opt;
+  opt.num_shards = 2;
+  opt.transport = transport;
+  opt.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  opt.checkpoint.mode = mode;
+  opt.checkpoint.every = 1;
+  opt.checkpoint.keep = 3;
+  opt.checkpoint.directory = ckpt_dir;
+  opt.retain_supersteps = 4;
+  opt.supervisor.backoff_initial_seconds = 0.01;
+  opt.net.backoff_initial_seconds = 0.005;
+  opt.net.backoff_max_seconds = 0.05;
+  opt.guards.run_seconds = 120.0;
+  return opt;
+}
+
+[[nodiscard]] CoordFault coord_kill(CoordFault::Phase phase,
+                                    std::uint64_t superstep,
+                                    std::uint64_t epoch = 1) {
+  CoordFault f;
+  f.kind = CoordFault::Kind::kSigkill;
+  f.phase = phase;
+  f.superstep = superstep;
+  f.epoch = epoch;
+  return f;
+}
+
+[[nodiscard]] CoordFault coord_power_cut(std::uint64_t superstep,
+                                         std::uint64_t at_syscall,
+                                         std::uint64_t epoch = 1) {
+  CoordFault f;
+  f.kind = CoordFault::Kind::kPowerCut;
+  f.phase = CoordFault::Phase::kManifestPublish;
+  f.superstep = superstep;
+  f.at_syscall = at_syscall;
+  f.epoch = epoch;
+  return f;
+}
+
+using OptTweak = std::function<void(ShardOptions&)>;
+using OutcomeCheck = std::function<void(const ShardOutcome&)>;
+
+/// One cell: the undisturbed sharded run (no recovery, no faults) is the
+/// oracle; the chaos run goes through run_sharded_resilient with the
+/// scripted coordinator faults and must converge to bit-identical values.
+template <typename Program>
+void run_coord_cell(const graph::CsrGraph& g, Program program,
+                    ft::CheckpointMode mode, TransportKind transport,
+                    std::vector<CoordFault> faults,
+                    std::size_t min_takeovers, const std::string& tag,
+                    const OptTweak& tweak_both = {},
+                    const OptTweak& tweak_chaos = {},
+                    const OutcomeCheck& check = {}) {
+  using Value = typename Program::value_type;
+  SCOPED_TRACE(tag);
+  testing::announce_cell("coordinator_kill", kSeed, tag);
+
+  TempDir base_ckpt(tag + "_base");
+  auto base_opt = coord_cell_options(mode, transport, base_ckpt.str());
+  if (tweak_both) {
+    tweak_both(base_opt);
+  }
+  std::vector<Value> want;
+  const auto base = run_sharded(g, program, base_opt, &want);
+  ASSERT_TRUE(base.ok()) << base.error->what();
+
+  TempDir chaos_ckpt(tag + "_ckpt");
+  TempDir chaos_run(tag + "_run");
+  auto chaos_opt = coord_cell_options(mode, transport, chaos_ckpt.str());
+  if (tweak_both) {
+    tweak_both(chaos_opt);
+  }
+  chaos_opt.recovery.directory = chaos_run.str();
+  chaos_opt.recovery.park_seconds = 6.0;
+  chaos_opt.recovery.reattach_wait_seconds = 0.4;
+  chaos_opt.coord_faults = std::move(faults);
+  if (tweak_chaos) {
+    tweak_chaos(chaos_opt);
+  }
+  std::vector<Value> got;
+  const auto chaos = run_sharded_resilient(g, program, chaos_opt, &got);
+  ASSERT_TRUE(chaos.ok()) << chaos.error->what();
+  EXPECT_GE(chaos.shard.coordinator_takeovers, min_takeovers);
+  // The takeover continued the SAME run: superstep count identical, no
+  // barrier lost, none committed twice — and the committed message totals
+  // match to the unit (no frame lost below the resync floor, none
+  // double-counted past dedup).
+  EXPECT_EQ(chaos.result.supersteps, base.result.supersteps);
+  EXPECT_EQ(chaos.result.reached_superstep_cap,
+            base.result.reached_superstep_cap);
+  EXPECT_EQ(chaos.result.total_messages, base.result.total_messages);
+  if (mode == ft::CheckpointMode::kHeavyweight) {
+    EXPECT_EQ(chaos.result.total_executed_vertices,
+              base.result.total_executed_vertices);
+  } else {
+    // A lightweight restore rebuilds the resumed superstep's inbox by
+    // replaying Program::resend for EVERY local vertex — a superset of
+    // what the original frontier actually sent — so the re-executed
+    // superstep activates a superset of vertices. The extras observe no
+    // improvement, send nothing (message totals stay exact above), and
+    // converge to the same values; executed may only grow. This applies
+    // to any lightweight cell, not just the full-respawn ones: a
+    // reattach takeover whose window expires under scheduler pressure
+    // legitimately falls back to respawn-from-snapshot.
+    EXPECT_GE(chaos.result.total_executed_vertices,
+              base.result.total_executed_vertices);
+  }
+  if (check) {
+    check(chaos);
+  }
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = g.first_slot(); s < g.num_slots(); ++s) {
+    // Bitwise, not approximate: the resumed schedule must replay the
+    // exact fold order, doubles included.
+    ASSERT_EQ(std::memcmp(&got[s], &want[s], sizeof(Value)), 0)
+        << "slot " << s << " diverged after coordinator recovery";
+  }
+}
+
+[[nodiscard]] graph::CsrGraph pagerank_graph() {
+  return testing::make_graph(
+      graph::rmat(6, 4, graph::RmatOptions{.seed = 12}));
+}
+
+[[nodiscard]] apps::PageRank pagerank12() {
+  apps::PageRank pr;
+  pr.rounds = 12;
+  return pr;
+}
+
+[[nodiscard]] graph::CsrGraph grid_graph() {
+  return testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+}
+
+/// The full phase sweep for one (app, mode, transport) combo: coordinator
+/// death at every distinct point of its protocol, including a power cut
+/// INSIDE the manifest publish and a second death during the first
+/// takeover's own recovery.
+template <typename Program>
+void run_phase_sweep(const graph::CsrGraph& g, Program program,
+                     ft::CheckpointMode mode, TransportKind transport,
+                     const std::string& combo) {
+  // Mid-spawn: shard 1 was just forked, later state never existed. The
+  // takeover adopts what parked and cold-starts the rest.
+  run_coord_cell(g, program, mode, transport,
+                 {coord_kill(CoordFault::Phase::kSpawn, 1)}, 1,
+                 combo + "_spawn");
+  // Mid-barrier-collect: one shard's barrier entry arrived, the release
+  // was never computed. The workers re-send and the takeover re-folds.
+  run_coord_cell(g, program, mode, transport,
+                 {coord_kill(CoordFault::Phase::kBarrierCollect, 3)}, 1,
+                 combo + "_barrier_s3");
+  // Just before the commit: the release of s3 evaporates with the
+  // coordinator; the re-fold must reproduce it identically.
+  run_coord_cell(g, program, mode, transport,
+                 {coord_kill(CoordFault::Phase::kManifestPublish, 3)}, 1,
+                 combo + "_precommit_s3");
+  // Power cut INSIDE the commit (mutating syscall 1 of the publish): the
+  // run directory holds a torn .tmp the takeover must ignore.
+  run_coord_cell(g, program, mode, transport, {coord_power_cut(3, 1)}, 1,
+                 combo + "_powercut_s3");
+  // After a partial proceed: shard 0 heard the release of s3, shard 1
+  // never did. The takeover must re-deliver without double-committing.
+  run_coord_cell(g, program, mode, transport,
+                 {coord_kill(CoordFault::Phase::kProceed, 3)}, 1,
+                 combo + "_proceed_s3");
+  // Death during recovery: the first takeover dies right after its first
+  // adoption/respawn; the second takeover recovers the recovery.
+  run_coord_cell(g, program, mode, transport,
+                 {coord_kill(CoordFault::Phase::kProceed, 3, 1),
+                  coord_kill(CoordFault::Phase::kRecover, 0, 2)},
+                 2, combo + "_die_during_recovery");
+}
+
+TEST(CoordinatorKillMatrix, PhaseSweepPagerankHeavyweightShm) {
+  run_phase_sweep(pagerank_graph(), pagerank12(),
+                  ft::CheckpointMode::kHeavyweight, TransportKind::kShm,
+                  "pagerank_heavy_shm");
+}
+
+TEST(CoordinatorKillMatrix, PhaseSweepSsspLightweightShm) {
+  run_phase_sweep(grid_graph(), apps::Sssp{},
+                  ft::CheckpointMode::kLightweight, TransportKind::kShm,
+                  "sssp_light_shm");
+}
+
+TEST(CoordinatorKillMatrix, TransportAppModeSpread) {
+  // The proceed-phase kill across the combos the sweeps above did not
+  // visit: every app, both modes, and TCP see a coordinator death.
+  const auto grid = grid_graph();
+  run_coord_cell(grid, apps::Hashmin{}, ft::CheckpointMode::kHeavyweight,
+                 TransportKind::kTcp,
+                 {coord_kill(CoordFault::Phase::kProceed, 3)}, 1,
+                 "hashmin_heavy_tcp_proceed_s3");
+  run_coord_cell(pagerank_graph(), pagerank12(),
+                 ft::CheckpointMode::kLightweight, TransportKind::kTcp,
+                 {coord_kill(CoordFault::Phase::kProceed, 3)}, 1,
+                 "pagerank_light_tcp_proceed_s3");
+  run_coord_cell(grid, apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+                 TransportKind::kTcp,
+                 {coord_kill(CoordFault::Phase::kProceed, 3)}, 1,
+                 "sssp_heavy_tcp_proceed_s3");
+  run_coord_cell(grid, apps::Hashmin{}, ft::CheckpointMode::kLightweight,
+                 TransportKind::kShm,
+                 {coord_kill(CoordFault::Phase::kProceed, 3)}, 1,
+                 "hashmin_light_shm_proceed_s3");
+}
+
+TEST(CoordinatorKillMatrix, FullRespawnTakeover) {
+  // prefer_reattach=false: the takeover abandons the parked survivors,
+  // negotiates a consistent snapshot cut, and respawns EVERY shard from
+  // durable state alone. No worker may be adopted.
+  const OptTweak full_respawn = [](ShardOptions& opt) {
+    opt.recovery.prefer_reattach = false;
+  };
+  const OutcomeCheck nothing_adopted = [](const ShardOutcome& chaos) {
+    EXPECT_EQ(chaos.shard.adopted_workers, 0u);
+    EXPECT_GE(chaos.shard.respawns, 2u);
+  };
+  run_coord_cell(pagerank_graph(), pagerank12(),
+                 ft::CheckpointMode::kHeavyweight, TransportKind::kShm,
+                 {coord_kill(CoordFault::Phase::kProceed, 4)}, 1,
+                 "full_respawn_pagerank_heavy_shm", {}, full_respawn,
+                 nothing_adopted);
+  run_coord_cell(grid_graph(), apps::Sssp{},
+                 ft::CheckpointMode::kLightweight, TransportKind::kShm,
+                 {coord_kill(CoordFault::Phase::kBarrierCollect, 5)}, 1,
+                 "full_respawn_sssp_light_shm", {}, full_respawn,
+                 nothing_adopted);
+  run_coord_cell(grid_graph(), apps::Sssp{},
+                 ft::CheckpointMode::kHeavyweight, TransportKind::kTcp,
+                 {coord_kill(CoordFault::Phase::kProceed, 4)}, 1,
+                 "full_respawn_sssp_heavy_tcp", {}, full_respawn,
+                 nothing_adopted);
+}
+
+TEST(CoordinatorKillMatrix, KillAtTheHaltRelease) {
+  // The coordinator dies delivering the FINAL (halting) release: shard 0
+  // heard "halt", shard 1 did not. The takeover boots into a run whose
+  // manifest already says halting and must still produce the values —
+  // over TCP that path flows through the durable values blob.
+  // max_supersteps = 5 means the final (capped) release is the barrier
+  // at superstep index 4 — that is the halting proceed to die inside.
+  const OptTweak cap5 = [](ShardOptions& opt) { opt.max_supersteps = 5; };
+  run_coord_cell(grid_graph(), apps::Sssp{},
+                 ft::CheckpointMode::kHeavyweight, TransportKind::kShm,
+                 {coord_kill(CoordFault::Phase::kProceed, 4)}, 1,
+                 "halt_release_shm", cap5);
+  run_coord_cell(grid_graph(), apps::Sssp{},
+                 ft::CheckpointMode::kHeavyweight, TransportKind::kTcp,
+                 {coord_kill(CoordFault::Phase::kProceed, 4)}, 1,
+                 "halt_release_tcp", cap5);
+}
+
+TEST(CoordinatorKillMatrix, WorkerAndCoordinatorDieInOneRun) {
+  // A worker dies at s4 (ordinary shard recovery), then the coordinator
+  // dies at s6: the takeover inherits a run that already respawned once.
+  ShardFault worker_kill;
+  worker_kill.kind = ShardFault::Kind::kSigkill;
+  worker_kill.shard = 1;
+  worker_kill.superstep = 4;
+  worker_kill.phase = ShardFault::Phase::kCompute;
+  run_coord_cell(
+      grid_graph(), apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+      TransportKind::kShm, {coord_kill(CoordFault::Phase::kProceed, 6)}, 1,
+      "worker_then_coordinator", {},
+      [&](ShardOptions& opt) { opt.faults = {worker_kill}; },
+      [](const ShardOutcome& chaos) {
+        EXPECT_GE(chaos.shard.respawns, 1u);
+      });
+}
+
+void run_fencing_cell(TransportKind transport, const std::string& tag) {
+  // Split-brain drill: epoch 1 dies at s3; its takeover (epoch 2) dies at
+  // s5; the SECOND takeover resurrects as a STALE incarnation — it skips
+  // the fence claim and presents epoch 1, exactly like a woken-up dead
+  // coordinator that still believes it owns the run. Workers that obeyed
+  // epoch 2 must reject it (typed kCoordinatorFenced, no hang, nothing
+  // committed), and the supervisor's NEXT incarnation — properly fenced
+  // at epoch 3 — finishes the run bit-identically.
+  run_coord_cell(
+      grid_graph(), apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+      transport,
+      {coord_kill(CoordFault::Phase::kProceed, 3, 1),
+       coord_kill(CoordFault::Phase::kProceed, 5, 2)},
+      2, tag, {},
+      [](ShardOptions& opt) { opt.recovery.stale_epoch_at_takeover = 2; },
+      [](const ShardOutcome& chaos) {
+        EXPECT_GE(chaos.shard.coordinator_fenced, 1u)
+            << "the stale incarnation was never fenced";
+      });
+}
+
+TEST(CoordinatorKillMatrix, StaleCoordinatorIsFencedShm) {
+  run_fencing_cell(TransportKind::kShm, "stale_fenced_shm");
+}
+
+TEST(CoordinatorKillMatrix, StaleCoordinatorIsFencedTcp) {
+  run_fencing_cell(TransportKind::kTcp, "stale_fenced_tcp");
+}
+
+TEST(CoordinatorKillMatrix, TcpWorkerMidReconnectWhenCoordinatorDies) {
+  // Satellite: a TCP worker is knocked into its backoff-reconnect loop
+  // (ctrl connection dropped) and the coordinator dies while the worker
+  // is still reconnecting. The worker's re-HELLO lands on the fenced
+  // TAKEOVER, which must resync the retained frames exactly once —
+  // message totals must match the undisturbed run to the unit (no frame
+  // lost below the floor, none double-counted past dedup).
+  NetFault drop;
+  drop.kind = NetFault::Kind::kDropConn;
+  drop.plane = NetFault::Plane::kCtrl;
+  drop.shard = 1;
+  drop.at_op = 12;
+  run_coord_cell(
+      grid_graph(), apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+      TransportKind::kTcp, {coord_kill(CoordFault::Phase::kProceed, 4)}, 1,
+      "tcp_mid_backoff_takeover", {},
+      [&](ShardOptions& opt) { opt.net_faults = {drop}; },
+      [](const ShardOutcome& chaos) {
+        EXPECT_GE(chaos.shard.coordinator_takeovers, 1u);
+      });
+}
+
+TEST(CoordinatorKillMatrix, SeededCell) {
+  // One cell whose coordinates come from the matrix seed, so
+  // IPREGEL_CHAOS_SEED sweeps genuinely new ground.
+  const std::uint64_t h = runtime::mix64(kSeed ^ 0xC0'0C'D1'CEULL);
+  constexpr CoordFault::Phase kPhases[] = {
+      CoordFault::Phase::kSpawn, CoordFault::Phase::kBarrierCollect,
+      CoordFault::Phase::kManifestPublish, CoordFault::Phase::kProceed};
+  const auto phase = kPhases[h % 4];
+  const std::uint64_t superstep =
+      phase == CoordFault::Phase::kSpawn ? (h >> 2) % 2 : 2 + (h >> 2) % 4;
+  const auto mode = ((h >> 8) % 2) == 0 ? ft::CheckpointMode::kHeavyweight
+                                        : ft::CheckpointMode::kLightweight;
+  const auto transport =
+      ((h >> 9) % 2) == 0 ? TransportKind::kShm : TransportKind::kTcp;
+  const std::string tag = "seeded_phase" +
+                          std::to_string(static_cast<int>(phase)) + "_s" +
+                          std::to_string(superstep) + "_" +
+                          std::string(to_string(mode)) + "_" +
+                          (transport == TransportKind::kShm ? "shm" : "tcp");
+  run_coord_cell(grid_graph(), apps::Sssp{}, mode, transport,
+                 {coord_kill(phase, superstep)}, 1, tag);
+}
+
+}  // namespace
+}  // namespace ipregel::shard

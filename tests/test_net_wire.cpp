@@ -207,10 +207,22 @@ TEST(NetWire, FutureVersionRejected) {
 }
 
 TEST(NetWire, ShortHelloRejected) {
-  const std::vector<std::uint8_t> payload(sizeof(WireHello) - 1);
+  // Shorter than even the v1 prefix: rejected before any field decodes.
+  try {
+    (void)decode_hello(std::vector<std::uint8_t>(kWireHelloV1Bytes - 1));
+    FAIL() << "sub-v1 hello accepted";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.kind(), WireErrorKind::kTruncatedPayload);
+  }
+  // A well-formed v2 hello missing its final byte: the v1 prefix decodes
+  // fine, but the declared version promises the epoch/pid fields, so the
+  // truncation must still surface typed.
+  WireHello hello;
+  std::vector<std::uint8_t> payload(sizeof hello - 1);
+  std::memcpy(payload.data(), &hello, sizeof hello - 1);
   try {
     (void)decode_hello(payload);
-    FAIL() << "short hello accepted";
+    FAIL() << "truncated v2 hello accepted";
   } catch (const WireError& err) {
     EXPECT_EQ(err.kind(), WireErrorKind::kTruncatedPayload);
   }

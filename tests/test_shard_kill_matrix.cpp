@@ -18,12 +18,17 @@
 #include "apps/hashmin.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/sssp.hpp"
+#include "chaos_seed.hpp"
 #include "runtime/rng.hpp"
 #include "shard/coordinator.hpp"
 #include "test_util.hpp"
 
 namespace ipregel::shard {
 namespace {
+
+/// The matrix seed (IPREGEL_CHAOS_SEED overrides); the seeded cells
+/// derive their coordinates from it, every cell announces itself under it.
+const std::uint64_t kMatrixSeed = testing::chaos_seed(0x5EED2026ULL);
 
 class TempDir {
  public:
@@ -67,6 +72,7 @@ void run_cell(const graph::CsrGraph& g, Program program,
               std::size_t min_recoveries, const std::string& tag) {
   using Value = typename Program::value_type;
   SCOPED_TRACE(tag);
+  testing::announce_cell("shard_kill", kMatrixSeed, tag);
 
   TempDir base_dir(tag + "_base");
   auto base_opt = cell_options(mode, base_dir.str());
@@ -126,11 +132,10 @@ void run_matrix_for(const graph::CsrGraph& g, Program program,
              mt + "_kill_s7");
 
     // Cell 2 — seeded random superstep and phase. The seed fixes the
-    // cell, so failures reproduce; vary it via the tag below when
+    // cell, so failures reproduce; sweep it via IPREGEL_CHAOS_SEED when
     // hunting.
-    constexpr std::uint64_t kSeed = 0x5EED2026;
     const std::uint64_t h =
-        runtime::mix64(kSeed ^ (app.size() * 131) ^
+        runtime::mix64(kMatrixSeed ^ (app.size() * 131) ^
                        static_cast<std::uint64_t>(mode));
     const std::uint64_t superstep = 2 + h % 6;
     constexpr ShardFault::Phase kPhases[] = {

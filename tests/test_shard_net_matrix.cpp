@@ -20,11 +20,17 @@
 #include "apps/hashmin.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/sssp.hpp"
+#include "chaos_seed.hpp"
+#include "runtime/rng.hpp"
 #include "shard/coordinator.hpp"
 #include "test_util.hpp"
 
 namespace ipregel::shard {
 namespace {
+
+/// The matrix seed (IPREGEL_CHAOS_SEED overrides); the seeded cell
+/// derives its coordinates from it, every cell announces itself under it.
+const std::uint64_t kMatrixSeed = testing::chaos_seed(0x7C9'2026ULL);
 
 class TempDir {
  public:
@@ -71,6 +77,7 @@ void run_tcp_cell(const graph::CsrGraph& g, Program program,
                   std::size_t min_respawns = 0) {
   using Value = typename Program::value_type;
   SCOPED_TRACE(tag);
+  testing::announce_cell("shard_net", kMatrixSeed, tag);
 
   TempDir base_dir(tag + "_base");
   auto base_opt = cell_options(mode, base_dir.str());
@@ -353,6 +360,28 @@ TEST(ShardNetMatrix, UnhealedPartitionDegradesToTypedFailure) {
   EXPECT_EQ(outcome.error->kind(), RunErrorKind::kShardFailure)
       << outcome.error->what();
   EXPECT_GE(outcome.shard.respawns, 1u);
+}
+
+TEST(ShardNetMatrix, SeededCell) {
+  // One cell whose fault kind, victim, and counted op come from the
+  // matrix seed, so IPREGEL_CHAOS_SEED sweeps genuinely new ground.
+  const std::uint64_t h = runtime::mix64(kMatrixSeed ^ 0x7C97C9ULL);
+  constexpr NetFault::Kind kKinds[] = {
+      NetFault::Kind::kShortWrite, NetFault::Kind::kShortRead,
+      NetFault::Kind::kResetMidFrame, NetFault::Kind::kDropConn};
+  const auto kind = kKinds[h % 4];
+  const std::size_t shard = (h >> 2) % 2;
+  const std::uint64_t at_op = 1 + (h >> 3) % 8;
+  const auto g =
+      testing::make_graph(graph::grid_2d(8, 8, graph::GridOptions{}));
+  run_tcp_cell(g, apps::Sssp{}, ft::CheckpointMode::kHeavyweight,
+               "seeded_kind" + std::to_string(static_cast<int>(kind)) +
+                   "_shard" + std::to_string(shard) + "_op" +
+                   std::to_string(at_op),
+               [&](ShardOptions& opt) {
+                 opt.net_faults = {
+                     net_fault(kind, shard, 1 - shard, at_op)};
+               });
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Satellite of coordinator recovery: a worker whose coordinator vanished
+// and is NEVER adopted must not linger. It parks for exactly
+// recovery.park_seconds awaiting a takeover, then exits with the typed
+// kWorkerExitOrphan status — on both transports, within a wall-clock
+// bound. The takeover budget is set to zero here so no adopter ever
+// arrives; the orphans reparent to this test process (the supervisor
+// marks itself a child subreaper), which reaps them and asserts the code.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.hpp"
+#include "shard/resilient.hpp"
+#include "shard/worker.hpp"
+#include "test_util.hpp"
+
+namespace ipregel::shard {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& suffix) {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = std::filesystem::temp_directory_path() /
+            (std::string("ipregel_") + info->test_suite_name() + "_" +
+             info->name() + "_" + suffix);
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+[[nodiscard]] double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void run_orphan_cell(TransportKind transport) {
+  constexpr double kPark = 2.0;
+
+  const auto g = testing::make_graph(
+      graph::rmat(6, 4, graph::RmatOptions{.seed = 12}));
+  apps::PageRank pr;
+  pr.rounds = 12;
+
+  TempDir ckpt("ckpt");
+  TempDir run("run");
+  ShardOptions opt;
+  opt.num_shards = 2;
+  opt.transport = transport;
+  opt.checkpoint.trigger = ft::CheckpointTrigger::kEveryK;
+  opt.checkpoint.mode = ft::CheckpointMode::kHeavyweight;
+  opt.checkpoint.every = 1;
+  opt.checkpoint.keep = 3;
+  opt.checkpoint.directory = ckpt.str();
+  opt.retain_supersteps = 4;
+  opt.supervisor.backoff_initial_seconds = 0.01;
+  opt.guards.run_seconds = 60.0;
+  opt.recovery.directory = run.str();
+  opt.recovery.park_seconds = kPark;
+  // No takeover will ever come: the parked workers MUST give up on their
+  // own.
+  opt.recovery.max_takeovers = 0;
+  CoordFault die;
+  die.kind = CoordFault::Kind::kSigkill;
+  die.phase = CoordFault::Phase::kProceed;
+  die.superstep = 2;
+  die.epoch = 1;
+  opt.coord_faults = {die};
+
+  const double t0 = now_seconds();
+  std::vector<double> values;
+  const auto outcome = run_sharded_resilient(g, pr, opt, &values);
+
+  // The run itself fails typed: the coordinator died and the takeover
+  // budget is zero.
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error->kind(), RunErrorKind::kShardFailure)
+      << outcome.error->what();
+  EXPECT_EQ(outcome.shard.coordinator_takeovers, 0u);
+
+  // Both workers reparented to this process when their coordinator died.
+  // Reap them: each must exit kWorkerExitOrphan, and all of them within
+  // park_seconds plus generous slack (sanitizer + 1-CPU headroom) of the
+  // coordinator's death.
+  std::vector<int> codes;
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      ASSERT_EQ(errno, ECHILD) << "waitpid failed unexpectedly";
+      break;
+    }
+    ASSERT_TRUE(WIFEXITED(status))
+        << "orphaned worker " << pid << " did not exit cleanly";
+    codes.push_back(WEXITSTATUS(status));
+  }
+  const double elapsed = now_seconds() - t0;
+  ASSERT_EQ(codes.size(), 2u)
+      << "expected both parked workers to reparent here and exit";
+  for (const int code : codes) {
+    EXPECT_EQ(code, kWorkerExitOrphan);
+  }
+  // The bound: whole-run wall clock covers spawn + two supersteps + the
+  // park window. 20s of slack absorbs ASan/TSan and a loaded 1-CPU host
+  // while still catching an unbounded (or heartbeat-less) park.
+  EXPECT_LT(elapsed, kPark + 20.0)
+      << "orphaned workers overstayed the park window";
+}
+
+TEST(ShardOrphanExit, ShmParkedWorkersExitTypedWithinBound) {
+  run_orphan_cell(TransportKind::kShm);
+}
+
+TEST(ShardOrphanExit, TcpParkedWorkersExitTypedWithinBound) {
+  run_orphan_cell(TransportKind::kTcp);
+}
+
+}  // namespace
+}  // namespace ipregel::shard

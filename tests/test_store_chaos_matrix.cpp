@@ -14,6 +14,7 @@
 
 #include "apps/hashmin.hpp"
 #include "apps/pagerank.hpp"
+#include "chaos_seed.hpp"
 #include "core/engine.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
@@ -35,6 +36,12 @@ constexpr const char* kPath = "/chaos/graph.pages";
 constexpr std::size_t kPage = 64;
 constexpr std::size_t kRounds = 5;
 
+/// The matrix seed (IPREGEL_CHAOS_SEED overrides): it picks the graph the
+/// whole matrix runs over, so a seed sweep exercises fresh page layouts.
+/// Sweep coordinates are exhaustive (strided), announced via
+/// SCOPED_TRACE; the announce below records the seed for replay.
+const std::uint64_t kMatrixSeed = testing::chaos_seed(77);
+
 /// Matrix cells are capped so sanitizer builds stay inside their timeout:
 /// a sweep longer than this is strided, covering first, last, and an even
 /// sample in between.
@@ -46,7 +53,7 @@ std::uint64_t stride_for(std::uint64_t total) {
 
 CsrGraph chaos_graph() {
   return CsrGraph::build(
-      graph::rmat(6, 4, {.seed = 77}),
+      graph::rmat(6, 4, {.seed = kMatrixSeed}),
       {.addressing = graph::AddressingMode::kOffset, .build_in_edges = true});
 }
 
@@ -63,6 +70,7 @@ std::vector<double> paged_run(FaultyVfs& vfs) {
 }
 
 TEST(StoreChaosMatrix, TransientReadFaultSweepRecoversBitIdentical) {
+  testing::announce_cell("store_chaos", kMatrixSeed, "transient_read_sweep");
   const CsrGraph g = chaos_graph();
   // The undisturbed in-RAM reference the whole matrix is judged against.
   Engine<apps::PageRank, CombinerKind::kPull, false> engine(
@@ -114,6 +122,7 @@ TEST(StoreChaosMatrix, TransientReadFaultSweepRecoversBitIdentical) {
 }
 
 TEST(StoreChaosMatrix, PowerCutSweepFailsTypedAndRecoversAfterReboot) {
+  testing::announce_cell("store_chaos", kMatrixSeed, "power_cut_sweep");
   const CsrGraph g = chaos_graph();
   Engine<apps::PageRank, CombinerKind::kPull, false> engine(
       g, apps::PageRank{.rounds = kRounds});
@@ -153,13 +162,14 @@ TEST(StoreChaosMatrix, PowerCutSweepFailsTypedAndRecoversAfterReboot) {
 }
 
 TEST(StoreChaosMatrix, BuildPhaseCrashSweepNeverPublishesATornStore) {
+  testing::announce_cell("store_chaos", kMatrixSeed, "build_crash_sweep");
   // The streaming writer goes through AtomicFile: whatever a crash leaves
   // behind, the final name holds either nothing or a COMPLETE store, and
   // a rebuild over the debris converges to the reference bytes.
   std::vector<std::uint8_t> reference;
   {
     FaultyVfs clean;
-    graph::RmatStream source(6, 4, {.seed = 77});
+    graph::RmatStream source(6, 4, {.seed = kMatrixSeed});
     write_store_streaming(source, kPath, &clean,
                           {.page_bytes = kPage, .build_in_edges = true});
     reference = clean.read_all(kPath);
@@ -168,7 +178,7 @@ TEST(StoreChaosMatrix, BuildPhaseCrashSweepNeverPublishesATornStore) {
   // Probe the mutating-op count of one clean build.
   FaultyVfs probe;
   {
-    graph::RmatStream source(6, 4, {.seed = 77});
+    graph::RmatStream source(6, 4, {.seed = kMatrixSeed});
     write_store_streaming(source, kPath, &probe,
                           {.page_bytes = kPage, .build_in_edges = true});
   }
@@ -184,7 +194,7 @@ TEST(StoreChaosMatrix, BuildPhaseCrashSweepNeverPublishesATornStore) {
                    std::to_string(at) + " of " + std::to_string(total));
       FaultyVfs vfs;
       vfs.set_plan({kind, at});
-      graph::RmatStream source(6, 4, {.seed = 77});
+      graph::RmatStream source(6, 4, {.seed = kMatrixSeed});
       try {
         write_store_streaming(source, kPath, &vfs,
                               {.page_bytes = kPage, .build_in_edges = true});
@@ -201,7 +211,7 @@ TEST(StoreChaosMatrix, BuildPhaseCrashSweepNeverPublishesATornStore) {
         EXPECT_EQ(vfs.read_all(kPath), reference);
       }
       // A rebuild over the debris converges.
-      graph::RmatStream again(6, 4, {.seed = 77});
+      graph::RmatStream again(6, 4, {.seed = kMatrixSeed});
       write_store_streaming(again, kPath, &vfs,
                             {.page_bytes = kPage, .build_in_edges = true});
       EXPECT_EQ(vfs.read_all(kPath), reference);
@@ -210,6 +220,7 @@ TEST(StoreChaosMatrix, BuildPhaseCrashSweepNeverPublishesATornStore) {
 }
 
 TEST(StoreChaosMatrix, PushModeSurvivesTheSameReadFaults) {
+  testing::announce_cell("store_chaos", kMatrixSeed, "push_read_sweep");
   // A smaller sweep through the push path (out-target pages instead of
   // in-target pages): same contract, order-insensitive program, so
   // bit-identity holds at any thread count too.
